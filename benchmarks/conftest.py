@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark module regenerates one artefact of the paper (a table, a
+figure, an equation or a system-level claim), asserts the *shape* expectations
+recorded in DESIGN.md, and times the underlying kernel with pytest-benchmark.
+Run them with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the regenerated tables printed to stdout.
+"""
+
+from typing import Iterable, Mapping
+
+import pytest
+
+
+def print_table(title: str, rows: Iterable[Mapping], columns=None) -> None:
+    """Print a list of dict rows as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        print(f"\n{title}\n  (no rows)")
+        return
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), max(len(_fmt(row.get(column))) for row in rows))
+        for column in columns
+    }
+    print(f"\n{title}")
+    print("  " + "  ".join(str(column).rjust(widths[column]) for column in columns))
+    for row in rows:
+        print("  " + "  ".join(_fmt(row.get(column)).rjust(widths[column]) for column in columns))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+@pytest.fixture(scope="session")
+def benchmark_seed() -> int:
+    """One seed for the whole benchmark session, for exact reproducibility."""
+    return 2018

@@ -1,0 +1,63 @@
+"""E7 — Eq. (2): compressed-sample rate and the event-overlap estimate.
+
+Regenerates the ``f_cs = R * M * N * f_s`` design table, checks the
+prototype's ≈50 kHz / 20 µs operating point, and reproduces the worked
+example of Section III-B: with 5 ns events and 64 selected pixels per column
+there is a ~6 % chance that a given event overlaps another — the reason the
+token protocol exists.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.analysis.frame_rate import (
+    compressed_sample_rate,
+    sample_rate_table,
+    simulate_overlap_probability,
+)
+from repro.sensor.config import SensorConfig
+
+
+def test_eq2_sample_rate_table(benchmark):
+    table = benchmark(sample_rate_table)
+    rows = [r for r in table if (r["rows"], r["cols"]) == (64, 64) and r["frame_rate_fps"] == 30.0]
+    print_table("Eq. (2) — compressed-sample rate (64x64, 30 fps)", rows)
+
+    prototype = next(r for r in rows if r["compression_ratio"] == 0.4)
+    assert prototype["compressed_sample_rate_hz"] == pytest.approx(49152.0)
+    assert prototype["sample_period_us"] == pytest.approx(20.3, rel=0.02)
+    # Linearity in R across the table.
+    low = next(r for r in rows if r["compression_ratio"] == 0.1)
+    assert prototype["compressed_sample_rate_hz"] == pytest.approx(
+        4 * low["compressed_sample_rate_hz"]
+    )
+
+
+def test_eq2_operating_point_scaling(benchmark):
+    """f_cs grows linearly with array area and frame rate."""
+    rate = benchmark(compressed_sample_rate, 128, 128, 30.0, 0.4)
+    assert rate == pytest.approx(4 * compressed_sample_rate(64, 64, 30.0, 0.4))
+
+
+def test_eq2_event_overlap_probability(benchmark):
+    """The paper's 6.25 % overlap estimate (5 ns events, 64 pixels per column)."""
+    config = SensorConfig()
+
+    simulated = benchmark.pedantic(
+        lambda: simulate_overlap_probability(
+            64, config.event_duration, config.conversion_time, n_trials=5000, seed=7
+        ),
+        rounds=1, iterations=1,
+    )
+    analytic = config.event_overlap_probability(64)
+    rows = [
+        {"estimate": "paper (worked example)", "probability": 0.0625},
+        {"estimate": "analytic 1-(1-2d/T)^(n-1)", "probability": analytic},
+        {"estimate": "Monte-Carlo (per-event)", "probability": simulated["p_event_overlaps"]},
+        {"estimate": "Monte-Carlo (any pair in column)", "probability": simulated["p_any_overlap"]},
+    ]
+    print_table("Eq. (2) — event-overlap probability", rows)
+
+    # Same order of magnitude as the paper's 6.25 % figure.
+    assert 0.03 < analytic < 0.09
+    assert 0.03 < simulated["p_event_overlaps"] < 0.12

@@ -1,0 +1,84 @@
+"""E3 — Fig. 1: the elementary pixel.
+
+Regenerates the behaviour the schematic describes: the light-to-time transfer
+characteristic of the front end (brighter pixels fire earlier, reciprocal
+curve), the XOR selection gating, the fire-once activation latch, and the
+event-termination handshake, and benchmarks the vectorised light-to-time
+conversion of a full 64x64 array.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.pixel.comparator import Comparator
+from repro.pixel.event import EventLatch
+from repro.pixel.photodiode import Photodiode
+from repro.pixel.pixel import Pixel
+from repro.pixel.time_encoder import TimeEncoder
+
+
+def ideal_encoder():
+    return TimeEncoder(
+        photodiode=Photodiode(capacitance=10e-15, reset_voltage=3.3),
+        comparator=Comparator(offset_sigma=0.0, delay=0.0),
+        reference_voltage=1.0,
+    )
+
+
+def test_fig1_light_to_time_transfer_curve(benchmark):
+    """The pixel encodes intensity in time: t = (V_rst - V_ref) C / I_ph."""
+    encoder = ideal_encoder()
+    currents = np.logspace(-10, -8, 9)
+
+    times = benchmark(encoder.ideal_firing_times, currents.reshape(1, -1))[0]
+
+    rows = [
+        {"photocurrent_nA": current * 1e9, "firing_time_us": time * 1e6}
+        for current, time in zip(currents, times)
+    ]
+    print_table("Fig. 1 — light-to-time transfer curve", rows)
+    # Reciprocal curve: t * I is constant and equals swing * C.
+    products = times * currents
+    assert np.allclose(products, encoder.voltage_swing * encoder.photodiode.capacitance)
+    # Monotonically decreasing with light.
+    assert np.all(np.diff(times) < 0)
+
+
+def test_fig1_full_array_conversion_throughput(benchmark):
+    """Vectorised conversion of all 4096 pixels (the per-sample inner loop)."""
+    encoder = ideal_encoder()
+    rng = np.random.default_rng(0)
+    currents = rng.uniform(1e-9, 10e-9, size=(64, 64))
+    times = benchmark(encoder.firing_times, currents)
+    assert times.shape == (64, 64)
+
+
+def test_fig1_selection_and_event_logic(benchmark):
+    """XOR gating, fire-once latch and termination — the digital half of Fig. 1."""
+
+    def run_pixel_protocol():
+        pixel = Pixel(row=3, col=5, encoder=ideal_encoder())
+        pixel.expose(2e-9)
+        outcomes = {}
+        # Deselected: S_i == S_j — the activation front must not propagate.
+        pixel.select(1, 1)
+        outcomes["deselected_event"] = pixel.maybe_activate(1.0)
+        # Selected: the pixel activates exactly once.
+        pixel.select(0, 1)
+        first = pixel.maybe_activate(1.0)
+        second = pixel.maybe_activate(1.0)
+        outcomes["selected_event"] = first
+        outcomes["second_event"] = second
+        # Event termination handshake on the latch.
+        latch = EventLatch()
+        latch.activate()
+        latch.grant()
+        latch.terminate()
+        outcomes["latch_completed"] = latch.completed
+        return outcomes
+
+    outcomes = benchmark(run_pixel_protocol)
+    assert outcomes["deselected_event"] is None
+    assert outcomes["selected_event"] is not None
+    assert outcomes["second_event"] is None
+    assert outcomes["latch_completed"] is True

@@ -1,0 +1,53 @@
+"""E2 — Table II: summary of chip features.
+
+Regenerates every row of Table II.  Architectural rows (technology, pixel
+size, resolution, frame rate, clock, supplies, maximum compressed-sample
+rate) come directly from the configuration; die size and power come from the
+parametric power/area model.  The assertions check the architectural rows
+exactly and the modelled rows to the coarse tolerances appropriate for a
+bottom-up estimate.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.sensor.config import SensorConfig
+from repro.sensor.power import PAPER_TABLE_II, PowerAreaModel, chip_feature_summary
+
+
+def test_table2_chip_feature_summary(benchmark):
+    summary = benchmark(chip_feature_summary, SensorConfig(), PowerAreaModel())
+
+    rows = []
+    for key, paper_value in PAPER_TABLE_II.items():
+        rows.append({"feature": key, "paper": paper_value, "reproduced": summary.get(key)})
+    print_table("Table II — summary of chip features", rows, ["feature", "paper", "reproduced"])
+
+    # Architectural rows match exactly.
+    assert summary["technology"] == PAPER_TABLE_II["technology"]
+    assert summary["resolution"] == PAPER_TABLE_II["resolution"]
+    assert summary["pixel_size_um"] == PAPER_TABLE_II["pixel_size_um"]
+    assert summary["fill_factor_percent"] == pytest.approx(PAPER_TABLE_II["fill_factor_percent"])
+    assert summary["photodiode_type"] == PAPER_TABLE_II["photodiode_type"]
+    assert summary["power_supply_v"] == PAPER_TABLE_II["power_supply_v"]
+    assert summary["frame_rate_fps"] == PAPER_TABLE_II["frame_rate_fps"]
+    assert summary["clock_frequency_mhz"] == PAPER_TABLE_II["clock_frequency_mhz"]
+
+    # Eq. (2) operating point: the paper rounds 49.152 kHz up to "50 kHz".
+    assert summary["max_compressed_sample_rate_khz"] == pytest.approx(49.152)
+    assert abs(summary["max_compressed_sample_rate_khz"] - PAPER_TABLE_II["max_compressed_sample_rate_khz"]) < 1.0
+
+    # Modelled rows: below the stated power bound, die size within ~40 %.
+    assert summary["predicted_power_mw"] < PAPER_TABLE_II["predicted_power_mw"]
+    paper_area = PAPER_TABLE_II["die_size_mm"][0] * PAPER_TABLE_II["die_size_mm"][1]
+    model_area = summary["die_size_mm"][0] * summary["die_size_mm"][1]
+    assert 0.6 * paper_area < model_area < 1.4 * paper_area
+
+
+def test_table2_power_breakdown(benchmark):
+    """Per-block power contributions (not in the paper, but implied by the design)."""
+    model = PowerAreaModel()
+    breakdown = benchmark(model.power_breakdown, SensorConfig())
+    rows = [{"block": k, "power_mw": v * 1e3} for k, v in breakdown.items()]
+    print_table("Power breakdown (model)", rows)
+    assert breakdown["pixel_array"] > breakdown["ca_ring"]

@@ -1,0 +1,57 @@
+"""E12 — simulator throughput.
+
+Not a paper artefact, but the practical figure a user of this library cares
+about: how fast the behavioural and event-accurate sensor models run, and how
+long a full capture-plus-reconstruction cycle takes at the prototype's native
+resolution.  These numbers also make regressions in the hot paths visible.
+"""
+
+import numpy as np
+
+from repro.optics.photo import PhotoConversion
+from repro.optics.scenes import make_scene
+from repro.recon.pipeline import reconstruct_frame
+from repro.sensor.config import SensorConfig
+from repro.sensor.imager import CompressiveImager
+
+
+def make_inputs(rows=64, cols=64, seed=2018):
+    config = SensorConfig(rows=rows, cols=cols)
+    imager = CompressiveImager(config, seed=seed)
+    scene = make_scene("natural", (rows, cols), seed=seed)
+    current = PhotoConversion(prnu_sigma=0.0, shot_noise=False).convert(scene)
+    return imager, current
+
+
+def test_throughput_behavioural_capture_64x64(benchmark):
+    imager, current = make_inputs()
+    frame = benchmark(lambda: imager.capture(current, n_samples=512))
+    assert frame.n_samples == 512
+
+
+def test_throughput_event_accurate_capture_32x32(benchmark):
+    imager, current = make_inputs(rows=32, cols=32)
+    frame = benchmark.pedantic(
+        lambda: imager.capture(current, n_samples=16, fidelity="event"),
+        rounds=3, iterations=1,
+    )
+    assert frame.metadata["n_lost_events"] == 0
+
+
+def test_throughput_capture_and_reconstruct_cycle(benchmark):
+    imager, current = make_inputs()
+
+    def cycle():
+        frame = imager.capture(current, n_samples=1024)
+        return reconstruct_frame(frame, max_iterations=100)
+
+    result = benchmark.pedantic(cycle, rounds=1, iterations=1)
+    assert result.metrics["psnr_db"] > 22.0
+
+
+def test_throughput_measurement_matrix_generation(benchmark):
+    """Regenerating Φ from the seed (the receiver's first step) for a full frame."""
+    imager, current = make_inputs()
+    frame = imager.capture(current, n_samples=imager.config.samples_per_frame)
+    phi = benchmark.pedantic(frame.measurement_matrix, rounds=1, iterations=1)
+    assert phi.shape == (frame.n_samples, 4096)

@@ -1,0 +1,65 @@
+"""On-line adaptation of V_rst / V_ref to the illumination level.
+
+Section II-A points out that both the reset voltage and the comparator
+reference of the pixel "can be adjusted on-line in order to adapt to different
+illumination conditions in real-time".  This example shows why that matters:
+the same scene is captured under a 100x range of illumination levels, once
+with a fixed reference voltage and once with the auto-exposure loop that
+retunes the voltage swing to the scene, and the code histograms and
+reconstruction quality are compared.
+
+Run:  python examples/adaptive_exposure.py
+"""
+
+import numpy as np
+
+from repro import CompressiveImager, SensorConfig, make_scene, psnr, reconstruct_frame
+from repro.optics.photo import PhotoConversion
+
+
+def capture(imager, photocurrent, auto_expose):
+    frame = imager.capture(photocurrent, n_samples=500, auto_expose=auto_expose)
+    codes = frame.digital_image
+    result = reconstruct_frame(frame, max_iterations=120)
+    return {
+        "saturated": int(np.count_nonzero(codes >= imager.tdc.max_code)),
+        "clipped_low": int(np.count_nonzero(codes == 0)),
+        "code_span": int(codes.max() - codes.min()),
+        "psnr_db": psnr(codes.astype(float), result.image),
+    }
+
+
+def main() -> None:
+    config = SensorConfig(rows=32, cols=32)
+    scene = make_scene("blobs", (32, 32), seed=9)
+
+    print(f"{'illumination':>13} {'mode':>12} {'saturated':>10} {'code span':>10} {'PSNR (dB)':>10}")
+    for illumination in (0.05, 0.3, 1.0):
+        conversion = PhotoConversion(
+            full_scale_current=10e-9 * illumination,
+            dark_current=1e-9 * illumination,
+            prnu_sigma=0.0,
+            shot_noise=False,
+        )
+        photocurrent = conversion.convert(scene)
+        for auto_expose, label in ((False, "fixed V_ref"), (True, "adaptive")):
+            imager = CompressiveImager(config, seed=3)
+            if not auto_expose:
+                # A reference tuned for full illumination, left untouched.
+                imager.encoder.adapt_to_range(1e-9, config.conversion_time)
+            stats = capture(imager, photocurrent, auto_expose)
+            print(
+                f"{illumination:>13.2f} {label:>12} {stats['saturated']:>10} "
+                f"{stats['code_span']:>10} {stats['psnr_db']:>10.2f}"
+            )
+
+    print(
+        "\nWith a fixed reference the dim scenes saturate at the maximum count "
+        "(the pulses never arrive inside the conversion window) and quality "
+        "collapses; re-tuning the swing keeps the codes inside the 8-bit range "
+        "at every illumination level."
+    )
+
+
+if __name__ == "__main__":
+    main()

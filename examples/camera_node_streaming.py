@@ -1,0 +1,73 @@
+"""Autonomous camera node streaming over a restricted data rate.
+
+The paper's introduction motivates focal-plane compressive sampling with an
+autonomous camera node that must "deliver images over a network under a
+restricted data rate and still receive enough meaningful information", without
+the memory and processing cost of digitising the full image and compressing it
+afterwards.
+
+This example simulates that node: given a channel budget in bits per frame, it
+chooses the number of compressed samples that fits, streams them (plus the
+128-bit CA seed) and reports the reconstruction quality the receiver obtains.
+It sweeps the channel budget to show the graceful quality/rate trade-off, and
+contrasts the side-information cost against a system that would have to ship
+the full measurement matrix.
+
+Run:  python examples/camera_node_streaming.py
+"""
+
+import numpy as np
+
+from repro import CompressiveImager, SensorConfig, make_scene, psnr, reconstruct_frame
+
+
+def stream_frame(imager, scene, bit_budget):
+    """Capture and 'transmit' one frame under the given channel budget."""
+    config = imager.config
+    seed_bits = config.rows + config.cols
+    usable_bits = max(0, bit_budget - seed_bits)
+    n_samples = min(
+        config.samples_per_frame, usable_bits // config.compressed_sample_bits
+    )
+    if n_samples == 0:
+        raise ValueError("bit budget too small for even one compressed sample")
+    frame = imager.capture_scene(scene, n_samples=int(n_samples))
+    result = reconstruct_frame(frame, max_iterations=150)
+    reference = frame.digital_image.astype(float)
+    return {
+        "bit_budget": bit_budget,
+        "n_samples": frame.n_samples,
+        "ratio": frame.compression_ratio,
+        "bits_used": frame.compressed_bits + seed_bits,
+        "psnr_db": psnr(reference, result.image),
+    }
+
+
+def main() -> None:
+    config = SensorConfig()
+    imager = CompressiveImager(config, seed=7)
+    scene = make_scene("natural", (config.rows, config.cols), seed=5)
+
+    raw_bits = config.n_pixels * config.pixel_bits
+    print(f"Raw read-out of one frame: {raw_bits} bits")
+    print(f"Side information per frame: {config.rows + config.cols} bits (the CA seed)")
+    print(f"If Phi itself had to be transmitted instead: "
+          f"{config.samples_per_frame * config.n_pixels} bits\n")
+
+    print(f"{'budget (bits)':>14} {'samples':>8} {'R':>6} {'bits used':>10} {'PSNR (dB)':>10}")
+    for fraction in (0.08, 0.15, 0.25, 0.35):
+        budget = int(fraction * raw_bits)
+        row = stream_frame(imager, scene, budget)
+        print(
+            f"{row['bit_budget']:>14} {row['n_samples']:>8} {row['ratio']:>6.2f} "
+            f"{row['bits_used']:>10} {row['psnr_db']:>10.2f}"
+        )
+
+    print(
+        "\nQuality degrades gracefully as the channel shrinks; the node never needs "
+        "to store or transmit the measurement matrix, only the CA seed."
+    )
+
+
+if __name__ == "__main__":
+    main()

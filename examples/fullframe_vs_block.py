@@ -1,0 +1,46 @@
+"""Full-frame CA-generated strategy versus block-based compressive sampling.
+
+The conclusions of the paper frame the key experiment the prototype was built
+to enable: comparing a *full-frame* compressive strategy (generated on chip by
+the Rule 30 CA) against the *block-based* schemes used by earlier CS imagers
+([6][7][8]).  Block-based CS needs far less dynamic range and a much smaller
+Φ, but pays for it in reconstruction quality because small blocks are not very
+sparse — exactly the trade-off discussed in Sections I and II.
+
+This example runs that comparison in simulation at equal measurement budgets
+and prints the PSNR of each strategy across compression ratios.
+
+Run:  python examples/fullframe_vs_block.py
+"""
+
+from repro.analysis.experiments import strategy_comparison, sweep_compression_ratio
+
+
+def main() -> None:
+    scenes = ["blobs", "natural"]
+    strategies = ["ca-xor", "block-8", "block-16", "bernoulli"]
+    ratios = [0.1, 0.2, 0.3, 0.4]
+
+    print("Running the sweep (a few tens of reconstructions)...\n")
+    records = sweep_compression_ratio(
+        scenes, strategies, ratios, image_shape=(64, 64), max_iterations=150, seed=2018
+    )
+    summary = strategy_comparison(records)
+
+    header = f"{'strategy':>12} " + " ".join(f"R={r:4.2f}" for r in ratios)
+    print("Average PSNR (dB) over scenes " + str(scenes))
+    print(header)
+    for strategy in strategies:
+        cells = " ".join(f"{summary[strategy][r]:6.2f}" for r in ratios)
+        print(f"{strategy:>12} {cells}")
+
+    print(
+        "\nExpected shape: the full-frame CA strategy ('ca-xor') tracks the dense "
+        "Bernoulli reference and beats 8x8 block CS at low compression ratios, with "
+        "the gap narrowing as more samples become available — the trade-off the "
+        "paper's conclusions describe."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Continuous (video) operation of the camera node.
+
+The prototype runs at 30 fps with the selection CA free-running across frames:
+every frame uses a fresh stretch of the Rule 30 sequence, and the receiver
+stays synchronised because it knows the seed and how many samples each frame
+consumed.  This example captures a short synthetic video (a blob orbiting the
+field of view), serialises every frame with the transmission framing
+(header + 128-bit CA seed + bit-packed 20-bit samples), decodes them on the
+"receiver" side and reconstructs the sequence, reporting per-frame payload and
+quality, plus the cheap sample-domain change indicator a node could use to
+skip idle frames.
+
+Run:  python examples/video_node.py
+"""
+
+import numpy as np
+
+from repro import CompressiveImager, SensorConfig, decode_frame, encode_frame, psnr, reconstruct_frame
+from repro.optics import PhotoConversion, orbiting_blob_sequence
+from repro.sensor import VideoSequencer
+from repro.sensor.video import temporal_difference_energy
+
+
+def main() -> None:
+    config = SensorConfig()
+    imager = CompressiveImager(config, seed=99)
+    sequencer = VideoSequencer(
+        imager,
+        conversion=PhotoConversion(prnu_sigma=0.0, shot_noise=False),
+        samples_per_frame=int(0.25 * config.n_pixels),
+    )
+
+    scenes = orbiting_blob_sequence(6, (config.rows, config.cols))
+    capture = sequencer.capture_sequence(scenes)
+
+    print(f"Captured {capture.n_frames} frames, {capture.samples_per_frame} samples each "
+          f"(R = {capture.average_compression_ratio:.2f})")
+    print(f"Total compressed payload: {capture.total_bits / 8 / 1024:.1f} KiB "
+          f"(raw video would be {capture.n_frames * config.n_pixels * config.pixel_bits / 8 / 1024:.1f} KiB)\n")
+
+    print(f"{'frame':>5} {'payload (bytes)':>16} {'PSNR (dB)':>10} {'sample-domain change':>21}")
+    change = temporal_difference_energy(capture.frames)
+    for index, frame in enumerate(capture.frames):
+        wire_bytes = encode_frame(frame)
+        received = decode_frame(wire_bytes)
+        result = reconstruct_frame(received, reference=frame.digital_image, max_iterations=150)
+        delta = change[index - 1] if index > 0 else float("nan")
+        print(f"{index:>5} {len(wire_bytes):>16} {result.metrics['psnr_db']:>10.2f} {delta:>21.3f}")
+
+    print(
+        "\nEach frame is independently decodable from its own header + seed; the CA "
+        "keeps evolving between frames so no two frames share a measurement matrix."
+    )
+
+
+if __name__ == "__main__":
+    main()

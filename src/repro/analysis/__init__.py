@@ -1,0 +1,54 @@
+"""Design-space analysis: the paper's equations and the shared experiment harness.
+
+* :mod:`repro.analysis.dynamic_range` — Eq. (1): the bit budget of compressed
+  samples, with clipping-rate verification for under-provisioned registers.
+* :mod:`repro.analysis.frame_rate` — Eq. (2): compressed-sample rate versus
+  frame rate and compression ratio, the 50 kHz operating point, and the
+  event-overlap probabilities behind the token protocol.
+* :mod:`repro.analysis.experiments` — the sweep harness the benchmarks share
+  (capture → reconstruct → score, over scenes, strategies and ratios).
+"""
+
+from repro.analysis.ablation import (
+    ablate_ca_rule,
+    ablate_dictionary,
+    ablate_event_duration,
+    ablate_pixel_depth,
+    ablate_steps_per_sample,
+)
+from repro.analysis.dynamic_range import (
+    clipping_rate,
+    compressed_sample_bits,
+    dynamic_range_table,
+)
+from repro.analysis.frame_rate import (
+    compressed_sample_rate,
+    max_compression_ratio,
+    sample_rate_table,
+    simulate_overlap_probability,
+)
+from repro.analysis.experiments import (
+    ExperimentRecord,
+    reconstruction_experiment,
+    strategy_comparison,
+    sweep_compression_ratio,
+)
+
+__all__ = [
+    "ablate_ca_rule",
+    "ablate_dictionary",
+    "ablate_event_duration",
+    "ablate_pixel_depth",
+    "ablate_steps_per_sample",
+    "compressed_sample_bits",
+    "clipping_rate",
+    "dynamic_range_table",
+    "compressed_sample_rate",
+    "max_compression_ratio",
+    "sample_rate_table",
+    "simulate_overlap_probability",
+    "ExperimentRecord",
+    "reconstruction_experiment",
+    "strategy_comparison",
+    "sweep_compression_ratio",
+]

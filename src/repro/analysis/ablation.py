@@ -1,0 +1,210 @@
+"""Ablation studies of the design choices called out in DESIGN.md.
+
+The paper fixes several architectural knobs without exploring them (it is a
+design paper, not a design-space study).  These helpers quantify what each
+knob buys, so the ablation benchmarks can show the defaults are sensible:
+
+* the CA rule (30 vs 90/110/184) and the number of CA steps per sample,
+* the pixel depth / counter width ``N_b`` (6, 8, 10 bits),
+* the event duration (termination delay) against queueing and LSB errors,
+* the sparsifying dictionary used at the receiver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.cs.matrices import ca_xor_matrix
+from repro.cs.metrics import psnr
+from repro.optics.photo import PhotoConversion
+from repro.optics.scenes import make_scene
+from repro.pixel.event import PixelEvent
+from repro.recon.pipeline import reconstruct_frame, reconstruct_samples
+from repro.sensor.column_bus import ColumnBusArbiter
+from repro.sensor.config import SensorConfig
+from repro.sensor.imager import CompressiveImager
+from repro.utils.images import image_to_vector
+from repro.utils.rng import derive_seed, new_rng
+from repro.utils.validation import check_positive
+
+
+def _quantize(scene: np.ndarray, pixel_bits: int) -> np.ndarray:
+    levels = (1 << pixel_bits) - 1
+    return np.round(np.clip(scene, 0.0, 1.0) * levels)
+
+
+def ablate_ca_rule(
+    rules: Sequence[int] = (30, 90, 110, 184),
+    *,
+    image_shape=(32, 32),
+    compression_ratio: float = 0.3,
+    scene_kind: str = "blobs",
+    max_iterations: int = 150,
+    seed: int = 2018,
+) -> List[Dict[str, float]]:
+    """Reconstruction quality when the selection CA runs a different rule."""
+    scene = _quantize(make_scene(scene_kind, image_shape, seed=seed), 8)
+    n_samples = int(round(compression_ratio * scene.size))
+    vector = image_to_vector(scene)
+    rows = []
+    for rule in rules:
+        phi = ca_xor_matrix(
+            n_samples, image_shape, rule=rule, seed=derive_seed(seed, "rule", rule), warmup_steps=8
+        )
+        samples = phi @ vector
+        result = reconstruct_samples(
+            phi, samples, image_shape, max_iterations=max_iterations, reference=scene
+        )
+        rows.append(
+            {
+                "rule": int(rule),
+                "psnr_db": result.metrics["psnr_db"],
+                "distinct_rows": float(len({row.tobytes() for row in phi.astype(np.uint8)})),
+                "n_samples": float(n_samples),
+            }
+        )
+    return rows
+
+
+def ablate_steps_per_sample(
+    steps_values: Sequence[int] = (1, 2, 4, 8),
+    *,
+    image_shape=(32, 32),
+    compression_ratio: float = 0.3,
+    scene_kind: str = "blobs",
+    max_iterations: int = 150,
+    seed: int = 2018,
+) -> List[Dict[str, float]]:
+    """Does mixing the CA longer between samples improve Φ?  (It barely should.)"""
+    scene = _quantize(make_scene(scene_kind, image_shape, seed=seed), 8)
+    n_samples = int(round(compression_ratio * scene.size))
+    vector = image_to_vector(scene)
+    rows = []
+    for steps in steps_values:
+        check_positive("steps_per_sample", steps)
+        phi = ca_xor_matrix(
+            n_samples,
+            image_shape,
+            steps_per_sample=int(steps),
+            seed=derive_seed(seed, "steps", steps),
+            warmup_steps=8,
+        )
+        samples = phi @ vector
+        result = reconstruct_samples(
+            phi, samples, image_shape, max_iterations=max_iterations, reference=scene
+        )
+        rows.append({"steps_per_sample": int(steps), "psnr_db": result.metrics["psnr_db"]})
+    return rows
+
+
+def ablate_pixel_depth(
+    pixel_bits_values: Sequence[int] = (6, 8, 10),
+    *,
+    rows: int = 32,
+    cols: int = 32,
+    compression_ratio: float = 0.3,
+    scene_kind: str = "blobs",
+    max_iterations: int = 150,
+    seed: int = 2018,
+) -> List[Dict[str, float]]:
+    """Counter depth ``N_b``: quality and bit cost of 6/8/10-bit conversion.
+
+    Deeper counters resolve the time encoding more finely but inflate every
+    compressed sample by the same number of extra bits (Eq. 1).
+    """
+    scene = make_scene(scene_kind, (rows, cols), seed=seed)
+    conversion = PhotoConversion(prnu_sigma=0.0, shot_noise=False)
+    current = conversion.convert(scene)
+    table = []
+    for pixel_bits in pixel_bits_values:
+        config = SensorConfig(rows=rows, cols=cols, pixel_bits=int(pixel_bits))
+        imager = CompressiveImager(config, seed=seed)
+        n_samples = int(round(compression_ratio * config.n_pixels))
+        frame = imager.capture(current, n_samples=n_samples)
+        result = reconstruct_frame(frame, max_iterations=max_iterations)
+        reference_scene = _quantize(scene, 8)
+        # Compare in a common 8-bit scene domain: invert the reciprocal map by
+        # normalising both images to [0, 255].
+        recon = result.image
+        recon_scaled = (recon - recon.min()) / (np.ptp(recon) + 1e-12) * 255.0
+        reference_codes = frame.digital_image.astype(float)
+        reference_scaled = (
+            (reference_codes - reference_codes.min())
+            / (np.ptp(reference_codes) + 1e-12) * 255.0
+        )
+        table.append(
+            {
+                "pixel_bits": int(pixel_bits),
+                "sample_bits": config.compressed_sample_bits,
+                "bits_per_frame": n_samples * config.compressed_sample_bits,
+                "psnr_code_domain_db": result.metrics["psnr_db"],
+                "psnr_normalised_db": psnr(reference_scaled, recon_scaled),
+            }
+        )
+    return table
+
+
+def ablate_event_duration(
+    durations: Sequence[float] = (1e-9, 5e-9, 20e-9, 80e-9),
+    *,
+    n_events: int = 32,
+    window: float = 10.67e-6,
+    n_trials: int = 200,
+    seed: int = 2018,
+) -> List[Dict[str, float]]:
+    """Event duration vs queueing: longer termination delays congest the bus."""
+    rng = new_rng(seed)
+    rows = []
+    for duration in durations:
+        check_positive("event_duration", duration)
+        queued = 0
+        max_delay = 0.0
+        total = 0
+        for _ in range(int(n_trials)):
+            times = rng.uniform(0.0, window, size=n_events)
+            events = [PixelEvent(row=r, col=0, fire_time=t) for r, t in enumerate(times)]
+            result = ColumnBusArbiter(event_duration=float(duration)).arbitrate(events)
+            queued += result.n_queued
+            total += result.n_events
+            max_delay = max(max_delay, result.max_queue_delay)
+        rows.append(
+            {
+                "event_duration_ns": float(duration) * 1e9,
+                "queued_fraction": queued / float(total),
+                "max_queue_delay_ns": max_delay * 1e9,
+            }
+        )
+    return rows
+
+
+def ablate_dictionary(
+    dictionaries: Sequence[str] = ("dct", "haar", "identity"),
+    *,
+    image_shape=(32, 32),
+    compression_ratio: float = 0.3,
+    scene_kinds: Sequence[str] = ("blobs", "text", "points"),
+    max_iterations: int = 150,
+    seed: int = 2018,
+) -> List[Dict[str, float]]:
+    """Receiver-side dictionary choice across scene statistics."""
+    rows = []
+    for scene_kind in scene_kinds:
+        scene = _quantize(make_scene(scene_kind, image_shape, seed=seed), 8)
+        n_samples = int(round(compression_ratio * scene.size))
+        phi = ca_xor_matrix(n_samples, image_shape, seed=derive_seed(seed, scene_kind), warmup_steps=8)
+        samples = phi @ image_to_vector(scene)
+        for dictionary in dictionaries:
+            result = reconstruct_samples(
+                phi, samples, image_shape,
+                dictionary=dictionary, max_iterations=max_iterations, reference=scene,
+            )
+            rows.append(
+                {
+                    "scene": scene_kind,
+                    "dictionary": dictionary,
+                    "psnr_db": result.metrics["psnr_db"],
+                }
+            )
+    return rows

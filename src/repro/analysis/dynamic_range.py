@@ -1,0 +1,89 @@
+"""Eq. (1): dynamic range of compressed samples.
+
+``N_B = N_b + log2(M * N)`` — the number of bits needed to represent the sum
+of up to ``M*N`` pixel values of ``N_b`` bits each without clipping.  These
+helpers evaluate the equation across array sizes and pixel depths (the E6
+benchmark table), and empirically verify the clipping behaviour of
+under-provisioned accumulators on worst-case and random selections.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_positive
+
+
+def compressed_sample_bits(pixel_bits: int, rows: int, cols: int) -> int:
+    """Eq. (1): ``N_B = N_b + ceil(log2(M*N))``."""
+    check_positive("pixel_bits", pixel_bits)
+    check_positive("rows", rows)
+    check_positive("cols", cols)
+    return int(pixel_bits + math.ceil(math.log2(rows * cols)))
+
+
+def dynamic_range_table(
+    pixel_bits_values=(6, 8, 10),
+    array_sizes=((8, 8), (16, 16), (32, 32), (64, 64), (128, 128), (256, 256)),
+) -> List[Dict[str, float]]:
+    """Tabulate Eq. (1) and the resulting maximum useful compression ratio.
+
+    The maximum useful ratio is ``N_b / N_B`` — beyond it, transmitting the
+    raw image is cheaper than transmitting compressed samples (Section
+    III-B's ``R < 0.4`` argument for the 8-bit, 64x64 prototype).
+    """
+    table = []
+    for pixel_bits in pixel_bits_values:
+        for rows, cols in array_sizes:
+            sample_bits = compressed_sample_bits(pixel_bits, rows, cols)
+            table.append(
+                {
+                    "pixel_bits": int(pixel_bits),
+                    "rows": int(rows),
+                    "cols": int(cols),
+                    "compressed_sample_bits": int(sample_bits),
+                    "max_useful_ratio": pixel_bits / sample_bits,
+                }
+            )
+    return table
+
+
+def clipping_rate(
+    register_bits: int,
+    pixel_bits: int,
+    n_pixels: int,
+    *,
+    n_trials: int = 500,
+    selection_density: float = 0.5,
+    seed: SeedLike = None,
+    worst_case: bool = False,
+) -> float:
+    """Fraction of random compressed samples that would clip a ``register_bits`` register.
+
+    Each trial draws ``n_pixels`` uniform pixel codes and a Bernoulli
+    selection mask (or, with ``worst_case``, uses all-maximum codes and full
+    selection) and checks whether the sum exceeds the register capacity.
+    Used to show that Eq. (1) is tight: one bit less clips essentially every
+    worst-case sample, while Eq. (1)'s width never clips.
+    """
+    check_positive("register_bits", register_bits)
+    check_positive("pixel_bits", pixel_bits)
+    check_positive("n_pixels", n_pixels)
+    check_positive("n_trials", n_trials)
+    capacity = (1 << register_bits) - 1
+    max_code = (1 << pixel_bits) - 1
+    if worst_case:
+        total = n_pixels * max_code
+        return 1.0 if total > capacity else 0.0
+    rng = new_rng(seed)
+    clipped = 0
+    for _ in range(int(n_trials)):
+        codes = rng.integers(0, max_code + 1, size=n_pixels)
+        mask = rng.random(n_pixels) < selection_density
+        if int(codes[mask].sum()) > capacity:
+            clipped += 1
+    return clipped / float(n_trials)

@@ -1,0 +1,103 @@
+"""Eq. (2): compressed-sample rate, and the event-overlap analysis behind the token protocol.
+
+``f_cs = R * M * N * f_s`` — because compressed samples are generated
+sequentially, delivering ``R*M*N`` of them per frame at ``f_s`` frames per
+second requires a compressed-sample rate of ``f_cs`` (≈ 50 kHz for the
+prototype's 64x64 array at 30 fps and R = 0.4, i.e. ~20 µs per sample).
+The overlap helpers quantify how often two pixel events of the same column
+would collide without the serialising token protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_in_range, check_positive
+
+
+def compressed_sample_rate(rows: int, cols: int, frame_rate: float, compression_ratio: float) -> float:
+    """Eq. (2): ``f_cs = R * M * N * f_s`` (Hz)."""
+    check_positive("rows", rows)
+    check_positive("cols", cols)
+    check_positive("frame_rate", frame_rate)
+    check_in_range("compression_ratio", compression_ratio, 0.0, 1.0, inclusive=False)
+    return compression_ratio * rows * cols * frame_rate
+
+
+def max_compression_ratio(pixel_bits: int, rows: int, cols: int) -> float:
+    """The ``R < N_b / N_B`` bound of Section III-B (0.4 for the prototype)."""
+    from repro.analysis.dynamic_range import compressed_sample_bits
+
+    return pixel_bits / compressed_sample_bits(pixel_bits, rows, cols)
+
+
+def sample_rate_table(
+    frame_rates=(15.0, 30.0, 60.0),
+    compression_ratios=(0.1, 0.2, 0.3, 0.4),
+    array_sizes=((32, 32), (64, 64), (128, 128)),
+) -> List[Dict[str, float]]:
+    """Tabulate Eq. (2) across the design space (E7 benchmark table)."""
+    table = []
+    for rows, cols in array_sizes:
+        for frame_rate in frame_rates:
+            for ratio in compression_ratios:
+                rate = compressed_sample_rate(rows, cols, frame_rate, ratio)
+                table.append(
+                    {
+                        "rows": int(rows),
+                        "cols": int(cols),
+                        "frame_rate_fps": float(frame_rate),
+                        "compression_ratio": float(ratio),
+                        "compressed_sample_rate_hz": float(rate),
+                        "sample_period_us": 1e6 / rate,
+                    }
+                )
+    return table
+
+
+def simulate_overlap_probability(
+    n_events: int,
+    event_duration: float,
+    window: float,
+    *,
+    n_trials: int = 2000,
+    seed: SeedLike = None,
+) -> Dict[str, float]:
+    """Monte-Carlo estimate of event-overlap probabilities in one column.
+
+    Events are placed uniformly at random in the window.  Returns both the
+    probability that a *given* event overlaps another (the quantity behind
+    the paper's 6.25 % figure) and the probability that *any* two events of
+    the column overlap (the quantity that matters for losing pulses without
+    the token protocol).
+    """
+    check_positive("n_events", n_events)
+    check_positive("event_duration", event_duration)
+    check_positive("window", window)
+    check_positive("n_trials", n_trials)
+    rng = new_rng(seed)
+    any_overlap = 0
+    per_event_overlaps = 0
+    total_events = 0
+    for _ in range(int(n_trials)):
+        starts = np.sort(rng.uniform(0.0, window, size=int(n_events)))
+        gaps = np.diff(starts)
+        collisions = gaps < event_duration
+        if collisions.any():
+            any_overlap += 1
+        # An event overlaps a neighbour if the gap on either side is short.
+        overlapping = np.zeros(int(n_events), dtype=bool)
+        overlapping[:-1] |= collisions
+        overlapping[1:] |= collisions
+        per_event_overlaps += int(overlapping.sum())
+        total_events += int(n_events)
+    return {
+        "p_any_overlap": any_overlap / float(n_trials),
+        "p_event_overlaps": per_event_overlaps / float(total_events),
+        "n_events": float(n_events),
+        "event_duration": float(event_duration),
+        "window": float(window),
+    }

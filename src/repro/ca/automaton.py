@@ -1,0 +1,169 @@
+"""Elementary cellular-automaton engine.
+
+The paper's selection CA is a one-dimensional register of Rule 30 cells that
+surrounds the pixel array (Fig. 2).  The engine below is rule-agnostic — any
+:class:`~repro.ca.rules.RuleTable` can drive it — and supports the two
+boundary conditions that make sense for a hardware ring of cells: a closed
+ring (periodic) and fixed logic levels at both ends.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator, Optional, Union
+
+import numpy as np
+
+from repro.ca.rules import RuleTable
+from repro.utils.rng import SeedLike, nonzero_seed_bits
+from repro.utils.validation import check_binary_array
+
+
+class BoundaryCondition(enum.Enum):
+    """Boundary handling for the 1-D cell register."""
+
+    #: The register closes on itself (cell 0's left neighbour is the last cell).
+    PERIODIC = "periodic"
+    #: Cells beyond the register edges read as constant logic '0'.
+    FIXED_ZERO = "fixed_zero"
+    #: Cells beyond the register edges read as constant logic '1'.
+    FIXED_ONE = "fixed_one"
+
+
+class ElementaryCellularAutomaton:
+    """A one-dimensional, radius-1, binary cellular automaton.
+
+    Parameters
+    ----------
+    n_cells:
+        Number of cells in the register.  For the paper's sensor this is
+        ``rows + cols`` (the CA wraps around the array and feeds both the row
+        and the column selection lines).
+    rule:
+        The update rule, either a Wolfram code or a :class:`RuleTable`.
+    seed_state:
+        Initial register contents as an iterable of bits.  When omitted, a
+        random non-zero state is drawn from ``seed``.
+    boundary:
+        One of :class:`BoundaryCondition`.  Hardware rings use ``PERIODIC``.
+    seed:
+        RNG seed used only when ``seed_state`` is not given.
+    """
+
+    def __init__(
+        self,
+        n_cells: int,
+        rule: Union[int, RuleTable] = 30,
+        *,
+        seed_state: Optional[Iterable[int]] = None,
+        boundary: BoundaryCondition = BoundaryCondition.PERIODIC,
+        seed: SeedLike = None,
+    ) -> None:
+        if n_cells < 3:
+            raise ValueError(f"n_cells must be at least 3, got {n_cells}")
+        self.n_cells = int(n_cells)
+        self.rule = rule if isinstance(rule, RuleTable) else RuleTable(int(rule))
+        self.boundary = BoundaryCondition(boundary)
+        if seed_state is None:
+            state = nonzero_seed_bits(self.n_cells, seed)
+        else:
+            state = check_binary_array("seed_state", np.array(list(seed_state)))
+            if state.size != self.n_cells:
+                raise ValueError(
+                    f"seed_state has {state.size} bits, expected {self.n_cells}"
+                )
+        self._initial_state = state.copy()
+        self._state = state.copy()
+        self._generation = 0
+
+    # ------------------------------------------------------------------ state
+    @property
+    def state(self) -> np.ndarray:
+        """Current register contents (copy, ``uint8``)."""
+        return self._state.copy()
+
+    @property
+    def initial_state(self) -> np.ndarray:
+        """The seed the register was initialised (or last reset) with."""
+        return self._initial_state.copy()
+
+    @property
+    def generation(self) -> int:
+        """Number of update steps applied since the last reset."""
+        return self._generation
+
+    def reset(self, seed_state: Optional[Iterable[int]] = None) -> None:
+        """Reset to the original seed, or to a new ``seed_state`` if given."""
+        if seed_state is not None:
+            state = check_binary_array("seed_state", np.array(list(seed_state)))
+            if state.size != self.n_cells:
+                raise ValueError(
+                    f"seed_state has {state.size} bits, expected {self.n_cells}"
+                )
+            self._initial_state = state.copy()
+        self._state = self._initial_state.copy()
+        self._generation = 0
+
+    # ---------------------------------------------------------------- update
+    def _neighbours(self) -> tuple:
+        """Return (left, right) neighbour arrays under the boundary condition."""
+        state = self._state
+        if self.boundary is BoundaryCondition.PERIODIC:
+            left = np.roll(state, 1)
+            right = np.roll(state, -1)
+        else:
+            pad = 0 if self.boundary is BoundaryCondition.FIXED_ZERO else 1
+            left = np.concatenate(([pad], state[:-1])).astype(np.uint8)
+            right = np.concatenate((state[1:], [pad])).astype(np.uint8)
+        return left, right
+
+    def step(self, n_steps: int = 1) -> np.ndarray:
+        """Advance the automaton ``n_steps`` generations and return the new state."""
+        if n_steps < 0:
+            raise ValueError(f"n_steps must be non-negative, got {n_steps}")
+        for _ in range(n_steps):
+            left, right = self._neighbours()
+            self._state = self.rule.apply(left, self._state, right)
+            self._generation += 1
+        return self.state
+
+    def run(self, n_steps: int, *, include_initial: bool = True) -> np.ndarray:
+        """Run ``n_steps`` generations and return the full space-time diagram.
+
+        The result has shape ``(n_steps + 1, n_cells)`` when
+        ``include_initial`` is true (row 0 is the current state before
+        stepping), else ``(n_steps, n_cells)``.
+        """
+        if n_steps < 0:
+            raise ValueError(f"n_steps must be non-negative, got {n_steps}")
+        rows = []
+        if include_initial:
+            rows.append(self.state)
+        for _ in range(n_steps):
+            rows.append(self.step())
+        return np.array(rows, dtype=np.uint8)
+
+    def iterate(self) -> Iterator[np.ndarray]:
+        """Infinite generator of successive states (post-update)."""
+        while True:
+            yield self.step()
+
+    # ------------------------------------------------------------- utilities
+    def center_column(self, n_steps: int) -> np.ndarray:
+        """Bit sequence produced by the centre cell over ``n_steps`` updates.
+
+        The centre column of Rule 30 is the classic pseudo-random bit source
+        (it is what Mathematica's ``RandomInteger`` historically used); it is
+        a convenient scalar stream for the statistical tests.
+        """
+        center = self.n_cells // 2
+        bits = np.empty(n_steps, dtype=np.uint8)
+        for i in range(n_steps):
+            bits[i] = self.step()[center]
+        return bits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ElementaryCellularAutomaton(n_cells={self.n_cells}, rule={self.rule.number}, "
+            f"boundary={self.boundary.value}, generation={self._generation})"
+        )

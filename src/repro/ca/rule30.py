@@ -1,0 +1,150 @@
+"""Gate-level model of the Rule 30 cell of Fig. 3.
+
+The paper implements each CA cell with a small static-CMOS gate network whose
+logic function is ``NS = L XOR (S OR R)`` — the canonical two-gate form of
+Rule 30 — plus a clocked latch holding the cell state.  This module models
+that cell at the gate level (explicit OR and XOR evaluation, master/slave
+latch update) so the tests can show the hardware cell is bit-for-bit
+equivalent to the Wolfram Rule 30 truth table (Table I) and to the vectorised
+:class:`~repro.ca.automaton.ElementaryCellularAutomaton` engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, nonzero_seed_bits
+from repro.utils.validation import check_binary_array
+
+
+def rule30_next_state(left: int, state: int, right: int) -> int:
+    """Rule 30 as the paper's gate network computes it: ``L XOR (S OR R)``."""
+    for value, name in ((left, "left"), (state, "state"), (right, "right")):
+        if value not in (0, 1):
+            raise ValueError(f"{name} must be 0 or 1, got {value}")
+    return left ^ (state | right)
+
+
+class Rule30Cell:
+    """A single Rule 30 cell with a two-phase (master/slave) state latch.
+
+    The hardware cell cannot update its output the instant its inputs change;
+    it computes the next state combinationally into a master latch and only
+    exposes it on the next clock edge.  The two-phase model below mirrors
+    that: :meth:`compute` evaluates the gates, :meth:`latch` commits.
+    """
+
+    def __init__(self, initial_state: int = 0) -> None:
+        if initial_state not in (0, 1):
+            raise ValueError(f"initial_state must be 0 or 1, got {initial_state}")
+        self._state = int(initial_state)
+        self._master: Optional[int] = None
+
+    @property
+    def state(self) -> int:
+        """Currently latched (slave) state — the selection signal the cell drives."""
+        return self._state
+
+    def compute(self, left: int, right: int) -> int:
+        """Evaluate the gate network into the master latch and return the value."""
+        self._master = rule30_next_state(left, self._state, right)
+        return self._master
+
+    def latch(self) -> int:
+        """Commit the master value to the slave latch (clock edge)."""
+        if self._master is None:
+            raise RuntimeError("latch() called before compute(); no value to commit")
+        self._state = self._master
+        self._master = None
+        return self._state
+
+    def reset(self, state: int = 0) -> None:
+        """Force the latch to ``state`` (global CA seed load)."""
+        if state not in (0, 1):
+            raise ValueError(f"state must be 0 or 1, got {state}")
+        self._state = int(state)
+        self._master = None
+
+
+class Rule30Register:
+    """A closed ring of :class:`Rule30Cell` instances.
+
+    This is the structure drawn around the array in Fig. 2: one cell per row
+    plus one per column, all clocked together.  It is intentionally the slow,
+    explicit, per-cell model — the production path uses the vectorised
+    :class:`~repro.ca.automaton.ElementaryCellularAutomaton`; the register
+    exists so the equivalence between the two can be tested.
+    """
+
+    def __init__(
+        self,
+        n_cells: Optional[int] = None,
+        *,
+        seed_state: Optional[Iterable[int]] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if seed_state is not None:
+            bits = check_binary_array("seed_state", np.array(list(seed_state)))
+            if n_cells is not None and bits.size != n_cells:
+                raise ValueError(
+                    f"seed_state has {bits.size} bits but n_cells is {n_cells}"
+                )
+            n_cells = bits.size
+        elif n_cells is None:
+            raise ValueError("either n_cells or seed_state must be provided")
+        else:
+            bits = nonzero_seed_bits(int(n_cells), seed)
+        if n_cells < 3:
+            raise ValueError(f"n_cells must be at least 3, got {n_cells}")
+        self._cells: List[Rule30Cell] = [Rule30Cell(int(bit)) for bit in bits]
+        self._initial = bits.copy()
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def state(self) -> np.ndarray:
+        """Current ring contents as a ``uint8`` array."""
+        return np.array([cell.state for cell in self._cells], dtype=np.uint8)
+
+    def reset(self, seed_state: Optional[Iterable[int]] = None) -> None:
+        """Reload the seed (the original one, or a new one if given)."""
+        if seed_state is not None:
+            bits = check_binary_array("seed_state", np.array(list(seed_state)))
+            if bits.size != len(self._cells):
+                raise ValueError(
+                    f"seed_state has {bits.size} bits, expected {len(self._cells)}"
+                )
+            self._initial = bits.copy()
+        for cell, bit in zip(self._cells, self._initial):
+            cell.reset(int(bit))
+
+    def clock(self, n_cycles: int = 1) -> np.ndarray:
+        """Apply ``n_cycles`` clock cycles: compute all cells, then latch all cells.
+
+        The compute-then-latch split is what makes the ring behave as a
+        synchronous CA rather than an asynchronous ripple.
+        """
+        if n_cycles < 0:
+            raise ValueError(f"n_cycles must be non-negative, got {n_cycles}")
+        n = len(self._cells)
+        for _ in range(n_cycles):
+            snapshot = [cell.state for cell in self._cells]
+            for index, cell in enumerate(self._cells):
+                left = snapshot[(index - 1) % n]
+                right = snapshot[(index + 1) % n]
+                cell.compute(left, right)
+            for cell in self._cells:
+                cell.latch()
+        return self.state
+
+    def run(self, n_cycles: int, *, include_initial: bool = True) -> np.ndarray:
+        """Space-time diagram over ``n_cycles`` clock cycles."""
+        rows = []
+        if include_initial:
+            rows.append(self.state)
+        for _ in range(n_cycles):
+            rows.append(self.clock())
+        return np.array(rows, dtype=np.uint8)

@@ -1,0 +1,203 @@
+"""Row/column selection-signal generation for the full-frame compressive strategy.
+
+In the sensor of Fig. 2 a single 1-D cellular automaton of ``rows + cols``
+cells surrounds the pixel array.  At every compressed sample the cells
+assigned to the rows drive the row selection lines ``S_i`` and the cells
+assigned to the columns drive the column selection lines ``S_j``; pixel
+``(i, j)`` contributes to that compressed sample iff ``S_i XOR S_j`` is 1
+(the 6-transistor XOR gate of Fig. 1).  Advancing the CA by one (or more)
+clock cycles produces the next row of the measurement matrix Φ.
+
+Because the CA is deterministic, the complete Φ is a pure function of the
+seed — this is the property the paper exploits to avoid transmitting or
+storing Φ.  :class:`CASelectionGenerator` is used both inside the sensor
+simulator (to select pixels) and inside the reconstruction pipeline (to
+rebuild the very same Φ at the receiver from the seed alone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from repro.ca.automaton import BoundaryCondition, ElementaryCellularAutomaton
+from repro.ca.rules import RuleTable
+from repro.utils.rng import SeedLike, nonzero_seed_bits
+from repro.utils.validation import check_binary_array, check_positive
+
+
+@dataclass(frozen=True)
+class SelectionPattern:
+    """One pixel-selection pattern (one row of the measurement matrix).
+
+    Attributes
+    ----------
+    index:
+        Ordinal of the compressed sample this pattern belongs to.
+    row_signals, col_signals:
+        The CA cell states driving the row / column selection lines.
+    mask:
+        The ``rows x cols`` binary selection mask ``S_i XOR S_j``.
+    """
+
+    index: int
+    row_signals: np.ndarray
+    col_signals: np.ndarray
+    mask: np.ndarray
+
+    @property
+    def density(self) -> float:
+        """Fraction of selected pixels (the XOR construction targets ~1/2)."""
+        return float(np.count_nonzero(self.mask) / self.mask.size)
+
+    def as_vector(self) -> np.ndarray:
+        """The mask flattened in raster order — one row of Φ."""
+        return self.mask.reshape(-1)
+
+
+class CASelectionGenerator:
+    """Generates successive pixel-selection patterns from a seeded CA.
+
+    Parameters
+    ----------
+    rows, cols:
+        Pixel-array dimensions.  The CA register has ``rows + cols`` cells;
+        the first ``rows`` cells drive the row lines, the rest the columns.
+    seed_state:
+        Explicit CA seed (``rows + cols`` bits).  This is the quantity the
+        sensor would share with the receiver.  If omitted, a random non-zero
+        seed is drawn from ``seed``.
+    rule:
+        CA rule; the paper uses Rule 30.
+    steps_per_sample:
+        How many CA clock cycles separate consecutive selection patterns.
+        One step already decorrelates neighbouring patterns for Rule 30;
+        larger values trade selection-update time for extra mixing.
+    warmup_steps:
+        CA clock cycles applied once, before the first pattern, to wash out
+        the (possibly low-entropy) seed.
+    boundary:
+        CA boundary condition; the hardware ring is periodic.
+    seed:
+        RNG seed used only to draw ``seed_state`` when it is not supplied.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        *,
+        seed_state: Optional[np.ndarray] = None,
+        rule: Union[int, RuleTable] = 30,
+        steps_per_sample: int = 1,
+        warmup_steps: int = 0,
+        boundary: BoundaryCondition = BoundaryCondition.PERIODIC,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive("rows", rows)
+        check_positive("cols", cols)
+        check_positive("steps_per_sample", steps_per_sample)
+        check_positive("warmup_steps", warmup_steps, allow_zero=True)
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self.steps_per_sample = int(steps_per_sample)
+        self.warmup_steps = int(warmup_steps)
+        n_cells = self.rows + self.cols
+        if seed_state is None:
+            seed_state = nonzero_seed_bits(n_cells, seed)
+        else:
+            seed_state = check_binary_array("seed_state", np.asarray(seed_state))
+            if seed_state.size != n_cells:
+                raise ValueError(
+                    f"seed_state must have rows + cols = {n_cells} bits, got {seed_state.size}"
+                )
+        self._seed_state = seed_state.copy()
+        self._automaton = ElementaryCellularAutomaton(
+            n_cells, rule, seed_state=seed_state, boundary=boundary
+        )
+        self._sample_index = 0
+        if self.warmup_steps:
+            self._automaton.step(self.warmup_steps)
+
+    # ----------------------------------------------------------------- state
+    @property
+    def seed_state(self) -> np.ndarray:
+        """The CA seed — the only thing that must be shared with the receiver."""
+        return self._seed_state.copy()
+
+    @property
+    def rule(self) -> RuleTable:
+        """The CA rule driving the register."""
+        return self._automaton.rule
+
+    @property
+    def sample_index(self) -> int:
+        """Index of the next pattern that :meth:`next_pattern` will produce."""
+        return self._sample_index
+
+    def reset(self) -> None:
+        """Rewind to the state right after seeding (and warm-up)."""
+        self._automaton.reset(self._seed_state)
+        if self.warmup_steps:
+            self._automaton.step(self.warmup_steps)
+        self._sample_index = 0
+
+    # -------------------------------------------------------------- patterns
+    def _pattern_from_state(self, state: np.ndarray, index: int) -> SelectionPattern:
+        row_signals = state[: self.rows].astype(np.uint8)
+        col_signals = state[self.rows:].astype(np.uint8)
+        mask = np.bitwise_xor.outer(row_signals, col_signals).astype(np.uint8)
+        return SelectionPattern(
+            index=index,
+            row_signals=row_signals,
+            col_signals=col_signals,
+            mask=mask,
+        )
+
+    def next_pattern(self) -> SelectionPattern:
+        """Return the selection pattern for the next compressed sample.
+
+        The first pattern is derived from the post-warm-up seed state itself;
+        subsequent patterns advance the CA by ``steps_per_sample`` cycles.
+        """
+        if self._sample_index > 0:
+            self._automaton.step(self.steps_per_sample)
+        pattern = self._pattern_from_state(self._automaton.state, self._sample_index)
+        self._sample_index += 1
+        return pattern
+
+    def patterns(self, n_patterns: int) -> Iterator[SelectionPattern]:
+        """Yield the next ``n_patterns`` selection patterns."""
+        check_positive("n_patterns", n_patterns)
+        for _ in range(int(n_patterns)):
+            yield self.next_pattern()
+
+    def measurement_matrix(self, n_samples: int) -> np.ndarray:
+        """Return Φ as an ``n_samples x (rows*cols)`` binary matrix.
+
+        This regenerates the matrix from scratch starting at the seed, which
+        is exactly what the receiving end of the channel does; it does not
+        disturb the generator's own position in the sequence.
+        """
+        check_positive("n_samples", n_samples)
+        clone = CASelectionGenerator(
+            self.rows,
+            self.cols,
+            seed_state=self._seed_state,
+            rule=self._automaton.rule,
+            steps_per_sample=self.steps_per_sample,
+            warmup_steps=self.warmup_steps,
+            boundary=self._automaton.boundary,
+        )
+        matrix = np.empty((int(n_samples), self.rows * self.cols), dtype=np.uint8)
+        for i, pattern in enumerate(clone.patterns(int(n_samples))):
+            matrix[i] = pattern.as_vector()
+        return matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CASelectionGenerator(rows={self.rows}, cols={self.cols}, "
+            f"rule={self._automaton.rule.number}, steps_per_sample={self.steps_per_sample})"
+        )

@@ -1,0 +1,63 @@
+"""Compressive-sampling core.
+
+This package is the algorithmic half of the reproduction: measurement
+matrices (including the paper's CA-XOR full-frame strategy and the baselines
+it is compared against), sparsifying dictionaries, the sensing operator that
+combines the two, a family of reconstruction solvers, block-based compressive
+sampling, and the analysis tools (coherence / RIP proxies, image-quality
+metrics) used by the benchmarks.
+"""
+
+from repro.cs.block import BlockCompressiveSampler
+from repro.cs.dictionaries import (
+    DCT2Dictionary,
+    Dictionary,
+    Haar2Dictionary,
+    IdentityDictionary,
+    make_dictionary,
+)
+from repro.cs.matrices import (
+    bernoulli_matrix,
+    block_diagonal_matrix,
+    ca_xor_matrix,
+    center_matrix,
+    gaussian_matrix,
+    lfsr_matrix,
+    rademacher_matrix,
+    subsampled_hadamard_matrix,
+)
+from repro.cs.metrics import nmse, psnr, reconstruction_snr, ssim
+from repro.cs.operators import SensingOperator
+from repro.cs.rip import babel_function, mutual_coherence, restricted_isometry_estimate
+from repro.cs.solvers import basis_pursuit, cosamp, fista, iht, ista, omp
+
+__all__ = [
+    "Dictionary",
+    "DCT2Dictionary",
+    "Haar2Dictionary",
+    "IdentityDictionary",
+    "make_dictionary",
+    "SensingOperator",
+    "gaussian_matrix",
+    "bernoulli_matrix",
+    "rademacher_matrix",
+    "subsampled_hadamard_matrix",
+    "ca_xor_matrix",
+    "lfsr_matrix",
+    "block_diagonal_matrix",
+    "center_matrix",
+    "BlockCompressiveSampler",
+    "psnr",
+    "ssim",
+    "nmse",
+    "reconstruction_snr",
+    "mutual_coherence",
+    "babel_function",
+    "restricted_isometry_estimate",
+    "omp",
+    "cosamp",
+    "iht",
+    "ista",
+    "fista",
+    "basis_pursuit",
+]

@@ -1,0 +1,201 @@
+"""Sparsifying dictionaries Ψ.
+
+Compressive sampling recovers an image from few samples because the image is
+sparse (or compressible) in some basis.  The dictionaries here are the two
+work-horses for natural images — the 2-D DCT and the 2-D Haar wavelet — plus
+the identity (for scenes that are sparse in the pixel domain, e.g. point
+sources).  All dictionaries are orthonormal, implemented with fast transforms
+rather than explicit matrices, and expose the pair of maps the solvers need:
+
+* ``synthesize(coefficients) -> image``  (Ψ applied to a coefficient vector)
+* ``analyze(image) -> coefficients``     (Ψ* applied to an image vector)
+
+Vectors are flattened images in raster order; the dictionary knows the image
+shape so callers never juggle reshapes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+from scipy.fft import dctn, idctn
+
+from repro.utils.validation import check_positive, check_power_of_two
+
+
+class Dictionary(abc.ABC):
+    """Abstract orthonormal sparsifying dictionary for images of a fixed shape."""
+
+    def __init__(self, shape: Tuple[int, int]) -> None:
+        rows, cols = shape
+        check_positive("rows", rows)
+        check_positive("cols", cols)
+        self.shape = (int(rows), int(cols))
+
+    @property
+    def n_pixels(self) -> int:
+        """Dimension of the signal space."""
+        return self.shape[0] * self.shape[1]
+
+    # -- the two maps -----------------------------------------------------
+    @abc.abstractmethod
+    def synthesize(self, coefficients: np.ndarray) -> np.ndarray:
+        """Map a coefficient vector to an image vector (apply Ψ)."""
+
+    @abc.abstractmethod
+    def analyze(self, image: np.ndarray) -> np.ndarray:
+        """Map an image vector to its coefficient vector (apply Ψ*)."""
+
+    # -- helpers ----------------------------------------------------------
+    def _check_vector(self, vector: np.ndarray, name: str) -> np.ndarray:
+        vector = np.asarray(vector, dtype=float).reshape(-1)
+        if vector.size != self.n_pixels:
+            raise ValueError(
+                f"{name} must have {self.n_pixels} entries, got {vector.size}"
+            )
+        return vector
+
+    def to_image(self, vector: np.ndarray) -> np.ndarray:
+        """Reshape a flat vector into the dictionary's image shape."""
+        return self._check_vector(vector, "vector").reshape(self.shape)
+
+    def atom(self, index: int) -> np.ndarray:
+        """The ``index``-th dictionary atom as an image vector (a column of Ψ)."""
+        if not 0 <= index < self.n_pixels:
+            raise ValueError(f"atom index {index} outside 0..{self.n_pixels - 1}")
+        coefficients = np.zeros(self.n_pixels)
+        coefficients[index] = 1.0
+        return self.synthesize(coefficients)
+
+    def dense(self) -> np.ndarray:
+        """Explicit Ψ matrix (columns are atoms).  Only sensible for small shapes."""
+        matrix = np.empty((self.n_pixels, self.n_pixels))
+        for index in range(self.n_pixels):
+            matrix[:, index] = self.atom(index)
+        return matrix
+
+    def sparsity_profile(self, image: np.ndarray, fractions=(0.01, 0.05, 0.1, 0.2)) -> dict:
+        """Energy captured by the largest coefficients — how compressible the image is."""
+        coefficients = self.analyze(np.asarray(image, dtype=float).reshape(-1))
+        energy = np.sort(coefficients ** 2)[::-1]
+        total = energy.sum()
+        profile = {}
+        for fraction in fractions:
+            k = max(1, int(round(fraction * energy.size)))
+            profile[fraction] = float(energy[:k].sum() / total) if total > 0 else 1.0
+        return profile
+
+
+class IdentityDictionary(Dictionary):
+    """The pixel basis — for signals sparse in the image domain itself."""
+
+    def synthesize(self, coefficients: np.ndarray) -> np.ndarray:
+        return self._check_vector(coefficients, "coefficients").copy()
+
+    def analyze(self, image: np.ndarray) -> np.ndarray:
+        return self._check_vector(image, "image").copy()
+
+
+class DCT2Dictionary(Dictionary):
+    """Orthonormal 2-D discrete cosine transform (type II, 'ortho' scaling)."""
+
+    def synthesize(self, coefficients: np.ndarray) -> np.ndarray:
+        coefficients = self._check_vector(coefficients, "coefficients")
+        image = idctn(coefficients.reshape(self.shape), norm="ortho")
+        return image.reshape(-1)
+
+    def analyze(self, image: np.ndarray) -> np.ndarray:
+        image = self._check_vector(image, "image")
+        coefficients = dctn(image.reshape(self.shape), norm="ortho")
+        return coefficients.reshape(-1)
+
+
+class Haar2Dictionary(Dictionary):
+    """Orthonormal 2-D Haar wavelet transform (full decomposition).
+
+    Implemented directly (separable lifting on rows then columns, repeated on
+    the low-pass quadrant) so no external wavelet package is needed.  Image
+    dimensions must be powers of two, which they are for the 64x64 sensor and
+    the 8/16/32 block sizes used by the block-CS baseline.
+    """
+
+    def __init__(self, shape: Tuple[int, int]) -> None:
+        super().__init__(shape)
+        check_power_of_two("rows", self.shape[0])
+        check_power_of_two("cols", self.shape[1])
+        self.levels = int(np.log2(min(self.shape)))
+
+    @staticmethod
+    def _haar_forward_1d(data: np.ndarray, axis: int) -> np.ndarray:
+        data = np.moveaxis(data, axis, 0)
+        n = data.shape[0]
+        averages = (data[0:n:2] + data[1:n:2]) / np.sqrt(2.0)
+        details = (data[0:n:2] - data[1:n:2]) / np.sqrt(2.0)
+        stacked = np.concatenate([averages, details], axis=0)
+        return np.moveaxis(stacked, 0, axis)
+
+    @staticmethod
+    def _haar_inverse_1d(data: np.ndarray, axis: int) -> np.ndarray:
+        data = np.moveaxis(data, axis, 0)
+        n = data.shape[0]
+        averages = data[: n // 2]
+        details = data[n // 2:]
+        evens = (averages + details) / np.sqrt(2.0)
+        odds = (averages - details) / np.sqrt(2.0)
+        interleaved = np.empty_like(data)
+        interleaved[0:n:2] = evens
+        interleaved[1:n:2] = odds
+        return np.moveaxis(interleaved, 0, axis)
+
+    def analyze(self, image: np.ndarray) -> np.ndarray:
+        image = self._check_vector(image, "image")
+        coefficients = image.reshape(self.shape).astype(float).copy()
+        rows, cols = self.shape
+        for _ in range(self.levels):
+            block = coefficients[:rows, :cols]
+            block = self._haar_forward_1d(block, axis=0)
+            block = self._haar_forward_1d(block, axis=1)
+            coefficients[:rows, :cols] = block
+            rows //= 2
+            cols //= 2
+            if rows < 2 or cols < 2:
+                break
+        return coefficients.reshape(-1)
+
+    def synthesize(self, coefficients: np.ndarray) -> np.ndarray:
+        coefficients = self._check_vector(coefficients, "coefficients")
+        image = coefficients.reshape(self.shape).astype(float).copy()
+        # Determine the sizes visited by the forward pass, smallest first.
+        sizes = []
+        rows, cols = self.shape
+        for _ in range(self.levels):
+            sizes.append((rows, cols))
+            rows //= 2
+            cols //= 2
+            if rows < 2 or cols < 2:
+                break
+        for rows, cols in reversed(sizes):
+            block = image[:rows, :cols]
+            block = self._haar_inverse_1d(block, axis=1)
+            block = self._haar_inverse_1d(block, axis=0)
+            image[:rows, :cols] = block
+        return image.reshape(-1)
+
+
+_DICTIONARIES = {
+    "identity": IdentityDictionary,
+    "dct": DCT2Dictionary,
+    "haar": Haar2Dictionary,
+}
+
+
+def make_dictionary(name: str, shape: Tuple[int, int]) -> Dictionary:
+    """Factory: build a dictionary by name (``identity``, ``dct`` or ``haar``)."""
+    key = name.lower()
+    if key not in _DICTIONARIES:
+        raise ValueError(
+            f"unknown dictionary {name!r}; choose from {sorted(_DICTIONARIES)}"
+        )
+    return _DICTIONARIES[key](shape)

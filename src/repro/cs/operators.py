@@ -1,0 +1,138 @@
+"""The sensing operator A = Φ Ψ used by the reconstruction solvers.
+
+Solvers work in the coefficient domain: they look for a sparse coefficient
+vector ``z`` such that ``Φ Ψ z ≈ y``.  :class:`SensingOperator` packages the
+measurement matrix Φ (dense, possibly centred) together with a
+:class:`~repro.cs.dictionaries.Dictionary` Ψ and exposes the products the
+solvers need without ever forming the dense ``m x n`` product when Ψ is a
+fast transform:
+
+* ``matvec(z)``  — ``Φ Ψ z``
+* ``rmatvec(y)`` — ``Ψ* Φ* y``
+* ``column(j)``  — the ``j``-th column of A (for greedy solvers)
+* ``columns(S)`` — a dense sub-matrix restricted to a support set
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.cs.dictionaries import Dictionary, IdentityDictionary
+
+
+class SensingOperator:
+    """Linear operator ``A = Φ Ψ`` acting on sparse coefficient vectors.
+
+    Parameters
+    ----------
+    phi:
+        Dense measurement matrix, shape ``(m, n_pixels)``.
+    dictionary:
+        Sparsifying dictionary Ψ; identity when omitted (signal sparse in the
+        pixel domain).
+    """
+
+    def __init__(self, phi: np.ndarray, dictionary: Optional[Dictionary] = None) -> None:
+        phi = np.asarray(phi, dtype=float)
+        if phi.ndim != 2:
+            raise ValueError(f"phi must be a 2-D matrix, got {phi.ndim} dimensions")
+        self.phi = phi
+        if dictionary is None:
+            side = int(round(np.sqrt(phi.shape[1])))
+            if side * side == phi.shape[1]:
+                dictionary = IdentityDictionary((side, side))
+            else:
+                # Generic 1-D signal: treat it as an n x 1 'image'.
+                dictionary = IdentityDictionary((phi.shape[1], 1))
+        if dictionary.n_pixels != phi.shape[1]:
+            raise ValueError(
+                f"dictionary dimension {dictionary.n_pixels} does not match "
+                f"phi columns {phi.shape[1]}"
+            )
+        self.dictionary = dictionary
+
+    # -------------------------------------------------------------- shapes
+    @property
+    def n_samples(self) -> int:
+        """Number of measurements (rows of Φ)."""
+        return self.phi.shape[0]
+
+    @property
+    def n_coefficients(self) -> int:
+        """Dimension of the coefficient space (columns of A)."""
+        return self.phi.shape[1]
+
+    @property
+    def shape(self) -> tuple:
+        """Operator shape ``(m, n)``."""
+        return (self.n_samples, self.n_coefficients)
+
+    # ------------------------------------------------------------ products
+    def matvec(self, coefficients: np.ndarray) -> np.ndarray:
+        """Apply ``A``: coefficients -> measurements."""
+        image = self.dictionary.synthesize(np.asarray(coefficients, dtype=float))
+        return self.phi @ image
+
+    def rmatvec(self, measurements: np.ndarray) -> np.ndarray:
+        """Apply ``A*``: measurements -> coefficient-domain correlations."""
+        measurements = np.asarray(measurements, dtype=float).reshape(-1)
+        if measurements.size != self.n_samples:
+            raise ValueError(
+                f"measurements must have {self.n_samples} entries, got {measurements.size}"
+            )
+        back_projection = self.phi.T @ measurements
+        return self.dictionary.analyze(back_projection)
+
+    def column(self, index: int) -> np.ndarray:
+        """The ``index``-th column of A (Φ applied to one dictionary atom)."""
+        atom = self.dictionary.atom(int(index))
+        return self.phi @ atom
+
+    def columns(self, indices: Iterable[int]) -> np.ndarray:
+        """Dense sub-matrix of A restricted to the given coefficient indices."""
+        indices = list(indices)
+        result = np.empty((self.n_samples, len(indices)))
+        for position, index in enumerate(indices):
+            result[:, position] = self.column(index)
+        return result
+
+    def dense(self) -> np.ndarray:
+        """Explicit dense A.  Only sensible for small problems (tests, blocks)."""
+        return self.columns(range(self.n_coefficients))
+
+    # --------------------------------------------------------------- norms
+    def operator_norm(self, *, n_iterations: int = 50, seed: int = 0) -> float:
+        """Largest singular value of A, estimated by power iteration.
+
+        The ISTA/FISTA/IHT step sizes are set from this value.
+        """
+        rng = np.random.default_rng(seed)
+        vector = rng.standard_normal(self.n_coefficients)
+        vector /= np.linalg.norm(vector)
+        sigma = 0.0
+        for _ in range(max(1, int(n_iterations))):
+            product = self.rmatvec(self.matvec(vector))
+            norm = np.linalg.norm(product)
+            if norm == 0.0:
+                return 0.0
+            vector = product / norm
+            sigma = np.sqrt(norm)
+        return float(sigma)
+
+    # -------------------------------------------------------------- images
+    def coefficients_to_image(self, coefficients: np.ndarray) -> np.ndarray:
+        """Convenience: synthesise coefficients and reshape to the image grid."""
+        image = self.dictionary.synthesize(np.asarray(coefficients, dtype=float))
+        return image.reshape(self.dictionary.shape)
+
+    def image_to_coefficients(self, image: np.ndarray) -> np.ndarray:
+        """Convenience: analyse an image into its coefficient vector."""
+        return self.dictionary.analyze(np.asarray(image, dtype=float).reshape(-1))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SensingOperator(m={self.n_samples}, n={self.n_coefficients}, "
+            f"dictionary={type(self.dictionary).__name__})"
+        )

@@ -1,0 +1,133 @@
+"""Frame-level encoding: everything the receiver needs, nothing more.
+
+A transmitted compressive frame consists of a small fixed header (array
+geometry, pixel depth, CA rule and sequencing parameters, sample count), the
+CA seed (``rows + cols`` bits) and the bit-packed compressed samples.  The
+measurement matrix itself is never part of the payload — that is the
+architectural point of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.io.bitstream import BitReader, BitWriter, pack_samples, unpack_samples
+from repro.sensor.config import SensorConfig
+from repro.sensor.imager import CompressedFrame
+from repro.utils.validation import check_positive
+
+#: Magic number marking the start of an encoded frame ("CS").
+FRAME_MAGIC = 0xC5
+#: Format version of the encoding below.
+FRAME_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """Fixed-size descriptor preceding the seed and the sample payload."""
+
+    rows: int
+    cols: int
+    pixel_bits: int
+    sample_bits: int
+    rule_number: int
+    steps_per_sample: int
+    warmup_steps: int
+    n_samples: int
+
+    def __post_init__(self) -> None:
+        for name in ("rows", "cols", "pixel_bits", "sample_bits", "n_samples"):
+            check_positive(name, getattr(self, name))
+        check_positive("steps_per_sample", self.steps_per_sample)
+        check_positive("warmup_steps", self.warmup_steps, allow_zero=True)
+        if not 0 <= self.rule_number <= 255:
+            raise ValueError(f"rule_number must fit in 8 bits, got {self.rule_number}")
+
+
+def encode_frame(frame: CompressedFrame) -> bytes:
+    """Serialise a :class:`CompressedFrame` into the transmission format."""
+    header = FrameHeader(
+        rows=frame.config.rows,
+        cols=frame.config.cols,
+        pixel_bits=frame.config.pixel_bits,
+        sample_bits=frame.config.compressed_sample_bits,
+        rule_number=frame.rule_number,
+        steps_per_sample=frame.steps_per_sample,
+        warmup_steps=frame.warmup_steps,
+        n_samples=frame.n_samples,
+    )
+    writer = BitWriter()
+    writer.write(FRAME_MAGIC, 8)
+    writer.write(FRAME_VERSION, 8)
+    writer.write(header.rows, 12)
+    writer.write(header.cols, 12)
+    writer.write(header.pixel_bits, 5)
+    writer.write(header.sample_bits, 6)
+    writer.write(header.rule_number, 8)
+    writer.write(header.steps_per_sample, 8)
+    writer.write(header.warmup_steps, 8)
+    writer.write(header.n_samples, 24)
+    for bit in frame.seed_state:
+        writer.write(int(bit), 1)
+    packed_header = writer.getvalue()
+    packed_samples = pack_samples(frame.samples, header.sample_bits)
+    return packed_header + packed_samples
+
+
+def decode_frame(data: bytes) -> CompressedFrame:
+    """Parse the transmission format back into a :class:`CompressedFrame`.
+
+    The reconstructed frame has no ``digital_image`` (the receiver never sees
+    it) and a fresh :class:`SensorConfig` built from the header geometry.
+    """
+    reader = BitReader(data)
+    magic = reader.read(8)
+    version = reader.read(8)
+    if magic != FRAME_MAGIC:
+        raise ValueError(f"not a compressed-frame stream (magic 0x{magic:02X})")
+    if version != FRAME_VERSION:
+        raise ValueError(f"unsupported frame version {version}")
+    header = FrameHeader(
+        rows=reader.read(12),
+        cols=reader.read(12),
+        pixel_bits=reader.read(5),
+        sample_bits=reader.read(6),
+        rule_number=reader.read(8),
+        steps_per_sample=reader.read(8),
+        warmup_steps=reader.read(8),
+        n_samples=reader.read(24),
+    )
+    seed_state = np.array(
+        reader.read_many(header.rows + header.cols, 1), dtype=np.uint8
+    )
+    # The sample payload starts at the next byte boundary (the header writer
+    # zero-pads its final byte).
+    header_bits = 8 + 8 + 12 + 12 + 5 + 6 + 8 + 8 + 8 + 24 + header.rows + header.cols
+    header_bytes = (header_bits + 7) // 8
+    samples = unpack_samples(data[header_bytes:], header.n_samples, header.sample_bits)
+    config = SensorConfig(
+        rows=header.rows,
+        cols=header.cols,
+        pixel_bits=header.pixel_bits,
+    )
+    return CompressedFrame(
+        samples=samples,
+        seed_state=seed_state,
+        rule_number=header.rule_number,
+        steps_per_sample=header.steps_per_sample,
+        warmup_steps=header.warmup_steps,
+        config=config,
+        digital_image=None,
+        metadata={"decoded_from_bytes": len(data)},
+    )
+
+
+def encoded_size_bits(config: SensorConfig, n_samples: int) -> int:
+    """Exact payload size of an encoded frame (header + seed + packed samples)."""
+    check_positive("n_samples", n_samples)
+    header_bits = 8 + 8 + 12 + 12 + 5 + 6 + 8 + 8 + 8 + 24 + config.rows + config.cols
+    header_bytes = (header_bits + 7) // 8
+    sample_bytes = (n_samples * config.compressed_sample_bits + 7) // 8
+    return (header_bytes + sample_bytes) * 8

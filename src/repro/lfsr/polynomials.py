@@ -1,0 +1,61 @@
+"""Primitive polynomials over GF(2) for maximal-length LFSRs.
+
+Tap positions are given as exponents of the feedback polynomial
+``x^n + x^k + ... + 1`` (the degree-``n`` term is implicit).  A register of
+``n`` bits wired with these taps cycles through all ``2**n - 1`` non-zero
+states before repeating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Tap exponents (excluding the register length itself) of one primitive
+#: polynomial per register length.  Standard table (Xilinx XAPP052 and
+#: classic references).
+PRIMITIVE_POLYNOMIALS: Dict[int, Tuple[int, ...]] = {
+    2: (1,),
+    3: (2,),
+    4: (3,),
+    5: (3,),
+    6: (5,),
+    7: (6,),
+    8: (6, 5, 4),
+    9: (5,),
+    10: (7,),
+    11: (9,),
+    12: (11, 10, 4),
+    13: (12, 11, 8),
+    14: (13, 12, 2),
+    15: (14,),
+    16: (15, 13, 4),
+    17: (14,),
+    18: (11,),
+    19: (18, 17, 14),
+    20: (17,),
+    21: (19,),
+    22: (21,),
+    23: (18,),
+    24: (23, 22, 17),
+    25: (22,),
+    26: (25, 24, 20),
+    27: (26, 25, 22),
+    28: (25,),
+    29: (27,),
+    30: (29, 28, 7),
+    31: (28,),
+    32: (31, 30, 10),
+}
+
+
+def primitive_taps(n_bits: int) -> Tuple[int, ...]:
+    """Return the full tap tuple (including ``n_bits``) for a maximal LFSR.
+
+    Raises ``ValueError`` for register lengths outside the table.
+    """
+    if n_bits not in PRIMITIVE_POLYNOMIALS:
+        raise ValueError(
+            f"no primitive polynomial tabulated for {n_bits}-bit registers "
+            f"(supported: {sorted(PRIMITIVE_POLYNOMIALS)})"
+        )
+    return (n_bits,) + PRIMITIVE_POLYNOMIALS[n_bits]

@@ -1,0 +1,38 @@
+"""Behavioural model of the elementary pixel of Fig. 1.
+
+The pixel is modelled block-by-block, mirroring the boxes drawn in the
+schematic:
+
+* :mod:`repro.pixel.photodiode` — the integrating photodiode that discharges
+  the sense node ``V_pix`` at a rate set by the photocurrent.
+* :mod:`repro.pixel.comparator` — the voltage comparator (with offset and
+  the MiM-capacitor auto-zeroing scheme) whose flip on ``V_pix`` crossing
+  ``V_ref`` defines the time-encoded pixel value ``V_1``.
+* :mod:`repro.pixel.time_encoder` — combines the two into the light-to-time
+  transfer characteristic, including the on-line adjustable ``V_rst`` and
+  ``V_ref`` used to adapt to illumination conditions.
+* :mod:`repro.pixel.selection` — the 6-transistor XOR selection unit (``V_2``)
+  that gates the activation front when the pixel is not part of the current
+  compressed sample.
+* :mod:`repro.pixel.event` — the activation latch and pulse generation logic
+  (``V_3``/``V_4``/``V_5``), the per-pixel half of the event protocol.
+* :mod:`repro.pixel.pixel` — the assembled :class:`Pixel`, the unit the
+  sensor-level simulator instantiates 64x64 times.
+"""
+
+from repro.pixel.comparator import Comparator
+from repro.pixel.event import EventLatch, PixelEvent
+from repro.pixel.photodiode import Photodiode
+from repro.pixel.pixel import Pixel
+from repro.pixel.selection import xor_select
+from repro.pixel.time_encoder import TimeEncoder
+
+__all__ = [
+    "Photodiode",
+    "Comparator",
+    "TimeEncoder",
+    "EventLatch",
+    "PixelEvent",
+    "Pixel",
+    "xor_select",
+]

@@ -1,0 +1,79 @@
+"""Voltage comparator with offset and auto-zeroing.
+
+The comparator in Fig. 1 flips its output ``V_1`` when ``V_pix`` crosses
+``V_ref``.  Real comparators add an input-referred offset (which shows up as
+fixed-pattern noise in the time-encoded values) and a propagation delay.  The
+prototype mitigates the offset with a MiM-capacitor auto-zeroing scheme
+(Section IV); the model exposes both the raw offset and the residual offset
+after auto-zeroing so the benchmarks can quantify what auto-zeroing buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class Comparator:
+    """Behavioural comparator.
+
+    Attributes
+    ----------
+    offset_sigma:
+        Standard deviation (V) of the pixel-to-pixel input-referred offset
+        before auto-zeroing.
+    autozero:
+        Whether the auto-zeroing scheme is active.
+    autozero_residual:
+        Fraction of the offset that survives auto-zeroing (charge injection
+        and capacitor mismatch leave a small residue).
+    delay:
+        Propagation delay (s) from the threshold crossing to the ``V_1`` edge.
+    delay_jitter_sigma:
+        RMS jitter (s) on that delay.
+    seed:
+        Seed for the per-pixel offset map and jitter draws.
+    """
+
+    offset_sigma: float = 5.0e-3
+    autozero: bool = True
+    autozero_residual: float = 0.05
+    delay: float = 20.0e-9
+    delay_jitter_sigma: float = 0.0
+    seed: int = 2018
+
+    def __post_init__(self) -> None:
+        check_positive("offset_sigma", self.offset_sigma, allow_zero=True)
+        check_positive("autozero_residual", self.autozero_residual, allow_zero=True)
+        check_positive("delay", self.delay, allow_zero=True)
+        check_positive("delay_jitter_sigma", self.delay_jitter_sigma, allow_zero=True)
+
+    def effective_offset_sigma(self) -> float:
+        """Offset sigma actually seen at the input after (optional) auto-zeroing."""
+        if self.autozero:
+            return self.offset_sigma * self.autozero_residual
+        return self.offset_sigma
+
+    def offset_map(self, shape, *, rng: SeedLike = None) -> np.ndarray:
+        """Per-pixel input-referred offset map (V), deterministic for a given seed."""
+        generator = new_rng(rng if rng is not None else self.seed)
+        return self.effective_offset_sigma() * generator.standard_normal(shape)
+
+    def crossing_delay(self, shape, *, rng: SeedLike = None) -> np.ndarray:
+        """Per-event propagation delay (s) including jitter."""
+        generator = new_rng(rng if rng is not None else self.seed + 1)
+        if self.delay_jitter_sigma > 0.0:
+            jitter = self.delay_jitter_sigma * generator.standard_normal(shape)
+        else:
+            jitter = np.zeros(shape)
+        return np.clip(self.delay + jitter, 0.0, None)
+
+    def effective_threshold(self, reference_voltage: float, shape, *, rng: SeedLike = None) -> np.ndarray:
+        """The threshold each pixel actually compares against: ``V_ref`` plus its offset."""
+        check_positive("reference_voltage", reference_voltage)
+        return reference_voltage + self.offset_map(shape, rng=rng)

@@ -1,0 +1,144 @@
+"""Event latch and pulse-generation logic of the pixel (nodes V3/V4/V5 in Fig. 1).
+
+Once the comparator has flipped and the XOR unit has let the activation front
+through, the pixel must emit exactly one pulse onto the shared column bus,
+and only when the bus is free and no pixel above it is waiting.  The paper
+implements this with three cooperating pieces:
+
+* the *activation latch* — ``V_3`` rises on the first active-low edge of
+  ``V_2`` and stays locked at '1' (via the feedback of ``V_3-bar``) until the
+  pixel is reset, so a pixel fires at most once per compressed sample;
+* the *propagation gate* — ``V_4`` is the inverse of ``V_3`` while ``Q'`` is
+  high; the falling edge of ``V_4`` propagates into a rising edge of ``V_5``
+  only when ``C_in`` is low (nobody above is waiting), and ``V_5`` drives the
+  pull-down transistor M2 on the column bus;
+* the *event termination* — when the column control unit raises the global
+  ``Q``, the pixel whose M2 is on sees ``Q'`` fall, which de-asserts ``V_4``
+  and then ``V_5``, ending the pulse after a controlled duration.
+
+:class:`EventLatch` models this state machine at the logic level, one
+instance per pixel.  The sensor-level column model drives it with ``C_in``
+and ``Q`` and observes ``V_5``/``C_out``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class PixelEvent:
+    """A single pixel event as it is seen at the bottom of the column.
+
+    Attributes
+    ----------
+    row, col:
+        Pixel coordinates in the array.
+    fire_time:
+        Time (s, relative to the global reset) at which the pixel's
+        comparator flipped (i.e. the ideal time-encoded value).
+    emit_time:
+        Time at which the pixel actually pulled the column bus down.  Equal
+        to ``fire_time`` when the bus was free; later when the token protocol
+        made the pixel wait.
+    sampled_code:
+        The counter code latched by the column's time-to-digital converter
+        for this event (filled in by the sensor model).
+    """
+
+    row: int
+    col: int
+    fire_time: float
+    emit_time: Optional[float] = None
+    sampled_code: Optional[int] = None
+
+    @property
+    def queued_delay(self) -> float:
+        """How long the token protocol held this event back (0 when bus was free)."""
+        if self.emit_time is None:
+            return 0.0
+        return max(0.0, self.emit_time - self.fire_time)
+
+    def with_emit_time(self, emit_time: float) -> "PixelEvent":
+        """Return a copy annotated with the actual bus emission time."""
+        return PixelEvent(self.row, self.col, self.fire_time, emit_time, self.sampled_code)
+
+    def with_sampled_code(self, code: int) -> "PixelEvent":
+        """Return a copy annotated with the TDC code assigned to this event."""
+        return PixelEvent(self.row, self.col, self.fire_time, self.emit_time, int(code))
+
+
+@dataclass
+class EventLatch:
+    """Logic-level model of the V3/V4/V5 pulse-generation chain of one pixel.
+
+    The latch is deliberately event-driven rather than clocked: the sensor
+    simulator calls :meth:`activate` when the comparator+XOR front arrives,
+    :meth:`grant` when the token chain and bus state allow the pixel to pull
+    the bus down, and :meth:`terminate` when the global ``Q`` pulse ends the
+    event.  The boolean properties mirror the schematic nodes so tests can be
+    written directly against the paper's description.
+    """
+
+    #: ``V_3`` — activation latch; set on the first activation, cleared by reset.
+    activated: bool = False
+    #: ``V_5`` — high while the pixel is driving the column bus low.
+    driving_bus: bool = False
+    #: True once the pixel has completed its (single) event for this sample.
+    completed: bool = False
+    #: Whether the pixel is waiting for the bus (activated, granted access not yet).
+    _pending: bool = field(default=False, repr=False)
+
+    def reset(self) -> None:
+        """Global pixel reset: clears the latch and re-arms the pixel."""
+        self.activated = False
+        self.driving_bus = False
+        self.completed = False
+        self._pending = False
+
+    # ------------------------------------------------------------ V3 stage
+    def activate(self) -> bool:
+        """Activation front arrives (falling edge of ``V_2``).
+
+        Returns True if this call armed the pixel (first activation since
+        reset); repeated activations are ignored because ``V_3`` is locked by
+        its feedback.
+        """
+        if self.activated:
+            return False
+        self.activated = True
+        self._pending = True
+        return True
+
+    @property
+    def wants_bus(self) -> bool:
+        """True when the pixel is waiting to emit its pulse (``V_4`` would fall)."""
+        return self._pending and not self.driving_bus and not self.completed
+
+    # ------------------------------------------------------------ V5 stage
+    def grant(self) -> None:
+        """The token chain grants the bus: ``C_in`` low, bus high — M2 turns on."""
+        if not self.wants_bus:
+            raise RuntimeError("grant() called on a pixel that is not waiting for the bus")
+        self.driving_bus = True
+
+    def terminate(self) -> None:
+        """Global ``Q`` pulse terminates the event: M2 turns off, pixel is done."""
+        if not self.driving_bus:
+            raise RuntimeError("terminate() called on a pixel that is not driving the bus")
+        self.driving_bus = False
+        self.completed = True
+        self._pending = False
+
+    # --------------------------------------------------------- token logic
+    def c_out(self, c_in: bool, bus_is_high: bool) -> bool:
+        """The ``C_out`` this pixel presents to the pixel below it.
+
+        Per the paper (3-input NAND): ``C_out`` is low (bus available to the
+        pixels below) only when (1) ``C_in`` is low, (2) ``V_4`` is high —
+        i.e. this pixel is not activated-and-waiting — and (3) the column bus
+        is high.  Any other combination blocks the pixels below.
+        """
+        v4_high = not (self.wants_bus or self.driving_bus)
+        return not ((not c_in) and v4_high and bus_is_high)

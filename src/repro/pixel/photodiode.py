@@ -1,0 +1,69 @@
+"""Integrating photodiode model.
+
+The photodiode of Fig. 1 discharges the pre-charged sense node ``V_pix`` at a
+rate proportional to the photocurrent: ``dV/dt = -I_ph / C_pix``.  The model
+is intentionally first-order — the paper's argument does not depend on diode
+non-linearities — but it keeps the physical parameterisation (capacitance,
+reset voltage) so exposure settings map to realistic integration times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class Photodiode:
+    """First-order integrating photodiode.
+
+    Attributes
+    ----------
+    capacitance:
+        Sense-node capacitance in farads (pixel capacitance plus diode
+        junction capacitance).  ~10 fF for a 22 µm pixel in 0.18 µm CMOS.
+    reset_voltage:
+        ``V_rst`` — the voltage the node is pre-charged to at global reset.
+    """
+
+    capacitance: float = 10.0e-15
+    reset_voltage: float = 3.3
+
+    def __post_init__(self) -> None:
+        check_positive("capacitance", self.capacitance)
+        check_positive("reset_voltage", self.reset_voltage)
+
+    def discharge_rate(self, photocurrent) -> np.ndarray:
+        """Node slew rate ``dV/dt`` (V/s, positive number) for a photocurrent (A)."""
+        photocurrent = np.asarray(photocurrent, dtype=float)
+        if np.any(photocurrent < 0):
+            raise ValueError("photocurrent must be non-negative")
+        return photocurrent / self.capacitance
+
+    def voltage_at(self, photocurrent, time: float) -> np.ndarray:
+        """Node voltage ``V_pix`` after integrating for ``time`` seconds (clipped at 0 V)."""
+        check_positive("time", time, allow_zero=True)
+        voltage = self.reset_voltage - self.discharge_rate(photocurrent) * time
+        return np.clip(voltage, 0.0, self.reset_voltage)
+
+    def crossing_time(self, photocurrent, reference_voltage: float) -> np.ndarray:
+        """Time (s) for ``V_pix`` to fall from ``V_rst`` to ``reference_voltage``.
+
+        Pixels with zero photocurrent never cross; the result is ``inf`` for
+        those entries, which the time encoder translates into "no event
+        within the frame".
+        """
+        check_positive("reference_voltage", reference_voltage)
+        if reference_voltage >= self.reset_voltage:
+            raise ValueError(
+                f"reference_voltage ({reference_voltage}) must be below "
+                f"reset_voltage ({self.reset_voltage})"
+            )
+        swing = self.reset_voltage - reference_voltage
+        rate = self.discharge_rate(photocurrent)
+        with np.errstate(divide="ignore"):
+            times = np.where(rate > 0.0, swing / np.where(rate > 0.0, rate, 1.0), np.inf)
+        return times

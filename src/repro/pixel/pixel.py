@@ -1,0 +1,108 @@
+"""The assembled elementary pixel.
+
+:class:`Pixel` ties together the light-to-time front end (photodiode +
+comparator), the XOR selection unit and the event latch into the behavioural
+unit that the array-level simulator instantiates.  For array-scale work the
+sensor model uses the vectorised :class:`~repro.pixel.time_encoder.TimeEncoder`
+directly (one call for all 4096 pixels); the per-object :class:`Pixel` exists
+for unit tests, for the Fig. 1 benchmark and for small step-by-step examples
+where following a single pixel through a frame is the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.pixel.event import EventLatch, PixelEvent
+from repro.pixel.selection import v2_output, xor_select
+from repro.pixel.time_encoder import TimeEncoder
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class Pixel:
+    """Behavioural model of one pixel of the array.
+
+    Attributes
+    ----------
+    row, col:
+        Position in the array (also reported in the events it emits).
+    encoder:
+        The light-to-time conversion chain for this pixel.
+    latch:
+        The event-generation state machine.
+    """
+
+    row: int
+    col: int
+    encoder: TimeEncoder = field(default_factory=TimeEncoder)
+    latch: EventLatch = field(default_factory=EventLatch)
+    _photocurrent: float = field(default=0.0, repr=False)
+    _fire_time: Optional[float] = field(default=None, repr=False)
+    _selected: bool = field(default=False, repr=False)
+
+    def reset(self) -> None:
+        """Global reset: pre-charge the sense node and clear the event latch."""
+        self.latch.reset()
+        self._fire_time = None
+
+    # -------------------------------------------------------------- exposure
+    def expose(self, photocurrent: float) -> float:
+        """Set the photocurrent for this frame and compute the firing time.
+
+        Returns the firing time (s); ``inf`` if the pixel never reaches the
+        threshold.
+        """
+        check_positive("photocurrent", photocurrent, allow_zero=True)
+        self._photocurrent = float(photocurrent)
+        times = self.encoder.firing_times(
+            np.array([[self._photocurrent]]), include_offset=False, include_delay=False
+        )
+        self._fire_time = float(times[0, 0])
+        return self._fire_time
+
+    @property
+    def fire_time(self) -> Optional[float]:
+        """Firing time computed by the last :meth:`expose` call."""
+        return self._fire_time
+
+    # ------------------------------------------------------------- selection
+    def select(self, row_signal: int, col_signal: int) -> bool:
+        """Apply the row/column selection signals; returns the XOR decision."""
+        self._selected = bool(xor_select(row_signal, col_signal))
+        return self._selected
+
+    @property
+    def selected(self) -> bool:
+        """Whether the pixel participates in the current compressed sample."""
+        return self._selected
+
+    def v2(self, v1: int, row_signal: int, col_signal: int) -> int:
+        """Logic level at node ``V_2`` for explicit gate-level tests."""
+        return v2_output(v1, row_signal, col_signal)
+
+    # ----------------------------------------------------------------- event
+    def maybe_activate(self, now: float) -> Optional[PixelEvent]:
+        """Activate the event latch if the comparator has flipped by time ``now``.
+
+        Returns a :class:`PixelEvent` the first time the activation happens
+        (for a selected pixel); ``None`` otherwise.  Deselected pixels never
+        activate — the XOR gate blocks the front before the latch, which is
+        exactly the power-saving structure of Fig. 1.
+        """
+        if not self._selected:
+            return None
+        if self._fire_time is None or now < self._fire_time:
+            return None
+        if self.latch.activate():
+            return PixelEvent(self.row, self.col, self._fire_time)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Pixel(row={self.row}, col={self.col}, selected={self._selected}, "
+            f"fire_time={self._fire_time})"
+        )

@@ -1,0 +1,138 @@
+"""Light-to-time conversion: the pulse-modulation front end of the pixel.
+
+Combining the photodiode and the comparator gives the pixel's light-to-time
+transfer characteristic: the time between the global reset and the ``V_1``
+edge is inversely proportional to the photocurrent (brighter pixels fire
+earlier).  The time encoder also models the two knobs the paper highlights
+as on-line adjustable — ``V_rst`` and ``V_ref`` — which scale the conversion
+to different illumination ranges in real time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.pixel.comparator import Comparator
+from repro.pixel.photodiode import Photodiode
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass
+class TimeEncoder:
+    """Per-pixel light-to-time converter.
+
+    Attributes
+    ----------
+    photodiode:
+        The integrating photodiode model (provides ``V_rst`` and the slew).
+    comparator:
+        The comparator model (provides offset and delay).
+    reference_voltage:
+        ``V_ref`` — the threshold the sense node must reach. Lower values
+        (further from ``V_rst``) lengthen integration and favour dim scenes.
+    """
+
+    photodiode: Photodiode = field(default_factory=Photodiode)
+    comparator: Comparator = field(default_factory=Comparator)
+    reference_voltage: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("reference_voltage", self.reference_voltage)
+        if self.reference_voltage >= self.photodiode.reset_voltage:
+            raise ValueError(
+                "reference_voltage must be below the photodiode reset voltage"
+            )
+
+    # ------------------------------------------------------------- controls
+    @property
+    def voltage_swing(self) -> float:
+        """``V_rst - V_ref`` — the swing integrated before the comparator flips."""
+        return self.photodiode.reset_voltage - self.reference_voltage
+
+    def set_reference(self, reference_voltage: float) -> None:
+        """On-line adjustment of ``V_ref`` (illumination adaptation)."""
+        check_positive("reference_voltage", reference_voltage)
+        if reference_voltage >= self.photodiode.reset_voltage:
+            raise ValueError(
+                "reference_voltage must be below the photodiode reset voltage"
+            )
+        self.reference_voltage = float(reference_voltage)
+
+    def set_reset_voltage(self, reset_voltage: float) -> None:
+        """On-line adjustment of ``V_rst`` (illumination adaptation)."""
+        check_positive("reset_voltage", reset_voltage)
+        if reset_voltage <= self.reference_voltage:
+            raise ValueError("reset_voltage must be above the reference voltage")
+        self.photodiode.reset_voltage = float(reset_voltage)
+
+    def full_scale_time(self, min_photocurrent: float) -> float:
+        """Integration time needed by the dimmest pixel of interest to fire."""
+        check_positive("min_photocurrent", min_photocurrent)
+        return float(self.voltage_swing * self.photodiode.capacitance / min_photocurrent)
+
+    def adapt_to_range(self, min_photocurrent: float, conversion_time: float, *, margin: float = 0.9) -> None:
+        """Choose ``V_ref`` so the dimmest pixel of interest fires inside the window.
+
+        This emulates the real-time adaptation loop the paper mentions: given
+        the smallest photocurrent that must still be resolved and the length
+        of the time-to-digital conversion window, place the threshold so that
+        pixel fires at ``margin * conversion_time`` — near the end of the
+        window but safely inside it, which spreads brighter pixels across the
+        full code range.
+        """
+        check_positive("min_photocurrent", min_photocurrent)
+        check_positive("conversion_time", conversion_time)
+        check_in_range("margin", margin, 0.0, 1.0, inclusive=False)
+        swing = margin * conversion_time * min_photocurrent / self.photodiode.capacitance
+        swing = min(swing, self.photodiode.reset_voltage * 0.9)
+        swing = max(swing, 1e-3)
+        self.reference_voltage = self.photodiode.reset_voltage - swing
+
+    # ------------------------------------------------------------ conversion
+    def firing_times(
+        self,
+        photocurrent: np.ndarray,
+        *,
+        include_offset: bool = True,
+        include_delay: bool = True,
+        rng: SeedLike = None,
+    ) -> np.ndarray:
+        """Time (s) from reset to the ``V_1`` rising edge, per pixel.
+
+        Entries are ``inf`` for pixels whose photocurrent cannot reach the
+        threshold (zero current).
+        """
+        photocurrent = np.asarray(photocurrent, dtype=float)
+        if include_offset and self.comparator.effective_offset_sigma() > 0.0:
+            thresholds = self.comparator.effective_threshold(
+                self.reference_voltage, photocurrent.shape, rng=rng
+            )
+            thresholds = np.clip(
+                thresholds, 1e-6, self.photodiode.reset_voltage - 1e-6
+            )
+            swing = self.photodiode.reset_voltage - thresholds
+        else:
+            swing = np.full(photocurrent.shape, self.voltage_swing)
+        rate = self.photodiode.discharge_rate(photocurrent)
+        with np.errstate(divide="ignore"):
+            times = np.where(rate > 0.0, swing / np.where(rate > 0.0, rate, 1.0), np.inf)
+        if include_delay and self.comparator.delay > 0.0:
+            finite = np.isfinite(times)
+            delays = self.comparator.crossing_delay(photocurrent.shape, rng=rng)
+            times = np.where(finite, times + delays, times)
+        return times
+
+    def ideal_firing_times(self, photocurrent: np.ndarray) -> np.ndarray:
+        """Firing times with no offset, no delay — the ideal transfer curve."""
+        return self.firing_times(photocurrent, include_offset=False, include_delay=False)
+
+    def photocurrent_from_time(self, firing_time: np.ndarray) -> np.ndarray:
+        """Invert the ideal transfer curve: recover photocurrent from a firing time."""
+        firing_time = np.asarray(firing_time, dtype=float)
+        if np.any(firing_time <= 0):
+            raise ValueError("firing times must be positive")
+        return self.voltage_swing * self.photodiode.capacitance / firing_time

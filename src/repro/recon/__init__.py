@@ -1,0 +1,21 @@
+"""Image reconstruction from compressed frames.
+
+The receiver side of the paper's system: rebuild the measurement matrix from
+the CA seed carried in the :class:`~repro.sensor.imager.CompressedFrame`,
+solve the sparse-recovery problem in a chosen dictionary, and calibrate the
+recovered time-code image back into light intensities.
+"""
+
+from repro.recon.calibration import codes_to_intensity, intensity_to_codes
+from repro.recon.operator import frame_operator, measurement_matrix_from_seed
+from repro.recon.pipeline import ReconstructionResult, reconstruct_frame, reconstruct_samples
+
+__all__ = [
+    "measurement_matrix_from_seed",
+    "frame_operator",
+    "codes_to_intensity",
+    "intensity_to_codes",
+    "reconstruct_frame",
+    "reconstruct_samples",
+    "ReconstructionResult",
+]

@@ -1,0 +1,62 @@
+"""Calibration between counter codes and light intensity.
+
+The sensor's digital image is made of *time* codes: the counter value at
+which each pixel fired.  Bright pixels fire early (small codes), dark pixels
+late (large codes), and the relationship is reciprocal —
+``t = (V_rst - V_ref) * C / I_ph`` — so converting a reconstructed code image
+back into a light-intensity image requires inverting that curve with the
+conversion parameters (clock period, voltage swing, pixel capacitance) used
+during capture.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.pixel.time_encoder import TimeEncoder
+from repro.sensor.tdc import GlobalCounterTDC
+from repro.utils.validation import check_positive
+
+
+def codes_to_intensity(
+    codes: np.ndarray,
+    *,
+    encoder: TimeEncoder,
+    tdc: GlobalCounterTDC,
+    full_scale_current: Optional[float] = None,
+) -> np.ndarray:
+    """Convert counter codes back into (relative or absolute) light intensity.
+
+    Parameters
+    ----------
+    codes:
+        Reconstructed code image (floats are fine — the reconstruction is
+        continuous-valued).
+    encoder, tdc:
+        The conversion chain parameters used during capture.
+    full_scale_current:
+        When given, the result is normalised so this photocurrent maps to
+        1.0; otherwise absolute photocurrents (A) are returned.
+    """
+    codes = np.asarray(codes, dtype=float)
+    times = tdc.code_to_time(np.clip(codes, 0.0, tdc.max_code))
+    times = np.maximum(times, tdc.clock_period * 1e-3)
+    currents = encoder.photocurrent_from_time(times)
+    if full_scale_current is not None:
+        check_positive("full_scale_current", full_scale_current)
+        return np.clip(currents / full_scale_current, 0.0, None)
+    return currents
+
+
+def intensity_to_codes(
+    photocurrent: np.ndarray,
+    *,
+    encoder: TimeEncoder,
+    tdc: GlobalCounterTDC,
+) -> np.ndarray:
+    """Forward map: photocurrent to the ideal counter code (no noise, no queueing)."""
+    photocurrent = np.asarray(photocurrent, dtype=float)
+    times = encoder.ideal_firing_times(photocurrent)
+    return tdc.ideal_codes(times)

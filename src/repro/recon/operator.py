@@ -1,0 +1,76 @@
+"""Rebuilding the measurement operator at the receiver.
+
+The whole point of generating Φ with a seeded cellular automaton is that the
+receiving end can reconstruct Φ *exactly* from the seed — no matrix is ever
+transmitted or stored.  These helpers do precisely that, and package the
+result into the centred :class:`~repro.cs.operators.SensingOperator` the
+solvers expect.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ca.selection import CASelectionGenerator
+from repro.cs.dictionaries import Dictionary, make_dictionary
+from repro.cs.operators import SensingOperator
+from repro.sensor.imager import CompressedFrame
+from repro.utils.validation import check_positive
+
+
+def measurement_matrix_from_seed(
+    seed_state: np.ndarray,
+    n_samples: int,
+    shape: Tuple[int, int],
+    *,
+    rule: int = 30,
+    steps_per_sample: int = 1,
+    warmup_steps: int = 8,
+) -> np.ndarray:
+    """Regenerate the 0/1 measurement matrix Φ from the CA seed.
+
+    This must (and, by construction, does) produce bit-for-bit the same
+    matrix the sensor used — the property tested by the round-trip property
+    tests.
+    """
+    check_positive("n_samples", n_samples)
+    rows, cols = shape
+    generator = CASelectionGenerator(
+        rows,
+        cols,
+        seed_state=np.asarray(seed_state),
+        rule=rule,
+        steps_per_sample=steps_per_sample,
+        warmup_steps=warmup_steps,
+    )
+    return generator.measurement_matrix(int(n_samples)).astype(float)
+
+
+def frame_operator(
+    frame: CompressedFrame,
+    *,
+    dictionary: str = "dct",
+    center: bool = True,
+) -> Tuple[SensingOperator, float]:
+    """Build the sensing operator for a captured frame.
+
+    Returns the operator and the selection density used for centring (0.0
+    when ``center`` is false).  Centring subtracts the mean entry from the
+    0/1 matrix, which removes the large DC component shared by all rows of
+    the XOR construction and is what makes smooth dictionaries usable.
+    """
+    phi = measurement_matrix_from_seed(
+        frame.seed_state,
+        frame.n_samples,
+        (frame.config.rows, frame.config.cols),
+        rule=frame.rule_number,
+        steps_per_sample=frame.steps_per_sample,
+        warmup_steps=frame.warmup_steps,
+    )
+    density = float(phi.mean()) if center else 0.0
+    if center:
+        phi = phi - density
+    psi: Dictionary = make_dictionary(dictionary, (frame.config.rows, frame.config.cols))
+    return SensingOperator(phi, psi), density

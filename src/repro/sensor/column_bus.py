@@ -1,0 +1,248 @@
+"""Column bus arbitration: the C_in/C_out token protocol and event termination.
+
+All pixels of a column share one bus (``V_o`` in Fig. 1).  The paper's
+protocol guarantees no pulse is ever lost even when several pixels of the
+column fire close together:
+
+* *parallel blocking* — the moment any pixel pulls the bus down, every pixel
+  sees ``V_o`` low through the 3-input NAND and asserts ``C_out``, so every
+  pixel below is blocked at once;
+* *sequential release* — when an event terminates, the ``C_out`` chain
+  releases pixels one after the other from the top of the column downwards,
+  so among the pixels left waiting the **topmost** one acquires the bus next
+  (never two at a time);
+* *event termination* — the column control unit at the foot of the bus
+  detects the pull-down and, after a user-controllable delay, raises the
+  global ``Q`` so that only the pixel that is actually driving the bus ends
+  its pulse.
+
+:class:`ColumnBusArbiter` reproduces this behaviour on a list of pixel firing
+times and returns, for every event, the time at which it actually occupied
+the bus.  :class:`ColumnControlUnit` models the foot-of-column circuit (pull
+-down detection, termination delay, counter sampling strobe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.pixel.event import EventLatch, PixelEvent
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ColumnControlUnit:
+    """Foot-of-column control: senses the bus and times the termination pulse.
+
+    Attributes
+    ----------
+    termination_delay:
+        The user-controllable delay between the detection of the bus
+        pull-down and the rise of ``Q`` — this sets the event duration.
+    """
+
+    termination_delay: float = 5.0e-9
+
+    def __post_init__(self) -> None:
+        check_positive("termination_delay", self.termination_delay)
+
+    def termination_time(self, pull_down_time: float) -> float:
+        """Time at which ``Q`` rises for an event that pulled the bus down."""
+        check_positive("pull_down_time", pull_down_time, allow_zero=True)
+        return pull_down_time + self.termination_delay
+
+    def sample_strobe_time(self, pull_down_time: float) -> float:
+        """Time at which the counter is sampled for this event.
+
+        The 'Sample & Add' latches the global counter when the pull-down is
+        detected, i.e. at the leading edge of the event.
+        """
+        check_positive("pull_down_time", pull_down_time, allow_zero=True)
+        return pull_down_time
+
+
+@dataclass
+class ArbitrationResult:
+    """Outcome of serialising one column's events.
+
+    Attributes
+    ----------
+    events:
+        The input events annotated with their actual bus-occupation time,
+        ordered by emission time.
+    n_queued:
+        How many events had to wait for the bus (their fire time fell while
+        the bus was busy or a higher pixel was waiting).
+    max_queue_delay:
+        The largest fire-to-emit delay experienced by any event.
+    bus_busy_time:
+        Total time the bus spent occupied.
+    """
+
+    events: List[PixelEvent] = field(default_factory=list)
+    n_queued: int = 0
+    max_queue_delay: float = 0.0
+    bus_busy_time: float = 0.0
+
+    @property
+    def n_events(self) -> int:
+        """Number of events delivered through the bus."""
+        return len(self.events)
+
+
+class ColumnBusArbiter:
+    """Serialises the events of one column according to the token protocol.
+
+    Parameters
+    ----------
+    event_duration:
+        Bus-occupation time of one event (termination delay of the column
+        control unit).
+    """
+
+    def __init__(self, event_duration: float = 5.0e-9) -> None:
+        check_positive("event_duration", event_duration)
+        self.event_duration = float(event_duration)
+        self.control_unit = ColumnControlUnit(termination_delay=self.event_duration)
+
+    def arbitrate(
+        self,
+        events: Sequence[PixelEvent],
+        *,
+        deadline: Optional[float] = None,
+    ) -> ArbitrationResult:
+        """Assign bus-occupation times to ``events``.
+
+        The scheduling rule mirrors the hardware: the bus is granted at the
+        event's own fire time when the bus is idle and nobody above is
+        waiting; otherwise the event waits, and whenever the bus frees up the
+        **topmost** (smallest row index) waiting pixel is released first.
+
+        Parameters
+        ----------
+        events:
+            The pixel events of one column (any order).  Each pixel may
+            appear at most once — the activation latch fires once per sample.
+        deadline:
+            Optional end of the conversion window; events that cannot be
+            emitted before the deadline are dropped (they would fall outside
+            the counter range in hardware).  ``None`` delivers everything.
+
+        Returns
+        -------
+        ArbitrationResult
+            Events annotated with emission times, in emission order.
+        """
+        pending = sorted(events, key=lambda event: (event.fire_time, event.row))
+        seen_rows = {event.row for event in pending}
+        if len(seen_rows) != len(pending):
+            raise ValueError("each pixel (row) may emit at most one event per sample")
+
+        result = ArbitrationResult()
+        bus_free_at = 0.0
+        remaining = list(pending)
+        while remaining:
+            # Pixels already waiting when the bus frees: topmost goes first.
+            waiting = [event for event in remaining if event.fire_time <= bus_free_at]
+            if waiting:
+                chosen = min(waiting, key=lambda event: event.row)
+                emit_time = bus_free_at
+            else:
+                chosen = remaining[0]
+                emit_time = chosen.fire_time
+            remaining.remove(chosen)
+            if deadline is not None and emit_time >= deadline:
+                continue
+            annotated = chosen.with_emit_time(emit_time)
+            result.events.append(annotated)
+            if annotated.queued_delay > 0.0:
+                result.n_queued += 1
+                result.max_queue_delay = max(result.max_queue_delay, annotated.queued_delay)
+            bus_free_at = emit_time + self.event_duration
+            result.bus_busy_time += self.event_duration
+        return result
+
+
+class GateLevelColumn:
+    """Cycle-driven model of one column built from :class:`EventLatch` instances.
+
+    This is the slow, explicit model used by the unit tests to check the
+    analytic :class:`ColumnBusArbiter` against a direct simulation of the
+    ``C_in``/``C_out`` chain: ``n_rows`` latches are stepped on a fine time
+    grid, the token chain is evaluated combinationally every step, and bus
+    grants/terminations follow the latch states.
+    """
+
+    def __init__(self, n_rows: int, event_duration: float = 5.0e-9) -> None:
+        check_positive("n_rows", n_rows)
+        check_positive("event_duration", event_duration)
+        self.n_rows = int(n_rows)
+        self.event_duration = float(event_duration)
+        self.latches = [EventLatch() for _ in range(self.n_rows)]
+
+    def simulate(
+        self,
+        fire_times: Sequence[Optional[float]],
+        *,
+        time_step: float = 1.0e-9,
+        end_time: Optional[float] = None,
+    ) -> List[PixelEvent]:
+        """Run the column on a uniform time grid and return the emitted events.
+
+        Parameters
+        ----------
+        fire_times:
+            Per-row firing time, or ``None`` for pixels that do not fire
+            (deselected or dark).
+        time_step:
+            Simulation step; must be no larger than the event duration.
+        end_time:
+            End of the simulation; defaults to a little past the last event.
+        """
+        if len(fire_times) != self.n_rows:
+            raise ValueError(
+                f"fire_times must have {self.n_rows} entries, got {len(fire_times)}"
+            )
+        check_positive("time_step", time_step)
+        if time_step > self.event_duration:
+            raise ValueError("time_step must not exceed the event duration")
+        finite_times = [t for t in fire_times if t is not None]
+        if end_time is None:
+            last = max(finite_times) if finite_times else 0.0
+            end_time = last + self.event_duration * (self.n_rows + 2)
+
+        for latch in self.latches:
+            latch.reset()
+        emitted: List[PixelEvent] = []
+        driving_row: Optional[int] = None
+        termination_at: Optional[float] = None
+
+        now = 0.0
+        while now <= end_time:
+            # 1. Activation fronts reaching the latches.
+            for row, fire_time in enumerate(fire_times):
+                if fire_time is not None and fire_time <= now:
+                    self.latches[row].activate()
+            # 2. Event termination (global Q) for the pixel driving the bus.
+            if driving_row is not None and termination_at is not None and now >= termination_at:
+                self.latches[driving_row].terminate()
+                driving_row = None
+                termination_at = None
+            # 3. Token chain: C_in of row 0 is low; propagate downwards.
+            bus_is_high = driving_row is None
+            if bus_is_high:
+                c_in = False
+                for row, latch in enumerate(self.latches):
+                    if not c_in and latch.wants_bus:
+                        latch.grant()
+                        driving_row = row
+                        termination_at = now + self.event_duration
+                        fire_time = fire_times[row]
+                        emitted.append(
+                            PixelEvent(row=row, col=0, fire_time=float(fire_time)).with_emit_time(now)
+                        )
+                        break
+                    c_in = latch.c_out(c_in, bus_is_high)
+            now += time_step
+        return emitted

@@ -1,0 +1,200 @@
+"""Sensor configuration: the Table II parameters and everything derived from them.
+
+The defaults reproduce the prototype of Section IV: a 64x64 array of 22 µm
+pixels in 0.18 µm CMOS, 8-bit time-to-digital conversion clocked at 24 MHz,
+30 fps frame rate and a maximum compressed-sample rate of 50 kHz.  All other
+architectural quantities used throughout the library — the conversion window,
+the column-accumulator and compressed-sample bit widths (Eq. 1), the maximum
+compression ratio and the compressed-sample rate (Eq. 2) — are computed here
+so there is exactly one source of truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.utils.bitops import bit_width
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class SensorConfig:
+    """Architectural parameters of the compressive imager.
+
+    Attributes
+    ----------
+    rows, cols:
+        Pixel-array resolution (Table II: 64 x 64).
+    pixel_bits:
+        Bits of the per-pixel time-to-digital code, ``N_b`` (8).
+    clock_frequency:
+        Time-to-digital conversion clock (Table II: 24 MHz).
+    frame_rate:
+        Image frame rate ``f_s`` (Table II: 30 fps).
+    compression_ratio:
+        Compressed samples delivered per frame divided by the number of
+        pixels, ``R``.  The paper bounds it at 0.4 (= ``N_b / N_B``).
+    event_duration:
+        Duration of one pixel pulse on the column bus, set by the
+        user-controllable delay of the column control unit (the paper's
+        worked example uses 5 ns).
+    pixel_pitch:
+        Pixel size in metres (Table II: 22 µm).
+    fill_factor:
+        Photodiode fill factor (Table II: 9.2 %).
+    technology:
+        Process name, carried for reporting only.
+    supply_voltage, io_voltage:
+        Core / IO supplies (Table II: 1.8 V and 3.3 V).
+    """
+
+    rows: int = 64
+    cols: int = 64
+    pixel_bits: int = 8
+    clock_frequency: float = 24.0e6
+    frame_rate: float = 30.0
+    compression_ratio: float = 0.4
+    event_duration: float = 5.0e-9
+    pixel_pitch: float = 22.0e-6
+    fill_factor: float = 0.092
+    technology: str = "CMOS 0.18um 1P6M"
+    supply_voltage: float = 1.8
+    io_voltage: float = 3.3
+
+    def __post_init__(self) -> None:
+        check_positive("rows", self.rows)
+        check_positive("cols", self.cols)
+        check_positive("pixel_bits", self.pixel_bits)
+        check_positive("clock_frequency", self.clock_frequency)
+        check_positive("frame_rate", self.frame_rate)
+        check_in_range("compression_ratio", self.compression_ratio, 0.0, 1.0, inclusive=False)
+        check_positive("event_duration", self.event_duration)
+        check_positive("pixel_pitch", self.pixel_pitch)
+        check_in_range("fill_factor", self.fill_factor, 0.0, 1.0)
+        check_positive("supply_voltage", self.supply_voltage)
+        check_positive("io_voltage", self.io_voltage)
+
+    # ------------------------------------------------------------ geometry
+    @property
+    def n_pixels(self) -> int:
+        """Total number of pixels ``M * N``."""
+        return self.rows * self.cols
+
+    @property
+    def array_width(self) -> float:
+        """Physical width of the pixel array (m)."""
+        return self.cols * self.pixel_pitch
+
+    @property
+    def array_height(self) -> float:
+        """Physical height of the pixel array (m)."""
+        return self.rows * self.pixel_pitch
+
+    # ----------------------------------------------------------- bit widths
+    @property
+    def pixel_code_range(self) -> int:
+        """Number of distinct pixel codes, ``2**N_b`` (256)."""
+        return 1 << self.pixel_bits
+
+    @property
+    def column_sum_bits(self) -> int:
+        """Bits of the per-column accumulator: ``N_b + log2(rows)`` (14 for 64 rows)."""
+        return self.pixel_bits + int(math.ceil(math.log2(self.rows)))
+
+    @property
+    def compressed_sample_bits(self) -> int:
+        """Bits of one compressed sample — Eq. (1): ``N_b + log2(M*N)`` (20)."""
+        return self.pixel_bits + int(math.ceil(math.log2(self.n_pixels)))
+
+    @property
+    def max_compression_ratio(self) -> float:
+        """Ratio beyond which raw read-out is cheaper: ``N_b / N_B`` (0.4)."""
+        return self.pixel_bits / self.compressed_sample_bits
+
+    # --------------------------------------------------------------- timing
+    @property
+    def clock_period(self) -> float:
+        """Time-to-digital clock period (s)."""
+        return 1.0 / self.clock_frequency
+
+    @property
+    def conversion_time(self) -> float:
+        """Length of the TDC window: ``2**N_b`` clock periods (~10.7 µs at 24 MHz)."""
+        return self.pixel_code_range * self.clock_period
+
+    @property
+    def samples_per_frame(self) -> int:
+        """Compressed samples delivered per frame: ``R * M * N``."""
+        return int(round(self.compression_ratio * self.n_pixels))
+
+    @property
+    def compressed_sample_rate(self) -> float:
+        """Eq. (2): ``f_cs = R * M * N * f_s`` (≈ 49 kHz for the defaults)."""
+        return self.compression_ratio * self.n_pixels * self.frame_rate
+
+    @property
+    def compressed_sample_period(self) -> float:
+        """Time available to generate one compressed sample (≈ 20 µs)."""
+        return 1.0 / self.compressed_sample_rate
+
+    @property
+    def frame_time(self) -> float:
+        """Frame period ``1 / f_s``."""
+        return 1.0 / self.frame_rate
+
+    def event_overlap_probability(self, n_selected: int = None) -> float:
+        """Probability that a given pixel event overlaps another event in its column.
+
+        The paper's worked example: 5 ns events, 64 selected pixels in a
+        column, firing at random within the conversion window → "a 6.25 %
+        chance that two events will randomly overlap".  With events placed
+        uniformly in the window, the chance that one particular event
+        collides with at least one of the other ``n_selected - 1`` is
+        ``1 - (1 - 2d/T)**(n-1)``; for the default configuration this is
+        ≈ 6 %, matching the paper's estimate.  The token protocol exists
+        precisely so that these overlaps serialise instead of losing pulses.
+        """
+        if n_selected is None:
+            n_selected = self.rows
+        check_positive("n_selected", n_selected)
+        window = self.conversion_time
+        pairwise = min(1.0, 2.0 * self.event_duration / window)
+        return 1.0 - (1.0 - pairwise) ** (int(n_selected) - 1)
+
+    def any_overlap_probability(self, n_selected: int = None) -> float:
+        """Birthday-style probability that *any* two of the column's events overlap.
+
+        This is the stricter quantity (much larger than
+        :meth:`event_overlap_probability` for dense columns) and is what the
+        token-protocol benchmark measures empirically.
+        """
+        if n_selected is None:
+            n_selected = self.rows
+        check_positive("n_selected", n_selected)
+        window = self.conversion_time
+        probability_clear = 1.0
+        for k in range(1, int(n_selected)):
+            probability_clear *= max(0.0, 1.0 - 2.0 * k * self.event_duration / window)
+        return 1.0 - probability_clear
+
+    # ------------------------------------------------------------- reporting
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary of the configured and derived quantities (for Table II)."""
+        return {
+            "technology": self.technology,
+            "resolution": f"{self.rows} x {self.cols}",
+            "pixel_pitch_um": self.pixel_pitch * 1e6,
+            "fill_factor": self.fill_factor,
+            "pixel_bits": self.pixel_bits,
+            "column_sum_bits": self.column_sum_bits,
+            "compressed_sample_bits": self.compressed_sample_bits,
+            "max_compression_ratio": self.max_compression_ratio,
+            "clock_frequency_mhz": self.clock_frequency / 1e6,
+            "frame_rate_fps": self.frame_rate,
+            "compressed_sample_rate_khz": self.compressed_sample_rate / 1e3,
+            "conversion_time_us": self.conversion_time * 1e6,
+            "supply_voltage": self.supply_voltage,
+            "io_voltage": self.io_voltage,
+        }

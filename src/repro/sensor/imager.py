@@ -1,0 +1,393 @@
+"""Top-level compressive imager: scene in, compressed samples out.
+
+:class:`CompressiveImager` wires together every block described in the paper:
+the time-encoding pixel array (Section II-A), the Rule 30 selection CA
+(II-B / III-A), the column bus token protocol (II-E), the global-counter TDC
+and the sample-and-add chain (III-B).  Two fidelity levels are offered:
+
+* ``"behavioural"`` — vectorised: pixel codes are quantised firing times and
+  each compressed sample is the masked sum of codes, with the ±1 LSB
+  late-detection error injected stochastically.  This is exact whenever no
+  two events of a column collide and is fast enough to capture whole frames
+  (thousands of compressed samples) for the reconstruction benchmarks.
+* ``"event"`` — event-accurate: every column is run through the
+  :class:`~repro.sensor.column_bus.ColumnBusArbiter`, the TDC samples the
+  counter at the actual bus-occupation instants and the
+  :class:`~repro.sensor.sample_add.SampleAndAdd` registers accumulate the
+  codes.  This is the mode the token-protocol and timing-error benchmarks
+  use.
+
+The output :class:`CompressedFrame` carries the CA seed — the only side
+information a receiver needs to rebuild Φ and reconstruct the image, which is
+the central selling point of the paper's architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.ca.selection import CASelectionGenerator
+from repro.pixel.event import PixelEvent
+from repro.pixel.time_encoder import TimeEncoder
+from repro.sensor.column_bus import ColumnBusArbiter
+from repro.sensor.config import SensorConfig
+from repro.sensor.sample_add import SampleAndAdd
+from repro.sensor.tdc import GlobalCounterTDC, apply_stochastic_lsb_error
+from repro.utils.rng import SeedLike, derive_seed, new_rng
+from repro.utils.validation import check_choice, check_positive
+
+
+@dataclass
+class CompressedFrame:
+    """The output of one compressive capture.
+
+    Attributes
+    ----------
+    samples:
+        The compressed samples, one integer per selection pattern.
+    seed_state:
+        The CA seed — the side information shared with the receiver.
+    rule_number, steps_per_sample, warmup_steps:
+        CA parameters needed (together with the seed) to rebuild Φ.
+    config:
+        The sensor configuration the frame was captured with.
+    digital_image:
+        The ideal per-pixel TDC codes (the image the compressed samples are
+        linear combinations of); kept for ground-truth comparisons.
+    metadata:
+        Capture statistics (lost events, queueing, LSB errors, fidelity).
+    """
+
+    samples: np.ndarray
+    seed_state: np.ndarray
+    rule_number: int
+    steps_per_sample: int
+    warmup_steps: int
+    config: SensorConfig
+    digital_image: Optional[np.ndarray] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of compressed samples in the frame."""
+        return int(self.samples.size)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Delivered samples divided by the number of pixels."""
+        return self.n_samples / self.config.n_pixels
+
+    @property
+    def compressed_bits(self) -> int:
+        """Bits needed to transmit the compressed samples."""
+        return self.n_samples * self.config.compressed_sample_bits
+
+    @property
+    def raw_bits(self) -> int:
+        """Bits needed to transmit the uncompressed digital image."""
+        return self.config.n_pixels * self.config.pixel_bits
+
+    @property
+    def bit_savings(self) -> float:
+        """Fraction of the raw read-out bits saved by compressive delivery."""
+        return 1.0 - self.compressed_bits / self.raw_bits
+
+    def measurement_matrix(self) -> np.ndarray:
+        """Rebuild Φ from the seed — what the receiver does before reconstruction."""
+        generator = CASelectionGenerator(
+            self.config.rows,
+            self.config.cols,
+            seed_state=self.seed_state,
+            rule=self.rule_number,
+            steps_per_sample=self.steps_per_sample,
+            warmup_steps=self.warmup_steps,
+        )
+        return generator.measurement_matrix(self.n_samples)
+
+
+class CompressiveImager:
+    """Behavioural model of the full sensor chip.
+
+    Parameters
+    ----------
+    config:
+        Architectural parameters (defaults to the Table II prototype).
+    encoder:
+        The light-to-time conversion chain; a default encoder is built when
+        omitted.
+    ca_seed_state:
+        Explicit CA seed bits (``rows + cols`` of them).  Random when omitted.
+    rule:
+        CA rule number (30 in the paper).
+    steps_per_sample, warmup_steps:
+        CA sequencing parameters.
+    seed:
+        Base seed for every stochastic element (CA seed draw, noise, LSB
+        error injection), making captures reproducible end to end.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SensorConfig] = None,
+        *,
+        encoder: Optional[TimeEncoder] = None,
+        ca_seed_state: Optional[np.ndarray] = None,
+        rule: int = 30,
+        steps_per_sample: int = 1,
+        warmup_steps: int = 8,
+        seed: int = 2018,
+    ) -> None:
+        self.config = config or SensorConfig()
+        self.encoder = encoder or TimeEncoder()
+        self.seed = int(seed)
+        self.rule_number = int(rule)
+        self.steps_per_sample = int(steps_per_sample)
+        self.warmup_steps = int(warmup_steps)
+        self.selection = CASelectionGenerator(
+            self.config.rows,
+            self.config.cols,
+            seed_state=ca_seed_state,
+            rule=rule,
+            steps_per_sample=steps_per_sample,
+            warmup_steps=warmup_steps,
+            seed=derive_seed(self.seed, "ca-seed"),
+        )
+        self.tdc = GlobalCounterTDC(
+            clock_frequency=self.config.clock_frequency,
+            n_bits=self.config.pixel_bits,
+        )
+        self.arbiter = ColumnBusArbiter(event_duration=self.config.event_duration)
+        if self.config.conversion_time > self.config.compressed_sample_period:
+            raise ValueError(
+                "the TDC conversion window does not fit in the compressed-sample "
+                f"period ({self.config.conversion_time:.3e} s > "
+                f"{self.config.compressed_sample_period:.3e} s); lower the frame "
+                "rate, the compression ratio or the counter depth"
+            )
+
+    # ------------------------------------------------------------- exposure
+    def auto_expose(self, photocurrent: np.ndarray, *, margin: float = 0.9) -> None:
+        """Adapt ``V_ref`` so the dimmest pixel fires inside the conversion window.
+
+        This is the on-line ``V_rst``/``V_ref`` adaptation the paper
+        mentions; without it a scene with very dim pixels would saturate at
+        the maximum code (the pulses never arrive).
+        """
+        photocurrent = np.asarray(photocurrent, dtype=float)
+        positive = photocurrent[photocurrent > 0.0]
+        if positive.size == 0:
+            raise ValueError("photocurrent must contain at least one positive entry")
+        self.encoder.adapt_to_range(
+            float(positive.min()), self.config.conversion_time, margin=margin
+        )
+
+    def firing_times(self, photocurrent: np.ndarray, *, rng: SeedLike = None) -> np.ndarray:
+        """Per-pixel firing times for the given photocurrent map."""
+        photocurrent = np.asarray(photocurrent, dtype=float)
+        if photocurrent.shape != (self.config.rows, self.config.cols):
+            raise ValueError(
+                f"photocurrent must have shape {(self.config.rows, self.config.cols)}, "
+                f"got {photocurrent.shape}"
+            )
+        return self.encoder.firing_times(photocurrent, rng=rng)
+
+    def digital_image(self, photocurrent: np.ndarray, *, rng: SeedLike = None) -> np.ndarray:
+        """The ideal TDC code of every pixel — the digital image Φ acts on."""
+        return self.tdc.ideal_codes(self.firing_times(photocurrent, rng=rng))
+
+    # -------------------------------------------------------------- capture
+    def capture(
+        self,
+        photocurrent: np.ndarray,
+        *,
+        n_samples: Optional[int] = None,
+        fidelity: str = "behavioural",
+        auto_expose: bool = True,
+        lsb_error: bool = True,
+        keep_digital_image: bool = True,
+    ) -> CompressedFrame:
+        """Capture one compressive frame from a photocurrent map.
+
+        Parameters
+        ----------
+        photocurrent:
+            Per-pixel photocurrent (A), shape ``(rows, cols)``.
+        n_samples:
+            Number of compressed samples; defaults to ``R * M * N`` from the
+            configuration.
+        fidelity:
+            ``"behavioural"`` (fast, vectorised) or ``"event"`` (full token
+            protocol and sample-and-add registers).
+        auto_expose:
+            Adapt ``V_ref`` to the scene before capturing.
+        lsb_error:
+            Model the late-detection +1 LSB error (stochastically in
+            behavioural mode, exactly in event mode).
+        keep_digital_image:
+            Store the ideal code image in the returned frame.
+        """
+        check_choice("fidelity", fidelity, ("behavioural", "event"))
+        if n_samples is None:
+            n_samples = self.config.samples_per_frame
+        check_positive("n_samples", n_samples)
+        n_samples = int(n_samples)
+
+        photocurrent = np.asarray(photocurrent, dtype=float)
+        if auto_expose:
+            self.auto_expose(photocurrent)
+        # The noise draws (comparator offsets, LSB-error injection) depend only on
+        # the imager seed, so the same scene captured at both fidelity levels sees
+        # the same analog front end and the two paths can be compared exactly.
+        rng = new_rng(derive_seed(self.seed, "capture"))
+        times = self.firing_times(photocurrent, rng=rng)
+        codes = self.tdc.ideal_codes(times)
+
+        self.selection.reset()
+        if fidelity == "behavioural":
+            samples, metadata = self._capture_behavioural(
+                codes, n_samples, lsb_error=lsb_error, rng=rng
+            )
+        else:
+            samples, metadata = self._capture_event(
+                times, n_samples, lsb_error=lsb_error
+            )
+        metadata["fidelity"] = fidelity
+        metadata["n_saturated_pixels"] = int(np.count_nonzero(codes >= self.tdc.max_code))
+        return CompressedFrame(
+            samples=samples,
+            seed_state=self.selection.seed_state,
+            rule_number=self.rule_number,
+            steps_per_sample=self.steps_per_sample,
+            warmup_steps=self.warmup_steps,
+            config=self.config,
+            digital_image=codes if keep_digital_image else None,
+            metadata=metadata,
+        )
+
+    def capture_scene(
+        self,
+        scene: np.ndarray,
+        *,
+        conversion=None,
+        n_samples: Optional[int] = None,
+        fidelity: str = "behavioural",
+        **kwargs,
+    ) -> CompressedFrame:
+        """Convenience wrapper: convert a normalised scene to photocurrents and capture."""
+        from repro.optics.photo import PhotoConversion
+
+        conversion = conversion or PhotoConversion(seed=derive_seed(self.seed, "photo"))
+        photocurrent = conversion.convert(np.asarray(scene, dtype=float))
+        return self.capture(
+            photocurrent, n_samples=n_samples, fidelity=fidelity, **kwargs
+        )
+
+    # ----------------------------------------------------- behavioural path
+    def _capture_behavioural(
+        self,
+        codes: np.ndarray,
+        n_samples: int,
+        *,
+        lsb_error: bool,
+        rng: np.random.Generator,
+    ):
+        lsb_probability = 0.0
+        if lsb_error:
+            # A pulse slips into the next clock period when queueing pushes it
+            # across a tick boundary; the per-event probability is bounded by
+            # the chance of colliding with another event of the same column.
+            lsb_probability = self.config.event_overlap_probability(self.config.rows // 2)
+        samples = np.empty(n_samples, dtype=np.int64)
+        n_bumped = 0
+        for index, pattern in enumerate(self.selection.patterns(n_samples)):
+            selected = pattern.mask.astype(bool)
+            selected_codes = codes[selected]
+            if lsb_probability > 0.0 and selected_codes.size:
+                bumped = apply_stochastic_lsb_error(
+                    selected_codes,
+                    lsb_probability,
+                    max_code=self.tdc.max_code,
+                    rng=rng,
+                )
+                n_bumped += int(np.count_nonzero(bumped - selected_codes))
+                selected_codes = bumped
+            samples[index] = int(selected_codes.sum())
+        metadata = {
+            "lsb_error_probability": float(lsb_probability),
+            "n_lsb_errors": int(n_bumped),
+            "n_lost_events": 0,
+            "n_queued_events": 0,
+        }
+        return samples, metadata
+
+    # ------------------------------------------------------------ event path
+    def _capture_event(
+        self,
+        times: np.ndarray,
+        n_samples: int,
+        *,
+        lsb_error: bool,
+    ):
+        adder = SampleAndAdd(
+            n_columns=self.config.cols,
+            column_bits=self.config.column_sum_bits,
+            sample_bits=self.config.compressed_sample_bits,
+        )
+        samples = np.empty(n_samples, dtype=np.int64)
+        n_lost = 0
+        n_queued = 0
+        n_lsb_errors = 0
+        max_queue_delay = 0.0
+        deadline = self.tdc.conversion_window
+        for index, pattern in enumerate(self.selection.patterns(n_samples)):
+            adder.reset()
+            for col in range(self.config.cols):
+                selected_rows = np.nonzero(pattern.mask[:, col])[0]
+                events: List[PixelEvent] = []
+                for row in selected_rows:
+                    fire_time = times[row, col]
+                    if not np.isfinite(fire_time) or fire_time >= deadline:
+                        n_lost += 1
+                        continue
+                    events.append(PixelEvent(row=int(row), col=int(col), fire_time=float(fire_time)))
+                if not events:
+                    continue
+                result = self.arbiter.arbitrate(events, deadline=deadline)
+                n_lost += len(events) - result.n_events
+                n_queued += result.n_queued
+                max_queue_delay = max(max_queue_delay, result.max_queue_delay)
+                for event in result.events:
+                    sample_time = event.emit_time if lsb_error else event.fire_time
+                    code = int(self.tdc.sample(np.array([sample_time]))[0])
+                    ideal = int(self.tdc.sample(np.array([event.fire_time]))[0])
+                    if code != ideal:
+                        n_lsb_errors += 1
+                    adder.add_code(event.col, code)
+            samples[index] = adder.compressed_sample()
+        metadata = {
+            "n_lost_events": int(n_lost),
+            "n_queued_events": int(n_queued),
+            "n_lsb_errors": int(n_lsb_errors),
+            "max_queue_delay": float(max_queue_delay),
+        }
+        return samples, metadata
+
+    # ------------------------------------------------------------ reporting
+    def ideal_samples(self, codes: np.ndarray, n_samples: int) -> np.ndarray:
+        """Compressed samples with a perfect read-out (no LSB error, no losses).
+
+        Used as the reference when quantifying the influence of the
+        late-detection error (benchmark E8).
+        """
+        check_positive("n_samples", n_samples)
+        matrix = self.selection.measurement_matrix(int(n_samples))
+        return matrix.astype(np.int64) @ codes.reshape(-1).astype(np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompressiveImager(rows={self.config.rows}, cols={self.config.cols}, "
+            f"rule={self.rule_number}, R={self.config.compression_ratio})"
+        )

@@ -1,0 +1,173 @@
+"""The 'Sample & Add' chain: per-column accumulation and the final adder.
+
+Each column terminates in a 'Sample & Add' block (Fig. 2): every time a pixel
+pulse arrives, the 8-bit global counter is sampled and added to the column's
+running sum.  After the 256-clock conversion window the column holds a 14-bit
+word (up to 64 pixel values of 8 bits each); the 64 column sums are then
+added into the 20-bit compressed sample.  The bit widths here are exactly
+Eq. (1) and the module enforces them, so any configuration that would clip is
+caught rather than silently wrapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.utils.bitops import bit_width, saturate
+from repro.utils.validation import check_positive
+
+
+class AccumulatorOverflowError(RuntimeError):
+    """Raised when an accumulator receives a value its register cannot hold."""
+
+
+@dataclass
+class ColumnAccumulator:
+    """Per-column sample-and-add register.
+
+    Attributes
+    ----------
+    n_bits:
+        Register width; 14 bits for 64 rows of 8-bit codes (Eq. 1 applied to
+        a single column).
+    strict:
+        When true (default) an addition that would overflow raises
+        :class:`AccumulatorOverflowError`; when false the value saturates,
+        which is what a defensively-designed digital block would do.
+    """
+
+    n_bits: int = 14
+    strict: bool = True
+    _value: int = field(default=0, repr=False)
+    _n_samples: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("n_bits", self.n_bits)
+
+    @property
+    def value(self) -> int:
+        """Current accumulated sum."""
+        return self._value
+
+    @property
+    def n_samples(self) -> int:
+        """Number of codes added since the last reset."""
+        return self._n_samples
+
+    @property
+    def max_value(self) -> int:
+        """Largest value the register can hold."""
+        return (1 << self.n_bits) - 1
+
+    def reset(self) -> None:
+        """Clear the register (start of a new compressed sample)."""
+        self._value = 0
+        self._n_samples = 0
+
+    def add(self, code: int) -> int:
+        """Add one sampled counter code to the running sum."""
+        code = int(code)
+        if code < 0:
+            raise ValueError(f"sampled codes are unsigned, got {code}")
+        total = self._value + code
+        if total > self.max_value:
+            if self.strict:
+                raise AccumulatorOverflowError(
+                    f"column accumulator of {self.n_bits} bits overflowed: "
+                    f"{self._value} + {code} > {self.max_value}"
+                )
+            total = self.max_value
+        self._value = total
+        self._n_samples += 1
+        return self._value
+
+    def add_many(self, codes: Iterable[int]) -> int:
+        """Add a sequence of codes and return the final sum."""
+        for code in codes:
+            self.add(code)
+        return self._value
+
+
+@dataclass
+class SampleAndAdd:
+    """The full read-out adder tree: one accumulator per column plus the final adder.
+
+    Attributes
+    ----------
+    n_columns:
+        Number of columns in the array.
+    column_bits:
+        Width of each per-column accumulator (14 for the prototype).
+    sample_bits:
+        Width of the final compressed-sample register — Eq. (1) (20 for the
+        prototype).
+    strict:
+        Overflow behaviour, forwarded to the column accumulators.
+    """
+
+    n_columns: int = 64
+    column_bits: int = 14
+    sample_bits: int = 20
+    strict: bool = True
+    _columns: List[ColumnAccumulator] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("n_columns", self.n_columns)
+        check_positive("column_bits", self.column_bits)
+        check_positive("sample_bits", self.sample_bits)
+        self._columns = [
+            ColumnAccumulator(n_bits=self.column_bits, strict=self.strict)
+            for _ in range(self.n_columns)
+        ]
+
+    @property
+    def column_sums(self) -> np.ndarray:
+        """Current contents of the per-column accumulators."""
+        return np.array([column.value for column in self._columns], dtype=np.int64)
+
+    def reset(self) -> None:
+        """Clear every column accumulator (start of a new compressed sample)."""
+        for column in self._columns:
+            column.reset()
+
+    def add_code(self, column: int, code: int) -> int:
+        """Route one sampled code to its column accumulator."""
+        if not 0 <= column < self.n_columns:
+            raise ValueError(f"column {column} outside 0..{self.n_columns - 1}")
+        return self._columns[column].add(code)
+
+    def compressed_sample(self) -> int:
+        """Add the column sums into the final compressed-sample word."""
+        total = int(self.column_sums.sum())
+        max_value = (1 << self.sample_bits) - 1
+        if total > max_value:
+            if self.strict:
+                raise AccumulatorOverflowError(
+                    f"compressed-sample register of {self.sample_bits} bits overflowed: "
+                    f"{total} > {max_value}"
+                )
+            total = max_value
+        return total
+
+    def accumulate_events(self, events: Sequence) -> int:
+        """Accumulate a full compressed sample from annotated pixel events.
+
+        ``events`` are :class:`~repro.pixel.event.PixelEvent` instances whose
+        ``sampled_code`` has been filled in by the TDC.
+        """
+        self.reset()
+        for event in events:
+            if event.sampled_code is None:
+                raise ValueError("events must carry a sampled_code before accumulation")
+            self.add_code(event.col, event.sampled_code)
+        return self.compressed_sample()
+
+
+def required_sample_bits(n_pixels: int, pixel_bits: int) -> int:
+    """Eq. (1): bits needed for a compressed sample over ``n_pixels`` pixels."""
+    check_positive("n_pixels", n_pixels)
+    check_positive("pixel_bits", pixel_bits)
+    return bit_width(n_pixels * ((1 << pixel_bits) - 1))

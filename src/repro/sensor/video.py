@@ -1,0 +1,157 @@
+"""Multi-frame (video) operation of the compressive imager.
+
+The paper's sensor runs continuously at 30 fps: the CA keeps evolving from
+frame to frame, so consecutive frames use different measurement matrices while
+the receiver stays synchronised for free (it knows the seed and how many
+samples have been consumed).  :class:`VideoSequencer` models that operation:
+it captures a sequence of scenes, advances the selection CA across frames
+exactly as the hardware would, and produces one :class:`CompressedFrame` per
+input scene, each carrying the CA state needed to rebuild its own Φ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.optics.photo import PhotoConversion
+from repro.sensor.config import SensorConfig
+from repro.sensor.imager import CompressedFrame, CompressiveImager
+from repro.utils.rng import derive_seed
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class VideoCaptureResult:
+    """The output of a multi-frame capture.
+
+    Attributes
+    ----------
+    frames:
+        One :class:`CompressedFrame` per input scene, in order.
+    samples_per_frame:
+        Compressed samples delivered for each frame.
+    total_bits:
+        Total payload bits over the sequence (samples only, excluding headers).
+    """
+
+    frames: List[CompressedFrame] = field(default_factory=list)
+    samples_per_frame: int = 0
+
+    @property
+    def n_frames(self) -> int:
+        """Number of captured frames."""
+        return len(self.frames)
+
+    @property
+    def total_bits(self) -> int:
+        """Total compressed payload of the sequence in bits."""
+        return sum(frame.compressed_bits for frame in self.frames)
+
+    @property
+    def average_compression_ratio(self) -> float:
+        """Mean delivered-samples-per-pixel over the sequence."""
+        if not self.frames:
+            return 0.0
+        return float(np.mean([frame.compression_ratio for frame in self.frames]))
+
+
+class VideoSequencer:
+    """Captures a sequence of scenes with a continuously-running selection CA.
+
+    Parameters
+    ----------
+    imager:
+        The sensor model.  Its selection generator is advanced across frames;
+        the sequencer snapshots the CA state at the start of every frame so
+        each produced :class:`CompressedFrame` is independently decodable.
+    conversion:
+        Scene-to-photocurrent conversion shared by all frames (fixed-pattern
+        noise stays fixed across the sequence, as it does on a real die).
+    samples_per_frame:
+        Compressed samples per frame; defaults to the configuration's
+        ``R * M * N``.
+    """
+
+    def __init__(
+        self,
+        imager: Optional[CompressiveImager] = None,
+        *,
+        conversion: Optional[PhotoConversion] = None,
+        samples_per_frame: Optional[int] = None,
+        seed: int = 2018,
+    ) -> None:
+        self.imager = imager or CompressiveImager(SensorConfig(), seed=seed)
+        self.conversion = conversion or PhotoConversion(
+            seed=derive_seed(seed, "video-photo")
+        )
+        if samples_per_frame is None:
+            samples_per_frame = self.imager.config.samples_per_frame
+        check_positive("samples_per_frame", samples_per_frame)
+        self.samples_per_frame = int(samples_per_frame)
+
+    def capture_sequence(
+        self,
+        scenes: Iterable[np.ndarray],
+        *,
+        auto_expose: bool = True,
+        lsb_error: bool = True,
+    ) -> VideoCaptureResult:
+        """Capture every scene in order, advancing the CA between frames.
+
+        The hardware never re-seeds its CA between frames; we model that by
+        snapshotting the CA state at the start of each frame and rebuilding the
+        imager's selection generator from that snapshot, so frame ``k``'s
+        measurement matrix picks up exactly where frame ``k-1`` stopped.
+        """
+        result = VideoCaptureResult(samples_per_frame=self.samples_per_frame)
+        for scene in scenes:
+            scene = np.asarray(scene, dtype=float)
+            photocurrent = self.conversion.convert(scene)
+            frame = self.imager.capture(
+                photocurrent,
+                n_samples=self.samples_per_frame,
+                auto_expose=auto_expose,
+                lsb_error=lsb_error,
+            )
+            result.frames.append(frame)
+            self._advance_selection()
+        return result
+
+    def _advance_selection(self) -> None:
+        """Continue the CA where the last frame left it (no re-seeding)."""
+        selection = self.imager.selection
+        # The generator's internal automaton already sits at the last pattern
+        # of the previous frame; its *current state* becomes the next frame's
+        # seed, with no warm-up (the register is already well mixed).
+        current_state = selection._automaton.state  # noqa: SLF001 - deliberate model access
+        self.imager.selection = type(selection)(
+            selection.rows,
+            selection.cols,
+            seed_state=current_state,
+            rule=selection.rule.number,
+            steps_per_sample=selection.steps_per_sample,
+            warmup_steps=0,
+        )
+        self.imager.warmup_steps = 0
+
+
+def temporal_difference_energy(frames: List[CompressedFrame]) -> np.ndarray:
+    """Relative sample-domain change between consecutive frames.
+
+    Because consecutive frames use different selection patterns, this is not a
+    motion detector by itself, but it is a cheap indicator of scene change the
+    camera node can compute without reconstructing anything.
+    """
+    if len(frames) < 2:
+        return np.zeros(0)
+    energies = []
+    for previous, current in zip(frames[:-1], frames[1:]):
+        n = min(previous.n_samples, current.n_samples)
+        a = previous.samples[:n].astype(float)
+        b = current.samples[:n].astype(float)
+        denominator = float(np.linalg.norm(a)) or 1.0
+        energies.append(float(np.linalg.norm(b - a) / denominator))
+    return np.array(energies)

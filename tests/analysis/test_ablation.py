@@ -1,0 +1,74 @@
+"""Tests for the ablation-study helpers."""
+
+import pytest
+
+from repro.analysis.ablation import (
+    ablate_ca_rule,
+    ablate_dictionary,
+    ablate_event_duration,
+    ablate_pixel_depth,
+    ablate_steps_per_sample,
+)
+
+
+class TestAblateCaRule:
+    def test_rule30_is_at_least_as_good_as_degenerate_rules(self):
+        rows = ablate_ca_rule(rules=(30, 184), image_shape=(16, 16), max_iterations=80, seed=1)
+        by_rule = {row["rule"]: row for row in rows}
+        assert by_rule[30]["psnr_db"] >= by_rule[184]["psnr_db"] - 0.5
+        # Rule 184 recycles patterns quickly; Rule 30 does not.
+        assert by_rule[30]["distinct_rows"] >= by_rule[184]["distinct_rows"]
+
+    def test_row_fields(self):
+        rows = ablate_ca_rule(rules=(30,), image_shape=(16, 16), max_iterations=40, seed=2)
+        assert set(rows[0]) == {"rule", "psnr_db", "distinct_rows", "n_samples"}
+
+
+class TestAblateStepsPerSample:
+    def test_extra_mixing_changes_little(self):
+        rows = ablate_steps_per_sample((1, 4), image_shape=(16, 16), max_iterations=80, seed=3)
+        psnrs = [row["psnr_db"] for row in rows]
+        assert abs(psnrs[0] - psnrs[1]) < 6.0
+
+    def test_invalid_steps_rejected(self):
+        with pytest.raises(ValueError):
+            ablate_steps_per_sample((0,), image_shape=(16, 16))
+
+
+class TestAblatePixelDepth:
+    def test_sample_bits_follow_eq1(self):
+        rows = ablate_pixel_depth((6, 8), rows=16, cols=16, max_iterations=40, seed=4)
+        by_depth = {row["pixel_bits"]: row for row in rows}
+        assert by_depth[6]["sample_bits"] == 6 + 8
+        assert by_depth[8]["sample_bits"] == 8 + 8
+        assert by_depth[8]["bits_per_frame"] > by_depth[6]["bits_per_frame"]
+
+    def test_reports_both_quality_domains(self):
+        rows = ablate_pixel_depth((8,), rows=16, cols=16, max_iterations=40, seed=5)
+        assert "psnr_code_domain_db" in rows[0]
+        assert "psnr_normalised_db" in rows[0]
+
+
+class TestAblateEventDuration:
+    def test_longer_events_queue_more(self):
+        rows = ablate_event_duration((1e-9, 80e-9), n_events=32, n_trials=60, seed=6)
+        assert rows[1]["queued_fraction"] >= rows[0]["queued_fraction"]
+        assert rows[1]["max_queue_delay_ns"] >= rows[0]["max_queue_delay_ns"]
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ablate_event_duration((0.0,))
+
+
+class TestAblateDictionary:
+    def test_dct_wins_on_smooth_scene_identity_wins_on_points(self):
+        rows = ablate_dictionary(
+            dictionaries=("dct", "identity"),
+            image_shape=(16, 16),
+            scene_kinds=("blobs", "points"),
+            max_iterations=100,
+            seed=7,
+        )
+        table = {(row["scene"], row["dictionary"]): row["psnr_db"] for row in rows}
+        assert table[("blobs", "dct")] > table[("blobs", "identity")]
+        assert table[("points", "identity")] > table[("points", "dct")] - 3.0

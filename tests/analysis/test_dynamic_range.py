@@ -1,0 +1,57 @@
+"""Tests for the Eq. (1) dynamic-range analysis."""
+
+import pytest
+
+from repro.analysis.dynamic_range import clipping_rate, compressed_sample_bits, dynamic_range_table
+
+
+class TestCompressedSampleBits:
+    def test_prototype_value(self):
+        assert compressed_sample_bits(8, 64, 64) == 20
+
+    @pytest.mark.parametrize(
+        "pixel_bits,rows,cols,expected",
+        [(8, 8, 8, 14), (8, 16, 16, 16), (8, 256, 256, 24), (10, 64, 64, 22), (6, 64, 64, 18)],
+    )
+    def test_eq1_across_design_space(self, pixel_bits, rows, cols, expected):
+        assert compressed_sample_bits(pixel_bits, rows, cols) == expected
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            compressed_sample_bits(0, 64, 64)
+
+
+class TestDynamicRangeTable:
+    def test_contains_prototype_row(self):
+        table = dynamic_range_table()
+        row = next(
+            r for r in table if r["pixel_bits"] == 8 and r["rows"] == 64 and r["cols"] == 64
+        )
+        assert row["compressed_sample_bits"] == 20
+        assert row["max_useful_ratio"] == pytest.approx(0.4)
+
+    def test_ratio_decreases_with_array_size(self):
+        table = [r for r in dynamic_range_table() if r["pixel_bits"] == 8]
+        ratios = {(r["rows"], r["cols"]): r["max_useful_ratio"] for r in table}
+        assert ratios[(8, 8)] > ratios[(64, 64)] > ratios[(256, 256)]
+
+
+class TestClippingRate:
+    def test_eq1_width_never_clips_worst_case(self):
+        assert clipping_rate(20, 8, 4096, worst_case=True) == 0.0
+
+    def test_one_bit_less_clips_worst_case(self):
+        assert clipping_rate(19, 8, 4096, worst_case=True) == 1.0
+
+    def test_random_selections_rarely_clip_even_at_reduced_width(self):
+        """Random half-density selections sum to ~N/2 * mean code, far below worst case."""
+        rate = clipping_rate(19, 8, 4096, n_trials=100, seed=1)
+        assert rate == 0.0
+
+    def test_severely_undersized_register_always_clips(self):
+        rate = clipping_rate(12, 8, 4096, n_trials=50, seed=2)
+        assert rate == 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            clipping_rate(0, 8, 64)

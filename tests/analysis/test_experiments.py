@@ -1,0 +1,70 @@
+"""Tests for the shared experiment harness."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentRecord,
+    reconstruction_experiment,
+    strategy_comparison,
+    sweep_compression_ratio,
+)
+
+
+class TestReconstructionExperiment:
+    def test_ca_xor_strategy_produces_sane_record(self):
+        record = reconstruction_experiment(
+            "blobs", "ca-xor", 0.3, image_shape=(32, 32), max_iterations=80, seed=1
+        )
+        assert record.strategy == "ca-xor"
+        assert record.n_samples == int(round(0.3 * 1024))
+        assert record.psnr_db > 15.0
+        assert 0.0 <= record.ssim <= 1.0
+
+    def test_block_strategy_embeds_block_size(self):
+        record = reconstruction_experiment(
+            "blobs", "block-8", 0.3, image_shape=(32, 32), max_iterations=60, seed=1
+        )
+        assert record.extra["block_size"] == 8.0
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruction_experiment("blobs", "quantum", 0.3, image_shape=(16, 16))
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruction_experiment("blobs", "ca-xor", 0.0, image_shape=(16, 16))
+
+    def test_record_as_dict_contains_extras(self):
+        record = ExperimentRecord(
+            scene="s", strategy="x", compression_ratio=0.1, n_samples=10,
+            psnr_db=20.0, snr_db=18.0, ssim=0.8, extra={"foo": 1.0},
+        )
+        row = record.as_dict()
+        assert row["foo"] == 1.0
+        assert row["psnr_db"] == 20.0
+
+
+class TestSweepAndComparison:
+    def test_sweep_produces_cartesian_product(self):
+        records = sweep_compression_ratio(
+            ["gradient"], ["ca-xor", "bernoulli"], [0.2, 0.4],
+            image_shape=(16, 16), max_iterations=30, seed=2,
+        )
+        assert len(records) == 4
+
+    def test_strategy_comparison_aggregates_by_ratio(self):
+        records = sweep_compression_ratio(
+            ["gradient", "blobs"], ["ca-xor"], [0.3],
+            image_shape=(16, 16), max_iterations=30, seed=3,
+        )
+        summary = strategy_comparison(records)
+        assert set(summary) == {"ca-xor"}
+        assert 0.3 in summary["ca-xor"]
+
+    def test_quality_increases_with_ratio(self):
+        records = sweep_compression_ratio(
+            ["blobs"], ["bernoulli"], [0.1, 0.5],
+            image_shape=(32, 32), max_iterations=80, seed=4,
+        )
+        summary = strategy_comparison(records)["bernoulli"]
+        assert summary[0.5] > summary[0.1]

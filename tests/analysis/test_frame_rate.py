@@ -1,0 +1,79 @@
+"""Tests for the Eq. (2) sample-rate analysis and the overlap Monte-Carlo."""
+
+import pytest
+
+from repro.analysis.frame_rate import (
+    compressed_sample_rate,
+    max_compression_ratio,
+    sample_rate_table,
+    simulate_overlap_probability,
+)
+from repro.sensor.config import SensorConfig
+
+
+class TestCompressedSampleRate:
+    def test_prototype_operating_point(self):
+        """Eq. (2): 0.4 * 64 * 64 * 30 fps ≈ 49.2 kHz (paper: ≈50 kHz)."""
+        rate = compressed_sample_rate(64, 64, 30.0, 0.4)
+        assert rate == pytest.approx(49152.0)
+
+    def test_linear_in_each_factor(self):
+        base = compressed_sample_rate(64, 64, 30.0, 0.2)
+        assert compressed_sample_rate(64, 64, 60.0, 0.2) == pytest.approx(2 * base)
+        assert compressed_sample_rate(64, 64, 30.0, 0.4) == pytest.approx(2 * base)
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            compressed_sample_rate(64, 64, 30.0, 1.0)
+
+    def test_max_compression_ratio_matches_config(self):
+        assert max_compression_ratio(8, 64, 64) == pytest.approx(
+            SensorConfig().max_compression_ratio
+        )
+
+
+class TestSampleRateTable:
+    def test_contains_prototype_row(self):
+        table = sample_rate_table()
+        row = next(
+            r
+            for r in table
+            if r["rows"] == 64 and r["frame_rate_fps"] == 30.0 and r["compression_ratio"] == 0.4
+        )
+        assert row["compressed_sample_rate_hz"] == pytest.approx(49152.0)
+        assert row["sample_period_us"] == pytest.approx(20.3, rel=0.02)
+
+    def test_table_size(self):
+        table = sample_rate_table(frame_rates=(30.0,), compression_ratios=(0.1, 0.4), array_sizes=((64, 64),))
+        assert len(table) == 2
+
+
+class TestOverlapMonteCarlo:
+    def test_matches_analytic_pairwise_estimate(self):
+        config = SensorConfig()
+        simulated = simulate_overlap_probability(
+            64, config.event_duration, config.conversion_time, n_trials=4000, seed=1
+        )
+        analytic = config.event_overlap_probability(64)
+        assert simulated["p_event_overlaps"] == pytest.approx(analytic, rel=0.35)
+
+    def test_paper_order_of_magnitude(self):
+        """The paper quotes ~6.25 % for 64 events of 5 ns."""
+        config = SensorConfig()
+        simulated = simulate_overlap_probability(
+            64, 5e-9, config.conversion_time, n_trials=4000, seed=2
+        )
+        assert 0.02 < simulated["p_event_overlaps"] < 0.12
+
+    def test_longer_events_overlap_more(self):
+        short = simulate_overlap_probability(32, 5e-9, 10e-6, n_trials=1500, seed=3)
+        long = simulate_overlap_probability(32, 50e-9, 10e-6, n_trials=1500, seed=3)
+        assert long["p_any_overlap"] > short["p_any_overlap"]
+
+    def test_single_event_never_overlaps(self):
+        result = simulate_overlap_probability(1, 5e-9, 10e-6, n_trials=200, seed=4)
+        assert result["p_any_overlap"] == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            simulate_overlap_probability(0, 5e-9, 10e-6)

@@ -1,0 +1,106 @@
+"""Tests for the CA sequence statistics (class-III behaviour arguments)."""
+
+import numpy as np
+import pytest
+
+from repro.ca.analysis import (
+    bit_balance,
+    classify_behaviour,
+    detect_cycle,
+    run_length_histogram,
+    sequence_entropy,
+    spatial_entropy,
+    temporal_autocorrelation,
+)
+from repro.ca.automaton import ElementaryCellularAutomaton
+
+
+class TestDetectCycle:
+    def test_finds_short_cycle_of_trivial_rule(self):
+        """Rule 204 is the identity: every state is a fixed point (period 1)."""
+        automaton = ElementaryCellularAutomaton(16, 204, seed=3)
+        cycle = detect_cycle(automaton, 10)
+        assert cycle is not None
+        tail, period = cycle
+        assert period == 1
+
+    def test_rule30_large_ring_has_no_short_cycle(self):
+        automaton = ElementaryCellularAutomaton(64, 30, seed=3)
+        assert detect_cycle(automaton, 2000) is None
+
+    def test_small_ring_cycles_eventually(self):
+        """A 8-cell register has at most 256 states, so a cycle must appear."""
+        automaton = ElementaryCellularAutomaton(8, 30, seed=3)
+        assert detect_cycle(automaton, 300) is not None
+
+    def test_invalid_max_steps(self):
+        with pytest.raises(ValueError):
+            detect_cycle(ElementaryCellularAutomaton(8, seed=0), 0)
+
+
+class TestBitStatistics:
+    def test_bit_balance_half_for_alternating(self):
+        assert bit_balance(np.array([0, 1] * 50)) == 0.5
+
+    def test_bit_balance_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bit_balance(np.array([]))
+
+    def test_entropy_of_constant_stream_is_zero(self):
+        assert sequence_entropy(np.zeros(256, dtype=np.uint8)) == 0.0
+
+    def test_entropy_of_random_stream_near_one(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 4096)
+        assert sequence_entropy(bits) > 0.95
+
+    def test_entropy_requires_enough_bits(self):
+        with pytest.raises(ValueError):
+            sequence_entropy(np.array([1, 0]), block_length=4)
+
+    def test_spatial_entropy_averages_rows(self):
+        diagram = np.vstack([np.zeros(64, dtype=np.uint8), np.ones(64, dtype=np.uint8)])
+        assert spatial_entropy(diagram) == 0.0
+
+    def test_autocorrelation_detects_period_two(self):
+        bits = np.array([0, 1] * 200)
+        correlations = temporal_autocorrelation(bits, max_lag=4)
+        assert correlations[1] > 0.9  # lag 2 strongly correlated
+        assert correlations[0] < -0.9  # lag 1 anti-correlated
+
+    def test_autocorrelation_of_random_stream_is_small(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 8000)
+        assert np.max(np.abs(temporal_autocorrelation(bits, max_lag=16))) < 0.05
+
+    def test_autocorrelation_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            temporal_autocorrelation(np.array([0, 1, 0]), max_lag=8)
+
+    def test_run_length_histogram_counts_all_runs(self):
+        bits = np.array([0, 0, 1, 1, 1, 0])
+        histogram = run_length_histogram(bits)
+        assert histogram[0] == 1  # the final single 0
+        assert histogram[1] == 1  # the leading 00
+        assert histogram[2] == 1  # the 111
+        assert histogram.sum() == 3
+
+
+class TestRule30IsClassIII:
+    """The empirical facts behind the paper's choice of Rule 30 [10]."""
+
+    def test_rule30_center_column_is_balanced_and_high_entropy(self):
+        stats = classify_behaviour(30, n_cells=128, n_steps=2048, seed=7)
+        assert 0.45 < stats["balance"] < 0.55
+        assert stats["entropy"] > 0.95
+        assert stats["max_autocorrelation"] < 0.1
+
+    def test_rule30_beats_structured_rules(self):
+        chaotic = classify_behaviour(30, n_cells=96, n_steps=1024, seed=7)
+        traffic = classify_behaviour(184, n_cells=96, n_steps=1024, seed=7)
+        assert chaotic["entropy"] > traffic["entropy"]
+
+    def test_additive_rule90_shows_more_structure_than_rule30(self):
+        chaotic = classify_behaviour(30, n_cells=96, n_steps=1024, seed=9)
+        additive = classify_behaviour(90, n_cells=96, n_steps=1024, seed=9)
+        assert chaotic["max_autocorrelation"] <= additive["max_autocorrelation"] + 0.05

@@ -1,0 +1,131 @@
+"""Tests for the elementary CA engine."""
+
+import numpy as np
+import pytest
+
+from repro.ca.automaton import BoundaryCondition, ElementaryCellularAutomaton
+from repro.ca.rules import RuleTable
+
+
+class TestConstruction:
+    def test_requires_at_least_three_cells(self):
+        with pytest.raises(ValueError):
+            ElementaryCellularAutomaton(2)
+
+    def test_explicit_seed_state_used(self):
+        seed = [1, 0, 0, 1, 0]
+        automaton = ElementaryCellularAutomaton(5, seed_state=seed)
+        assert automaton.state.tolist() == seed
+
+    def test_seed_state_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ElementaryCellularAutomaton(5, seed_state=[1, 0, 1])
+
+    def test_random_seed_reproducible(self):
+        a = ElementaryCellularAutomaton(16, seed=99)
+        b = ElementaryCellularAutomaton(16, seed=99)
+        assert np.array_equal(a.state, b.state)
+
+    def test_accepts_rule_table_instance(self):
+        automaton = ElementaryCellularAutomaton(8, RuleTable(110), seed=0)
+        assert automaton.rule.number == 110
+
+
+class TestStepping:
+    def test_known_rule30_evolution_periodic(self):
+        """One Rule 30 step of 00100 on a ring is 01110."""
+        automaton = ElementaryCellularAutomaton(5, 30, seed_state=[0, 0, 1, 0, 0])
+        assert automaton.step().tolist() == [0, 1, 1, 1, 0]
+
+    def test_known_rule30_second_step(self):
+        automaton = ElementaryCellularAutomaton(5, 30, seed_state=[0, 0, 1, 0, 0])
+        automaton.step(2)
+        assert automaton.state.tolist() == [1, 1, 0, 0, 1]
+
+    def test_generation_counter(self):
+        automaton = ElementaryCellularAutomaton(8, seed=1)
+        automaton.step(5)
+        assert automaton.generation == 5
+
+    def test_step_zero_is_noop(self):
+        automaton = ElementaryCellularAutomaton(8, seed=1)
+        before = automaton.state
+        automaton.step(0)
+        assert np.array_equal(automaton.state, before)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            ElementaryCellularAutomaton(8, seed=1).step(-1)
+
+    def test_states_remain_binary(self):
+        automaton = ElementaryCellularAutomaton(32, seed=5)
+        for _ in range(50):
+            assert set(np.unique(automaton.step())).issubset({0, 1})
+
+
+class TestBoundaries:
+    def test_fixed_zero_boundary_differs_from_periodic(self):
+        seed = [1, 0, 0, 0, 0, 0, 0, 1]
+        ring = ElementaryCellularAutomaton(8, 30, seed_state=seed)
+        fixed = ElementaryCellularAutomaton(
+            8, 30, seed_state=seed, boundary=BoundaryCondition.FIXED_ZERO
+        )
+        ring.step()
+        fixed.step()
+        assert not np.array_equal(ring.state, fixed.state)
+
+    def test_fixed_one_boundary_accepted(self):
+        automaton = ElementaryCellularAutomaton(
+            8, 30, seed_state=[0] * 8, boundary=BoundaryCondition.FIXED_ONE
+        )
+        # With all-zero state and '1' boundaries, only edge cells can activate.
+        state = automaton.step()
+        assert state[0] == 1
+        assert state[-1] == 1
+        assert state[1:-1].sum() == 0
+
+    def test_all_zero_ring_stays_zero_under_rule30(self):
+        automaton = ElementaryCellularAutomaton(8, 30, seed_state=[0] * 8)
+        assert automaton.step(10).sum() == 0
+
+
+class TestResetAndRun:
+    def test_reset_restores_seed(self):
+        automaton = ElementaryCellularAutomaton(16, seed=3)
+        seed = automaton.state
+        automaton.step(17)
+        automaton.reset()
+        assert np.array_equal(automaton.state, seed)
+        assert automaton.generation == 0
+
+    def test_reset_with_new_seed(self):
+        automaton = ElementaryCellularAutomaton(4, seed=3)
+        automaton.reset([1, 1, 0, 0])
+        assert automaton.state.tolist() == [1, 1, 0, 0]
+
+    def test_run_shape_includes_initial_row(self):
+        automaton = ElementaryCellularAutomaton(10, seed=2)
+        diagram = automaton.run(7)
+        assert diagram.shape == (8, 10)
+
+    def test_run_without_initial_row(self):
+        automaton = ElementaryCellularAutomaton(10, seed=2)
+        diagram = automaton.run(7, include_initial=False)
+        assert diagram.shape == (7, 10)
+
+    def test_run_rows_match_sequential_steps(self):
+        a = ElementaryCellularAutomaton(12, seed=4)
+        b = ElementaryCellularAutomaton(12, seed=4)
+        diagram = a.run(5)
+        for row in diagram[1:]:
+            assert np.array_equal(row, b.step())
+
+    def test_center_column_length(self):
+        automaton = ElementaryCellularAutomaton(33, seed=1)
+        assert automaton.center_column(64).shape == (64,)
+
+    def test_determinism_from_equal_seeds(self):
+        a = ElementaryCellularAutomaton(64, seed=11)
+        b = ElementaryCellularAutomaton(64, seed_state=a.state)
+        for _ in range(20):
+            assert np.array_equal(a.step(), b.step())

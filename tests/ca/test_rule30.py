@@ -1,0 +1,97 @@
+"""Tests for the gate-level Rule 30 cell (Fig. 3) and the ring of cells."""
+
+import numpy as np
+import pytest
+
+from repro.ca.automaton import ElementaryCellularAutomaton
+from repro.ca.rule30 import Rule30Cell, Rule30Register, rule30_next_state
+from repro.ca.rules import RULE_30, NEIGHBORHOOD_ORDER
+
+
+class TestGateEquation:
+    def test_matches_rule_table_for_all_neighbourhoods(self):
+        """The Fig. 3 gate network (L XOR (S OR R)) equals the Table I truth table."""
+        for left, center, right in NEIGHBORHOOD_ORDER:
+            assert rule30_next_state(left, center, right) == RULE_30.next_state(
+                left, center, right
+            )
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            rule30_next_state(1, 2, 0)
+
+
+class TestRule30Cell:
+    def test_initial_state(self):
+        assert Rule30Cell(1).state == 1
+
+    def test_compute_does_not_change_output(self):
+        """The master/slave split: compute must not expose the new value early."""
+        cell = Rule30Cell(0)
+        cell.compute(left=1, right=0)
+        assert cell.state == 0
+
+    def test_latch_commits_computed_value(self):
+        cell = Rule30Cell(0)
+        cell.compute(left=1, right=0)
+        assert cell.latch() == 1
+        assert cell.state == 1
+
+    def test_latch_without_compute_raises(self):
+        with pytest.raises(RuntimeError):
+            Rule30Cell(0).latch()
+
+    def test_reset_clears_pending_master(self):
+        cell = Rule30Cell(0)
+        cell.compute(left=1, right=1)
+        cell.reset(0)
+        with pytest.raises(RuntimeError):
+            cell.latch()
+
+    def test_invalid_initial_state_rejected(self):
+        with pytest.raises(ValueError):
+            Rule30Cell(2)
+
+
+class TestRule30Register:
+    def test_length_and_state(self):
+        register = Rule30Register(seed_state=[1, 0, 0, 1, 0])
+        assert len(register) == 5
+        assert register.state.tolist() == [1, 0, 0, 1, 0]
+
+    def test_requires_some_size_information(self):
+        with pytest.raises(ValueError):
+            Rule30Register()
+
+    def test_conflicting_size_rejected(self):
+        with pytest.raises(ValueError):
+            Rule30Register(4, seed_state=[1, 0, 1])
+
+    def test_matches_vectorised_automaton(self):
+        """The explicit ring of gate-level cells evolves exactly like the engine."""
+        seed = [0, 1, 1, 0, 1, 0, 0, 1, 1, 0, 1, 1]
+        register = Rule30Register(seed_state=seed)
+        automaton = ElementaryCellularAutomaton(len(seed), 30, seed_state=seed)
+        for _ in range(32):
+            assert np.array_equal(register.clock(), automaton.step())
+
+    def test_reset_restores_seed(self):
+        register = Rule30Register(seed_state=[1, 0, 1, 0, 0, 1])
+        register.clock(9)
+        register.reset()
+        assert register.state.tolist() == [1, 0, 1, 0, 0, 1]
+
+    def test_reset_with_new_seed(self):
+        register = Rule30Register(8, seed=0)
+        register.reset([1, 1, 1, 1, 0, 0, 0, 0])
+        assert register.state.tolist() == [1, 1, 1, 1, 0, 0, 0, 0]
+
+    def test_run_space_time_shape(self):
+        register = Rule30Register(16, seed=4)
+        assert register.run(10).shape == (11, 16)
+
+    def test_clock_zero_cycles_is_noop(self):
+        register = Rule30Register(8, seed=2)
+        before = register.state
+        register.clock(0)
+        assert np.array_equal(register.state, before)

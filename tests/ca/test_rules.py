@@ -1,0 +1,94 @@
+"""Tests for elementary CA rule tables — including Table I of the paper."""
+
+import numpy as np
+import pytest
+
+from repro.ca.rules import (
+    NEIGHBORHOOD_ORDER,
+    PAPER_TABLE_I,
+    RULE_30,
+    RULE_90,
+    RULE_110,
+    RuleTable,
+)
+
+
+class TestRuleTableBasics:
+    def test_rejects_out_of_range_rule_numbers(self):
+        with pytest.raises(ValueError):
+            RuleTable(256)
+        with pytest.raises(ValueError):
+            RuleTable(-1)
+
+    def test_next_state_rejects_non_binary_inputs(self):
+        with pytest.raises(ValueError):
+            RULE_30.next_state(2, 0, 0)
+
+    def test_rule_zero_always_outputs_zero(self):
+        rule = RuleTable(0)
+        for left, center, right in NEIGHBORHOOD_ORDER:
+            assert rule.next_state(left, center, right) == 0
+
+    def test_rule_255_always_outputs_one(self):
+        rule = RuleTable(255)
+        for left, center, right in NEIGHBORHOOD_ORDER:
+            assert rule.next_state(left, center, right) == 1
+
+    def test_output_column_matches_table(self):
+        column = RULE_30.output_column()
+        assert column.tolist() == [row[3] for row in RULE_30.as_table()]
+
+
+class TestTableI:
+    """Table I of the paper is exactly the Rule 30 truth table."""
+
+    def test_rule30_reproduces_paper_table(self):
+        assert tuple(RULE_30.as_table()) == PAPER_TABLE_I
+
+    def test_paper_table_ns_column(self):
+        assert RULE_30.output_column().tolist() == [0, 0, 0, 1, 1, 1, 1, 0]
+
+    def test_rule_number_recovered_from_table(self):
+        """Reading the NS column as a binary number in neighbourhood order gives 30."""
+        number = 0
+        for left, center, right, next_state in RULE_30.as_table():
+            index = (left << 2) | (center << 1) | right
+            number |= next_state << index
+        assert number == 30
+
+    def test_as_dict_consistent_with_table(self):
+        table = {(l, s, r): ns for l, s, r, ns in RULE_30.as_table()}
+        assert RULE_30.as_dict() == table
+
+
+class TestVectorisedApply:
+    def test_apply_matches_scalar_next_state(self):
+        rng = np.random.default_rng(0)
+        left = rng.integers(0, 2, 200).astype(np.uint8)
+        center = rng.integers(0, 2, 200).astype(np.uint8)
+        right = rng.integers(0, 2, 200).astype(np.uint8)
+        vectorised = RULE_30.apply(left, center, right)
+        scalar = [RULE_30.next_state(int(l), int(c), int(r)) for l, c, r in zip(left, center, right)]
+        assert vectorised.tolist() == scalar
+
+    @pytest.mark.parametrize("rule", [RULE_30, RULE_90, RULE_110])
+    def test_apply_output_is_binary(self, rule):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, (3, 500)).astype(np.uint8)
+        out = rule.apply(bits[0], bits[1], bits[2])
+        assert set(np.unique(out)).issubset({0, 1})
+
+
+class TestRuleProperties:
+    def test_rule90_is_xor_of_neighbours(self):
+        for left, center, right in NEIGHBORHOOD_ORDER:
+            assert RULE_90.next_state(left, center, right) == left ^ right
+
+    def test_rule30_is_left_xor_center_or_right(self):
+        """The gate-level identity used by the Fig. 3 cell."""
+        for left, center, right in NEIGHBORHOOD_ORDER:
+            assert RULE_30.next_state(left, center, right) == left ^ (center | right)
+
+    def test_rule90_is_legal_rule30_is_not(self):
+        assert RULE_90.is_legal
+        assert not RULE_30.is_legal

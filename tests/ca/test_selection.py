@@ -1,0 +1,116 @@
+"""Tests for the CA-driven row/column selection generator."""
+
+import numpy as np
+import pytest
+
+from repro.ca.selection import CASelectionGenerator, SelectionPattern
+
+
+class TestConstruction:
+    def test_seed_state_length_must_match(self):
+        with pytest.raises(ValueError):
+            CASelectionGenerator(8, 8, seed_state=np.ones(10, dtype=np.uint8))
+
+    def test_seed_state_preserved(self):
+        seed = np.array([1, 0] * 8, dtype=np.uint8)
+        generator = CASelectionGenerator(8, 8, seed_state=seed)
+        assert np.array_equal(generator.seed_state, seed)
+
+    def test_random_seed_reproducible(self):
+        a = CASelectionGenerator(8, 8, seed=5)
+        b = CASelectionGenerator(8, 8, seed=5)
+        assert np.array_equal(a.seed_state, b.seed_state)
+
+
+class TestPatterns:
+    def test_mask_shape_and_binary(self):
+        generator = CASelectionGenerator(16, 12, seed=1)
+        pattern = generator.next_pattern()
+        assert pattern.mask.shape == (16, 12)
+        assert set(np.unique(pattern.mask)).issubset({0, 1})
+
+    def test_mask_is_xor_of_signals(self):
+        generator = CASelectionGenerator(8, 8, seed=2)
+        pattern = generator.next_pattern()
+        expected = np.bitwise_xor.outer(pattern.row_signals, pattern.col_signals)
+        assert np.array_equal(pattern.mask, expected)
+
+    def test_pattern_indices_increase(self):
+        generator = CASelectionGenerator(8, 8, seed=2)
+        indices = [generator.next_pattern().index for _ in range(5)]
+        assert indices == [0, 1, 2, 3, 4]
+
+    def test_successive_patterns_differ(self):
+        generator = CASelectionGenerator(16, 16, seed=3, warmup_steps=4)
+        first = generator.next_pattern().mask
+        second = generator.next_pattern().mask
+        assert not np.array_equal(first, second)
+
+    def test_density_close_to_half(self):
+        """The XOR construction selects each pixel in half of the signal combinations."""
+        generator = CASelectionGenerator(32, 32, seed=4, warmup_steps=8)
+        densities = [generator.next_pattern().density for _ in range(64)]
+        assert 0.35 < float(np.mean(densities)) < 0.65
+
+    def test_as_vector_matches_mask_raster_order(self):
+        generator = CASelectionGenerator(4, 4, seed=5)
+        pattern = generator.next_pattern()
+        assert np.array_equal(pattern.as_vector(), pattern.mask.reshape(-1))
+
+    def test_patterns_iterator_count(self):
+        generator = CASelectionGenerator(8, 8, seed=6)
+        assert len(list(generator.patterns(7))) == 7
+
+
+class TestDeterminismAndReset:
+    def test_reset_replays_the_same_sequence(self):
+        generator = CASelectionGenerator(12, 12, seed=7, warmup_steps=3)
+        first_run = [generator.next_pattern().mask for _ in range(5)]
+        generator.reset()
+        second_run = [generator.next_pattern().mask for _ in range(5)]
+        for a, b in zip(first_run, second_run):
+            assert np.array_equal(a, b)
+
+    def test_measurement_matrix_matches_pattern_stream(self):
+        generator = CASelectionGenerator(8, 8, seed=8, warmup_steps=2)
+        matrix = generator.measurement_matrix(6)
+        generator.reset()
+        for row_index in range(6):
+            assert np.array_equal(matrix[row_index], generator.next_pattern().as_vector())
+
+    def test_measurement_matrix_does_not_disturb_generator(self):
+        generator = CASelectionGenerator(8, 8, seed=9)
+        first = generator.next_pattern().mask
+        generator.measurement_matrix(10)
+        second = generator.next_pattern().mask
+        fresh = CASelectionGenerator(8, 8, seed_state=generator.seed_state, warmup_steps=0)
+        fresh_first = fresh.next_pattern().mask
+        fresh_second = fresh.next_pattern().mask
+        assert np.array_equal(first, fresh_first)
+        assert np.array_equal(second, fresh_second)
+
+    def test_same_seed_two_generators_identical(self):
+        """The property the channel relies on: seed fully determines Φ."""
+        seed = CASelectionGenerator(16, 16, seed=10).seed_state
+        a = CASelectionGenerator(16, 16, seed_state=seed, warmup_steps=5)
+        b = CASelectionGenerator(16, 16, seed_state=seed, warmup_steps=5)
+        assert np.array_equal(a.measurement_matrix(20), b.measurement_matrix(20))
+
+    def test_steps_per_sample_changes_sequence(self):
+        seed = CASelectionGenerator(8, 8, seed=11).seed_state
+        one = CASelectionGenerator(8, 8, seed_state=seed, steps_per_sample=1)
+        two = CASelectionGenerator(8, 8, seed_state=seed, steps_per_sample=2)
+        assert not np.array_equal(one.measurement_matrix(5), two.measurement_matrix(5))
+
+
+class TestMatrixProperties:
+    def test_matrix_rows_are_distinct(self):
+        generator = CASelectionGenerator(16, 16, seed=12, warmup_steps=4)
+        matrix = generator.measurement_matrix(40)
+        assert len({row.tobytes() for row in matrix}) == 40
+
+    def test_matrix_dtype_and_shape(self):
+        generator = CASelectionGenerator(8, 12, seed=13)
+        matrix = generator.measurement_matrix(9)
+        assert matrix.shape == (9, 96)
+        assert matrix.dtype == np.uint8

@@ -1,0 +1,124 @@
+"""Tests for the sparsifying dictionaries."""
+
+import numpy as np
+import pytest
+
+from repro.cs.dictionaries import (
+    DCT2Dictionary,
+    Haar2Dictionary,
+    IdentityDictionary,
+    make_dictionary,
+)
+
+
+ALL_DICTS = [
+    IdentityDictionary((16, 16)),
+    DCT2Dictionary((16, 16)),
+    Haar2Dictionary((16, 16)),
+]
+
+
+class TestFactory:
+    def test_factory_names(self):
+        assert isinstance(make_dictionary("dct", (8, 8)), DCT2Dictionary)
+        assert isinstance(make_dictionary("haar", (8, 8)), Haar2Dictionary)
+        assert isinstance(make_dictionary("identity", (8, 8)), IdentityDictionary)
+
+    def test_factory_is_case_insensitive(self):
+        assert isinstance(make_dictionary("DCT", (8, 8)), DCT2Dictionary)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_dictionary("curvelet", (8, 8))
+
+    def test_haar_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            Haar2Dictionary((12, 12))
+
+
+class TestOrthonormality:
+    @pytest.mark.parametrize("dictionary", ALL_DICTS, ids=lambda d: type(d).__name__)
+    def test_analyze_synthesize_round_trip(self, dictionary):
+        rng = np.random.default_rng(0)
+        image = rng.standard_normal(dictionary.n_pixels)
+        recovered = dictionary.synthesize(dictionary.analyze(image))
+        assert np.allclose(recovered, image, atol=1e-10)
+
+    @pytest.mark.parametrize("dictionary", ALL_DICTS, ids=lambda d: type(d).__name__)
+    def test_energy_preserved(self, dictionary):
+        rng = np.random.default_rng(1)
+        image = rng.standard_normal(dictionary.n_pixels)
+        coefficients = dictionary.analyze(image)
+        assert np.linalg.norm(coefficients) == pytest.approx(np.linalg.norm(image))
+
+    @pytest.mark.parametrize("dictionary", ALL_DICTS, ids=lambda d: type(d).__name__)
+    def test_atoms_are_unit_norm(self, dictionary):
+        for index in (0, 7, dictionary.n_pixels - 1):
+            assert np.linalg.norm(dictionary.atom(index)) == pytest.approx(1.0)
+
+    def test_dense_matrix_is_orthogonal(self):
+        dictionary = DCT2Dictionary((8, 8))
+        psi = dictionary.dense()
+        assert np.allclose(psi.T @ psi, np.eye(64), atol=1e-10)
+
+    def test_haar_dense_matrix_is_orthogonal(self):
+        dictionary = Haar2Dictionary((8, 8))
+        psi = dictionary.dense()
+        assert np.allclose(psi.T @ psi, np.eye(64), atol=1e-10)
+
+
+class TestSparsification:
+    def test_dct_dc_atom_is_constant(self):
+        dictionary = DCT2Dictionary((8, 8))
+        atom = dictionary.atom(0).reshape(8, 8)
+        assert np.allclose(atom, atom[0, 0])
+
+    def test_smooth_image_is_compressible_in_dct(self):
+        from repro.optics.scenes import make_scene
+
+        dictionary = DCT2Dictionary((32, 32))
+        scene = make_scene("blobs", (32, 32), seed=1)
+        profile = dictionary.sparsity_profile(scene)
+        assert profile[0.05] > 0.95  # 5 % of coefficients hold >95 % of the energy
+
+    def test_piecewise_constant_image_is_compressible_in_haar(self):
+        from repro.optics.scenes import make_scene
+
+        dictionary = Haar2Dictionary((32, 32))
+        scene = make_scene("text", (32, 32), seed=1)
+        profile = dictionary.sparsity_profile(scene)
+        assert profile[0.2] > 0.95
+
+    def test_white_noise_is_not_compressible(self):
+        rng = np.random.default_rng(2)
+        dictionary = DCT2Dictionary((32, 32))
+        noise = rng.standard_normal((32, 32))
+        profile = dictionary.sparsity_profile(noise)
+        assert profile[0.05] < 0.3
+
+    def test_identity_dictionary_keeps_pixel_sparsity(self):
+        dictionary = IdentityDictionary((16, 16))
+        image = np.zeros(256)
+        image[[3, 77, 200]] = 1.0
+        assert np.count_nonzero(dictionary.analyze(image)) == 3
+
+
+class TestShapes:
+    def test_wrong_vector_length_rejected(self):
+        dictionary = DCT2Dictionary((8, 8))
+        with pytest.raises(ValueError):
+            dictionary.analyze(np.zeros(63))
+
+    def test_atom_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            DCT2Dictionary((8, 8)).atom(64)
+
+    def test_to_image_reshapes(self):
+        dictionary = DCT2Dictionary((4, 8))
+        assert dictionary.to_image(np.zeros(32)).shape == (4, 8)
+
+    def test_non_square_dct_round_trip(self):
+        dictionary = DCT2Dictionary((4, 8))
+        rng = np.random.default_rng(3)
+        image = rng.standard_normal(32)
+        assert np.allclose(dictionary.synthesize(dictionary.analyze(image)), image)

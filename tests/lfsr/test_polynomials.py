@@ -1,0 +1,39 @@
+"""Tests for the primitive-polynomial table."""
+
+import pytest
+
+from repro.lfsr.polynomials import PRIMITIVE_POLYNOMIALS, primitive_taps
+
+
+class TestPrimitiveTaps:
+    def test_includes_register_length(self):
+        taps = primitive_taps(16)
+        assert taps[0] == 16
+
+    def test_all_taps_within_register(self):
+        for n_bits in PRIMITIVE_POLYNOMIALS:
+            for tap in primitive_taps(n_bits):
+                assert 1 <= tap <= n_bits
+
+    def test_unsupported_length_rejected(self):
+        with pytest.raises(ValueError):
+            primitive_taps(64)
+
+    def test_table_covers_2_to_32(self):
+        assert set(PRIMITIVE_POLYNOMIALS) == set(range(2, 33))
+
+    @pytest.mark.parametrize("n_bits", [3, 4, 5, 7, 8, 9, 11, 15])
+    def test_taps_yield_maximal_period(self, n_bits):
+        """Small registers: the tabulated taps must produce the full 2^n - 1 cycle."""
+        from repro.lfsr.lfsr import FibonacciLFSR
+
+        lfsr = FibonacciLFSR(n_bits, state=1)
+        seen = set()
+        state = lfsr.state
+        for _ in range((1 << n_bits) - 1):
+            assert state not in seen
+            seen.add(state)
+            lfsr.step()
+            state = lfsr.state
+        assert state == 1  # back to the seed after the full period
+        assert len(seen) == (1 << n_bits) - 1

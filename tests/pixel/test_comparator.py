@@ -1,0 +1,59 @@
+"""Tests for the comparator offset / auto-zero / delay model."""
+
+import numpy as np
+import pytest
+
+from repro.pixel.comparator import Comparator
+
+
+class TestOffsetModel:
+    def test_autozero_reduces_offset_sigma(self):
+        raw = Comparator(offset_sigma=5e-3, autozero=False)
+        zeroed = Comparator(offset_sigma=5e-3, autozero=True, autozero_residual=0.05)
+        assert zeroed.effective_offset_sigma() == pytest.approx(0.05 * raw.effective_offset_sigma())
+
+    def test_offset_map_deterministic_per_seed(self):
+        a = Comparator(seed=4)
+        b = Comparator(seed=4)
+        assert np.array_equal(a.offset_map((8, 8)), b.offset_map((8, 8)))
+
+    def test_offset_map_statistics(self):
+        comparator = Comparator(offset_sigma=10e-3, autozero=False, seed=1)
+        offsets = comparator.offset_map((64, 64))
+        assert abs(offsets.mean()) < 1e-3
+        assert 8e-3 < offsets.std() < 12e-3
+
+    def test_zero_offset_supported(self):
+        comparator = Comparator(offset_sigma=0.0)
+        assert np.all(comparator.offset_map((4, 4)) == 0.0)
+
+    def test_negative_offset_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            Comparator(offset_sigma=-1e-3)
+
+
+class TestDelayModel:
+    def test_constant_delay_without_jitter(self):
+        comparator = Comparator(delay=20e-9, delay_jitter_sigma=0.0)
+        delays = comparator.crossing_delay((4, 4))
+        assert np.allclose(delays, 20e-9)
+
+    def test_jitter_spreads_delays(self):
+        comparator = Comparator(delay=20e-9, delay_jitter_sigma=2e-9, seed=2)
+        delays = comparator.crossing_delay((32, 32))
+        assert delays.std() > 0
+
+    def test_delays_never_negative(self):
+        comparator = Comparator(delay=1e-9, delay_jitter_sigma=10e-9, seed=3)
+        assert np.all(comparator.crossing_delay((64, 64)) >= 0.0)
+
+
+class TestEffectiveThreshold:
+    def test_threshold_centered_on_reference(self):
+        comparator = Comparator(offset_sigma=5e-3, autozero=False, seed=5)
+        thresholds = comparator.effective_threshold(1.0, (64, 64))
+        assert abs(thresholds.mean() - 1.0) < 1e-3
+
+    def test_invalid_reference_rejected(self):
+        with pytest.raises(ValueError):
+            Comparator().effective_threshold(0.0, (4, 4))

@@ -1,0 +1,111 @@
+"""Tests for the event latch (V3/V4/V5) and the PixelEvent container."""
+
+import pytest
+
+from repro.pixel.event import EventLatch, PixelEvent
+
+
+class TestPixelEvent:
+    def test_queued_delay_zero_when_unqueued(self):
+        event = PixelEvent(row=3, col=5, fire_time=1e-6)
+        assert event.queued_delay == 0.0
+
+    def test_queued_delay_positive_when_emitted_late(self):
+        event = PixelEvent(row=3, col=5, fire_time=1e-6).with_emit_time(1.5e-6)
+        assert event.queued_delay == pytest.approx(0.5e-6)
+
+    def test_with_emit_time_preserves_identity(self):
+        event = PixelEvent(row=1, col=2, fire_time=3e-6).with_emit_time(4e-6)
+        assert (event.row, event.col, event.fire_time) == (1, 2, 3e-6)
+
+    def test_with_sampled_code(self):
+        event = PixelEvent(row=0, col=0, fire_time=1e-6).with_sampled_code(42)
+        assert event.sampled_code == 42
+
+    def test_frozen(self):
+        event = PixelEvent(row=0, col=0, fire_time=1e-6)
+        with pytest.raises(AttributeError):
+            event.row = 3
+
+
+class TestEventLatch:
+    def test_initial_state(self):
+        latch = EventLatch()
+        assert not latch.activated
+        assert not latch.driving_bus
+        assert not latch.wants_bus
+
+    def test_activation_sets_wants_bus(self):
+        latch = EventLatch()
+        assert latch.activate() is True
+        assert latch.wants_bus
+
+    def test_second_activation_ignored(self):
+        """V3 is locked by its feedback until the pixel is reset."""
+        latch = EventLatch()
+        latch.activate()
+        assert latch.activate() is False
+
+    def test_grant_then_terminate_completes_event(self):
+        latch = EventLatch()
+        latch.activate()
+        latch.grant()
+        assert latch.driving_bus
+        latch.terminate()
+        assert latch.completed
+        assert not latch.driving_bus
+        assert not latch.wants_bus
+
+    def test_grant_without_activation_raises(self):
+        with pytest.raises(RuntimeError):
+            EventLatch().grant()
+
+    def test_terminate_without_grant_raises(self):
+        latch = EventLatch()
+        latch.activate()
+        with pytest.raises(RuntimeError):
+            latch.terminate()
+
+    def test_completed_pixel_does_not_request_bus_again(self):
+        latch = EventLatch()
+        latch.activate()
+        latch.grant()
+        latch.terminate()
+        assert latch.activate() is False
+        assert not latch.wants_bus
+
+    def test_reset_rearms_the_pixel(self):
+        latch = EventLatch()
+        latch.activate()
+        latch.grant()
+        latch.terminate()
+        latch.reset()
+        assert latch.activate() is True
+
+
+class TestCoutLogic:
+    """The 3-input NAND of the paper: C_out low only when C_in low, V4 high, bus high."""
+
+    def test_idle_pixel_passes_token_down(self):
+        latch = EventLatch()
+        assert latch.c_out(c_in=False, bus_is_high=True) is False
+
+    def test_blocked_when_c_in_high(self):
+        latch = EventLatch()
+        assert latch.c_out(c_in=True, bus_is_high=True) is True
+
+    def test_blocked_when_bus_low(self):
+        latch = EventLatch()
+        assert latch.c_out(c_in=False, bus_is_high=False) is True
+
+    def test_blocked_when_pixel_wants_bus(self):
+        latch = EventLatch()
+        latch.activate()
+        assert latch.c_out(c_in=False, bus_is_high=True) is True
+
+    def test_released_after_pixel_completes(self):
+        latch = EventLatch()
+        latch.activate()
+        latch.grant()
+        latch.terminate()
+        assert latch.c_out(c_in=False, bus_is_high=True) is False

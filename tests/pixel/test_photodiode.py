@@ -1,0 +1,71 @@
+"""Tests for the integrating photodiode model."""
+
+import numpy as np
+import pytest
+
+from repro.pixel.photodiode import Photodiode
+
+
+class TestDischargeRate:
+    def test_rate_proportional_to_current(self):
+        diode = Photodiode(capacitance=10e-15)
+        assert diode.discharge_rate(2e-9) == pytest.approx(2 * diode.discharge_rate(1e-9))
+
+    def test_rate_inverse_to_capacitance(self):
+        small = Photodiode(capacitance=5e-15)
+        large = Photodiode(capacitance=10e-15)
+        assert small.discharge_rate(1e-9) == pytest.approx(2 * large.discharge_rate(1e-9))
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(ValueError):
+            Photodiode().discharge_rate(-1e-9)
+
+    def test_invalid_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            Photodiode(capacitance=0.0)
+
+
+class TestVoltageAt:
+    def test_starts_at_reset_voltage(self):
+        diode = Photodiode(reset_voltage=3.3)
+        assert diode.voltage_at(1e-9, 0.0) == pytest.approx(3.3)
+
+    def test_discharges_linearly(self):
+        diode = Photodiode(capacitance=10e-15, reset_voltage=3.3)
+        current = 1e-9
+        t = 1e-6
+        expected = 3.3 - current * t / 10e-15
+        assert diode.voltage_at(current, t) == pytest.approx(max(expected, 0.0))
+
+    def test_clips_at_zero(self):
+        diode = Photodiode()
+        assert diode.voltage_at(1e-6, 1.0) == 0.0
+
+    def test_vectorised_over_pixels(self):
+        diode = Photodiode()
+        currents = np.array([[1e-9, 2e-9], [4e-9, 8e-9]])
+        voltages = diode.voltage_at(currents, 1e-8)
+        assert voltages.shape == (2, 2)
+        assert voltages[0, 0] > voltages[1, 1]
+
+
+class TestCrossingTime:
+    def test_brighter_pixels_cross_earlier(self):
+        diode = Photodiode()
+        times = diode.crossing_time(np.array([1e-9, 10e-9]), reference_voltage=1.0)
+        assert times[1] < times[0]
+
+    def test_crossing_time_formula(self):
+        diode = Photodiode(capacitance=10e-15, reset_voltage=3.3)
+        current = 5e-9
+        expected = (3.3 - 1.0) * 10e-15 / current
+        assert diode.crossing_time(current, 1.0) == pytest.approx(expected)
+
+    def test_zero_current_never_crosses(self):
+        diode = Photodiode()
+        assert np.isinf(diode.crossing_time(np.array([0.0]), 1.0)[0])
+
+    def test_reference_above_reset_rejected(self):
+        diode = Photodiode(reset_voltage=3.3)
+        with pytest.raises(ValueError):
+            diode.crossing_time(1e-9, 3.5)

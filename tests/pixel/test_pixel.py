@@ -1,0 +1,92 @@
+"""Tests for the assembled Pixel model."""
+
+import numpy as np
+import pytest
+
+from repro.pixel.comparator import Comparator
+from repro.pixel.photodiode import Photodiode
+from repro.pixel.pixel import Pixel
+from repro.pixel.time_encoder import TimeEncoder
+
+
+def make_pixel(row=0, col=0) -> Pixel:
+    encoder = TimeEncoder(
+        photodiode=Photodiode(capacitance=10e-15, reset_voltage=3.3),
+        comparator=Comparator(offset_sigma=0.0, delay=0.0),
+        reference_voltage=1.0,
+    )
+    return Pixel(row=row, col=col, encoder=encoder)
+
+
+class TestExposure:
+    def test_expose_computes_fire_time(self):
+        pixel = make_pixel()
+        time = pixel.expose(1e-9)
+        assert time == pytest.approx(23e-6, rel=1e-6)
+        assert pixel.fire_time == time
+
+    def test_zero_current_never_fires(self):
+        pixel = make_pixel()
+        assert np.isinf(pixel.expose(0.0))
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(ValueError):
+            make_pixel().expose(-1e-9)
+
+
+class TestSelection:
+    def test_selected_when_signals_differ(self):
+        pixel = make_pixel()
+        assert pixel.select(0, 1) is True
+        assert pixel.selected
+
+    def test_deselected_when_signals_equal(self):
+        pixel = make_pixel()
+        assert pixel.select(1, 1) is False
+
+    def test_v2_gate_level_check(self):
+        pixel = make_pixel()
+        assert pixel.v2(1, 0, 1) == 0
+        assert pixel.v2(1, 1, 1) == 1
+
+
+class TestActivation:
+    def test_selected_pixel_activates_after_fire_time(self):
+        pixel = make_pixel(row=2, col=7)
+        pixel.expose(1e-9)
+        pixel.select(0, 1)
+        assert pixel.maybe_activate(1e-6) is None  # too early
+        event = pixel.maybe_activate(30e-6)
+        assert event is not None
+        assert (event.row, event.col) == (2, 7)
+        assert event.fire_time == pytest.approx(23e-6, rel=1e-6)
+
+    def test_deselected_pixel_never_activates(self):
+        """The XOR gate stops the activation front before the latch (power saving)."""
+        pixel = make_pixel()
+        pixel.expose(1e-9)
+        pixel.select(1, 1)
+        assert pixel.maybe_activate(1.0) is None
+        assert not pixel.latch.activated
+
+    def test_pixel_activates_only_once(self):
+        pixel = make_pixel()
+        pixel.expose(1e-9)
+        pixel.select(0, 1)
+        assert pixel.maybe_activate(30e-6) is not None
+        assert pixel.maybe_activate(31e-6) is None
+
+    def test_reset_rearms(self):
+        pixel = make_pixel()
+        pixel.expose(1e-9)
+        pixel.select(0, 1)
+        pixel.maybe_activate(30e-6)
+        pixel.reset()
+        assert pixel.fire_time is None
+        pixel.expose(1e-9)
+        assert pixel.maybe_activate(30e-6) is not None
+
+    def test_unexposed_pixel_does_not_activate(self):
+        pixel = make_pixel()
+        pixel.select(0, 1)
+        assert pixel.maybe_activate(1.0) is None

@@ -1,0 +1,75 @@
+"""Property-based tests for the sparsifying dictionaries and metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.cs.dictionaries import DCT2Dictionary, Haar2Dictionary, IdentityDictionary
+from repro.cs.metrics import nmse, psnr
+
+image_shapes = st.sampled_from([(4, 4), (8, 8), (16, 16), (8, 16)])
+power_of_two_shapes = st.sampled_from([(4, 4), (8, 8), (16, 16)])
+
+
+def finite_images(shape):
+    return arrays(
+        dtype=np.float64,
+        shape=shape,
+        elements=st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(), shape=image_shapes)
+def test_dct_is_an_isometry(data, shape):
+    image = data.draw(finite_images(shape))
+    dictionary = DCT2Dictionary(shape)
+    coefficients = dictionary.analyze(image.reshape(-1))
+    assert np.isclose(np.linalg.norm(coefficients), np.linalg.norm(image), atol=1e-8)
+    recovered = dictionary.synthesize(coefficients)
+    assert np.allclose(recovered, image.reshape(-1), atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(), shape=power_of_two_shapes)
+def test_haar_is_an_isometry(data, shape):
+    image = data.draw(finite_images(shape))
+    dictionary = Haar2Dictionary(shape)
+    coefficients = dictionary.analyze(image.reshape(-1))
+    assert np.isclose(np.linalg.norm(coefficients), np.linalg.norm(image), atol=1e-8)
+    recovered = dictionary.synthesize(coefficients)
+    assert np.allclose(recovered, image.reshape(-1), atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(), shape=power_of_two_shapes)
+def test_identity_round_trip(data, shape):
+    image = data.draw(finite_images(shape))
+    dictionary = IdentityDictionary(shape)
+    assert np.array_equal(
+        dictionary.synthesize(dictionary.analyze(image.reshape(-1))), image.reshape(-1)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_psnr_nonincreasing_in_added_noise(data):
+    image = data.draw(finite_images((8, 8)))
+    noise = data.draw(finite_images((8, 8)))
+    if np.allclose(noise, 0.0):
+        return
+    reference = image
+    small = image + 0.1 * noise
+    large = image + noise
+    assert psnr(reference, small) >= psnr(reference, large) - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(), scale=st.floats(0.1, 10.0))
+def test_nmse_is_scale_invariant(data, scale):
+    image = data.draw(finite_images((8, 8)))
+    estimate = data.draw(finite_images((8, 8)))
+    if np.allclose(image, 0.0):
+        return
+    assert np.isclose(nmse(image, estimate), nmse(scale * image, scale * estimate), rtol=1e-6)

@@ -1,0 +1,64 @@
+"""Property-based tests of end-to-end invariants of the sensing chain."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cs.matrices import ca_xor_matrix
+from repro.optics.photo import PhotoConversion
+from repro.optics.scenes import list_scenes, make_scene
+from repro.sensor.config import SensorConfig
+from repro.sensor.imager import CompressiveImager
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    scene_kind=st.sampled_from(list_scenes()),
+    seed=st.integers(0, 1000),
+    n_samples=st.integers(1, 40),
+)
+def test_behavioural_capture_is_exact_phi_times_codes(scene_kind, seed, n_samples):
+    """With the LSB error disabled, the sensor output is exactly y = Φ x."""
+    imager = CompressiveImager(SensorConfig(rows=16, cols=16), seed=seed)
+    scene = make_scene(scene_kind, (16, 16), seed=seed)
+    conversion = PhotoConversion(prnu_sigma=0.0, shot_noise=False)
+    frame = imager.capture(conversion.convert(scene), n_samples=n_samples, lsb_error=False)
+    phi = frame.measurement_matrix()
+    expected = phi.astype(np.int64) @ frame.digital_image.reshape(-1)
+    assert np.array_equal(frame.samples, expected)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000), n_samples=st.integers(1, 30))
+def test_samples_respect_eq1_bit_budget(seed, n_samples):
+    """No compressed sample can exceed the Eq. (1) register width."""
+    config = SensorConfig(rows=16, cols=16)
+    imager = CompressiveImager(config, seed=seed)
+    scene = make_scene("natural", (16, 16), seed=seed)
+    frame = imager.capture_scene(scene, n_samples=n_samples)
+    assert frame.samples.max() < (1 << config.compressed_sample_bits)
+    assert frame.samples.min() >= 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5000), n_samples=st.integers(1, 20))
+def test_ca_xor_matrix_rows_match_selection_density_bounds(seed, n_samples):
+    """Every row of Φ selects between 0 and all pixels, and typically about half."""
+    phi = ca_xor_matrix(n_samples, (16, 16), seed=seed, warmup_steps=4)
+    row_sums = phi.sum(axis=1)
+    assert np.all(row_sums >= 0)
+    assert np.all(row_sums <= 256)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_capture_determinism_across_imager_instances(seed):
+    """Identical seeds produce identical frames — full experiment reproducibility."""
+    config = SensorConfig(rows=16, cols=16)
+    scene = make_scene("blobs", (16, 16), seed=7)
+    conversion = PhotoConversion(prnu_sigma=0.0, shot_noise=False)
+    current = conversion.convert(scene)
+    frame_a = CompressiveImager(config, seed=seed).capture(current, n_samples=12)
+    frame_b = CompressiveImager(config, seed=seed).capture(current, n_samples=12)
+    assert np.array_equal(frame_a.samples, frame_b.samples)
+    assert np.array_equal(frame_a.seed_state, frame_b.seed_state)

@@ -1,0 +1,71 @@
+"""Property-based tests for the column-bus token protocol.
+
+The central invariants the paper's protocol must satisfy, checked on random
+event patterns:
+
+* no pulse is ever lost (every firing pixel's event is delivered),
+* each pixel delivers exactly one event,
+* no two events overlap on the bus,
+* events are never emitted before their pixel has fired,
+* when no deadline is imposed the bus utilisation equals events x duration.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pixel.event import PixelEvent
+from repro.sensor.column_bus import ColumnBusArbiter
+
+fire_time_lists = st.lists(
+    st.floats(0.0, 20e-6, allow_nan=False, allow_infinity=False), min_size=1, max_size=64
+)
+durations = st.sampled_from([1e-9, 5e-9, 20e-9, 100e-9])
+
+
+def build_events(times):
+    return [PixelEvent(row=row, col=0, fire_time=t) for row, t in enumerate(times)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(times=fire_time_lists, duration=durations)
+def test_no_event_is_lost_and_each_pixel_emits_once(times, duration):
+    result = ColumnBusArbiter(event_duration=duration).arbitrate(build_events(times))
+    assert result.n_events == len(times)
+    assert sorted(event.row for event in result.events) == list(range(len(times)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(times=fire_time_lists, duration=durations)
+def test_events_never_overlap_on_the_bus(times, duration):
+    result = ColumnBusArbiter(event_duration=duration).arbitrate(build_events(times))
+    emits = sorted(event.emit_time for event in result.events)
+    for earlier, later in zip(emits, emits[1:]):
+        assert later - earlier >= duration - 1e-15
+
+
+@settings(max_examples=60, deadline=None)
+@given(times=fire_time_lists, duration=durations)
+def test_no_event_emitted_before_it_fires(times, duration):
+    result = ColumnBusArbiter(event_duration=duration).arbitrate(build_events(times))
+    for event in result.events:
+        assert event.emit_time >= event.fire_time - 1e-15
+
+
+@settings(max_examples=60, deadline=None)
+@given(times=fire_time_lists, duration=durations)
+def test_bus_busy_time_accounts_for_every_event(times, duration):
+    result = ColumnBusArbiter(event_duration=duration).arbitrate(build_events(times))
+    assert np.isclose(result.bus_busy_time, len(times) * duration)
+
+
+@settings(max_examples=40, deadline=None)
+@given(times=fire_time_lists, duration=durations)
+def test_queue_statistics_consistent(times, duration):
+    result = ColumnBusArbiter(event_duration=duration).arbitrate(build_events(times))
+    queued = [event for event in result.events if event.queued_delay > 0.0]
+    assert len(queued) == result.n_queued
+    if queued:
+        assert max(event.queued_delay for event in queued) <= result.max_queue_delay + 1e-15
+    else:
+        assert result.max_queue_delay == 0.0

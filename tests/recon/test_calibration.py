@@ -1,0 +1,65 @@
+"""Tests for code <-> intensity calibration."""
+
+import numpy as np
+import pytest
+
+from repro.pixel.comparator import Comparator
+from repro.pixel.photodiode import Photodiode
+from repro.pixel.time_encoder import TimeEncoder
+from repro.recon.calibration import codes_to_intensity, intensity_to_codes
+from repro.sensor.tdc import GlobalCounterTDC
+
+
+def ideal_chain():
+    encoder = TimeEncoder(
+        photodiode=Photodiode(capacitance=10e-15, reset_voltage=3.3),
+        comparator=Comparator(offset_sigma=0.0, delay=0.0),
+        reference_voltage=3.2,  # small swing so currents of ~1 nA land mid-range
+    )
+    tdc = GlobalCounterTDC()
+    return encoder, tdc
+
+
+class TestForwardMap:
+    def test_brighter_pixels_get_smaller_codes(self):
+        encoder, tdc = ideal_chain()
+        currents = np.array([[0.5e-9, 2e-9]])
+        codes = intensity_to_codes(currents, encoder=encoder, tdc=tdc)
+        assert codes[0, 1] < codes[0, 0]
+
+    def test_zero_current_saturates(self):
+        encoder, tdc = ideal_chain()
+        codes = intensity_to_codes(np.array([[0.0]]), encoder=encoder, tdc=tdc)
+        assert codes[0, 0] == tdc.max_code
+
+
+class TestInverseMap:
+    def test_round_trip_recovers_current_within_quantization(self):
+        encoder, tdc = ideal_chain()
+        currents = np.linspace(0.3e-9, 3e-9, 32).reshape(4, 8)
+        codes = intensity_to_codes(currents, encoder=encoder, tdc=tdc)
+        recovered = codes_to_intensity(codes, encoder=encoder, tdc=tdc)
+        # One-LSB time quantisation translates into a bounded relative current error.
+        relative_error = np.abs(recovered - currents) / currents
+        assert np.median(relative_error) < 0.1
+
+    def test_normalised_output(self):
+        encoder, tdc = ideal_chain()
+        currents = np.array([[1e-9, 2e-9]])
+        codes = intensity_to_codes(currents, encoder=encoder, tdc=tdc)
+        normalised = codes_to_intensity(
+            codes, encoder=encoder, tdc=tdc, full_scale_current=2e-9
+        )
+        assert normalised.max() <= 1.5
+        assert normalised[0, 1] > normalised[0, 0]
+
+    def test_monotone_inversion(self):
+        encoder, tdc = ideal_chain()
+        codes = np.array([[10.0, 100.0, 250.0]])
+        intensity = codes_to_intensity(codes, encoder=encoder, tdc=tdc)
+        assert intensity[0, 0] > intensity[0, 1] > intensity[0, 2]
+
+    def test_invalid_full_scale_rejected(self):
+        encoder, tdc = ideal_chain()
+        with pytest.raises(ValueError):
+            codes_to_intensity(np.array([[1.0]]), encoder=encoder, tdc=tdc, full_scale_current=0.0)

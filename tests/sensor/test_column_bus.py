@@ -1,0 +1,140 @@
+"""Tests for the column-bus token protocol (C_in/C_out) and event termination."""
+
+import numpy as np
+import pytest
+
+from repro.pixel.event import PixelEvent
+from repro.sensor.column_bus import ArbitrationResult, ColumnBusArbiter, ColumnControlUnit, GateLevelColumn
+
+
+def events_from_times(times):
+    return [PixelEvent(row=row, col=0, fire_time=t) for row, t in enumerate(times)]
+
+
+class TestColumnControlUnit:
+    def test_termination_delay_sets_event_end(self):
+        unit = ColumnControlUnit(termination_delay=5e-9)
+        assert unit.termination_time(1e-6) == pytest.approx(1e-6 + 5e-9)
+
+    def test_sample_strobe_at_leading_edge(self):
+        unit = ColumnControlUnit()
+        assert unit.sample_strobe_time(2e-6) == 2e-6
+
+    def test_invalid_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnControlUnit(termination_delay=0.0)
+
+
+class TestArbiterNoContention:
+    def test_well_separated_events_unqueued(self):
+        arbiter = ColumnBusArbiter(event_duration=5e-9)
+        result = arbiter.arbitrate(events_from_times([1e-6, 2e-6, 3e-6]))
+        assert result.n_events == 3
+        assert result.n_queued == 0
+        for event in result.events:
+            assert event.emit_time == event.fire_time
+
+    def test_emission_order_is_time_order(self):
+        arbiter = ColumnBusArbiter(event_duration=5e-9)
+        result = arbiter.arbitrate(events_from_times([3e-6, 1e-6, 2e-6]))
+        assert [event.row for event in result.events] == [1, 2, 0]
+
+    def test_bus_busy_time_accumulates(self):
+        arbiter = ColumnBusArbiter(event_duration=5e-9)
+        result = arbiter.arbitrate(events_from_times([1e-6, 2e-6]))
+        assert result.bus_busy_time == pytest.approx(10e-9)
+
+
+class TestArbiterContention:
+    def test_no_pulse_is_ever_lost(self):
+        """The protocol's central guarantee: every event is delivered."""
+        arbiter = ColumnBusArbiter(event_duration=5e-9)
+        times = np.full(64, 1e-6)  # all 64 pixels fire simultaneously
+        result = arbiter.arbitrate(events_from_times(times))
+        assert result.n_events == 64
+        assert len({event.row for event in result.events}) == 64
+
+    def test_simultaneous_events_serialise_top_down(self):
+        """Release is sequential from the top of the column downwards."""
+        arbiter = ColumnBusArbiter(event_duration=5e-9)
+        result = arbiter.arbitrate(events_from_times([1e-6] * 8))
+        assert [event.row for event in result.events] == list(range(8))
+
+    def test_no_two_events_overlap_on_the_bus(self):
+        arbiter = ColumnBusArbiter(event_duration=5e-9)
+        rng = np.random.default_rng(0)
+        times = rng.uniform(0, 200e-9, size=32)  # heavy contention
+        result = arbiter.arbitrate(events_from_times(times))
+        emits = sorted(event.emit_time for event in result.events)
+        assert all(b - a >= 5e-9 - 1e-15 for a, b in zip(emits, emits[1:]))
+
+    def test_queued_events_counted_and_delayed(self):
+        arbiter = ColumnBusArbiter(event_duration=10e-9)
+        result = arbiter.arbitrate(events_from_times([1e-6, 1e-6 + 1e-9]))
+        assert result.n_queued == 1
+        assert result.max_queue_delay >= 8e-9
+
+    def test_waiting_topmost_pixel_wins_over_lower_one(self):
+        """If two pixels are waiting when the bus frees, the upper one goes first."""
+        arbiter = ColumnBusArbiter(event_duration=100e-9)
+        # Row 5 fires first and takes the bus; rows 2 and 7 fire while it is busy.
+        events = [
+            PixelEvent(row=5, col=0, fire_time=0.0),
+            PixelEvent(row=7, col=0, fire_time=10e-9),
+            PixelEvent(row=2, col=0, fire_time=20e-9),
+        ]
+        result = arbiter.arbitrate(events)
+        assert [event.row for event in result.events] == [5, 2, 7]
+
+    def test_duplicate_rows_rejected(self):
+        arbiter = ColumnBusArbiter()
+        with pytest.raises(ValueError):
+            arbiter.arbitrate([
+                PixelEvent(row=1, col=0, fire_time=1e-6),
+                PixelEvent(row=1, col=0, fire_time=2e-6),
+            ])
+
+    def test_deadline_drops_late_events(self):
+        arbiter = ColumnBusArbiter(event_duration=1e-6)
+        result = arbiter.arbitrate(events_from_times([0.0, 0.1e-6, 0.2e-6]), deadline=1.5e-6)
+        assert result.n_events == 2  # the third would start after the deadline
+
+    def test_empty_event_list(self):
+        result = ColumnBusArbiter().arbitrate([])
+        assert isinstance(result, ArbitrationResult)
+        assert result.n_events == 0
+
+
+class TestGateLevelColumnAgreesWithArbiter:
+    """The explicit C_in/C_out chain simulation validates the analytic arbiter."""
+
+    def test_same_events_and_order_under_contention(self):
+        fire_times = [50e-9, 10e-9, 10e-9, None, 80e-9, None, 10e-9, 200e-9]
+        duration = 20e-9
+        column = GateLevelColumn(len(fire_times), event_duration=duration)
+        gate_events = column.simulate(fire_times, time_step=2e-9)
+        arbiter = ColumnBusArbiter(event_duration=duration)
+        analytic = arbiter.arbitrate(
+            [
+                PixelEvent(row=row, col=0, fire_time=t)
+                for row, t in enumerate(fire_times)
+                if t is not None
+            ]
+        )
+        assert [e.row for e in gate_events] == [e.row for e in analytic.events]
+
+    def test_gate_level_loses_nothing(self):
+        fire_times = [5e-9] * 16
+        column = GateLevelColumn(16, event_duration=10e-9)
+        events = column.simulate(fire_times, time_step=1e-9)
+        assert len(events) == 16
+        assert [event.row for event in events] == list(range(16))
+
+    def test_gate_level_rejects_bad_time_step(self):
+        column = GateLevelColumn(4, event_duration=5e-9)
+        with pytest.raises(ValueError):
+            column.simulate([None] * 4, time_step=10e-9)
+
+    def test_gate_level_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            GateLevelColumn(4).simulate([1e-6] * 3)

@@ -1,0 +1,97 @@
+"""Tests for SensorConfig — the Table II parameters and Eq. (1)/(2) derivations."""
+
+import pytest
+
+from repro.sensor.config import SensorConfig
+
+
+class TestDefaultsMatchPrototype:
+    """The default configuration is the Table II prototype."""
+
+    def test_resolution(self, default_config):
+        assert (default_config.rows, default_config.cols) == (64, 64)
+        assert default_config.n_pixels == 4096
+
+    def test_compressed_sample_bits_is_20(self, default_config):
+        """Eq. (1): 8 + log2(4096) = 20 bits."""
+        assert default_config.compressed_sample_bits == 20
+
+    def test_column_sum_bits_is_14(self, default_config):
+        """One column: 8 + log2(64) = 14 bits."""
+        assert default_config.column_sum_bits == 14
+
+    def test_max_compression_ratio_is_0_4(self, default_config):
+        """Section III-B: R must stay below N_b / N_B = 8/20 = 0.4."""
+        assert default_config.max_compression_ratio == pytest.approx(0.4)
+
+    def test_compressed_sample_rate_near_50khz(self, default_config):
+        """Eq. (2): 0.4 * 4096 * 30 ≈ 49.2 kHz ('≈50 kHz at maximum')."""
+        assert default_config.compressed_sample_rate == pytest.approx(49152.0)
+        assert 45e3 < default_config.compressed_sample_rate < 50e3
+
+    def test_sample_period_near_20us(self, default_config):
+        """'This is 20 us per compressed sample.'"""
+        assert default_config.compressed_sample_period == pytest.approx(20.3e-6, rel=0.02)
+
+    def test_conversion_window_fits_in_sample_period(self, default_config):
+        """256 ticks of the 24 MHz clock (~10.7 us) fit in the ~20 us budget."""
+        assert default_config.conversion_time == pytest.approx(256 / 24e6)
+        assert default_config.conversion_time < default_config.compressed_sample_period
+
+    def test_samples_per_frame(self, default_config):
+        assert default_config.samples_per_frame == int(round(0.4 * 4096))
+
+    def test_array_geometry(self, default_config):
+        assert default_config.array_width == pytest.approx(64 * 22e-6)
+        assert default_config.pixel_code_range == 256
+
+    def test_event_overlap_probability_matches_paper_estimate(self, default_config):
+        """The paper estimates ~6.25 % for 64 selected pixels and 5 ns events."""
+        probability = default_config.event_overlap_probability(64)
+        assert 0.04 < probability < 0.08
+
+    def test_any_overlap_probability_is_larger(self, default_config):
+        assert default_config.any_overlap_probability(64) > default_config.event_overlap_probability(64)
+
+
+class TestScaling:
+    def test_eq1_scales_with_array_size(self):
+        small = SensorConfig(rows=32, cols=32)
+        assert small.compressed_sample_bits == 8 + 10
+
+    def test_eq2_scales_linearly_with_ratio(self):
+        low = SensorConfig(compression_ratio=0.2)
+        high = SensorConfig(compression_ratio=0.4)
+        assert high.compressed_sample_rate == pytest.approx(2 * low.compressed_sample_rate)
+
+    def test_frame_time_is_inverse_frame_rate(self):
+        config = SensorConfig(frame_rate=60.0)
+        assert config.frame_time == pytest.approx(1 / 60.0)
+
+    def test_as_dict_contains_key_rows(self):
+        table = SensorConfig().as_dict()
+        assert table["compressed_sample_bits"] == 20
+        assert table["clock_frequency_mhz"] == pytest.approx(24.0)
+
+
+class TestValidation:
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ValueError):
+            SensorConfig(rows=0)
+
+    def test_rejects_ratio_of_one(self):
+        with pytest.raises(ValueError):
+            SensorConfig(compression_ratio=1.0)
+
+    def test_rejects_negative_event_duration(self):
+        with pytest.raises(ValueError):
+            SensorConfig(event_duration=-1e-9)
+
+    def test_rejects_fill_factor_above_one(self):
+        with pytest.raises(ValueError):
+            SensorConfig(fill_factor=1.5)
+
+    def test_frozen_dataclass(self):
+        config = SensorConfig()
+        with pytest.raises(AttributeError):
+            config.rows = 128

@@ -1,0 +1,82 @@
+"""Tests for the parametric power/area model (Table II regeneration)."""
+
+import pytest
+
+from repro.sensor.config import SensorConfig
+from repro.sensor.power import PAPER_TABLE_II, PowerAreaModel, chip_feature_summary
+
+
+class TestPowerModel:
+    def test_total_is_sum_of_blocks(self):
+        model = PowerAreaModel()
+        breakdown = model.power_breakdown(SensorConfig())
+        blocks = {k: v for k, v in breakdown.items() if k != "total"}
+        assert breakdown["total"] == pytest.approx(sum(blocks.values()))
+
+    def test_default_power_below_paper_bound(self):
+        """Table II predicts < 100 mW for the prototype."""
+        power = PowerAreaModel().total_power(SensorConfig())
+        assert power < 100e-3
+
+    def test_power_scales_with_array_size(self):
+        model = PowerAreaModel()
+        small = model.total_power(SensorConfig(rows=32, cols=32))
+        large = model.total_power(SensorConfig(rows=64, cols=64))
+        assert large > small
+
+    def test_power_scales_with_clock(self):
+        model = PowerAreaModel()
+        slow = model.total_power(SensorConfig(clock_frequency=12e6))
+        fast = model.total_power(SensorConfig(clock_frequency=48e6))
+        assert fast > slow
+
+    def test_pixel_array_dominates(self):
+        """Comparator bias across 4096 pixels is the dominant contribution."""
+        breakdown = PowerAreaModel().power_breakdown(SensorConfig())
+        assert breakdown["pixel_array"] == max(
+            v for k, v in breakdown.items() if k != "total"
+        )
+
+    def test_invalid_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            PowerAreaModel(pixel_static_power=-1.0)
+
+
+class TestAreaModel:
+    def test_die_larger_than_array(self):
+        model = PowerAreaModel()
+        config = SensorConfig()
+        area = model.area_breakdown(config)
+        assert area["die_width"] > config.array_width
+        assert area["die_height"] > config.array_height
+
+    def test_die_size_in_same_ballpark_as_prototype(self):
+        """The estimate should land within ~40 % of the 3.17 x 2.23 mm die."""
+        area = PowerAreaModel().area_breakdown(SensorConfig())
+        paper_area = 3.174e-3 * 2.227e-3
+        assert 0.6 * paper_area < area["die_area"] < 1.4 * paper_area
+
+
+class TestChipFeatureSummary:
+    def test_architectural_rows_match_paper_exactly(self):
+        summary = chip_feature_summary()
+        assert summary["technology"] == PAPER_TABLE_II["technology"]
+        assert summary["resolution"] == PAPER_TABLE_II["resolution"]
+        assert summary["pixel_size_um"] == PAPER_TABLE_II["pixel_size_um"]
+        assert summary["fill_factor_percent"] == pytest.approx(
+            PAPER_TABLE_II["fill_factor_percent"]
+        )
+        assert summary["frame_rate_fps"] == PAPER_TABLE_II["frame_rate_fps"]
+        assert summary["clock_frequency_mhz"] == PAPER_TABLE_II["clock_frequency_mhz"]
+        assert summary["photodiode_type"] == PAPER_TABLE_II["photodiode_type"]
+
+    def test_max_sample_rate_close_to_50khz(self):
+        summary = chip_feature_summary()
+        assert summary["max_compressed_sample_rate_khz"] == pytest.approx(49.152)
+
+    def test_power_prediction_below_bound(self):
+        summary = chip_feature_summary()
+        assert summary["predicted_power_mw"] < PAPER_TABLE_II["predicted_power_mw"]
+
+    def test_includes_derived_bit_width(self):
+        assert chip_feature_summary()["compressed_sample_bits"] == 20

@@ -1,0 +1,113 @@
+"""Tests for the per-column accumulators and the compressed-sample adder."""
+
+import numpy as np
+import pytest
+
+from repro.pixel.event import PixelEvent
+from repro.sensor.sample_add import (
+    AccumulatorOverflowError,
+    ColumnAccumulator,
+    SampleAndAdd,
+    required_sample_bits,
+)
+
+
+class TestColumnAccumulator:
+    def test_accumulates_codes(self):
+        accumulator = ColumnAccumulator(n_bits=14)
+        accumulator.add_many([10, 20, 30])
+        assert accumulator.value == 60
+        assert accumulator.n_samples == 3
+
+    def test_reset_clears(self):
+        accumulator = ColumnAccumulator()
+        accumulator.add(100)
+        accumulator.reset()
+        assert accumulator.value == 0
+        assert accumulator.n_samples == 0
+
+    def test_14_bits_hold_64_max_codes(self):
+        """Eq. (1) applied to one column: 64 codes of 255 fit in 14 bits."""
+        accumulator = ColumnAccumulator(n_bits=14)
+        accumulator.add_many([255] * 64)
+        assert accumulator.value == 64 * 255
+        assert accumulator.value <= accumulator.max_value
+
+    def test_13_bits_overflow_on_worst_case_column(self):
+        accumulator = ColumnAccumulator(n_bits=13)
+        with pytest.raises(AccumulatorOverflowError):
+            accumulator.add_many([255] * 64)
+
+    def test_saturating_mode_clips_instead_of_raising(self):
+        accumulator = ColumnAccumulator(n_bits=8, strict=False)
+        accumulator.add_many([200, 200])
+        assert accumulator.value == 255
+
+    def test_negative_code_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnAccumulator().add(-1)
+
+
+class TestSampleAndAdd:
+    def test_column_routing(self):
+        adder = SampleAndAdd(n_columns=4, column_bits=14, sample_bits=20)
+        adder.add_code(0, 10)
+        adder.add_code(2, 20)
+        assert adder.column_sums.tolist() == [10, 0, 20, 0]
+
+    def test_compressed_sample_is_sum_of_columns(self):
+        adder = SampleAndAdd(n_columns=4)
+        for col in range(4):
+            adder.add_code(col, 100 * (col + 1))
+        assert adder.compressed_sample() == 1000
+
+    def test_20_bits_hold_full_frame_worst_case(self):
+        """Eq. (1): 4096 codes of 255 fit in 20 bits."""
+        adder = SampleAndAdd(n_columns=64, column_bits=14, sample_bits=20)
+        for col in range(64):
+            for _ in range(64):
+                adder.add_code(col, 255)
+        assert adder.compressed_sample() == 64 * 64 * 255
+        assert adder.compressed_sample() < (1 << 20)
+
+    def test_19_bits_overflow_on_full_frame_worst_case(self):
+        adder = SampleAndAdd(n_columns=64, column_bits=14, sample_bits=19)
+        for col in range(64):
+            for _ in range(64):
+                adder.add_code(col, 255)
+        with pytest.raises(AccumulatorOverflowError):
+            adder.compressed_sample()
+
+    def test_out_of_range_column_rejected(self):
+        with pytest.raises(ValueError):
+            SampleAndAdd(n_columns=4).add_code(4, 1)
+
+    def test_reset_clears_all_columns(self):
+        adder = SampleAndAdd(n_columns=3)
+        adder.add_code(1, 5)
+        adder.reset()
+        assert adder.column_sums.sum() == 0
+
+    def test_accumulate_events(self):
+        adder = SampleAndAdd(n_columns=4)
+        events = [
+            PixelEvent(row=0, col=1, fire_time=1e-6).with_sampled_code(10),
+            PixelEvent(row=1, col=1, fire_time=2e-6).with_sampled_code(20),
+            PixelEvent(row=0, col=3, fire_time=3e-6).with_sampled_code(5),
+        ]
+        assert adder.accumulate_events(events) == 35
+
+    def test_accumulate_events_requires_codes(self):
+        adder = SampleAndAdd(n_columns=4)
+        with pytest.raises(ValueError):
+            adder.accumulate_events([PixelEvent(row=0, col=0, fire_time=1e-6)])
+
+
+class TestRequiredSampleBits:
+    def test_paper_values(self):
+        assert required_sample_bits(4096, 8) == 20
+        assert required_sample_bits(64, 8) == 14
+
+    def test_small_cases(self):
+        assert required_sample_bits(1, 8) == 8
+        assert required_sample_bits(2, 1) == 2

@@ -1,0 +1,114 @@
+"""Tests for the global-counter time-to-digital converter."""
+
+import numpy as np
+import pytest
+
+from repro.sensor.tdc import GlobalCounterTDC, apply_stochastic_lsb_error
+
+
+class TestGeometry:
+    def test_default_matches_prototype(self):
+        tdc = GlobalCounterTDC()
+        assert tdc.n_codes == 256
+        assert tdc.max_code == 255
+        assert tdc.clock_period == pytest.approx(1 / 24e6)
+        assert tdc.conversion_window == pytest.approx(256 / 24e6)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalCounterTDC(clock_frequency=0.0)
+        with pytest.raises(ValueError):
+            GlobalCounterTDC(n_bits=0)
+
+
+class TestSampling:
+    def test_code_is_floor_of_time_over_period(self):
+        tdc = GlobalCounterTDC(clock_frequency=1e6, n_bits=8)  # 1 us ticks
+        codes = tdc.sample(np.array([0.0, 0.5e-6, 1.0e-6, 10.4e-6]))
+        assert codes.tolist() == [0, 0, 1, 10]
+
+    def test_codes_clip_at_max(self):
+        tdc = GlobalCounterTDC(clock_frequency=1e6, n_bits=4)
+        assert tdc.sample(np.array([1.0]))[0] == 15
+
+    def test_negative_times_clip_at_zero(self):
+        tdc = GlobalCounterTDC()
+        assert tdc.sample(np.array([-1e-6]))[0] == 0
+
+    def test_start_delay_shifts_codes(self):
+        delayed = GlobalCounterTDC(clock_frequency=1e6, start_delay=2e-6)
+        assert delayed.sample(np.array([2.5e-6]))[0] == 0
+        assert delayed.sample(np.array([4.0e-6]))[0] == 2
+
+    def test_ideal_codes_saturate_for_non_firing_pixels(self):
+        tdc = GlobalCounterTDC()
+        codes = tdc.ideal_codes(np.array([1e-6, np.inf]))
+        assert codes[1] == tdc.max_code
+
+    def test_brighter_means_smaller_code(self):
+        """Bright pixels fire earlier and therefore sample a smaller count."""
+        tdc = GlobalCounterTDC()
+        codes = tdc.ideal_codes(np.array([1e-6, 5e-6]))
+        assert codes[0] < codes[1]
+
+    def test_code_to_time_is_centre_of_bin(self):
+        tdc = GlobalCounterTDC(clock_frequency=1e6)
+        assert tdc.code_to_time(np.array([3]))[0] == pytest.approx(3.5e-6)
+
+    def test_quantization_round_trip_within_one_lsb(self):
+        tdc = GlobalCounterTDC()
+        times = np.linspace(0.1e-6, 10e-6, 50)
+        recovered = tdc.code_to_time(tdc.sample(times))
+        assert np.max(np.abs(recovered - times)) <= tdc.quantization_error_bound()
+
+
+class TestLateDetectionError:
+    def test_unqueued_events_have_no_error(self):
+        tdc = GlobalCounterTDC()
+        times = np.array([1e-6, 2e-6, 3e-6])
+        stats = tdc.lsb_error_statistics(times, times)
+        assert stats["n_errors"] == 0
+
+    def test_queueing_across_a_tick_gives_one_lsb(self):
+        tdc = GlobalCounterTDC(clock_frequency=1e6)
+        fire = np.array([0.9e-6])
+        emit = np.array([1.1e-6])  # pushed into the next tick by queueing
+        stats = tdc.lsb_error_statistics(emit, fire)
+        assert stats["n_errors"] == 1
+        assert stats["max_error_lsb"] == 1
+
+    def test_small_queueing_within_a_tick_is_free(self):
+        tdc = GlobalCounterTDC(clock_frequency=1e6)
+        fire = np.array([0.1e-6])
+        emit = np.array([0.8e-6])
+        assert tdc.lsb_error_statistics(emit, fire)["n_errors"] == 0
+
+    def test_mismatched_shapes_rejected(self):
+        tdc = GlobalCounterTDC()
+        with pytest.raises(ValueError):
+            tdc.late_detection_codes(np.zeros(3), np.zeros(4))
+
+
+class TestStochasticError:
+    def test_probability_zero_is_identity(self):
+        codes = np.arange(10)
+        rng = np.random.default_rng(0)
+        assert np.array_equal(
+            apply_stochastic_lsb_error(codes, 0.0, max_code=255, rng=rng), codes
+        )
+
+    def test_probability_one_bumps_everything_below_max(self):
+        codes = np.array([0, 100, 255])
+        rng = np.random.default_rng(0)
+        bumped = apply_stochastic_lsb_error(codes, 1.0, max_code=255, rng=rng)
+        assert bumped.tolist() == [1, 101, 255]
+
+    def test_expected_bump_rate(self):
+        codes = np.zeros(20000, dtype=np.int64)
+        rng = np.random.default_rng(1)
+        bumped = apply_stochastic_lsb_error(codes, 0.1, max_code=255, rng=rng)
+        assert 0.08 < bumped.mean() < 0.12
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            apply_stochastic_lsb_error(np.zeros(3), 1.5, max_code=255, rng=np.random.default_rng(0))

@@ -1,0 +1,128 @@
+"""Tests for the bitstream and frame serialisation layer."""
+
+import numpy as np
+import pytest
+
+from repro.io.bitstream import BitReader, BitWriter, pack_samples, unpack_samples
+from repro.io.framing import FRAME_MAGIC, FrameHeader, decode_frame, encode_frame, encoded_size_bits
+from repro.optics.photo import PhotoConversion
+from repro.optics.scenes import make_scene
+from repro.recon.pipeline import reconstruct_frame
+from repro.sensor.config import SensorConfig
+from repro.sensor.imager import CompressiveImager
+
+
+class TestBitWriterReader:
+    def test_round_trip_mixed_widths(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        writer.write(0xABCDE, 20)
+        writer.write(1, 1)
+        writer.write(255, 8)
+        reader = BitReader(writer.getvalue())
+        assert reader.read(3) == 0b101
+        assert reader.read(20) == 0xABCDE
+        assert reader.read(1) == 1
+        assert reader.read(8) == 255
+
+    def test_value_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(256, 8)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(-1, 8)
+
+    def test_bits_written_counter(self):
+        writer = BitWriter()
+        writer.write(3, 5)
+        writer.write(1, 7)
+        assert writer.n_bits_written == 12
+
+    def test_reading_past_end_raises(self):
+        writer = BitWriter()
+        writer.write(1, 4)
+        reader = BitReader(writer.getvalue())
+        reader.read(8)  # padded byte is readable
+        with pytest.raises(ValueError):
+            reader.read(8)
+
+    def test_bits_remaining(self):
+        reader = BitReader(bytes([0xFF, 0x00]))
+        assert reader.bits_remaining == 16
+        reader.read(5)
+        assert reader.bits_remaining == 11
+
+
+class TestPackSamples:
+    def test_round_trip_20_bit_samples(self):
+        rng = np.random.default_rng(0)
+        samples = rng.integers(0, 1 << 20, size=137)
+        packed = pack_samples(samples, 20)
+        assert len(packed) == (137 * 20 + 7) // 8
+        assert np.array_equal(unpack_samples(packed, 137, 20), samples)
+
+    def test_packing_saves_space_vs_32_bit_words(self):
+        samples = list(range(100))
+        packed = pack_samples(samples, 20)
+        assert len(packed) < 100 * 4
+
+    def test_single_sample(self):
+        packed = pack_samples([123456], 20)
+        assert unpack_samples(packed, 1, 20)[0] == 123456
+
+
+class TestFrameHeader:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrameHeader(rows=0, cols=64, pixel_bits=8, sample_bits=20,
+                        rule_number=30, steps_per_sample=1, warmup_steps=0, n_samples=1)
+        with pytest.raises(ValueError):
+            FrameHeader(rows=64, cols=64, pixel_bits=8, sample_bits=20,
+                        rule_number=300, steps_per_sample=1, warmup_steps=0, n_samples=1)
+
+
+class TestFrameCodec:
+    @pytest.fixture
+    def frame(self):
+        config = SensorConfig(rows=32, cols=32)
+        imager = CompressiveImager(config, seed=21)
+        scene = make_scene("blobs", (32, 32), seed=6)
+        conversion = PhotoConversion(prnu_sigma=0.0, shot_noise=False)
+        return imager.capture(conversion.convert(scene), n_samples=300)
+
+    def test_round_trip_preserves_samples_and_seed(self, frame):
+        decoded = decode_frame(encode_frame(frame))
+        assert np.array_equal(decoded.samples, frame.samples)
+        assert np.array_equal(decoded.seed_state, frame.seed_state)
+        assert decoded.rule_number == frame.rule_number
+        assert decoded.steps_per_sample == frame.steps_per_sample
+        assert decoded.warmup_steps == frame.warmup_steps
+        assert (decoded.config.rows, decoded.config.cols) == (32, 32)
+
+    def test_decoded_frame_reconstructs_identically(self, frame):
+        decoded = decode_frame(encode_frame(frame))
+        original = reconstruct_frame(frame, max_iterations=60)
+        received = reconstruct_frame(decoded, reference=frame.digital_image, max_iterations=60)
+        assert np.allclose(original.image, received.image)
+
+    def test_payload_size_matches_prediction(self, frame):
+        encoded = encode_frame(frame)
+        assert len(encoded) * 8 == encoded_size_bits(frame.config, frame.n_samples)
+
+    def test_magic_is_checked(self, frame):
+        data = bytearray(encode_frame(frame))
+        data[0] ^= 0xFF
+        with pytest.raises(ValueError, match="magic"):
+            decode_frame(bytes(data))
+        assert data[0] != FRAME_MAGIC
+
+    def test_version_is_checked(self, frame):
+        data = bytearray(encode_frame(frame))
+        data[1] = 99
+        with pytest.raises(ValueError, match="version"):
+            decode_frame(bytes(data))
+
+    def test_measurement_matrix_recoverable_after_transport(self, frame):
+        decoded = decode_frame(encode_frame(frame))
+        assert np.array_equal(decoded.measurement_matrix(), frame.measurement_matrix())
