@@ -1,0 +1,81 @@
+"""E13 — batched capture engine throughput.
+
+Times the three layers the batched engine rewrote: the vectorised Φ builder
+(one CA evolution + one broadcast XOR), the single-frame behavioural capture
+(rank-structured matmul + one LSB draw per selected event) and the
+multi-frame ``capture_batch`` fast path that shares one CA state stack across
+a whole sequence.  Together with ``test_bench_throughput.py`` these numbers
+make hot-path regressions visible; the capture-equivalence regression tests
+guarantee the speed does not come at the cost of bit-fidelity.
+"""
+
+import numpy as np
+
+from repro.ca.selection import ca_measurement_matrix
+from repro.optics.photo import PhotoConversion
+from repro.optics.scenes import make_scene
+from repro.sensor.config import SensorConfig
+from repro.sensor.imager import CompressiveImager
+from repro.sensor.video import VideoSequencer
+
+
+def make_inputs(rows=64, cols=64, seed=2018):
+    config = SensorConfig(rows=rows, cols=cols)
+    imager = CompressiveImager(config, seed=seed)
+    scene = make_scene("natural", (rows, cols), seed=seed)
+    current = PhotoConversion(prnu_sigma=0.0, shot_noise=False).convert(scene)
+    return imager, current
+
+
+def test_batched_phi_build_full_frame(benchmark):
+    """Φ for a full 64x64 frame (4096 samples) in one batched pass."""
+    imager, _ = make_inputs()
+    seed_state = imager.selection.seed_state
+    phi = benchmark(
+        lambda: ca_measurement_matrix(4096, 64, 64, seed_state, warmup_steps=8)
+    )
+    assert phi.shape == (4096, 4096)
+    assert phi.dtype == np.uint8
+
+
+def test_batched_behavioural_capture_no_lsb(benchmark):
+    """The pure Φ@x path, isolating the matmul from the LSB draw cost."""
+    imager, current = make_inputs()
+    frame = benchmark(lambda: imager.capture(current, n_samples=512, lsb_error=False))
+    assert frame.metadata["n_lsb_errors"] == 0
+
+
+def test_batched_behavioural_capture_with_lsb(benchmark):
+    """Same capture with the stochastic LSB error batched over every event."""
+    imager, current = make_inputs()
+    frame = benchmark(lambda: imager.capture(current, n_samples=512))
+    assert frame.n_samples == 512
+
+
+def test_capture_batch_eight_frames(benchmark):
+    """Eight 512-sample frames through one shared CA state stack."""
+    imager, current = make_inputs()
+    currents = [current] * 8
+
+    def run():
+        frames = imager.capture_batch(currents, n_samples=512)
+        return frames
+
+    frames = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(frames) == 8
+    assert all(frame.n_samples == 512 for frame in frames)
+
+
+def test_video_sequencer_throughput(benchmark):
+    """The video path end to end (conversion + batched multi-frame capture)."""
+    imager, _ = make_inputs(rows=32, cols=32)
+    sequencer = VideoSequencer(
+        imager,
+        conversion=PhotoConversion(prnu_sigma=0.0, shot_noise=False),
+        samples_per_frame=256,
+    )
+    scenes = [make_scene("blobs", (32, 32), seed=s) for s in range(8)]
+    result = benchmark.pedantic(
+        lambda: sequencer.capture_sequence(scenes), rounds=3, iterations=1
+    )
+    assert result.n_frames == 8

@@ -28,7 +28,12 @@ from repro.ca.analysis import (
 from repro.ca.automaton import BoundaryCondition, ElementaryCellularAutomaton
 from repro.ca.rule30 import Rule30Cell, Rule30Register, rule30_next_state
 from repro.ca.rules import RULE_30, RULE_90, RULE_110, RULE_184, RuleTable
-from repro.ca.selection import CASelectionGenerator, SelectionPattern
+from repro.ca.selection import (
+    CASelectionGenerator,
+    SelectionPattern,
+    ca_measurement_matrix,
+    selection_masks_from_states,
+)
 
 __all__ = [
     "BoundaryCondition",
@@ -43,6 +48,8 @@ __all__ = [
     "rule30_next_state",
     "CASelectionGenerator",
     "SelectionPattern",
+    "ca_measurement_matrix",
+    "selection_masks_from_states",
     "bit_balance",
     "detect_cycle",
     "sequence_entropy",

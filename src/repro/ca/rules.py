@@ -10,6 +10,7 @@ Wolfram code.  Table I of the paper is exactly the truth table of Rule 30.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -69,14 +70,24 @@ class RuleTable:
         """The NS column of :meth:`as_table` as a numpy array."""
         return np.array([row[3] for row in self.as_table()], dtype=np.uint8)
 
+    @cached_property
+    def lookup_table(self) -> np.ndarray:
+        """Next-state lookup indexed by the neighbourhood value ``(L<<2)|(S<<1)|R``.
+
+        Cached because :meth:`apply` sits on the CA stepping hot path and the
+        table never changes for a given rule.
+        """
+        table = np.array([(self.number >> i) & 1 for i in range(8)], dtype=np.uint8)
+        table.setflags(write=False)
+        return table
+
     def apply(self, left: np.ndarray, center: np.ndarray, right: np.ndarray) -> np.ndarray:
         """Vectorised rule application on aligned neighbour arrays."""
         left = np.asarray(left, dtype=np.uint8)
         center = np.asarray(center, dtype=np.uint8)
         right = np.asarray(right, dtype=np.uint8)
-        index = (left.astype(np.int64) << 2) | (center.astype(np.int64) << 1) | right
-        lookup = np.array([(self.number >> i) & 1 for i in range(8)], dtype=np.uint8)
-        return lookup[index]
+        index = left * np.uint8(4) + center * np.uint8(2) + right
+        return self.lookup_table[index]
 
     @property
     def is_legal(self) -> bool:

@@ -13,6 +13,17 @@ seed — this is the property the paper exploits to avoid transmitting or
 storing Φ.  :class:`CASelectionGenerator` is used both inside the sensor
 simulator (to select pixels) and inside the reconstruction pipeline (to
 rebuild the very same Φ at the receiver from the seed alone).
+
+Φ is built *batched*: the CA states for a whole frame are evolved in one
+pass (:meth:`~repro.ca.automaton.ElementaryCellularAutomaton.evolve_states`)
+and expanded into the ``(n_samples, rows*cols)`` selection matrix with a
+single broadcast XOR — no per-sample Python objects.  The module-level
+:func:`ca_measurement_matrix` is the one shared Φ builder: the sensor's
+capture path, the receiver's reconstruction pipeline and the matrix-quality
+benchmarks all call it, so the two ends of the channel cannot drift apart.
+The per-pattern iterator API (:meth:`CASelectionGenerator.next_pattern`,
+:meth:`CASelectionGenerator.patterns`) is kept as a thin view over the same
+batched states.
 """
 
 from __future__ import annotations
@@ -26,6 +37,57 @@ from repro.ca.automaton import BoundaryCondition, ElementaryCellularAutomaton
 from repro.ca.rules import RuleTable
 from repro.utils.rng import SeedLike, nonzero_seed_bits
 from repro.utils.validation import check_binary_array, check_positive
+
+
+def selection_masks_from_states(states: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """Expand a stack of CA states into flattened XOR selection masks.
+
+    ``states`` has shape ``(n_samples, rows + cols)``; the first ``rows``
+    cells of each state drive the row lines and the remainder the column
+    lines.  The result is the ``(n_samples, rows * cols)`` ``uint8`` slice of
+    Φ produced by the ``S_i XOR S_j`` gate of Fig. 1, computed for the whole
+    batch with one broadcast XOR.
+    """
+    states = np.asarray(states, dtype=np.uint8)
+    if states.ndim != 2 or states.shape[1] != rows + cols:
+        raise ValueError(
+            f"states must have shape (n, {rows + cols}), got {states.shape}"
+        )
+    row_signals = states[:, :rows]
+    col_signals = states[:, rows:]
+    masks = np.bitwise_xor(row_signals[:, :, None], col_signals[:, None, :])
+    return masks.reshape(states.shape[0], rows * cols)
+
+
+def ca_measurement_matrix(
+    n_samples: int,
+    rows: int,
+    cols: int,
+    seed_state: np.ndarray,
+    *,
+    rule: Union[int, RuleTable] = 30,
+    steps_per_sample: int = 1,
+    warmup_steps: int = 0,
+    boundary: BoundaryCondition = BoundaryCondition.PERIODIC,
+) -> np.ndarray:
+    """Build Φ from a CA seed in one batched pass — the shared Φ builder.
+
+    Every consumer of a CA measurement matrix (the sensor capture path, the
+    receiver-side :func:`repro.recon.operator.measurement_matrix_from_seed`,
+    the CS baselines) routes through this function, which guarantees that the
+    matrix used for capture and the matrix rebuilt for reconstruction are the
+    same batched computation, bit for bit.
+    """
+    check_positive("n_samples", n_samples)
+    check_positive("rows", rows)
+    check_positive("cols", cols)
+    automaton = ElementaryCellularAutomaton(
+        rows + cols, rule, seed_state=np.asarray(seed_state), boundary=boundary
+    )
+    if warmup_steps:
+        automaton.step(int(warmup_steps))
+    states = automaton.evolve_states(int(n_samples), int(steps_per_sample))
+    return selection_masks_from_states(states, int(rows), int(cols))
 
 
 @dataclass(frozen=True)
@@ -156,20 +218,55 @@ class CASelectionGenerator:
             mask=mask,
         )
 
+    def next_states(self, n_patterns: int) -> np.ndarray:
+        """Consume the CA states of the next ``n_patterns`` selection patterns.
+
+        Returns the ``(n_patterns, rows + cols)`` ``uint8`` state stack and
+        advances the generator exactly as ``n_patterns`` calls of
+        :meth:`next_pattern` would: the first state is the current one unless
+        patterns have already been consumed, and each subsequent state lies
+        ``steps_per_sample`` CA generations further on.  This is the batched
+        primitive behind both the capture fast path and the pattern iterator.
+        """
+        check_positive("n_patterns", n_patterns)
+        states = self._automaton.evolve_states(
+            int(n_patterns),
+            self.steps_per_sample,
+            step_before_first=self._sample_index > 0,
+        )
+        self._sample_index += int(n_patterns)
+        return states
+
+    def next_masks(self, n_patterns: int) -> np.ndarray:
+        """Consume the next ``n_patterns`` patterns as a flattened-mask batch.
+
+        The result is the ``(n_patterns, rows * cols)`` ``uint8`` slice of Φ
+        this generator contributes next — what the batched behavioural
+        capture multiplies against the pixel codes.
+        """
+        return selection_masks_from_states(
+            self.next_states(n_patterns), self.rows, self.cols
+        )
+
     def next_pattern(self) -> SelectionPattern:
         """Return the selection pattern for the next compressed sample.
 
         The first pattern is derived from the post-warm-up seed state itself;
         subsequent patterns advance the CA by ``steps_per_sample`` cycles.
         """
-        if self._sample_index > 0:
-            self._automaton.step(self.steps_per_sample)
-        pattern = self._pattern_from_state(self._automaton.state, self._sample_index)
-        self._sample_index += 1
-        return pattern
+        index = self._sample_index
+        state = self.next_states(1)[0]
+        return self._pattern_from_state(state, index)
 
     def patterns(self, n_patterns: int) -> Iterator[SelectionPattern]:
-        """Yield the next ``n_patterns`` selection patterns."""
+        """Yield the next ``n_patterns`` selection patterns.
+
+        Lazy: the CA advances one pattern per iteration, so a consumer that
+        stops early leaves the generator positioned exactly on the last
+        pattern it took (the pre-batching contract).  Batch consumers that
+        want the whole stretch at once should use :meth:`next_states` /
+        :meth:`next_masks`, which evolve it in a single pass.
+        """
         check_positive("n_patterns", n_patterns)
         for _ in range(int(n_patterns)):
             yield self.next_pattern()
@@ -177,24 +274,21 @@ class CASelectionGenerator:
     def measurement_matrix(self, n_samples: int) -> np.ndarray:
         """Return Φ as an ``n_samples x (rows*cols)`` binary matrix.
 
-        This regenerates the matrix from scratch starting at the seed, which
-        is exactly what the receiving end of the channel does; it does not
+        This regenerates the matrix from scratch starting at the seed — in
+        one batched pass through :func:`ca_measurement_matrix`, which is
+        exactly what the receiving end of the channel does; it does not
         disturb the generator's own position in the sequence.
         """
-        check_positive("n_samples", n_samples)
-        clone = CASelectionGenerator(
+        return ca_measurement_matrix(
+            int(n_samples),
             self.rows,
             self.cols,
-            seed_state=self._seed_state,
+            self._seed_state,
             rule=self._automaton.rule,
             steps_per_sample=self.steps_per_sample,
             warmup_steps=self.warmup_steps,
             boundary=self._automaton.boundary,
         )
-        matrix = np.empty((int(n_samples), self.rows * self.cols), dtype=np.uint8)
-        for i, pattern in enumerate(clone.patterns(int(n_samples))):
-            matrix[i] = pattern.as_vector()
-        return matrix
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -25,12 +25,13 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.ca.selection import ca_measurement_matrix
 from repro.cs.dictionaries import DCT2Dictionary, Dictionary, make_dictionary
 from repro.cs.matrices import bernoulli_matrix
 from repro.cs.operators import SensingOperator
 from repro.cs.solvers import fista, omp
 from repro.utils.images import block_view, unblock_view
-from repro.utils.rng import SeedLike
+from repro.utils.rng import SeedLike, nonzero_seed_bits
 from repro.utils.validation import check_choice, check_in_range, check_positive
 
 
@@ -48,6 +49,12 @@ class BlockCompressiveSampler:
         strategy, so comparisons are per-bit fair at the sample level).
     dictionary:
         Per-block sparsifying dictionary name (``dct`` by default).
+    matrix:
+        Shared per-block measurement ensemble: ``"bernoulli"`` (the classic
+        block-CS choice) or ``"ca"`` — a Rule 30 selection matrix built by
+        the same batched Φ builder the full-frame sensor and receiver use
+        (:func:`repro.ca.selection.ca_measurement_matrix`), so block-CS can
+        be compared against the paper's strategy with an identical ensemble.
     seed:
         Seed for the shared per-block measurement matrix.
     """
@@ -59,6 +66,7 @@ class BlockCompressiveSampler:
         block_size: int = 8,
         compression_ratio: float = 0.4,
         dictionary: str = "dct",
+        matrix: str = "bernoulli",
         seed: SeedLike = 2018,
     ) -> None:
         rows, cols = image_shape
@@ -76,9 +84,25 @@ class BlockCompressiveSampler:
         self.n_block_pixels = self.block_size ** 2
         self.samples_per_block = max(1, int(round(self.compression_ratio * self.n_block_pixels)))
         self.dictionary: Dictionary = make_dictionary(dictionary, (self.block_size, self.block_size))
-        self.phi_block = bernoulli_matrix(
-            self.samples_per_block, self.n_block_pixels, density=0.5, seed=seed
-        )
+        check_choice("matrix", matrix, ("bernoulli", "ca"))
+        self.matrix = matrix
+        if matrix == "ca" and self.block_size < 2:
+            raise ValueError(
+                "matrix='ca' needs block_size >= 2: the selection CA ring has "
+                "2 * block_size cells and a cellular automaton needs at least 3"
+            )
+        if matrix == "ca":
+            self.phi_block = ca_measurement_matrix(
+                self.samples_per_block,
+                self.block_size,
+                self.block_size,
+                nonzero_seed_bits(2 * self.block_size, seed),
+                warmup_steps=8,
+            ).astype(float)
+        else:
+            self.phi_block = bernoulli_matrix(
+                self.samples_per_block, self.n_block_pixels, density=0.5, seed=seed
+            )
 
     # ---------------------------------------------------------------- sizes
     @property

@@ -13,7 +13,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.ca.selection import CASelectionGenerator
+from repro.ca.selection import ca_measurement_matrix
 from repro.cs.dictionaries import Dictionary, make_dictionary
 from repro.cs.operators import SensingOperator
 from repro.sensor.imager import CompressedFrame
@@ -32,20 +32,22 @@ def measurement_matrix_from_seed(
     """Regenerate the 0/1 measurement matrix Φ from the CA seed.
 
     This must (and, by construction, does) produce bit-for-bit the same
-    matrix the sensor used — the property tested by the round-trip property
-    tests.
+    matrix the sensor used: both ends call the one batched builder,
+    :func:`repro.ca.selection.ca_measurement_matrix`, so the capture and
+    reconstruction matrices cannot drift apart.  The property is pinned by
+    the round-trip property tests.
     """
     check_positive("n_samples", n_samples)
     rows, cols = shape
-    generator = CASelectionGenerator(
+    return ca_measurement_matrix(
+        int(n_samples),
         rows,
         cols,
-        seed_state=np.asarray(seed_state),
+        np.asarray(seed_state),
         rule=rule,
         steps_per_sample=steps_per_sample,
         warmup_steps=warmup_steps,
-    )
-    return generator.measurement_matrix(int(n_samples)).astype(float)
+    ).astype(float)
 
 
 def frame_operator(

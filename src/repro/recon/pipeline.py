@@ -7,6 +7,11 @@ the sample mean, since every sample selects ≈ half the pixels), runs a sparse
 solver in the chosen dictionary and returns the reconstructed code image.
 ``reconstruct_samples`` is the matrix-level variant used by the pure-algorithm
 benchmarks where Φ is given explicitly (Gaussian, Bernoulli, LFSR baselines).
+
+Φ is rebuilt through :func:`repro.recon.operator.measurement_matrix_from_seed`,
+which delegates to the one batched builder shared with the sensor's capture
+path (:func:`repro.ca.selection.ca_measurement_matrix`) — the receiver is
+guaranteed to invert exactly the matrix the sensor sampled with.
 """
 
 from __future__ import annotations

@@ -5,11 +5,17 @@ the time-encoding pixel array (Section II-A), the Rule 30 selection CA
 (II-B / III-A), the column bus token protocol (II-E), the global-counter TDC
 and the sample-and-add chain (III-B).  Two fidelity levels are offered:
 
-* ``"behavioural"`` — vectorised: pixel codes are quantised firing times and
-  each compressed sample is the masked sum of codes, with the ±1 LSB
-  late-detection error injected stochastically.  This is exact whenever no
-  two events of a column collide and is fast enough to capture whole frames
-  (thousands of compressed samples) for the reconstruction benchmarks.
+* ``"behavioural"`` — batched: pixel codes are quantised firing times and a
+  whole frame is captured as one CA-matrix build plus one matmul,
+  ``samples = Φ @ codes``, with the ±1 LSB late-detection error injected by a
+  single vectorised draw over every selected event in the frame.  This
+  mirrors the paper's architecture directly — Φ is generated concurrently
+  with sampling and each sample is a plain masked sum (Section II) — and it
+  is exact whenever no two events of a column collide.  The batched engine
+  is bit-identical to the per-pattern loop it replaced (the capture
+  equivalence regression tests pin this) while being an order of magnitude
+  faster, and :meth:`CompressiveImager.capture_batch` extends it to stacks
+  of frames that share one CA evolution, as the 30 fps hardware does.
 * ``"event"`` — event-accurate: every column is run through the
   :class:`~repro.sensor.column_bus.ColumnBusArbiter`, the TDC samples the
   counter at the actual bus-occupation instants and the
@@ -29,13 +35,14 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.ca.selection import CASelectionGenerator
+from repro.ca.automaton import ElementaryCellularAutomaton
+from repro.ca.selection import CASelectionGenerator, selection_masks_from_states
 from repro.pixel.event import PixelEvent
 from repro.pixel.time_encoder import TimeEncoder
 from repro.sensor.column_bus import ColumnBusArbiter
 from repro.sensor.config import SensorConfig
 from repro.sensor.sample_add import SampleAndAdd
-from repro.sensor.tdc import GlobalCounterTDC, apply_stochastic_lsb_error
+from repro.sensor.tdc import GlobalCounterTDC, draw_lsb_bumps
 from repro.utils.rng import SeedLike, derive_seed, new_rng
 from repro.utils.validation import check_choice, check_positive
 
@@ -285,7 +292,192 @@ class CompressiveImager:
             photocurrent, n_samples=n_samples, fidelity=fidelity, **kwargs
         )
 
+    def capture_batch(
+        self,
+        photocurrents,
+        *,
+        n_samples: Optional[int] = None,
+        auto_expose: bool = True,
+        lsb_error: bool = True,
+        keep_digital_image: bool = True,
+    ) -> List[CompressedFrame]:
+        """Capture a stack of frames with a continuously-running selection CA.
+
+        This is the batched multi-frame fast path: the CA states for the
+        *whole sequence* are evolved in one pass and expanded into one shared
+        Φ array, of which each frame multiplies its own slice.  Consecutive
+        frames overlap by one selection pattern, exactly as the hardware's
+        free-running CA does (frame ``k+1``'s first pattern is the state
+        frame ``k`` stopped on), so every produced frame remains
+        independently decodable from its own ``seed_state``.
+
+        The result is bit-identical to capturing the frames one by one and
+        re-seeding the generator from the CA's end state between frames —
+        the loop :class:`~repro.sensor.video.VideoSequencer` used to run —
+        and the imager's selection generator is left positioned after the
+        last frame, so further captures continue the same CA evolution.
+        Behavioural fidelity only; loop :meth:`capture` with
+        ``fidelity="event"`` for event-accurate sequences.
+        """
+        photocurrents = [np.asarray(current, dtype=float) for current in photocurrents]
+        if not photocurrents:
+            return []
+        if n_samples is None:
+            n_samples = self.config.samples_per_frame
+        check_positive("n_samples", n_samples)
+        n_samples = int(n_samples)
+        n_frames = len(photocurrents)
+
+        # One batched CA evolution covers the whole sequence: frame f uses
+        # global states [f*(n_samples-1), f*(n_samples-1) + n_samples).
+        first_seed_state = self.selection.seed_state
+        first_warmup = self.warmup_steps
+        n_states = n_frames * (n_samples - 1) + 1
+        states = self._sequence_states(n_states)
+
+        frames: List[CompressedFrame] = []
+        for frame_index, photocurrent in enumerate(photocurrents):
+            if auto_expose:
+                self.auto_expose(photocurrent)
+            # Each frame re-derives the same capture stream a standalone
+            # capture() would, keeping batch and one-by-one captures equal.
+            rng = new_rng(derive_seed(self.seed, "capture"))
+            times = self.firing_times(photocurrent, rng=rng)
+            codes = self.tdc.ideal_codes(times)
+            start = frame_index * (n_samples - 1)
+            lsb_probability = self._behavioural_lsb_probability(lsb_error)
+            samples, n_bumped = self._behavioural_samples(
+                states[start: start + n_samples],
+                codes,
+                lsb_probability=lsb_probability,
+                rng=rng,
+            )
+            metadata = {
+                "lsb_error_probability": float(lsb_probability),
+                "n_lsb_errors": int(n_bumped),
+                "n_lost_events": 0,
+                "n_queued_events": 0,
+                "fidelity": "behavioural",
+                "n_saturated_pixels": int(np.count_nonzero(codes >= self.tdc.max_code)),
+            }
+            frames.append(
+                CompressedFrame(
+                    samples=samples,
+                    seed_state=first_seed_state if frame_index == 0 else states[start].copy(),
+                    rule_number=self.rule_number,
+                    steps_per_sample=self.steps_per_sample,
+                    warmup_steps=first_warmup if frame_index == 0 else 0,
+                    config=self.config,
+                    digital_image=codes if keep_digital_image else None,
+                    metadata=metadata,
+                )
+            )
+        # Leave the imager's CA where the sequence ended: the last state
+        # becomes the seed of whatever is captured next, with no warm-up
+        # (the register is already well mixed).
+        self.selection = CASelectionGenerator(
+            self.config.rows,
+            self.config.cols,
+            seed_state=states[-1],
+            rule=self.rule_number,
+            steps_per_sample=self.steps_per_sample,
+            warmup_steps=0,
+        )
+        self.warmup_steps = 0
+        return frames
+
+    def _sequence_states(self, n_states: int) -> np.ndarray:
+        """Evolve the CA states of a whole capture sequence in one pass.
+
+        Starts from the generator's post-warm-up seed position (what
+        ``selection.reset()`` rewinds to) without disturbing the generator
+        itself, mirroring how each standalone capture begins.
+        """
+        automaton = ElementaryCellularAutomaton(
+            self.config.rows + self.config.cols,
+            self.rule_number,
+            seed_state=self.selection.seed_state,
+        )
+        if self.warmup_steps:
+            automaton.step(self.warmup_steps)
+        return automaton.evolve_states(int(n_states), self.steps_per_sample)
+
     # ----------------------------------------------------- behavioural path
+    def _behavioural_lsb_probability(self, lsb_error: bool) -> float:
+        if not lsb_error:
+            return 0.0
+        # A pulse slips into the next clock period when queueing pushes it
+        # across a tick boundary; the per-event probability is bounded by
+        # the chance of colliding with another event of the same column.
+        return self.config.event_overlap_probability(self.config.rows // 2)
+
+    def _behavioural_samples(
+        self,
+        states: np.ndarray,
+        codes: np.ndarray,
+        *,
+        lsb_probability: float,
+        rng: np.random.Generator,
+    ):
+        """One frame's compressed samples from its CA state stack, fully batched.
+
+        ``samples = Φ @ codes`` without materialising Φ: the XOR construction
+        makes ``Φ[i] = R_i ⊕ C_i = R_i + C_i - 2 R_i C_i`` a rank-structured
+        mask, so the whole frame reduces to three small matmuls over the raw
+        row/column CA signals.  All intermediates are integers well below
+        2**53, so the float64 BLAS path is exact and the result equals the
+        integer matmul bit for bit.
+
+        The +1 LSB late-detection error is one uniform draw per selected
+        event, taken in the exact event order (sample-major, then raster
+        pixel order) the legacy per-pattern loop consumed them, so the output
+        is bit-identical to that loop for the same generator stream.
+        """
+        rows, cols = self.config.rows, self.config.cols
+        row_signals = states[:, :rows].astype(np.float64)
+        col_signals = states[:, rows:].astype(np.float64)
+        image = codes.reshape(rows, cols).astype(np.float64)
+        samples = (
+            row_signals @ image.sum(axis=1)
+            + col_signals @ image.sum(axis=0)
+            - 2.0 * ((row_signals @ image) * col_signals).sum(axis=1)
+        ).astype(np.int64)
+        n_bumped = 0
+        if lsb_probability > 0.0:
+            n_row_high = row_signals.sum(axis=1)
+            n_col_high = col_signals.sum(axis=1)
+            counts = (
+                n_row_high * (cols - n_col_high) + (rows - n_row_high) * n_col_high
+            ).astype(np.int64)
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            bumps = draw_lsb_bumps(int(offsets[-1]), lsb_probability, rng=rng)
+            if np.all(codes < self.tdc.max_code):
+                # No saturated pixel: every bump lands.  Per-sample bump
+                # totals are segment sums over the contiguous draw vector.
+                if bumps.size and counts.min() > 0:
+                    samples += np.add.reduceat(
+                        bumps.view(np.uint8), offsets[:-1], dtype=np.int64
+                    )
+                elif bumps.size:
+                    # Empty segments (a degenerate all-equal CA state) break
+                    # reduceat's index convention; fall back to cumsum.
+                    bump_totals = np.concatenate(([0], np.cumsum(bumps)))[offsets]
+                    samples += bump_totals[1:] - bump_totals[:-1]
+                n_bumped = int(np.count_nonzero(bumps))
+            else:
+                # A bump on an already-saturated code clips back to max_code
+                # and neither shifts the sample nor counts as an error; this
+                # needs per-event pixel identity, so rebuild the mask batch.
+                phi = selection_masks_from_states(states, rows, cols)
+                sample_index, pixel_index = np.nonzero(phi)
+                effective = bumps & (codes.reshape(-1)[pixel_index] < self.tdc.max_code)
+                if effective.any():
+                    samples += np.bincount(
+                        sample_index[effective], minlength=samples.size
+                    )
+                n_bumped = int(np.count_nonzero(effective))
+        return samples, n_bumped
+
     def _capture_behavioural(
         self,
         codes: np.ndarray,
@@ -294,27 +486,11 @@ class CompressiveImager:
         lsb_error: bool,
         rng: np.random.Generator,
     ):
-        lsb_probability = 0.0
-        if lsb_error:
-            # A pulse slips into the next clock period when queueing pushes it
-            # across a tick boundary; the per-event probability is bounded by
-            # the chance of colliding with another event of the same column.
-            lsb_probability = self.config.event_overlap_probability(self.config.rows // 2)
-        samples = np.empty(n_samples, dtype=np.int64)
-        n_bumped = 0
-        for index, pattern in enumerate(self.selection.patterns(n_samples)):
-            selected = pattern.mask.astype(bool)
-            selected_codes = codes[selected]
-            if lsb_probability > 0.0 and selected_codes.size:
-                bumped = apply_stochastic_lsb_error(
-                    selected_codes,
-                    lsb_probability,
-                    max_code=self.tdc.max_code,
-                    rng=rng,
-                )
-                n_bumped += int(np.count_nonzero(bumped - selected_codes))
-                selected_codes = bumped
-            samples[index] = int(selected_codes.sum())
+        lsb_probability = self._behavioural_lsb_probability(lsb_error)
+        states = self.selection.next_states(n_samples)
+        samples, n_bumped = self._behavioural_samples(
+            states, codes, lsb_probability=lsb_probability, rng=rng
+        )
         metadata = {
             "lsb_error_probability": float(lsb_probability),
             "n_lsb_errors": int(n_bumped),

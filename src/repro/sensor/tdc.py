@@ -131,6 +131,29 @@ class GlobalCounterTDC:
         }
 
 
+def draw_lsb_bumps(
+    n_draws: int,
+    probability: float,
+    *,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``n_draws`` independent +1 LSB bump decisions as a boolean array.
+
+    One uniform draw per selected event, taken from ``rng``'s stream in event
+    order.  Because :meth:`numpy.random.Generator.random` fills arrays
+    sequentially from the underlying bit stream, one batched call here
+    consumes exactly the same draws as the per-pattern
+    :func:`apply_stochastic_lsb_error` calls it replaces — this is what lets
+    the batched capture engine reproduce the legacy per-pattern loop bit for
+    bit (the property pinned by the capture-equivalence regression tests).
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    if n_draws < 0:
+        raise ValueError(f"n_draws must be non-negative, got {n_draws}")
+    return rng.random(int(n_draws)) < probability
+
+
 def apply_stochastic_lsb_error(
     codes: np.ndarray,
     probability: float,
@@ -143,8 +166,6 @@ def apply_stochastic_lsb_error(
     Used by the fast (vectorised) imager path to emulate the late-detection
     error without running the full event-level arbitration.
     """
-    if not 0.0 <= probability <= 1.0:
-        raise ValueError(f"probability must be in [0, 1], got {probability}")
     codes = np.asarray(codes, dtype=np.int64)
-    bumps = (rng.random(codes.shape) < probability).astype(np.int64)
-    return np.minimum(codes + bumps, int(max_code))
+    bumps = draw_lsb_bumps(codes.size, probability, rng=rng).reshape(codes.shape)
+    return np.minimum(codes + bumps.astype(np.int64), int(max_code))

@@ -101,41 +101,24 @@ class VideoSequencer:
     ) -> VideoCaptureResult:
         """Capture every scene in order, advancing the CA between frames.
 
-        The hardware never re-seeds its CA between frames; we model that by
-        snapshotting the CA state at the start of each frame and rebuilding the
-        imager's selection generator from that snapshot, so frame ``k``'s
-        measurement matrix picks up exactly where frame ``k-1`` stopped.
+        The hardware never re-seeds its CA between frames; the whole sequence
+        is delegated to :meth:`~repro.sensor.imager.CompressiveImager.capture_batch`,
+        which evolves one shared CA state stack for all frames, so frame
+        ``k``'s measurement matrix picks up exactly where frame ``k-1``
+        stopped and the full sequence is captured through the batched Φ
+        machinery in one pass.
         """
         result = VideoCaptureResult(samples_per_frame=self.samples_per_frame)
-        for scene in scenes:
-            scene = np.asarray(scene, dtype=float)
-            photocurrent = self.conversion.convert(scene)
-            frame = self.imager.capture(
-                photocurrent,
-                n_samples=self.samples_per_frame,
-                auto_expose=auto_expose,
-                lsb_error=lsb_error,
-            )
-            result.frames.append(frame)
-            self._advance_selection()
-        return result
-
-    def _advance_selection(self) -> None:
-        """Continue the CA where the last frame left it (no re-seeding)."""
-        selection = self.imager.selection
-        # The generator's internal automaton already sits at the last pattern
-        # of the previous frame; its *current state* becomes the next frame's
-        # seed, with no warm-up (the register is already well mixed).
-        current_state = selection._automaton.state  # noqa: SLF001 - deliberate model access
-        self.imager.selection = type(selection)(
-            selection.rows,
-            selection.cols,
-            seed_state=current_state,
-            rule=selection.rule.number,
-            steps_per_sample=selection.steps_per_sample,
-            warmup_steps=0,
+        photocurrents = [
+            self.conversion.convert(np.asarray(scene, dtype=float)) for scene in scenes
+        ]
+        result.frames = self.imager.capture_batch(
+            photocurrents,
+            n_samples=self.samples_per_frame,
+            auto_expose=auto_expose,
+            lsb_error=lsb_error,
         )
-        self.imager.warmup_steps = 0
+        return result
 
 
 def temporal_difference_energy(frames: List[CompressedFrame]) -> np.ndarray:

@@ -129,3 +129,50 @@ class TestResetAndRun:
         b = ElementaryCellularAutomaton(64, seed_state=a.state)
         for _ in range(20):
             assert np.array_equal(a.step(), b.step())
+
+
+class TestEvolveStates:
+    """The batched evolution must replay step() exactly — step() is the
+    executable reference the packed fast path is verified against."""
+
+    @pytest.mark.parametrize("rule", [30, 90, 110, 184, 45, 0, 255])
+    @pytest.mark.parametrize("n_cells", [3, 7, 16, 128, 130])
+    def test_matches_sequential_steps_periodic(self, rule, n_cells):
+        seed = (np.arange(n_cells) % 3 == 0).astype(np.uint8)
+        a = ElementaryCellularAutomaton(n_cells, rule, seed_state=seed)
+        b = ElementaryCellularAutomaton(n_cells, rule, seed_state=seed)
+        snapshots = a.evolve_states(6, 2)
+        reference = [b.state] + [b.step(2) for _ in range(5)]
+        assert np.array_equal(snapshots, np.array(reference, dtype=np.uint8))
+        assert np.array_equal(a.state, b.state)
+        assert a.generation == b.generation
+
+    @pytest.mark.parametrize(
+        "boundary", [BoundaryCondition.FIXED_ZERO, BoundaryCondition.FIXED_ONE]
+    )
+    def test_matches_sequential_steps_fixed_boundaries(self, boundary):
+        seed = np.ones(16, dtype=np.uint8)
+        a = ElementaryCellularAutomaton(16, 30, seed_state=seed, boundary=boundary)
+        b = ElementaryCellularAutomaton(16, 30, seed_state=seed, boundary=boundary)
+        snapshots = a.evolve_states(5, 1)
+        reference = [b.state] + [b.step() for _ in range(4)]
+        assert np.array_equal(snapshots, np.array(reference, dtype=np.uint8))
+
+    def test_step_before_first_offsets_the_stream(self):
+        a = ElementaryCellularAutomaton(16, 30, seed_state=np.ones(16, dtype=np.uint8))
+        b = ElementaryCellularAutomaton(16, 30, seed_state=np.ones(16, dtype=np.uint8))
+        snapshots = a.evolve_states(4, 3, step_before_first=True)
+        reference = [b.step(3) for _ in range(4)]
+        assert np.array_equal(snapshots, np.array(reference, dtype=np.uint8))
+
+    def test_zero_snapshots(self):
+        automaton = ElementaryCellularAutomaton(8, 30, seed_state=np.ones(8, np.uint8))
+        assert automaton.evolve_states(0, 1).shape == (0, 8)
+        assert automaton.generation == 0
+
+    def test_invalid_arguments(self):
+        automaton = ElementaryCellularAutomaton(8, 30, seed_state=np.ones(8, np.uint8))
+        with pytest.raises(ValueError):
+            automaton.evolve_states(-1, 1)
+        with pytest.raises(ValueError):
+            automaton.evolve_states(3, 0)

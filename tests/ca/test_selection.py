@@ -114,3 +114,39 @@ class TestMatrixProperties:
         matrix = generator.measurement_matrix(9)
         assert matrix.shape == (9, 96)
         assert matrix.dtype == np.uint8
+
+
+class TestBatchedStateAccess:
+    def test_next_masks_match_pattern_stream(self):
+        seed = CASelectionGenerator(8, 8, seed=20).seed_state
+        batched = CASelectionGenerator(8, 8, seed_state=seed, warmup_steps=2)
+        sequential = CASelectionGenerator(8, 8, seed_state=seed, warmup_steps=2)
+        masks = batched.next_masks(7)
+        for row in masks:
+            assert np.array_equal(row, sequential.next_pattern().as_vector())
+        assert batched.sample_index == sequential.sample_index
+
+    def test_next_states_continue_mid_stream(self):
+        seed = CASelectionGenerator(8, 8, seed=21).seed_state
+        batched = CASelectionGenerator(8, 8, seed_state=seed, steps_per_sample=2)
+        sequential = CASelectionGenerator(8, 8, seed_state=seed, steps_per_sample=2)
+        batched.next_pattern()
+        sequential.next_pattern()
+        states = batched.next_states(4)
+        for state in states:
+            pattern = sequential.next_pattern()
+            expected = np.concatenate([pattern.row_signals, pattern.col_signals])
+            assert np.array_equal(state, expected)
+
+    def test_partial_iterator_consumption_stays_lazy(self):
+        """Breaking out of patterns() must leave the generator on the last
+        pattern actually taken, not at the end of the requested stretch."""
+        generator = CASelectionGenerator(8, 8, seed=22)
+        iterator = generator.patterns(10)
+        next(iterator)
+        next(iterator)
+        assert generator.sample_index == 2
+        follow_up = generator.next_pattern()
+        fresh = CASelectionGenerator(8, 8, seed_state=generator.seed_state, warmup_steps=0)
+        expected = [fresh.next_pattern() for _ in range(3)][2]
+        assert np.array_equal(follow_up.mask, expected.mask)

@@ -88,3 +88,34 @@ class TestReconstruction:
         sampler = BlockCompressiveSampler((16, 16), block_size=8)
         with pytest.raises(ValueError):
             sampler.reconstruct(np.zeros((3, 3)))
+
+
+class TestCAMatrixOption:
+    def test_ca_matrix_built_by_shared_builder(self):
+        from repro.ca.selection import ca_measurement_matrix
+        from repro.utils.rng import nonzero_seed_bits
+
+        sampler = BlockCompressiveSampler(
+            (16, 16), block_size=8, compression_ratio=0.5, matrix="ca", seed=5
+        )
+        expected = ca_measurement_matrix(
+            sampler.samples_per_block, 8, 8, nonzero_seed_bits(16, 5), warmup_steps=8
+        ).astype(float)
+        assert np.array_equal(sampler.phi_block, expected)
+        assert set(np.unique(sampler.phi_block)).issubset({0.0, 1.0})
+
+    def test_ca_matrix_reconstructs(self):
+        sampler = BlockCompressiveSampler(
+            (16, 16), block_size=8, compression_ratio=0.6, matrix="ca", seed=6
+        )
+        scene = make_scene("gradient", (16, 16), seed=3)
+        recovered = sampler.reconstruct(sampler.measure(scene), max_iterations=120)
+        assert psnr(scene, recovered) > 18.0
+
+    def test_invalid_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            BlockCompressiveSampler((16, 16), block_size=8, matrix="gaussian")
+
+    def test_ca_matrix_rejects_degenerate_block_size(self):
+        with pytest.raises(ValueError, match="block_size"):
+            BlockCompressiveSampler((16, 16), block_size=1, matrix="ca")

@@ -1,0 +1,1 @@
+"""Test package marker so same-named test modules in sibling packages collect cleanly."""
