@@ -58,7 +58,11 @@ def test_ablation_pixel_depth(benchmark):
     assert by_depth[8]["sample_bits"] == by_depth[6]["sample_bits"] + 2
     assert by_depth[10]["sample_bits"] == by_depth[8]["sample_bits"] + 2
     # Payload grows with depth.
-    assert by_depth[10]["bits_per_frame"] > by_depth[8]["bits_per_frame"] > by_depth[6]["bits_per_frame"]
+    assert (
+        by_depth[10]["bits_per_frame"]
+        > by_depth[8]["bits_per_frame"]
+        > by_depth[6]["bits_per_frame"]
+    )
 
 
 def test_ablation_event_duration(benchmark):

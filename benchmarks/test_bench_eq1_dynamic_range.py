@@ -33,7 +33,9 @@ def test_eq1_register_widths_are_tight(benchmark):
             "19-bit full frame, worst case": clipping_rate(19, 8, 4096, worst_case=True),
             "14-bit column, worst case": clipping_rate(14, 8, 64, worst_case=True),
             "13-bit column, worst case": clipping_rate(13, 8, 64, worst_case=True),
-            "20-bit full frame, random selections": clipping_rate(20, 8, 4096, n_trials=200, seed=1),
+            "20-bit full frame, random selections": clipping_rate(
+                20, 8, 4096, n_trials=200, seed=1
+            ),
         }
 
     summary = benchmark.pedantic(clipping_summary, rounds=1, iterations=1)

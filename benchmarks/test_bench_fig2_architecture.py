@@ -7,7 +7,6 @@ the architectural invariants (bit budgets, sample counts, reconstructability
 from the seed) and reports the capture statistics.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import print_table

@@ -13,7 +13,6 @@ approaches the 0.4 bound; the CA-generated Φ tracks the dense random
 reference.
 """
 
-import numpy as np
 
 from benchmarks.conftest import print_table
 from repro.analysis.experiments import strategy_comparison, sweep_compression_ratio

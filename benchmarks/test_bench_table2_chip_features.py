@@ -35,7 +35,13 @@ def test_table2_chip_feature_summary(benchmark):
 
     # Eq. (2) operating point: the paper rounds 49.152 kHz up to "50 kHz".
     assert summary["max_compressed_sample_rate_khz"] == pytest.approx(49.152)
-    assert abs(summary["max_compressed_sample_rate_khz"] - PAPER_TABLE_II["max_compressed_sample_rate_khz"]) < 1.0
+    assert (
+        abs(
+            summary["max_compressed_sample_rate_khz"]
+            - PAPER_TABLE_II["max_compressed_sample_rate_khz"]
+        )
+        < 1.0
+    )
 
     # Modelled rows: below the stated power bound, die size within ~40 %.
     assert summary["predicted_power_mw"] < PAPER_TABLE_II["predicted_power_mw"]

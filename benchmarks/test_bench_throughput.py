@@ -6,7 +6,7 @@ long a full capture-plus-reconstruction cycle takes at the prototype's native
 resolution.  These numbers also make regressions in the hot paths visible.
 """
 
-import numpy as np
+import pytest
 
 from repro.optics.photo import PhotoConversion
 from repro.optics.scenes import make_scene
@@ -23,12 +23,14 @@ def make_inputs(rows=64, cols=64, seed=2018):
     return imager, current
 
 
+@pytest.mark.benchmark(group="throughput")
 def test_throughput_behavioural_capture_64x64(benchmark):
     imager, current = make_inputs()
     frame = benchmark(lambda: imager.capture(current, n_samples=512))
     assert frame.n_samples == 512
 
 
+@pytest.mark.benchmark(group="throughput")
 def test_throughput_event_accurate_capture_32x32(benchmark):
     imager, current = make_inputs(rows=32, cols=32)
     frame = benchmark.pedantic(
@@ -38,6 +40,7 @@ def test_throughput_event_accurate_capture_32x32(benchmark):
     assert frame.metadata["n_lost_events"] == 0
 
 
+@pytest.mark.benchmark(group="throughput")
 def test_throughput_capture_and_reconstruct_cycle(benchmark):
     imager, current = make_inputs()
 
@@ -49,6 +52,7 @@ def test_throughput_capture_and_reconstruct_cycle(benchmark):
     assert result.metrics["psnr_db"] > 22.0
 
 
+@pytest.mark.benchmark(group="throughput")
 def test_throughput_measurement_matrix_generation(benchmark):
     """Regenerating Φ from the seed (the receiver's first step) for a full frame."""
     imager, current = make_inputs()

@@ -15,7 +15,6 @@ fraction of a dB.
 import numpy as np
 
 from benchmarks.conftest import print_table
-from repro.cs.metrics import psnr
 from repro.optics.photo import PhotoConversion
 from repro.optics.scenes import make_scene
 from repro.recon.operator import measurement_matrix_from_seed
@@ -47,7 +46,10 @@ def capture_pair(scene_kind, seed):
 
 def test_lsb_error_has_negligible_influence(benchmark):
     rows = benchmark.pedantic(
-        lambda: [capture_pair(kind, seed) for seed, kind in enumerate(("blobs", "natural", "gradient"))],
+        lambda: [
+            capture_pair(kind, seed)
+            for seed, kind in enumerate(("blobs", "natural", "gradient"))
+        ],
         rounds=1, iterations=1,
     )
     print_table("±1 LSB late-detection error — system-level influence", rows)

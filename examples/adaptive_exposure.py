@@ -33,7 +33,9 @@ def main() -> None:
     config = SensorConfig(rows=32, cols=32)
     scene = make_scene("blobs", (32, 32), seed=9)
 
-    print(f"{'illumination':>13} {'mode':>12} {'saturated':>10} {'code span':>10} {'PSNR (dB)':>10}")
+    print(
+        f"{'illumination':>13} {'mode':>12} {'saturated':>10} {'code span':>10} {'PSNR (dB)':>10}"
+    )
     for illumination in (0.05, 0.3, 1.0):
         conversion = PhotoConversion(
             full_scale_current=10e-9 * illumination,

@@ -16,7 +16,6 @@ the full measurement matrix.
 Run:  python examples/camera_node_streaming.py
 """
 
-import numpy as np
 
 from repro import CompressiveImager, SensorConfig, make_scene, psnr, reconstruct_frame
 

@@ -13,9 +13,8 @@ skip idle frames.
 Run:  python examples/video_node.py
 """
 
-import numpy as np
 
-from repro import CompressiveImager, SensorConfig, decode_frame, encode_frame, psnr, reconstruct_frame
+from repro import CompressiveImager, SensorConfig, decode_frame, encode_frame, reconstruct_frame
 from repro.optics import PhotoConversion, orbiting_blob_sequence
 from repro.sensor import VideoSequencer
 from repro.sensor.video import temporal_difference_energy
@@ -36,7 +35,8 @@ def main() -> None:
     print(f"Captured {capture.n_frames} frames, {capture.samples_per_frame} samples each "
           f"(R = {capture.average_compression_ratio:.2f})")
     print(f"Total compressed payload: {capture.total_bits / 8 / 1024:.1f} KiB "
-          f"(raw video would be {capture.n_frames * config.n_pixels * config.pixel_bits / 8 / 1024:.1f} KiB)\n")
+          f"(raw video would be "
+          f"{capture.n_frames * config.n_pixels * config.pixel_bits / 8 / 1024:.1f} KiB)\n")
 
     print(f"{'frame':>5} {'payload (bytes)':>16} {'PSNR (dB)':>10} {'sample-domain change':>21}")
     change = temporal_difference_energy(capture.frames)

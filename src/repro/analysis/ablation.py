@@ -124,7 +124,6 @@ def ablate_pixel_depth(
         n_samples = int(round(compression_ratio * config.n_pixels))
         frame = imager.capture(current, n_samples=n_samples)
         result = reconstruct_frame(frame, max_iterations=max_iterations)
-        reference_scene = _quantize(scene, 8)
         # Compare in a common 8-bit scene domain: invert the reciprocal map by
         # normalising both images to [0, 255].
         recon = result.image
@@ -193,7 +192,9 @@ def ablate_dictionary(
     for scene_kind in scene_kinds:
         scene = _quantize(make_scene(scene_kind, image_shape, seed=seed), 8)
         n_samples = int(round(compression_ratio * scene.size))
-        phi = ca_xor_matrix(n_samples, image_shape, seed=derive_seed(seed, scene_kind), warmup_steps=8)
+        phi = ca_xor_matrix(
+            n_samples, image_shape, seed=derive_seed(seed, scene_kind), warmup_steps=8
+        )
         samples = phi @ image_to_vector(scene)
         for dictionary in dictionaries:
             result = reconstruct_samples(

@@ -10,9 +10,8 @@ under-provisioned accumulators on worst-case and random selections.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-import numpy as np
 
 from repro.utils.rng import SeedLike, new_rng
 from repro.utils.validation import check_positive

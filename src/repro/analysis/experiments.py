@@ -10,7 +10,7 @@ way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -19,7 +19,7 @@ from repro.cs.matrices import bernoulli_matrix, ca_xor_matrix, gaussian_matrix, 
 from repro.cs.metrics import psnr, reconstruction_snr, ssim
 from repro.optics.scenes import make_scene
 from repro.recon.pipeline import reconstruct_samples
-from repro.utils.images import image_to_vector, normalize_image
+from repro.utils.images import image_to_vector
 from repro.utils.rng import derive_seed
 from repro.utils.validation import check_in_range, check_positive
 
@@ -100,7 +100,9 @@ def reconstruction_experiment(
         record_samples = sampler.total_samples
         extra = {"block_size": float(sampler.block_size)}
     else:
-        phi = _make_matrix(strategy, n_samples, image_shape, seed=derive_seed(seed, "phi", strategy))
+        phi = _make_matrix(
+            strategy, n_samples, image_shape, seed=derive_seed(seed, "phi", strategy)
+        )
         samples = phi @ vector
         result = reconstruct_samples(
             phi,

@@ -18,7 +18,9 @@ from repro.utils.rng import SeedLike, new_rng
 from repro.utils.validation import check_in_range, check_positive
 
 
-def compressed_sample_rate(rows: int, cols: int, frame_rate: float, compression_ratio: float) -> float:
+def compressed_sample_rate(
+    rows: int, cols: int, frame_rate: float, compression_ratio: float
+) -> float:
     """Eq. (2): ``f_cs = R * M * N * f_s`` (Hz)."""
     check_positive("rows", rows)
     check_positive("cols", cols)

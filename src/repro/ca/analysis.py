@@ -17,7 +17,9 @@ import numpy as np
 from repro.ca.automaton import ElementaryCellularAutomaton
 
 
-def detect_cycle(automaton: ElementaryCellularAutomaton, max_steps: int) -> Optional[Tuple[int, int]]:
+def detect_cycle(
+    automaton: ElementaryCellularAutomaton, max_steps: int
+) -> Optional[Tuple[int, int]]:
     """Detect a state cycle within ``max_steps`` updates.
 
     Returns ``(tail, period)`` — the number of steps before the cycle is

@@ -26,7 +26,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.ca.selection import ca_measurement_matrix
-from repro.cs.dictionaries import DCT2Dictionary, Dictionary, make_dictionary
+from repro.cs.dictionaries import Dictionary, make_dictionary
 from repro.cs.matrices import bernoulli_matrix
 from repro.cs.operators import SensingOperator
 from repro.cs.solvers import fista, omp
@@ -83,7 +83,9 @@ class BlockCompressiveSampler:
         self.compression_ratio = float(compression_ratio)
         self.n_block_pixels = self.block_size ** 2
         self.samples_per_block = max(1, int(round(self.compression_ratio * self.n_block_pixels)))
-        self.dictionary: Dictionary = make_dictionary(dictionary, (self.block_size, self.block_size))
+        self.dictionary: Dictionary = make_dictionary(
+            dictionary, (self.block_size, self.block_size)
+        )
         check_choice("matrix", matrix, ("bernoulli", "ca"))
         self.matrix = matrix
         if matrix == "ca" and self.block_size < 2:
@@ -197,6 +199,8 @@ class BlockCompressiveSampler:
             "n_blocks": float(self.n_blocks),
             "samples_per_block": float(self.samples_per_block),
             "total_samples": float(self.total_samples),
-            "compression_ratio": float(self.total_samples / (self.image_shape[0] * self.image_shape[1])),
+            "compression_ratio": float(
+                self.total_samples / (self.image_shape[0] * self.image_shape[1])
+            ),
             "phi_storage_bits": float(self.phi_block.size),
         }

@@ -36,7 +36,9 @@ def nmse(reference: np.ndarray, estimate: np.ndarray) -> float:
     return float(np.sum((reference - estimate) ** 2) / denominator)
 
 
-def psnr(reference: np.ndarray, estimate: np.ndarray, *, data_range: Optional[float] = None) -> float:
+def psnr(
+    reference: np.ndarray, estimate: np.ndarray, *, data_range: Optional[float] = None
+) -> float:
     """Peak signal-to-noise ratio in dB.
 
     ``data_range`` defaults to the dynamic range of the reference (max-min),
@@ -105,7 +107,9 @@ def ssim(
     return float(np.mean(scores))
 
 
-def support_recovery_rate(true_coefficients: np.ndarray, estimate: np.ndarray, *, sparsity: Optional[int] = None) -> float:
+def support_recovery_rate(
+    true_coefficients: np.ndarray, estimate: np.ndarray, *, sparsity: Optional[int] = None
+) -> float:
     """Fraction of the true support recovered among the largest estimated entries."""
     true_coefficients = np.asarray(true_coefficients, dtype=float).reshape(-1)
     estimate = np.asarray(estimate, dtype=float).reshape(-1)

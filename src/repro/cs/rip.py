@@ -10,7 +10,7 @@ against Bernoulli, LFSR and Hadamard constructions.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -45,7 +45,9 @@ class FibonacciLFSR:
     ) -> None:
         check_positive("n_bits", n_bits)
         self.n_bits = int(n_bits)
-        self.taps: Tuple[int, ...] = tuple(taps) if taps is not None else primitive_taps(self.n_bits)
+        self.taps: Tuple[int, ...] = (
+            tuple(taps) if taps is not None else primitive_taps(self.n_bits)
+        )
         for tap in self.taps:
             if not 1 <= tap <= self.n_bits:
                 raise ValueError(f"tap {tap} outside register of {self.n_bits} bits")
@@ -122,7 +124,9 @@ class GaloisLFSR:
     ) -> None:
         check_positive("n_bits", n_bits)
         self.n_bits = int(n_bits)
-        self.taps: Tuple[int, ...] = tuple(taps) if taps is not None else primitive_taps(self.n_bits)
+        self.taps: Tuple[int, ...] = (
+            tuple(taps) if taps is not None else primitive_taps(self.n_bits)
+        )
         mask = (1 << self.n_bits) - 1
         self._tap_mask = 0
         for tap in self.taps:

@@ -13,7 +13,6 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.optics.scenes import make_scene
-from repro.utils.images import normalize_image
 from repro.utils.rng import SeedLike, new_rng
 from repro.utils.validation import check_positive
 

@@ -73,7 +73,9 @@ class Comparator:
             jitter = np.zeros(shape)
         return np.clip(self.delay + jitter, 0.0, None)
 
-    def effective_threshold(self, reference_voltage: float, shape, *, rng: SeedLike = None) -> np.ndarray:
+    def effective_threshold(
+        self, reference_voltage: float, shape, *, rng: SeedLike = None
+    ) -> np.ndarray:
         """The threshold each pixel actually compares against: ``V_ref`` plus its offset."""
         check_positive("reference_voltage", reference_voltage)
         return reference_voltage + self.offset_map(shape, rng=rng)

@@ -69,6 +69,20 @@ class PixelEvent:
         return PixelEvent(self.row, self.col, self.fire_time, self.emit_time, int(code))
 
 
+def events_from_arrays(rows, col, fire_times) -> "list[PixelEvent]":
+    """Build the :class:`PixelEvent` list of one column from parallel arrays.
+
+    This is the bridge between the array-world of the batched capture engine
+    and the object-world of the scalar arbiter: the equivalence tests use it
+    to replay the exact event sets the batched engine arbitrated through
+    :meth:`ColumnBusArbiter.arbitrate`, the executable specification.
+    """
+    return [
+        PixelEvent(row=int(row), col=int(col), fire_time=float(fire_time))
+        for row, fire_time in zip(rows, fire_times)
+    ]
+
+
 @dataclass
 class EventLatch:
     """Logic-level model of the V3/V4/V5 pulse-generation chain of one pixel.

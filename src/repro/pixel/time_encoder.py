@@ -11,7 +11,6 @@ to different illumination ranges in real time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -19,6 +18,28 @@ from repro.pixel.comparator import Comparator
 from repro.pixel.photodiode import Photodiode
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_in_range, check_positive
+
+
+def column_event_order(firing_times: np.ndarray, deadline: float):
+    """Sort every column's firing times for bus arbitration, in one pass.
+
+    Returns ``(order, sorted_times, valid)`` where ``valid`` marks pixels
+    whose pulse can reach the column bus at all (finite fire time inside the
+    conversion window — the rest are lost in any fidelity mode), ``order`` is
+    the ``(rows, cols)`` per-column permutation placing valid pixels in
+    ascending ``(fire_time, row)`` order (invalid pixels sink to the end) and
+    ``sorted_times`` are the firing times so permuted.  The batched event
+    engine computes this once per frame — the firing times do not depend on
+    the selection pattern, so all compressed samples share one ordering.
+    """
+    firing_times = np.asarray(firing_times, dtype=float)
+    valid = np.isfinite(firing_times) & (firing_times < deadline)
+    keyed = np.where(valid, firing_times, np.inf)
+    # A stable sort on the fire time preserves row order among exact ties,
+    # which is precisely the (fire_time, row) key the scalar arbiter sorts by.
+    order = np.argsort(keyed, axis=0, kind="stable")
+    sorted_times = np.take_along_axis(keyed, order, axis=0)
+    return order, sorted_times, valid
 
 
 @dataclass
@@ -74,7 +95,9 @@ class TimeEncoder:
         check_positive("min_photocurrent", min_photocurrent)
         return float(self.voltage_swing * self.photodiode.capacitance / min_photocurrent)
 
-    def adapt_to_range(self, min_photocurrent: float, conversion_time: float, *, margin: float = 0.9) -> None:
+    def adapt_to_range(
+        self, min_photocurrent: float, conversion_time: float, *, margin: float = 0.9
+    ) -> None:
         """Choose ``V_ref`` so the dimmest pixel of interest fires inside the window.
 
         This emulates the real-time adaptation loop the paper mentions: given

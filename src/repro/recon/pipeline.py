@@ -16,7 +16,7 @@ guaranteed to invert exactly the matrix the sensor sampled with.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
@@ -55,6 +55,12 @@ class ReconstructionResult:
     metrics:
         Optional quality metrics against a reference image (filled when a
         reference is supplied).
+    capture_metadata:
+        The sensor-side capture statistics of the reconstructed frame
+        (fidelity, lost/queued events, LSB errors — exact counts from the
+        event-accurate engine, modelled expectations from the behavioural
+        one, distinguished by the ``event_statistics`` key).  Empty for the
+        matrix-level :func:`reconstruct_samples` path, where no frame exists.
     """
 
     image: np.ndarray
@@ -62,6 +68,7 @@ class ReconstructionResult:
     dictionary: str
     solver: str
     metrics: Dict[str, float]
+    capture_metadata: Dict[str, object] = field(default_factory=dict)
 
 
 def _solve(
@@ -86,7 +93,9 @@ def _solve(
     if solver == "iht":
         return iht(operator, measurements, sparsity=int(sparsity), max_iterations=max_iterations)
     if solver == "cosamp":
-        return cosamp(operator, measurements, sparsity=int(sparsity), max_iterations=min(max_iterations, 30))
+        return cosamp(
+            operator, measurements, sparsity=int(sparsity), max_iterations=min(max_iterations, 30)
+        )
     return omp(operator, measurements, sparsity=int(sparsity))
 
 
@@ -212,10 +221,15 @@ def reconstruct_frame(
             "psnr_db": psnr(reference, image),
             "snr_db": reconstruction_snr(reference, image),
         }
+    # Carry the sensor-side capture statistics (lost/queued events, LSB
+    # errors, fidelity) alongside the reconstruction so receivers can weigh
+    # the result — e.g. down-rank frames whose event-accurate capture
+    # reported deadline losses.
     return ReconstructionResult(
         image=image,
         solver_result=result,
         dictionary=dictionary,
         solver=solver,
         metrics=metrics,
+        capture_metadata=dict(frame.metadata),
     )

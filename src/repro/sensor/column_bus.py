@@ -20,12 +20,27 @@ column fire close together:
 times and returns, for every event, the time at which it actually occupied
 the bus.  :class:`ColumnControlUnit` models the foot-of-column circuit (pull
 -down detection, termination delay, counter sampling strobe).
+
+The scalar :meth:`ColumnBusArbiter.arbitrate` is the executable specification;
+:func:`arbitrate_columns` is the column-parallel engine built on it.  Because
+every event occupies the bus for the same duration, the *emission instants* of
+a column are schedule-invariant: sorting the fires ascending and running the
+single-server recurrence ``emit_k = max(fire_k, emit_{k-1} + d)`` yields
+exactly the bus-occupation times the token protocol produces, for every
+column at once (one short loop over the row axis, vectorised over all
+sample x column instances).  The only thing the topmost-first release rule
+changes is *which* pixel fills each emission slot inside a collision cluster
+("pool") of three or more events — those pools are re-paired by a second
+vectorised pass that applies the release rule to all of them at once, so the
+batched engine stays event-for-event identical to the scalar arbiter.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.pixel.event import EventLatch, PixelEvent
 from repro.utils.validation import check_positive
@@ -164,6 +179,241 @@ class ColumnBusArbiter:
         return result
 
 
+@dataclass
+class BatchArbitrationResult:
+    """Outcome of serialising many column instances at once.
+
+    All arrays have shape ``(n_groups, n_slots)`` where a *group* is one
+    (sample, column) instance and the slot axis enumerates that group's
+    candidate events in ascending ``(fire_time, row)`` order.  Slots whose
+    ``active`` flag is clear carry no event and every other field is
+    meaningless there.
+
+    Attributes
+    ----------
+    active:
+        Which slots hold an event that entered arbitration.
+    delivered:
+        Which slots were actually emitted before the deadline.
+    emit_times:
+        Bus-occupation instant of each delivered slot.
+    fire_times:
+        Comparator-flip time of the pixel *paired* with each slot.  Inside a
+        re-simulated collision pool the topmost-first release rule can pair a
+        slot with a different pixel than arrival order would, so this is not
+        always the slot's own sorted fire time.
+    rows:
+        Row index of the pixel paired with each slot.
+    """
+
+    active: np.ndarray
+    delivered: np.ndarray
+    emit_times: np.ndarray
+    fire_times: np.ndarray
+    rows: np.ndarray
+
+    @property
+    def n_delivered(self) -> int:
+        """Total number of events delivered through all buses."""
+        return int(np.count_nonzero(self.delivered))
+
+    @property
+    def n_dropped(self) -> int:
+        """Events that entered arbitration but could not beat the deadline."""
+        return int(np.count_nonzero(self.active) - self.n_delivered)
+
+    def queue_delays(self) -> np.ndarray:
+        """Fire-to-emit delay of every delivered event (flat array)."""
+        mask = self.delivered
+        return self.emit_times[mask] - self.fire_times[mask]
+
+
+def _fifo_emission_pass(
+    fire_times: np.ndarray,
+    active: np.ndarray,
+    event_duration: float,
+    deadline: Optional[float],
+):
+    """Run the single-server emission recurrence over every group at once.
+
+    One iteration per slot (row) position, vectorised over all groups: the
+    emission instant of an event is ``max(fire, bus_free)`` and a delivered
+    event occupies the bus for ``event_duration``.  The floating-point
+    operations are exactly the ones the scalar arbiter performs
+    (``max`` of two floats, one addition per delivered event), so the emitted
+    instants are bit-identical to a per-column
+    :meth:`ColumnBusArbiter.arbitrate` run.
+
+    Returns ``(emit_times, delivered, bus_free_before)``; the last array
+    records the bus state seen by each slot, which is what delimits
+    collision pools.
+    """
+    n_groups, n_slots = fire_times.shape
+    emit_times = np.zeros_like(fire_times)
+    bus_free_before = np.zeros_like(fire_times)
+    delivered = np.zeros(fire_times.shape, dtype=bool)
+    bus_free = np.zeros(n_groups, dtype=fire_times.dtype)
+    for k in range(n_slots):
+        bus_free_before[:, k] = bus_free
+        emit = np.maximum(fire_times[:, k], bus_free)
+        emit_times[:, k] = emit
+        ok = active[:, k]
+        if deadline is not None:
+            ok = ok & (emit < deadline)
+        delivered[:, k] = ok
+        bus_free = np.where(ok, emit + event_duration, bus_free)
+    return emit_times, delivered, bus_free_before
+
+
+def arbitrate_columns(
+    fire_times: np.ndarray,
+    active: np.ndarray,
+    rows: np.ndarray,
+    *,
+    event_duration: float,
+    deadline: Optional[float] = None,
+) -> BatchArbitrationResult:
+    """Serialise the events of many column instances in a few numpy passes.
+
+    Parameters
+    ----------
+    fire_times, active, rows:
+        ``(n_groups, n_slots)`` arrays: per group, the candidate events in
+        ascending ``(fire_time, row)`` order — their fire instants, an
+        is-an-event flag and their pixel row indices.  Inactive slots may
+        carry any values; they are ignored (the bus skips them), so a group
+        may interleave its events with gaps.
+    event_duration:
+        Bus-occupation time of one event.
+    deadline:
+        End of the conversion window; events whose emission instant would
+        fall at or beyond it are dropped, exactly like the scalar arbiter.
+
+    Returns
+    -------
+    BatchArbitrationResult
+        Emission times, delivered flags and the (possibly re-paired) pixel
+        identity of every slot — event-for-event identical to running
+        :meth:`ColumnBusArbiter.arbitrate` on each group separately, which
+        the equivalence suite keeps pinned.
+    """
+    check_positive("event_duration", event_duration)
+    fire_times = np.asarray(fire_times, dtype=float)
+    active = np.asarray(active, dtype=bool)
+    rows = np.asarray(rows)
+    if fire_times.shape != active.shape or fire_times.shape != rows.shape:
+        raise ValueError("fire_times, active and rows must share one shape")
+    if fire_times.ndim != 2:
+        raise ValueError("batched arbitration expects (n_groups, n_slots) arrays")
+
+    emit_times, delivered, bus_free_before = _fifo_emission_pass(
+        fire_times, active, float(event_duration), deadline
+    )
+
+    # Collision pools: chains of events that found the bus occupied (or freed
+    # at exactly their fire instant) link to their predecessor.  Slot-to-pixel
+    # pairing inside a pool follows arrival order — identical to the FIFO
+    # pass — unless the topmost-first release rule can actually intervene,
+    # which needs all three of:
+    #
+    # * three or more events (with two, the second is the only one left when
+    #   the bus frees);
+    # * a row inversion along arrival order (otherwise the earliest waiting
+    #   pixel is also the topmost);
+    # * an event already waiting when an earlier slot was granted (otherwise
+    #   every grant sees a single eligible pixel).
+    #
+    # Only pools meeting all three are re-paired (vectorised, below).
+    n_groups, n_slots = fire_times.shape
+    event_index = np.flatnonzero(active)  # group-major, slot-ascending
+    resim_pools = np.empty(0, dtype=np.int64)
+    if event_index.size:
+        starts_pool = active & (fire_times > bus_free_before)
+        pool_ids = np.cumsum(starts_pool, axis=1)
+        flat_pools = (np.arange(n_groups)[:, None] * (n_slots + 1) + pool_ids)[active]
+        event_fires = fire_times.ravel()[event_index]
+        event_emits = emit_times.ravel()[event_index]
+        event_rows = rows.ravel()[event_index]
+        pool_sizes = np.bincount(flat_pools)
+        same_pool = flat_pools[1:] == flat_pools[:-1]
+        inverted = same_pool & (event_rows[1:] <= event_rows[:-1])
+        waited = same_pool & (event_fires[1:] <= event_emits[:-1])
+        has_inversion = np.zeros(pool_sizes.size, dtype=bool)
+        has_inversion[flat_pools[1:][inverted]] = True
+        has_waiter = np.zeros(pool_sizes.size, dtype=bool)
+        has_waiter[flat_pools[1:][waited]] = True
+        resim_pools = np.nonzero((pool_sizes >= 3) & has_inversion & has_waiter)[0]
+
+    if resim_pools.size:
+        fire_times = fire_times.copy()
+        rows = np.array(rows, dtype=np.int64)
+        _resolve_pool_pairing(
+            resim_pools,
+            flat_pools,
+            event_index,
+            event_fires,
+            event_emits,
+            event_rows.astype(np.int64),
+            fire_times.ravel(),
+            rows.ravel(),
+        )
+    return BatchArbitrationResult(
+        active=active,
+        delivered=delivered,
+        emit_times=emit_times,
+        fire_times=fire_times,
+        rows=rows,
+    )
+
+
+def _resolve_pool_pairing(
+    resim_pools: np.ndarray,
+    flat_pools: np.ndarray,
+    event_index: np.ndarray,
+    event_fires: np.ndarray,
+    event_emits: np.ndarray,
+    event_rows: np.ndarray,
+    fire_out: np.ndarray,
+    row_out: np.ndarray,
+) -> None:
+    """Re-pair the slots of reorderable collision pools, all pools at once.
+
+    The emission instants and the delivered/dropped split of a pool are
+    schedule-invariant, so only the slot-to-pixel pairing is recomputed: all
+    flagged pools step through their slots together, and at every slot each
+    pool grants its bus to the topmost (lowest-row) pixel among the events
+    already waiting — the scalar arbiter's release rule, evaluated with the
+    same ``fire <= bus_free`` comparison on the same floats.  The paired fire
+    times and rows are written back into ``fire_out`` / ``row_out`` (flat
+    views of the result arrays).
+    """
+    starts = np.searchsorted(flat_pools, resim_pools, side="left")
+    sizes = np.searchsorted(flat_pools, resim_pools, side="right") - starts
+    width = int(sizes.max())
+    span = np.arange(width)
+    member = span[None, :] < sizes[:, None]
+    gather = np.minimum(starts[:, None] + span[None, :], flat_pools.size - 1)
+    pool_fires = event_fires[gather]
+    pool_rows = event_rows[gather]
+    pool_slot_times = event_emits[gather]
+    sentinel = int(pool_rows.max()) + 1
+    unserved = member.copy()
+    choices = np.zeros(member.shape, dtype=np.int64)
+    for slot in range(width):
+        # Every pool slot has at least one waiting event: among the first
+        # ``slot + 1`` arrivals at most ``slot`` have been served, and their
+        # fire times cannot exceed the slot's emission instant.
+        eligible = unserved & (pool_fires <= pool_slot_times[:, slot, None])
+        keyed = np.where(eligible, pool_rows, sentinel)
+        choice = np.argmin(keyed, axis=1)
+        choices[:, slot] = choice
+        serving = np.flatnonzero(member[:, slot])
+        unserved[serving, choice[serving]] = False
+    flat_positions = event_index[gather]
+    fire_out[flat_positions[member]] = np.take_along_axis(pool_fires, choices, axis=1)[member]
+    row_out[flat_positions[member]] = np.take_along_axis(pool_rows, choices, axis=1)[member]
+
+
 class GateLevelColumn:
     """Cycle-driven model of one column built from :class:`EventLatch` instances.
 
@@ -240,7 +490,9 @@ class GateLevelColumn:
                         termination_at = now + self.event_duration
                         fire_time = fire_times[row]
                         emitted.append(
-                            PixelEvent(row=row, col=0, fire_time=float(fire_time)).with_emit_time(now)
+                            PixelEvent(
+                                row=row, col=0, fire_time=float(fire_time)
+                            ).with_emit_time(now)
                         )
                         break
                     c_in = latch.c_out(c_in, bus_is_high)

@@ -12,10 +12,9 @@ so there is exactly one source of truth.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
-from repro.utils.bitops import bit_width
 from repro.utils.validation import check_in_range, check_positive
 
 

@@ -16,16 +16,30 @@ and the sample-and-add chain (III-B).  Two fidelity levels are offered:
   equivalence regression tests pin this) while being an order of magnitude
   faster, and :meth:`CompressiveImager.capture_batch` extends it to stacks
   of frames that share one CA evolution, as the 30 fps hardware does.
-* ``"event"`` — event-accurate: every column is run through the
-  :class:`~repro.sensor.column_bus.ColumnBusArbiter`, the TDC samples the
-  counter at the actual bus-occupation instants and the
-  :class:`~repro.sensor.sample_add.SampleAndAdd` registers accumulate the
-  codes.  This is the mode the token-protocol and timing-error benchmarks
-  use.
+* ``"event"`` — event-accurate and *also* batched: the paper's column-bus
+  arbitration (token protocol, collision queueing, deadline losses) is
+  resolved column-parallel.  The firing times of every column are sorted
+  once per frame, the bus-emission instants of **all** sample x column
+  instances are produced by one vectorised single-server recurrence
+  (:func:`~repro.sensor.column_bus.arbitrate_columns`), the TDC samples the
+  counter at those instants in one pass and the per-column code sums are
+  folded through the batched Sample & Add
+  (:func:`~repro.sensor.sample_add.fold_column_sums`) with the same Eq. (1)
+  bit-width discipline.  Rare collision pools of three or more events —
+  where the topmost-first release rule can reorder pixels — are re-run
+  through the scalar :class:`~repro.sensor.column_bus.ColumnBusArbiter`,
+  which stays in place as the executable specification: the batched engine
+  is event-for-event identical to the per-column loop it replaced
+  (samples, lost/queued counts and LSB errors are pinned by
+  ``tests/sensor/test_event_equivalence.py``), and ``engine="reference"``
+  still runs that loop for verification.  This is the mode the
+  token-protocol and timing-error benchmarks use.
 
-The output :class:`CompressedFrame` carries the CA seed — the only side
-information a receiver needs to rebuild Φ and reconstruct the image, which is
-the central selling point of the paper's architecture.
+Both fidelity levels batch across frames too: :meth:`CompressiveImager.capture_batch`
+captures whole sequences through one shared CA evolution, as the 30 fps
+hardware does.  The output :class:`CompressedFrame` carries the CA seed — the
+only side information a receiver needs to rebuild Φ and reconstruct the
+image, which is the central selling point of the paper's architecture.
 """
 
 from __future__ import annotations
@@ -38,10 +52,10 @@ import numpy as np
 from repro.ca.automaton import ElementaryCellularAutomaton
 from repro.ca.selection import CASelectionGenerator, selection_masks_from_states
 from repro.pixel.event import PixelEvent
-from repro.pixel.time_encoder import TimeEncoder
-from repro.sensor.column_bus import ColumnBusArbiter
+from repro.pixel.time_encoder import TimeEncoder, column_event_order
+from repro.sensor.column_bus import ColumnBusArbiter, arbitrate_columns
 from repro.sensor.config import SensorConfig
-from repro.sensor.sample_add import SampleAndAdd
+from repro.sensor.sample_add import SampleAndAdd, fold_column_sums
 from repro.sensor.tdc import GlobalCounterTDC, draw_lsb_bumps
 from repro.utils.rng import SeedLike, derive_seed, new_rng
 from repro.utils.validation import check_choice, check_positive
@@ -215,6 +229,7 @@ class CompressiveImager:
         auto_expose: bool = True,
         lsb_error: bool = True,
         keep_digital_image: bool = True,
+        engine: str = "batched",
     ) -> CompressedFrame:
         """Capture one compressive frame from a photocurrent map.
 
@@ -226,8 +241,8 @@ class CompressiveImager:
             Number of compressed samples; defaults to ``R * M * N`` from the
             configuration.
         fidelity:
-            ``"behavioural"`` (fast, vectorised) or ``"event"`` (full token
-            protocol and sample-and-add registers).
+            ``"behavioural"`` (vectorised Φ @ x) or ``"event"`` (full token
+            protocol and sample-and-add registers, column-parallel).
         auto_expose:
             Adapt ``V_ref`` to the scene before capturing.
         lsb_error:
@@ -235,8 +250,14 @@ class CompressiveImager:
             behavioural mode, exactly in event mode).
         keep_digital_image:
             Store the ideal code image in the returned frame.
+        engine:
+            ``"batched"`` (default) or ``"reference"``.  The reference engine
+            runs the event-accurate capture through the original per-column
+            Python loop — the executable specification the batched engine is
+            pinned against; behavioural captures are batched either way.
         """
         check_choice("fidelity", fidelity, ("behavioural", "event"))
+        check_choice("engine", engine, ("batched", "reference"))
         if n_samples is None:
             n_samples = self.config.samples_per_frame
         check_positive("n_samples", n_samples)
@@ -255,20 +276,51 @@ class CompressiveImager:
         self.selection.reset()
         if fidelity == "behavioural":
             samples, metadata = self._capture_behavioural(
-                codes, n_samples, lsb_error=lsb_error, rng=rng
+                codes, times, n_samples, lsb_error=lsb_error, rng=rng
+            )
+        elif engine == "reference":
+            samples, metadata = self._capture_event_reference(
+                times, n_samples, lsb_error=lsb_error
             )
         else:
             samples, metadata = self._capture_event(
-                times, n_samples, lsb_error=lsb_error
+                times, self.selection.next_states(n_samples), lsb_error=lsb_error
             )
+        return self._assemble_frame(
+            samples,
+            metadata,
+            codes,
+            fidelity=fidelity,
+            seed_state=self.selection.seed_state,
+            warmup_steps=self.warmup_steps,
+            keep_digital_image=keep_digital_image,
+        )
+
+    def _assemble_frame(
+        self,
+        samples: np.ndarray,
+        metadata: Dict[str, object],
+        codes: np.ndarray,
+        *,
+        fidelity: str,
+        seed_state: np.ndarray,
+        warmup_steps: int,
+        keep_digital_image: bool,
+    ) -> CompressedFrame:
+        """Stamp the common capture metadata and box one frame.
+
+        The single frame-assembly epilogue shared by :meth:`capture` and
+        :meth:`capture_batch`, so the two capture paths cannot drift in
+        metadata shape.
+        """
         metadata["fidelity"] = fidelity
         metadata["n_saturated_pixels"] = int(np.count_nonzero(codes >= self.tdc.max_code))
         return CompressedFrame(
             samples=samples,
-            seed_state=self.selection.seed_state,
+            seed_state=seed_state,
             rule_number=self.rule_number,
             steps_per_sample=self.steps_per_sample,
-            warmup_steps=self.warmup_steps,
+            warmup_steps=warmup_steps,
             config=self.config,
             digital_image=codes if keep_digital_image else None,
             metadata=metadata,
@@ -297,6 +349,7 @@ class CompressiveImager:
         photocurrents,
         *,
         n_samples: Optional[int] = None,
+        fidelity: str = "behavioural",
         auto_expose: bool = True,
         lsb_error: bool = True,
         keep_digital_image: bool = True,
@@ -304,21 +357,21 @@ class CompressiveImager:
         """Capture a stack of frames with a continuously-running selection CA.
 
         This is the batched multi-frame fast path: the CA states for the
-        *whole sequence* are evolved in one pass and expanded into one shared
-        Φ array, of which each frame multiplies its own slice.  Consecutive
-        frames overlap by one selection pattern, exactly as the hardware's
-        free-running CA does (frame ``k+1``'s first pattern is the state
-        frame ``k`` stopped on), so every produced frame remains
-        independently decodable from its own ``seed_state``.
+        *whole sequence* are evolved in one pass and each frame consumes its
+        own slice — through the rank-structured Φ @ x engine in behavioural
+        fidelity, or through the column-parallel arbitration engine in event
+        fidelity.  Consecutive frames overlap by one selection pattern,
+        exactly as the hardware's free-running CA does (frame ``k+1``'s first
+        pattern is the state frame ``k`` stopped on), so every produced frame
+        remains independently decodable from its own ``seed_state``.
 
         The result is bit-identical to capturing the frames one by one and
         re-seeding the generator from the CA's end state between frames —
         the loop :class:`~repro.sensor.video.VideoSequencer` used to run —
         and the imager's selection generator is left positioned after the
         last frame, so further captures continue the same CA evolution.
-        Behavioural fidelity only; loop :meth:`capture` with
-        ``fidelity="event"`` for event-accurate sequences.
         """
+        check_choice("fidelity", fidelity, ("behavioural", "event"))
         photocurrents = [np.asarray(current, dtype=float) for current in photocurrents]
         if not photocurrents:
             return []
@@ -345,31 +398,31 @@ class CompressiveImager:
             times = self.firing_times(photocurrent, rng=rng)
             codes = self.tdc.ideal_codes(times)
             start = frame_index * (n_samples - 1)
-            lsb_probability = self._behavioural_lsb_probability(lsb_error)
-            samples, n_bumped = self._behavioural_samples(
-                states[start: start + n_samples],
-                codes,
-                lsb_probability=lsb_probability,
-                rng=rng,
-            )
-            metadata = {
-                "lsb_error_probability": float(lsb_probability),
-                "n_lsb_errors": int(n_bumped),
-                "n_lost_events": 0,
-                "n_queued_events": 0,
-                "fidelity": "behavioural",
-                "n_saturated_pixels": int(np.count_nonzero(codes >= self.tdc.max_code)),
-            }
+            frame_states = states[start : start + n_samples]
+            if fidelity == "behavioural":
+                lsb_probability = self._behavioural_lsb_probability(lsb_error)
+                samples, n_bumped = self._behavioural_samples(
+                    frame_states,
+                    codes,
+                    lsb_probability=lsb_probability,
+                    rng=rng,
+                )
+                metadata = self._behavioural_metadata(
+                    frame_states, times, lsb_probability, n_bumped
+                )
+            else:
+                samples, metadata = self._capture_event(
+                    times, frame_states, lsb_error=lsb_error
+                )
             frames.append(
-                CompressedFrame(
-                    samples=samples,
+                self._assemble_frame(
+                    samples,
+                    metadata,
+                    codes,
+                    fidelity=fidelity,
                     seed_state=first_seed_state if frame_index == 0 else states[start].copy(),
-                    rule_number=self.rule_number,
-                    steps_per_sample=self.steps_per_sample,
                     warmup_steps=first_warmup if frame_index == 0 else 0,
-                    config=self.config,
-                    digital_image=codes if keep_digital_image else None,
-                    metadata=metadata,
+                    keep_digital_image=keep_digital_image,
                 )
             )
         # Leave the imager's CA where the sequence ended: the last state
@@ -478,9 +531,59 @@ class CompressiveImager:
                 n_bumped = int(np.count_nonzero(effective))
         return samples, n_bumped
 
+    def _behavioural_metadata(
+        self,
+        states: np.ndarray,
+        times: np.ndarray,
+        lsb_probability: float,
+        n_bumped: int,
+    ) -> Dict[str, object]:
+        """Behavioural capture statistics, with *modelled* event counts.
+
+        The behavioural engine never arbitrates a bus, so it cannot count
+        lost or queued events exactly; instead of hard-coding zeros it
+        reports what the paper's overlap-probability model predicts:
+
+        * ``n_lost_events`` — the exact number of selected events whose pulse
+          falls outside the conversion window (the event engine's pre-filter
+          losses).  Note the semantic difference: the event engine drops
+          these pulses entirely, while the behavioural sum still counts their
+          saturated ``max_code`` value.
+        * ``n_queued_events`` — the *expected* number of queued events, a
+          float: (delivered events) x (per-event overlap probability).
+
+        ``event_statistics`` is ``"modelled"`` here and ``"exact"`` for event
+        fidelity, so downstream consumers can tell the two apart.
+        """
+        rows, cols = self.config.rows, self.config.cols
+        row_signals = states[:, :rows].astype(np.int64)
+        col_signals = states[:, rows:].astype(np.int64)
+        n_row_high = row_signals.sum(axis=1)
+        n_col_high = col_signals.sum(axis=1)
+        n_selected = int(
+            (n_row_high * (cols - n_col_high) + (rows - n_row_high) * n_col_high).sum()
+        )
+        outside_window = ~(np.isfinite(times) & (times < self.tdc.conversion_window))
+        n_lost = 0
+        if outside_window.any():
+            lost_image = outside_window.astype(np.int64)
+            n_lost = int(
+                np.einsum("si,ij,sj->", row_signals, lost_image, 1 - col_signals)
+                + np.einsum("si,ij,sj->", 1 - row_signals, lost_image, col_signals)
+            )
+        overlap = self.config.event_overlap_probability(self.config.rows // 2)
+        return {
+            "lsb_error_probability": float(lsb_probability),
+            "n_lsb_errors": int(n_bumped),
+            "n_lost_events": n_lost,
+            "n_queued_events": float((n_selected - n_lost) * overlap),
+            "event_statistics": "modelled",
+        }
+
     def _capture_behavioural(
         self,
         codes: np.ndarray,
+        times: np.ndarray,
         n_samples: int,
         *,
         lsb_error: bool,
@@ -491,22 +594,103 @@ class CompressiveImager:
         samples, n_bumped = self._behavioural_samples(
             states, codes, lsb_probability=lsb_probability, rng=rng
         )
+        return samples, self._behavioural_metadata(
+            states, times, lsb_probability, n_bumped
+        )
+
+    # ------------------------------------------------------------ event path
+    def _capture_event(self, times: np.ndarray, states: np.ndarray, *, lsb_error: bool):
+        """Event-accurate capture of one frame, column-parallel.
+
+        The per-event Python loop this replaces walked every pattern, column
+        and pixel object; here the whole frame is four numpy passes:
+
+        1. sort each column's firing times once (they are shared by every
+           selection pattern) and expand the CA states into per-(sample,
+           column) activity flags over that sorted order;
+        2. run the vectorised single-server recurrence of
+           :func:`~repro.sensor.column_bus.arbitrate_columns` over all
+           sample x column bus instances at once — collision pools of three
+           or more events fall back to the scalar arbiter, which remains the
+           executable specification;
+        3. sample the global counter at every delivered emission instant in
+           one :meth:`~repro.sensor.tdc.GlobalCounterTDC.late_detection_codes`
+           call;
+        4. fold the per-column code sums through the batched Sample & Add.
+
+        The result — samples, lost/queued counts, LSB errors, maximum queue
+        delay — is event-for-event identical to the reference loop
+        (``tests/sensor/test_event_equivalence.py`` pins this).
+        """
+        rows, cols = self.config.rows, self.config.cols
+        n_samples = states.shape[0]
+        deadline = self.tdc.conversion_window
+        order, sorted_times, valid = column_event_order(times, deadline)
+
+        row_signals = states[:, :rows].astype(bool)
+        col_signals = states[:, rows:].astype(bool)
+        selected = row_signals[:, :, None] != col_signals[:, None, :]
+        n_lost_outside = int(np.count_nonzero(selected & ~valid[None, :, :]))
+        eligible = selected & valid[None, :, :]
+
+        # Re-order the row axis of every column into firing order and fold
+        # (sample, column) into one group axis: each group is one bus.
+        active = np.take_along_axis(eligible, order[None, :, :], axis=1)
+        n_groups = n_samples * cols
+        active = active.transpose(0, 2, 1).reshape(n_groups, rows)
+        fire_times = np.broadcast_to(
+            sorted_times.T[None], (n_samples, cols, rows)
+        ).reshape(n_groups, rows)
+        slot_rows = np.broadcast_to(order.T[None], (n_samples, cols, rows)).reshape(
+            n_groups, rows
+        )
+        batch = arbitrate_columns(
+            fire_times,
+            active,
+            slot_rows,
+            event_duration=self.config.event_duration,
+            deadline=deadline,
+        )
+
+        delivered = batch.delivered
+        emit_times = batch.emit_times[delivered]
+        paired_fires = batch.fire_times[delivered]
+        sample_times = emit_times if lsb_error else paired_fires
+        codes, ideal = self.tdc.late_detection_codes(sample_times, paired_fires)
+        delays = emit_times - paired_fires
+
+        code_matrix = np.zeros(delivered.shape, dtype=np.int64)
+        code_matrix[delivered] = codes
+        samples = fold_column_sums(
+            code_matrix.sum(axis=1).reshape(n_samples, cols),
+            column_bits=self.config.column_sum_bits,
+            sample_bits=self.config.compressed_sample_bits,
+        )
         metadata = {
-            "lsb_error_probability": float(lsb_probability),
-            "n_lsb_errors": int(n_bumped),
-            "n_lost_events": 0,
-            "n_queued_events": 0,
+            "n_lost_events": n_lost_outside + batch.n_dropped,
+            "n_queued_events": int(np.count_nonzero(delays > 0.0)),
+            "n_lsb_errors": int(np.count_nonzero(codes != ideal)),
+            "max_queue_delay": float(delays.max()) if delays.size else 0.0,
+            "event_statistics": "exact",
         }
         return samples, metadata
 
-    # ------------------------------------------------------------ event path
-    def _capture_event(
+    def _capture_event_reference(
         self,
         times: np.ndarray,
         n_samples: int,
         *,
         lsb_error: bool,
     ):
+        """The original per-column event loop — the executable specification.
+
+        Every selection pattern walks every column through the scalar
+        :class:`~repro.sensor.column_bus.ColumnBusArbiter` and the register
+        level :class:`~repro.sensor.sample_add.SampleAndAdd`.  Kept (and
+        reachable via ``capture(engine="reference")``) so the equivalence
+        suite and the event-fidelity benchmarks can pin the batched engine
+        against it event for event.
+        """
         adder = SampleAndAdd(
             n_columns=self.config.cols,
             column_bits=self.config.column_sum_bits,
@@ -528,7 +712,9 @@ class CompressiveImager:
                     if not np.isfinite(fire_time) or fire_time >= deadline:
                         n_lost += 1
                         continue
-                    events.append(PixelEvent(row=int(row), col=int(col), fire_time=float(fire_time)))
+                    events.append(
+                        PixelEvent(row=int(row), col=int(col), fire_time=float(fire_time))
+                    )
                 if not events:
                     continue
                 result = self.arbiter.arbitrate(events, deadline=deadline)
@@ -548,6 +734,7 @@ class CompressiveImager:
             "n_queued_events": int(n_queued),
             "n_lsb_errors": int(n_lsb_errors),
             "max_queue_delay": float(max_queue_delay),
+            "event_statistics": "exact",
         }
         return samples, metadata
 

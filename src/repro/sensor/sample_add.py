@@ -16,7 +16,7 @@ from typing import Iterable, List, Sequence
 
 import numpy as np
 
-from repro.utils.bitops import bit_width, saturate
+from repro.utils.bitops import bit_width
 from repro.utils.validation import check_positive
 
 
@@ -164,6 +164,47 @@ class SampleAndAdd:
                 raise ValueError("events must carry a sampled_code before accumulation")
             self.add_code(event.col, event.sampled_code)
         return self.compressed_sample()
+
+
+def fold_column_sums(
+    column_sums: np.ndarray,
+    *,
+    column_bits: int,
+    sample_bits: int,
+    strict: bool = True,
+) -> np.ndarray:
+    """Batched read-out adder tree: per-column sums in, compressed samples out.
+
+    ``column_sums`` has shape ``(n_samples, n_columns)`` — the already
+    accumulated per-column code totals of a whole frame.  The same Eq. (1)
+    bit-width discipline as the scalar :class:`SampleAndAdd` is enforced:
+    because sampled codes are non-negative, a column accumulator overflows at
+    some point during a sample iff its final sum exceeds the register, so the
+    check on the folded arrays is equivalent to the per-addition check.
+    """
+    check_positive("column_bits", column_bits)
+    check_positive("sample_bits", sample_bits)
+    column_sums = np.asarray(column_sums, dtype=np.int64)
+    if column_sums.ndim != 2:
+        raise ValueError("column_sums must have shape (n_samples, n_columns)")
+    column_max = (1 << int(column_bits)) - 1
+    sample_max = (1 << int(sample_bits)) - 1
+    if strict and column_sums.size and column_sums.max() > column_max:
+        sample, column = np.argwhere(column_sums > column_max)[0]
+        raise AccumulatorOverflowError(
+            f"column accumulator of {column_bits} bits overflowed: column "
+            f"{column} of sample {sample} holds {column_sums[sample, column]} "
+            f"> {column_max}"
+        )
+    column_sums = np.minimum(column_sums, column_max)
+    samples = column_sums.sum(axis=1)
+    if strict and samples.size and samples.max() > sample_max:
+        sample = int(np.argmax(samples > sample_max))
+        raise AccumulatorOverflowError(
+            f"compressed-sample register of {sample_bits} bits overflowed: "
+            f"{samples[sample]} > {sample_max}"
+        )
+    return np.minimum(samples, sample_max)
 
 
 def required_sample_bits(n_pixels: int, pixel_bits: int) -> int:

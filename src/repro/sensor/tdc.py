@@ -13,7 +13,6 @@ that verification.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List
 
 import numpy as np
 
@@ -99,18 +98,15 @@ class GlobalCounterTDC:
         return self.clock_period
 
     # ------------------------------------------------------ error modelling
-    def late_detection_codes(
-        self,
-        emit_times,
-        fire_times,
-    ) -> np.ndarray:
+    def late_detection_codes(self, emit_times, fire_times):
         """Codes actually sampled when pulses are emitted at ``emit_times``.
 
         ``emit_times`` are the bus-occupation times returned by the column
-        arbiter; ``fire_times`` the ideal comparator-flip times.  The
-        difference between the two results is exactly the ±1 LSB (or more,
-        under heavy queueing) late-detection error discussed in Section
-        III-B.
+        arbiter; ``fire_times`` the ideal comparator-flip times.  Returns the
+        ``(emit_codes, ideal_codes)`` pair; the difference between the two is
+        exactly the ±1 LSB (or more, under heavy queueing) late-detection
+        error discussed in Section III-B.  The batched event engine calls
+        this once per frame over every delivered event.
         """
         emit_codes = self.sample(np.asarray(emit_times, dtype=float))
         ideal_codes = self.sample(np.asarray(fire_times, dtype=float))

@@ -96,6 +96,7 @@ class VideoSequencer:
         self,
         scenes: Iterable[np.ndarray],
         *,
+        fidelity: str = "behavioural",
         auto_expose: bool = True,
         lsb_error: bool = True,
     ) -> VideoCaptureResult:
@@ -105,8 +106,10 @@ class VideoSequencer:
         is delegated to :meth:`~repro.sensor.imager.CompressiveImager.capture_batch`,
         which evolves one shared CA state stack for all frames, so frame
         ``k``'s measurement matrix picks up exactly where frame ``k-1``
-        stopped and the full sequence is captured through the batched Φ
-        machinery in one pass.
+        stopped and the full sequence is captured through the batched capture
+        machinery in one pass — the rank-structured Φ @ x engine for
+        ``fidelity="behavioural"``, the column-parallel arbitration engine
+        (token protocol, queueing, deadline losses) for ``fidelity="event"``.
         """
         result = VideoCaptureResult(samples_per_frame=self.samples_per_frame)
         photocurrents = [
@@ -115,6 +118,7 @@ class VideoSequencer:
         result.frames = self.imager.capture_batch(
             photocurrents,
             n_samples=self.samples_per_frame,
+            fidelity=fidelity,
             auto_expose=auto_expose,
             lsb_error=lsb_error,
         )

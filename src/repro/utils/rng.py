@@ -9,7 +9,7 @@ reproducible from a single integer seed.
 from __future__ import annotations
 
 import hashlib
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -44,7 +44,9 @@ class TestSampleRateTable:
         assert row["sample_period_us"] == pytest.approx(20.3, rel=0.02)
 
     def test_table_size(self):
-        table = sample_rate_table(frame_rates=(30.0,), compression_ratios=(0.1, 0.4), array_sizes=((64, 64),))
+        table = sample_rate_table(
+            frame_rates=(30.0,), compression_ratios=(0.1, 0.4), array_sizes=((64, 64),)
+        )
         assert len(table) == 2
 
 

@@ -68,7 +68,9 @@ class TestVectorisedApply:
         center = rng.integers(0, 2, 200).astype(np.uint8)
         right = rng.integers(0, 2, 200).astype(np.uint8)
         vectorised = RULE_30.apply(left, center, right)
-        scalar = [RULE_30.next_state(int(l), int(c), int(r)) for l, c, r in zip(left, center, right)]
+        scalar = [
+            RULE_30.next_state(int(l), int(c), int(r)) for l, c, r in zip(left, center, right)
+        ]
         assert vectorised.tolist() == scalar
 
     @pytest.mark.parametrize("rule", [RULE_30, RULE_90, RULE_110])

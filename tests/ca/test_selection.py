@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ca.selection import CASelectionGenerator, SelectionPattern
+from repro.ca.selection import CASelectionGenerator
 
 
 class TestConstruction:

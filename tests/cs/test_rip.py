@@ -98,8 +98,12 @@ class TestMatrixQualityReport:
         ca = center_matrix(ca_xor_matrix(n_samples, shape, seed=8, warmup_steps=8))
         bern = center_matrix(bernoulli_matrix(n_samples, 256, seed=9))
         dictionary = DCT2Dictionary(shape)
-        ca_report = matrix_quality_report(ca, sparsity=8, n_trials=40, seed=4, dictionary=dictionary)
-        bern_report = matrix_quality_report(bern, sparsity=8, n_trials=40, seed=4, dictionary=dictionary)
+        ca_report = matrix_quality_report(
+            ca, sparsity=8, n_trials=40, seed=4, dictionary=dictionary
+        )
+        bern_report = matrix_quality_report(
+            bern, sparsity=8, n_trials=40, seed=4, dictionary=dictionary
+        )
         # The CA-XOR matrix has structure (rank-2 masks), so allow a factor but
         # require the same order of magnitude of conditioning.
         assert ca_report["delta_estimate"] < 3.0 * bern_report["delta_estimate"] + 0.5

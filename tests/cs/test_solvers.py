@@ -142,7 +142,6 @@ class TestISTAAndFISTA:
     def test_works_with_sensing_operator_and_dictionary(self):
         """FISTA through a Φ Ψ operator recovers a DCT-sparse image."""
         dictionary = DCT2Dictionary((8, 8))
-        rng = np.random.default_rng(17)
         coefficients = np.zeros(64)
         coefficients[[0, 3, 17, 40]] = [8.0, 4.0, -3.0, 2.0]
         phi = gaussian_matrix(40, 64, seed=18)
@@ -156,7 +155,9 @@ class TestISTAAndFISTA:
 
 class TestBasisPursuit:
     def test_exact_recovery_noiseless(self):
-        matrix, truth, measurements = sparse_problem(n_samples=40, n_coefficients=80, sparsity=5, seed=19)
+        matrix, truth, measurements = sparse_problem(
+            n_samples=40, n_coefficients=80, sparsity=5, seed=19
+        )
         result = basis_pursuit(matrix, measurements)
         assert result.converged
         assert np.allclose(result.coefficients, truth, atol=1e-6)

@@ -76,8 +76,12 @@ class TestNoiseRobustness:
             photodiode=Photodiode(),
             comparator=Comparator(offset_sigma=30e-3, autozero=False, delay=0.0, seed=9),
         )
-        clean = CompressiveImager(config, encoder=clean_encoder, seed=6).capture(current, n_samples=400)
-        noisy = CompressiveImager(config, encoder=noisy_encoder, seed=6).capture(current, n_samples=400)
+        clean = CompressiveImager(config, encoder=clean_encoder, seed=6).capture(
+            current, n_samples=400
+        )
+        noisy = CompressiveImager(config, encoder=noisy_encoder, seed=6).capture(
+            current, n_samples=400
+        )
         psnr_clean = reconstruct_frame(clean, max_iterations=100).metrics["psnr_db"]
         psnr_noisy = reconstruct_frame(noisy, max_iterations=100).metrics["psnr_db"]
         assert psnr_noisy <= psnr_clean + 1.0  # offset cannot help

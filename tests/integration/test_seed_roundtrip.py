@@ -9,9 +9,7 @@ parameters), "transmit" it, rebuild everything on the other side.
 import json
 
 import numpy as np
-import pytest
 
-from repro.cs.metrics import psnr
 from repro.optics.photo import PhotoConversion
 from repro.optics.scenes import make_scene
 from repro.recon.operator import measurement_matrix_from_seed

@@ -12,7 +12,12 @@ from repro.ca.selection import CASelectionGenerator
 seed_bits = st.lists(st.integers(0, 1), min_size=6, max_size=40).filter(lambda bits: any(bits))
 
 
-@given(rule=st.integers(0, 255), left=st.integers(0, 1), center=st.integers(0, 1), right=st.integers(0, 1))
+@given(
+    rule=st.integers(0, 255),
+    left=st.integers(0, 1),
+    center=st.integers(0, 1),
+    right=st.integers(0, 1),
+)
 def test_rule_table_output_is_binary(rule, left, center, right):
     assert RuleTable(rule).next_state(left, center, right) in (0, 1)
 
@@ -41,7 +46,10 @@ def test_state_stays_binary_and_size_constant(bits, steps):
 
 
 @settings(max_examples=20, deadline=None)
-@given(bits=st.lists(st.integers(0, 1), min_size=6, max_size=24).filter(lambda b: any(b)), steps=st.integers(1, 12))
+@given(
+    bits=st.lists(st.integers(0, 1), min_size=6, max_size=24).filter(lambda b: any(b)),
+    steps=st.integers(1, 12),
+)
 def test_gate_level_register_matches_engine(bits, steps):
     """The Fig. 3 ring of cells and the vectorised engine are the same machine."""
     register = Rule30Register(seed_state=bits)

@@ -6,8 +6,6 @@ import pytest
 from repro.optics.photo import PhotoConversion
 from repro.optics.scenes import make_scene
 from repro.recon.operator import frame_operator, measurement_matrix_from_seed
-from repro.sensor.config import SensorConfig
-from repro.sensor.imager import CompressiveImager
 
 
 class TestMeasurementMatrixFromSeed:

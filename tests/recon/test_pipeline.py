@@ -4,12 +4,9 @@ import numpy as np
 import pytest
 
 from repro.cs.matrices import bernoulli_matrix, gaussian_matrix
-from repro.cs.metrics import psnr
 from repro.optics.photo import PhotoConversion
 from repro.optics.scenes import make_scene
 from repro.recon.pipeline import reconstruct_frame, reconstruct_samples
-from repro.sensor.config import SensorConfig
-from repro.sensor.imager import CompressiveImager
 from repro.utils.images import image_to_vector
 
 

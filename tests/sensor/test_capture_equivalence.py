@@ -18,7 +18,7 @@ import pytest
 from repro.optics.photo import PhotoConversion
 from repro.optics.scenes import make_scene
 from repro.sensor.config import SensorConfig
-from repro.sensor.imager import CompressedFrame, CompressiveImager
+from repro.sensor.imager import CompressiveImager
 from repro.sensor.tdc import apply_stochastic_lsb_error
 from repro.utils.rng import derive_seed, new_rng
 
@@ -190,7 +190,7 @@ class TestCaptureBatchEquivalence:
         config = SensorConfig(rows=16, cols=16)
         currents = [photocurrents((16, 16), seed=s) for s in range(2)]
         sequential = CompressiveImager(config, seed=8)
-        sequential_frames = sequential_capture_batch(sequential, currents, 15)
+        sequential_capture_batch(sequential, currents, 15)
         follow_up_expected = sequential.capture(currents[0], n_samples=15)
         batched = CompressiveImager(config, seed=8)
         batched.capture_batch(currents, n_samples=15)

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.pixel.event import PixelEvent
-from repro.sensor.column_bus import ArbitrationResult, ColumnBusArbiter, ColumnControlUnit, GateLevelColumn
+from repro.sensor.column_bus import (
+    ArbitrationResult,
+    ColumnBusArbiter,
+    ColumnControlUnit,
+    GateLevelColumn,
+)
 
 
 def events_from_times(times):
@@ -103,6 +108,92 @@ class TestArbiterContention:
         result = ColumnBusArbiter().arbitrate([])
         assert isinstance(result, ArbitrationResult)
         assert result.n_events == 0
+
+
+class TestArbiterEdgeCases:
+    """Boundary behaviour of the scalar specification.
+
+    These are the regimes the batched engine's equivalence suite leans on:
+    exact simultaneity, events straddling the frame-termination (deadline)
+    instant, and columns with no events at all.
+    """
+
+    def test_simultaneous_events_share_one_fire_instant(self):
+        """All-equal fire times: emissions are spaced by the event duration."""
+        duration = 5e-9
+        arbiter = ColumnBusArbiter(event_duration=duration)
+        result = arbiter.arbitrate(events_from_times([2e-6] * 5))
+        emits = [event.emit_time for event in result.events]
+        assert emits == pytest.approx([2e-6 + k * duration for k in range(5)])
+        # The first occupant was not queued; everyone behind it was.
+        assert result.n_queued == 4
+        assert result.max_queue_delay == pytest.approx(4 * duration)
+
+    def test_event_firing_exactly_at_deadline_is_dropped(self):
+        arbiter = ColumnBusArbiter(event_duration=5e-9)
+        result = arbiter.arbitrate(events_from_times([1e-6, 2e-6]), deadline=2e-6)
+        assert result.n_events == 1
+        assert result.events[0].row == 0
+
+    def test_event_queued_across_the_deadline_is_dropped(self):
+        """An event that fires inside the window but cannot be emitted
+        before the frame terminates is lost — the counter has stopped."""
+        duration = 1e-6
+        arbiter = ColumnBusArbiter(event_duration=duration)
+        result = arbiter.arbitrate(
+            events_from_times([1.4e-6, 1.5e-6]), deadline=2e-6
+        )
+        assert result.n_events == 1
+        assert result.events[0].fire_time == pytest.approx(1.4e-6)
+
+    def test_emission_exactly_at_deadline_is_dropped(self):
+        """``emit_time >= deadline`` is exclusive: the counter sample at the
+        termination instant no longer exists."""
+        duration = 1e-6
+        arbiter = ColumnBusArbiter(event_duration=duration)
+        result = arbiter.arbitrate(events_from_times([0.0, 0.5e-6]), deadline=1e-6)
+        assert result.n_events == 1
+        assert result.events[0].emit_time == 0.0
+
+    def test_emission_just_inside_deadline_survives(self):
+        arbiter = ColumnBusArbiter(event_duration=1e-6)
+        result = arbiter.arbitrate(events_from_times([0.0, 0.5e-6]), deadline=1e-6 + 1e-9)
+        assert result.n_events == 2
+        assert result.events[1].emit_time == pytest.approx(1e-6)
+
+    def test_drops_do_not_occupy_the_bus(self):
+        """A dropped event must not postpone anything (the pulse never made
+        it onto the bus), and every post-deadline waiter drops with it."""
+        duration = 1e-6
+        arbiter = ColumnBusArbiter(event_duration=duration)
+        result = arbiter.arbitrate(
+            events_from_times([0.0, 0.1e-6, 0.2e-6, 0.3e-6]), deadline=2.5e-6
+        )
+        assert result.n_events == 3
+        assert [e.emit_time for e in result.events] == pytest.approx(
+            [0.0, 1e-6, 2e-6]
+        )
+
+    def test_zero_event_column_returns_empty_result(self):
+        result = ColumnBusArbiter().arbitrate([], deadline=1e-6)
+        assert result.n_events == 0
+        assert result.n_queued == 0
+        assert result.max_queue_delay == 0.0
+        assert result.bus_busy_time == 0.0
+
+    def test_zero_event_groups_in_batched_arbitration(self):
+        from repro.sensor.column_bus import arbitrate_columns
+
+        fire = np.zeros((3, 4))
+        active = np.zeros((3, 4), dtype=bool)
+        active[1, 2] = True
+        fire[1, 2] = 1e-6
+        rows = np.zeros((3, 4), dtype=np.int64)
+        batch = arbitrate_columns(fire, active, rows, event_duration=5e-9)
+        assert batch.n_delivered == 1
+        assert batch.n_dropped == 0
+        assert np.count_nonzero(batch.delivered[0]) == 0
+        assert np.count_nonzero(batch.delivered[2]) == 0
 
 
 class TestGateLevelColumnAgreesWithArbiter:

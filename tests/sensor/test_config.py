@@ -51,7 +51,9 @@ class TestDefaultsMatchPrototype:
         assert 0.04 < probability < 0.08
 
     def test_any_overlap_probability_is_larger(self, default_config):
-        assert default_config.any_overlap_probability(64) > default_config.event_overlap_probability(64)
+        assert default_config.any_overlap_probability(
+            64
+        ) > default_config.event_overlap_probability(64)
 
 
 class TestScaling:

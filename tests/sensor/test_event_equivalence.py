@@ -1,0 +1,323 @@
+"""Seeded equivalence regression tests for the batched event-accurate engine.
+
+The event-accurate capture path used to run every selection pattern, column
+and pixel through Python objects (``PixelEvent`` lists, the scalar
+``ColumnBusArbiter``, per-code ``SampleAndAdd`` additions); it is now a
+column-parallel engine: one per-column firing-time sort, one vectorised
+single-server emission recurrence over all sample x column bus instances, a
+vectorised re-pairing of reorderable collision pools and one batched TDC
+sampling / Sample & Add fold.  These tests pin the contract that made the
+rewrite safe: the batched engine is **event-for-event identical** to the
+legacy loop — samples, ``n_lost_events``, ``n_queued_events``,
+``n_lsb_errors`` and ``max_queue_delay`` — across sensor shapes, event
+densities and collision regimes (simultaneous fires, long event durations,
+deadline straddling, saturated scenes).  The legacy loop stays reachable as
+``capture(engine="reference")``; the scalar arbiter itself is additionally
+pinned against :func:`repro.sensor.column_bus.arbitrate_columns` on crafted
+event sets whose exact ties would be measure-zero under physical firing
+times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.optics.photo import PhotoConversion
+from repro.optics.scenes import make_scene
+from repro.pixel.event import events_from_arrays
+from repro.sensor.column_bus import ColumnBusArbiter, arbitrate_columns
+from repro.sensor.config import SensorConfig
+from repro.sensor.imager import CompressiveImager
+from repro.sensor.video import VideoSequencer
+
+EVENT_METADATA_KEYS = (
+    "n_lost_events",
+    "n_queued_events",
+    "n_lsb_errors",
+    "max_queue_delay",
+)
+
+
+def photocurrents(shape, seed=0):
+    scene = make_scene("blobs", shape, seed=seed)
+    return PhotoConversion(prnu_sigma=0.0, shot_noise=False).convert(scene)
+
+
+def capture_pair(config, current, n_samples, *, seed=99, imager_kwargs=None, **kwargs):
+    """The same capture through the reference loop and the batched engine."""
+    imager_kwargs = imager_kwargs or {}
+    reference = CompressiveImager(config, seed=seed, **imager_kwargs).capture(
+        current, n_samples=n_samples, fidelity="event", engine="reference", **kwargs
+    )
+    batched = CompressiveImager(config, seed=seed, **imager_kwargs).capture(
+        current, n_samples=n_samples, fidelity="event", engine="batched", **kwargs
+    )
+    return reference, batched
+
+
+def assert_event_identical(reference, batched):
+    assert batched.samples.dtype == reference.samples.dtype
+    assert batched.samples.tobytes() == reference.samples.tobytes()
+    for key in EVENT_METADATA_KEYS:
+        assert batched.metadata[key] == reference.metadata[key], key
+
+
+SENSOR_CASES = [
+    pytest.param(dict(rows=16, cols=16), dict(), id="16x16-default"),
+    pytest.param(dict(rows=32, cols=32), dict(), id="32x32-default"),
+    pytest.param(dict(rows=16, cols=32), dict(), id="16x32-rectangular"),
+    pytest.param(dict(rows=32, cols=16), dict(), id="32x16-rectangular"),
+    pytest.param(dict(rows=16, cols=16), dict(steps_per_sample=3), id="16x16-stride3"),
+    pytest.param(dict(rows=16, cols=16), dict(rule=90), id="16x16-rule90"),
+]
+
+
+class TestEventCaptureEquivalence:
+    @pytest.mark.parametrize("config_kwargs, imager_kwargs", SENSOR_CASES)
+    @pytest.mark.parametrize("lsb_error", [True, False], ids=["lsb", "no-lsb"])
+    def test_batched_matches_reference_loop(
+        self, config_kwargs, imager_kwargs, lsb_error
+    ):
+        config = SensorConfig(**config_kwargs)
+        current = photocurrents((config.rows, config.cols), seed=7)
+        reference, batched = capture_pair(
+            config, current, 24, imager_kwargs=imager_kwargs, lsb_error=lsb_error
+        )
+        assert_event_identical(reference, batched)
+
+    def test_simultaneous_fires_whole_column_queues(self):
+        """A constant scene fires every selected pixel of a column at once."""
+        config = SensorConfig(rows=16, cols=16)
+        current = np.full((16, 16), 5e-9)
+        reference, batched = capture_pair(config, current, 10)
+        assert reference.metadata["n_queued_events"] > 0  # regime check
+        assert_event_identical(reference, batched)
+
+    @pytest.mark.parametrize("event_duration", [5e-8, 5e-7, 2e-6], ids=str)
+    def test_heavy_queueing_regimes(self, event_duration):
+        """Long bus occupations force deep queues and pool reordering."""
+        config = SensorConfig(rows=16, cols=16, event_duration=event_duration)
+        current = photocurrents((16, 16), seed=2)
+        reference, batched = capture_pair(config, current, 15)
+        assert_event_identical(reference, batched)
+
+    def test_deadline_straddling_drops_events(self):
+        """Events pushed past the conversion window are dropped identically."""
+        config = SensorConfig(rows=16, cols=16, event_duration=2e-6)
+        current = np.full((16, 16), 5e-9)
+        reference, batched = capture_pair(config, current, 8)
+        assert reference.metadata["n_lost_events"] > 0  # regime check
+        assert_event_identical(reference, batched)
+
+    def test_saturated_scene_loses_out_of_window_events(self):
+        """Without auto-exposure, dim pixels never fire inside the window."""
+        config = SensorConfig(rows=16, cols=16)
+        current = photocurrents((16, 16), seed=5) * 1e-3
+        reference, batched = capture_pair(config, current, 20, auto_expose=False)
+        assert reference.metadata["n_lost_events"] > 0  # regime check
+        assert_event_identical(reference, batched)
+
+    def test_seeded_fuzz_across_shapes_and_densities(self):
+        rng = np.random.default_rng(2018)
+        for trial in range(12):
+            rows = int(rng.choice([4, 8, 16]))
+            cols = int(rng.choice([4, 8, 16]))
+            config = SensorConfig(
+                rows=rows,
+                cols=cols,
+                event_duration=float(rng.choice([5e-9, 5e-8, 5e-7, 2e-6])),
+            )
+            if rng.random() < 0.3:
+                current = np.full((rows, cols), 5e-9)
+            else:
+                current = photocurrents((rows, cols), seed=trial)
+                if rng.random() < 0.3:
+                    current = current * 1e-3
+            reference, batched = capture_pair(
+                config,
+                current,
+                int(rng.integers(1, 20)),
+                seed=int(rng.integers(0, 1000)),
+                lsb_error=bool(rng.random() < 0.7),
+                auto_expose=bool(rng.random() < 0.7),
+            )
+            assert_event_identical(reference, batched)
+
+    def test_generator_left_where_reference_left_it(self):
+        """A follow-up capture must continue the CA exactly as before."""
+        config = SensorConfig(rows=16, cols=16)
+        current = photocurrents((16, 16), seed=3)
+        reference_imager = CompressiveImager(config, seed=4)
+        reference_imager.capture(current, n_samples=9, fidelity="event", engine="reference")
+        batched_imager = CompressiveImager(config, seed=4)
+        batched_imager.capture(current, n_samples=9, fidelity="event")
+        assert np.array_equal(
+            reference_imager.selection._automaton.state,
+            batched_imager.selection._automaton.state,
+        )
+        assert (
+            reference_imager.selection.sample_index
+            == batched_imager.selection.sample_index
+        )
+
+    def test_event_statistics_marked_exact(self):
+        config = SensorConfig(rows=16, cols=16)
+        frame = CompressiveImager(config, seed=1).capture(
+            photocurrents((16, 16)), n_samples=4, fidelity="event"
+        )
+        assert frame.metadata["event_statistics"] == "exact"
+
+
+class TestBatchedArbitrationAgainstScalar:
+    """Pin :func:`arbitrate_columns` against the scalar specification directly.
+
+    Crafted fire times reach the exact-tie branches (an event firing at the
+    very instant the bus frees, simultaneous fires, reordering pools) that
+    physically generated times only hit with probability zero.
+    """
+
+    def run_both(self, columns, event_duration, deadline=None):
+        """``columns`` is a list of (rows, fire_times) event sets."""
+        n_slots = max(len(rows) for rows, _ in columns)
+        fire = np.zeros((len(columns), n_slots))
+        active = np.zeros((len(columns), n_slots), dtype=bool)
+        row_ids = np.zeros((len(columns), n_slots), dtype=np.int64)
+        scalar = []
+        arbiter = ColumnBusArbiter(event_duration=event_duration)
+        for g, (rows, times) in enumerate(columns):
+            order = sorted(range(len(rows)), key=lambda i: (times[i], rows[i]))
+            for k, i in enumerate(order):
+                fire[g, k] = times[i]
+                row_ids[g, k] = rows[i]
+                active[g, k] = True
+            scalar.append(
+                arbiter.arbitrate(
+                    events_from_arrays(rows, 0, times), deadline=deadline
+                )
+            )
+        batch = arbitrate_columns(
+            fire, active, row_ids, event_duration=event_duration, deadline=deadline
+        )
+        return scalar, batch
+
+    def assert_matches(self, scalar, batch):
+        for g, result in enumerate(scalar):
+            mask = batch.delivered[g]
+            assert int(np.count_nonzero(mask)) == result.n_events
+            assert np.array_equal(
+                batch.rows[g][mask], [e.row for e in result.events]
+            )
+            assert np.array_equal(
+                batch.emit_times[g][mask], [e.emit_time for e in result.events]
+            )
+            assert np.array_equal(
+                batch.fire_times[g][mask], [e.fire_time for e in result.events]
+            )
+
+    def test_reordering_pool_topmost_first(self):
+        # Row 9 takes the bus; rows 5 and 1 queue; 1 must be released first.
+        columns = [([9, 5, 1], [0.0, 4e-9, 8e-9])]
+        scalar, batch = self.run_both(columns, event_duration=100e-9)
+        self.assert_matches(scalar, batch)
+
+    def test_fire_exactly_when_bus_frees(self):
+        # The second event fires at the exact instant the bus frees while a
+        # lower-row pixel is already waiting: the waiting pixel still wins
+        # only if it is topmost — this is the tie the scalar resolves with
+        # ``fire <= bus_free``.
+        duration = 10e-9
+        columns = [
+            ([9, 5, 0], [0.0, 4e-9, duration]),
+            ([9, 0, 5], [0.0, 4e-9, duration]),
+            ([0, 9, 5], [0.0, duration, 2 * duration]),
+        ]
+        scalar, batch = self.run_both(columns, event_duration=duration)
+        self.assert_matches(scalar, batch)
+
+    def test_simultaneous_fires_release_top_down(self):
+        columns = [(list(range(8)), [1e-6] * 8), ([3, 1, 7], [0.0, 0.0, 0.0])]
+        scalar, batch = self.run_both(columns, event_duration=5e-9)
+        self.assert_matches(scalar, batch)
+
+    def test_deadline_inside_a_pool(self):
+        # Only two of four queued events fit before the deadline; the
+        # topmost-first rule decides *which* two are delivered.
+        columns = [([9, 5, 1, 3], [0.0, 1e-9, 2e-9, 3e-9])]
+        scalar, batch = self.run_both(columns, event_duration=1e-6, deadline=1.5e-6)
+        self.assert_matches(scalar, batch)
+        assert batch.n_dropped == 2
+
+    def test_mixed_group_sizes_and_empty_groups(self):
+        columns = [
+            ([], []),
+            ([2], [5e-7]),
+            ([4, 2], [1e-7, 1e-7]),
+            ([7, 3, 5, 1], [0.0, 2e-9, 4e-9, 6e-9]),
+        ]
+        scalar, batch = self.run_both(columns, event_duration=50e-9)
+        self.assert_matches(scalar, batch)
+
+    def test_random_event_sets(self):
+        rng = np.random.default_rng(7)
+        columns = []
+        for _ in range(50):
+            n = int(rng.integers(0, 12))
+            rows = list(rng.permutation(16)[:n])
+            # Quantised times manufacture exact ties between columns' events.
+            times = list(rng.integers(0, 40, size=n) * 25e-9)
+            columns.append((rows, times))
+        scalar, batch = self.run_both(columns, event_duration=60e-9, deadline=8e-7)
+        self.assert_matches(scalar, batch)
+
+
+class TestEventCaptureBatch:
+    def sequential_event_batch(self, imager, currents, n_samples):
+        """The per-frame loop capture_batch replaces, at event fidelity."""
+        from repro.ca.selection import CASelectionGenerator
+
+        frames = []
+        for current in currents:
+            frames.append(
+                imager.capture(current, n_samples=n_samples, fidelity="event")
+            )
+            end_state = imager.selection._automaton.state
+            imager.selection = CASelectionGenerator(
+                imager.config.rows,
+                imager.config.cols,
+                seed_state=end_state,
+                rule=imager.rule_number,
+                steps_per_sample=imager.steps_per_sample,
+                warmup_steps=0,
+            )
+            imager.warmup_steps = 0
+        return frames
+
+    def test_capture_batch_event_matches_sequential_loop(self):
+        config = SensorConfig(rows=16, cols=16)
+        currents = [photocurrents((16, 16), seed=s) for s in range(3)]
+        expected = self.sequential_event_batch(
+            CompressiveImager(config, seed=21), currents, 12
+        )
+        frames = CompressiveImager(config, seed=21).capture_batch(
+            currents, n_samples=12, fidelity="event"
+        )
+        assert len(frames) == len(expected)
+        for frame, reference in zip(frames, expected):
+            assert frame.metadata["fidelity"] == "event"
+            assert np.array_equal(frame.seed_state, reference.seed_state)
+            assert frame.warmup_steps == reference.warmup_steps
+            assert np.array_equal(frame.digital_image, reference.digital_image)
+            assert_event_identical(reference, frame)
+
+    def test_video_sequencer_event_fidelity(self):
+        config = SensorConfig(rows=16, cols=16)
+        sequencer = VideoSequencer(
+            CompressiveImager(config, seed=5),
+            conversion=PhotoConversion(prnu_sigma=0.0, shot_noise=False),
+            samples_per_frame=10,
+        )
+        scenes = [make_scene("blobs", (16, 16), seed=s) for s in range(3)]
+        result = sequencer.capture_sequence(scenes, fidelity="event")
+        assert result.n_frames == 3
+        for frame in result.frames:
+            assert frame.metadata["fidelity"] == "event"
+            assert frame.metadata["event_statistics"] == "exact"

@@ -93,6 +93,34 @@ class TestBehaviouralCapture:
         for key in ("fidelity", "n_lsb_errors", "n_lost_events", "n_saturated_pixels"):
             assert key in frame.metadata
 
+    def test_behavioural_metadata_is_modelled(self, small_imager):
+        """Behavioural captures report modelled event statistics, not zeros."""
+        frame = small_imager.capture(photocurrents((16, 16)), n_samples=20)
+        assert frame.metadata["event_statistics"] == "modelled"
+        # Auto-exposed scene: nothing falls outside the window...
+        assert frame.metadata["n_lost_events"] == 0
+        # ...but the overlap model still predicts a non-zero queueing
+        # expectation (a float — it is an expectation, not a count).
+        assert isinstance(frame.metadata["n_queued_events"], float)
+        assert frame.metadata["n_queued_events"] > 0.0
+
+    def test_behavioural_lost_count_matches_event_prefilter(self, small_config):
+        """The modelled loss count equals the event engine's out-of-window
+        losses — the behavioural sum keeps those pixels at ``max_code``
+        while the event engine drops their pulse, which is exactly the
+        distinction the metadata documents."""
+        current = photocurrents((16, 16), seed=5) * 1e-3  # dim: most saturate
+        behavioural = CompressiveImager(small_config, seed=11).capture(
+            current, n_samples=15, auto_expose=False
+        )
+        event = CompressiveImager(small_config, seed=11).capture(
+            current, n_samples=15, auto_expose=False, fidelity="event"
+        )
+        assert behavioural.metadata["n_lost_events"] > 0
+        assert (
+            behavioural.metadata["n_lost_events"] == event.metadata["n_lost_events"]
+        )
+
     def test_keep_digital_image_flag(self, small_imager):
         frame = small_imager.capture(
             photocurrents((16, 16)), n_samples=5, keep_digital_image=False

@@ -1,6 +1,5 @@
 """Tests for the per-column accumulators and the compressed-sample adder."""
 
-import numpy as np
 import pytest
 
 from repro.pixel.event import PixelEvent
