@@ -29,8 +29,15 @@ from repro.cs import (
 from repro.io import decode_frame, encode_frame
 from repro.optics import PhotoConversion, make_scene
 from repro.pixel import Pixel, TimeEncoder
-from repro.recon import reconstruct_frame, reconstruct_samples
-from repro.sensor import CompressedFrame, CompressiveImager, SensorConfig, VideoSequencer
+from repro.recon import reconstruct_frame, reconstruct_samples, reconstruct_tiled
+from repro.sensor import (
+    CompressedFrame,
+    CompressiveImager,
+    SensorConfig,
+    TiledCaptureResult,
+    TiledSensorArray,
+    VideoSequencer,
+)
 
 __version__ = "1.0.0"
 
@@ -53,6 +60,9 @@ __all__ = [
     "CompressedFrame",
     "reconstruct_frame",
     "reconstruct_samples",
+    "reconstruct_tiled",
+    "TiledSensorArray",
+    "TiledCaptureResult",
     "VideoSequencer",
     "encode_frame",
     "decode_frame",

@@ -77,6 +77,30 @@ def ca_measurement_matrix(
     the CS baselines) routes through this function, which guarantees that the
     matrix used for capture and the matrix rebuilt for reconstruction are the
     same batched computation, bit for bit.
+
+    Parameters
+    ----------
+    n_samples : int
+        Number of selection patterns (rows of Φ) to generate.
+    rows, cols : int
+        Pixel-array dimensions; the CA ring has ``rows + cols`` cells.
+    seed_state : numpy.ndarray
+        The CA seed bits, shape ``(rows + cols,)``, values in {0, 1} — the
+        side information shared between sensor and receiver.
+    rule : int or RuleTable
+        CA rule number (30 in the paper).
+    steps_per_sample : int
+        CA clock cycles between consecutive patterns.
+    warmup_steps : int
+        CA clock cycles applied once before the first pattern.
+    boundary : BoundaryCondition
+        Ring boundary condition; the hardware ring is periodic.
+
+    Returns
+    -------
+    numpy.ndarray
+        Φ as a ``(n_samples, rows * cols)`` ``uint8`` 0/1 matrix, pattern
+        masks flattened in raster order.
     """
     check_positive("n_samples", n_samples)
     check_positive("rows", rows)

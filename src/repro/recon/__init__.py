@@ -8,7 +8,13 @@ recovered time-code image back into light intensities.
 
 from repro.recon.calibration import codes_to_intensity, intensity_to_codes
 from repro.recon.operator import frame_operator, measurement_matrix_from_seed
-from repro.recon.pipeline import ReconstructionResult, reconstruct_frame, reconstruct_samples
+from repro.recon.pipeline import (
+    ReconstructionResult,
+    TiledReconstructionResult,
+    reconstruct_frame,
+    reconstruct_samples,
+    reconstruct_tiled,
+)
 
 __all__ = [
     "measurement_matrix_from_seed",
@@ -17,5 +23,7 @@ __all__ = [
     "intensity_to_codes",
     "reconstruct_frame",
     "reconstruct_samples",
+    "reconstruct_tiled",
     "ReconstructionResult",
+    "TiledReconstructionResult",
 ]

@@ -16,8 +16,9 @@ guaranteed to invert exactly the matrix the sensor sampled with.
 
 from __future__ import annotations
 
+import concurrent.futures
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -27,6 +28,7 @@ from repro.cs.operators import SensingOperator
 from repro.cs.solvers import SolverResult, cosamp, fista, iht, ista, omp
 from repro.recon.operator import frame_operator
 from repro.sensor.imager import CompressedFrame
+from repro.sensor.shard import TiledCaptureResult
 from repro.utils.validation import check_choice
 
 _SOLVERS = {
@@ -119,6 +121,35 @@ def reconstruct_samples(
     sample mean — the same normalisation the sensor pipeline uses.  The
     default l1 weight is scaled to the centred measurement magnitude, which
     works across pixel depths without tuning.
+
+    Parameters
+    ----------
+    phi : numpy.ndarray
+        Measurement matrix, shape ``(n_samples, n_pixels)``, any real dtype.
+    samples : numpy.ndarray
+        Measurements ``y``, shape ``(n_samples,)``.
+    image_shape : tuple of int
+        ``(rows, cols)`` of the image to recover.
+    dictionary : str
+        Sparsifying dictionary name (see :func:`repro.cs.dictionaries.make_dictionary`).
+    solver : {"fista", "ista", "omp", "cosamp", "iht"}
+        Sparse-recovery solver; greedy solvers use ``sparsity``.
+    regularization : float, optional
+        l1 weight for FISTA/ISTA; auto-scaled when omitted.
+    sparsity : int, optional
+        Sparsity target for the greedy solvers; defaults to
+        ``n_samples // 8``.
+    max_iterations : int
+        Iteration budget.
+    center : bool
+        Apply the selection-matrix DC centring described above.
+    reference : numpy.ndarray, optional
+        Ground truth; when given, PSNR/SNR metrics are attached.
+
+    Returns
+    -------
+    ReconstructionResult
+        The recovered ``(rows, cols)`` float image plus solver diagnostics.
     """
     phi = np.asarray(phi, dtype=float)
     samples = np.asarray(samples, dtype=float).reshape(-1)
@@ -189,6 +220,14 @@ def reconstruct_frame(
     reference:
         Optional ground-truth code image (e.g. ``frame.digital_image``); when
         given, PSNR/SNR metrics are attached to the result.
+
+    Returns
+    -------
+    ReconstructionResult
+        The recovered code-domain image (shape ``(rows, cols)``, float),
+        solver diagnostics, quality metrics when a reference is available,
+        and the sensor-side ``capture_metadata`` carried over from the
+        frame.
     """
     operator, density = frame_operator(frame, dictionary=dictionary, center=True)
     samples = frame.samples.astype(float)
@@ -232,4 +271,126 @@ def reconstruct_frame(
         solver=solver,
         metrics=metrics,
         capture_metadata=dict(frame.metadata),
+    )
+
+
+@dataclass
+class TiledReconstructionResult:
+    """A full scene reassembled from per-tile reconstructions.
+
+    Attributes
+    ----------
+    image:
+        The stitched code-domain image, shape ``scene_shape``.
+    tile_results:
+        Row-major grid of the per-tile :class:`ReconstructionResult` objects
+        (each with its own solver diagnostics).
+    dictionary, solver:
+        Names of the sparsifying dictionary and solver used on every tile.
+    metrics:
+        Scene-level quality metrics against a reference image (filled when a
+        reference is supplied or the capture kept its digital images).
+    capture_metadata:
+        The merged mosaic-level capture statistics of the
+        :class:`~repro.sensor.shard.TiledCaptureResult` being reconstructed.
+    """
+
+    image: np.ndarray
+    tile_results: List[List[ReconstructionResult]]
+    dictionary: str
+    solver: str
+    metrics: Dict[str, float]
+    capture_metadata: Dict[str, object] = field(default_factory=dict)
+
+
+def reconstruct_tiled(
+    capture: TiledCaptureResult,
+    *,
+    dictionary: str = "dct",
+    solver: str = "fista",
+    regularization: Optional[float] = None,
+    sparsity: Optional[int] = None,
+    max_iterations: int = 200,
+    reference: Optional[np.ndarray] = None,
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
+) -> TiledReconstructionResult:
+    """Reconstruct a :class:`~repro.sensor.shard.TiledCaptureResult` scene.
+
+    Every tile is an independent compressed frame carrying its own CA seed,
+    so the receiver reconstructs the mosaic tile-by-tile — each through the
+    ordinary :func:`reconstruct_frame` path, hence through the one shared Φ
+    builder — and stitches the tile images back at their scene offsets,
+    mirroring the block-CS reassembly of
+    :class:`repro.cs.block.BlockCompressiveSampler` with per-tile hardware
+    matrices instead of one shared synthetic matrix.
+
+    Parameters
+    ----------
+    capture : TiledCaptureResult
+        The merged tiled capture to invert.
+    dictionary, solver, regularization, sparsity, max_iterations:
+        Per-tile reconstruction options, as in :func:`reconstruct_frame`.
+    reference : numpy.ndarray, optional
+        Ground-truth code image of the whole scene; when omitted, the
+        stitched per-tile digital images are used if the capture kept them.
+    executor : {"serial", "thread"}
+        Reconstruct tiles inline or through a thread pool (the solvers are
+        numpy/scipy-bound and release the GIL in their hot loops).
+    max_workers : int, optional
+        Thread-pool width; ``None`` lets :mod:`concurrent.futures` pick.
+
+    Returns
+    -------
+    TiledReconstructionResult
+        The stitched scene, the per-tile solver results and scene-level
+        PSNR/SNR metrics when a reference is available.
+    """
+    check_choice("executor", executor, ("serial", "thread"))
+
+    def solve_tile(frame: CompressedFrame) -> ReconstructionResult:
+        return reconstruct_frame(
+            frame,
+            dictionary=dictionary,
+            solver=solver,
+            regularization=regularization,
+            sparsity=sparsity,
+            max_iterations=max_iterations,
+        )
+
+    flat_frames = [frame for _, frame in capture.frames()]
+    if executor == "thread" and len(flat_frames) > 1:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=max_workers) as pool:
+            flat_results = list(pool.map(solve_tile, flat_frames))
+    else:
+        flat_results = [solve_tile(frame) for frame in flat_frames]
+
+    grid_rows, grid_cols = capture.grid_shape
+    tile_results = [
+        flat_results[row * grid_cols : (row + 1) * grid_cols]
+        for row in range(grid_rows)
+    ]
+    image = np.zeros(capture.scene_shape, dtype=float)
+    for (slot, _), result in zip(capture.frames(), flat_results):
+        image[slot.row_slice, slot.col_slice] = result.image
+
+    if reference is None:
+        try:
+            reference = capture.digital_image().astype(float)
+        except ValueError:
+            reference = None
+    metrics: Dict[str, float] = {}
+    if reference is not None:
+        reference = np.asarray(reference, dtype=float)
+        metrics = {
+            "psnr_db": psnr(reference, image),
+            "snr_db": reconstruction_snr(reference, image),
+        }
+    return TiledReconstructionResult(
+        image=image,
+        tile_results=tile_results,
+        dictionary=dictionary,
+        solver=solver,
+        metrics=metrics,
+        capture_metadata=dict(capture.metadata),
     )

@@ -17,13 +17,21 @@ chip:
   Table II.
 * :mod:`repro.sensor.imager` — :class:`CompressiveImager`, the top-level
   object: scene in, compressed samples (plus the CA seed) out.
+* :mod:`repro.sensor.shard` — :class:`TiledSensorArray`, a mosaic of
+  independent imager tiles capturing one large scene concurrently.
 """
 
 from repro.sensor.column_bus import ColumnBusArbiter, ColumnControlUnit
 from repro.sensor.config import SensorConfig
-from repro.sensor.imager import CompressedFrame, CompressiveImager
+from repro.sensor.imager import FLOAT32_SAMPLE_ATOL, CompressedFrame, CompressiveImager
 from repro.sensor.power import PowerAreaModel, chip_feature_summary
 from repro.sensor.sample_add import ColumnAccumulator, SampleAndAdd
+from repro.sensor.shard import (
+    TiledCaptureResult,
+    TiledSensorArray,
+    TileSlot,
+    merge_tile_statistics,
+)
 from repro.sensor.tdc import GlobalCounterTDC
 from repro.sensor.video import VideoCaptureResult, VideoSequencer
 
@@ -38,6 +46,11 @@ __all__ = [
     "chip_feature_summary",
     "CompressiveImager",
     "CompressedFrame",
+    "FLOAT32_SAMPLE_ATOL",
     "VideoSequencer",
     "VideoCaptureResult",
+    "TiledSensorArray",
+    "TiledCaptureResult",
+    "TileSlot",
+    "merge_tile_statistics",
 ]

@@ -277,17 +277,23 @@ def arbitrate_columns(
 
     Parameters
     ----------
-    fire_times, active, rows:
-        ``(n_groups, n_slots)`` arrays: per group, the candidate events in
-        ascending ``(fire_time, row)`` order — their fire instants, an
-        is-an-event flag and their pixel row indices.  Inactive slots may
-        carry any values; they are ignored (the bus skips them), so a group
-        may interleave its events with gaps.
-    event_duration:
-        Bus-occupation time of one event.
-    deadline:
-        End of the conversion window; events whose emission instant would
-        fall at or beyond it are dropped, exactly like the scalar arbiter.
+    fire_times : numpy.ndarray
+        ``(n_groups, n_slots)`` float array of candidate fire instants (s),
+        each group sorted in ascending ``(fire_time, row)`` order; a *group*
+        is one (sample, column) bus instance.
+    active : numpy.ndarray
+        ``(n_groups, n_slots)`` boolean is-an-event flags.  Inactive slots
+        may carry any values; they are ignored (the bus skips them), so a
+        group may interleave its events with gaps.
+    rows : numpy.ndarray
+        ``(n_groups, n_slots)`` integer pixel row indices, used by the
+        topmost-first release rule inside collision pools.
+    event_duration : float
+        Bus-occupation time of one event (s).
+    deadline : float, optional
+        End of the conversion window (s); events whose emission instant
+        would fall at or beyond it are dropped, exactly like the scalar
+        arbiter.  ``None`` delivers everything.
 
     Returns
     -------

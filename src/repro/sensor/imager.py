@@ -60,6 +60,18 @@ from repro.sensor.tdc import GlobalCounterTDC, draw_lsb_bumps
 from repro.utils.rng import SeedLike, derive_seed, new_rng
 from repro.utils.validation import check_choice, check_positive
 
+#: Accuracy contract of the ``dtype="float32"`` behavioural fast mode, in
+#: compressed-sample code units.  With ``lsb_error=False`` a float32 capture
+#: is pinned to within this absolute tolerance of the float64 capture (for
+#: tiles up to 128x128 the float32 matmul is in fact exact: every partial sum
+#: stays below 2**24, the largest integer float32 resolves).  With
+#: ``lsb_error=True`` the fast mode replaces the per-event stochastic ±1 LSB
+#: draws with their expectation, so the two dtypes additionally differ by the
+#: binomial noise of the exact path — bounded (at six sigma) by
+#: ``6 * sqrt(n_selected_events_per_sample * p * (1 - p))``.
+#: ``tests/sensor/test_float32_mode.py`` pins both halves of this contract.
+FLOAT32_SAMPLE_ATOL = 2.0
+
 
 @dataclass
 class CompressedFrame:
@@ -230,34 +242,57 @@ class CompressiveImager:
         lsb_error: bool = True,
         keep_digital_image: bool = True,
         engine: str = "batched",
+        dtype: str = "float64",
     ) -> CompressedFrame:
         """Capture one compressive frame from a photocurrent map.
 
         Parameters
         ----------
-        photocurrent:
-            Per-pixel photocurrent (A), shape ``(rows, cols)``.
-        n_samples:
+        photocurrent : numpy.ndarray
+            Per-pixel photocurrent (A), shape ``(rows, cols)``, any real
+            dtype (converted to ``float64``).
+        n_samples : int, optional
             Number of compressed samples; defaults to ``R * M * N`` from the
             configuration.
-        fidelity:
+        fidelity : {"behavioural", "event"}
             ``"behavioural"`` (vectorised Φ @ x) or ``"event"`` (full token
             protocol and sample-and-add registers, column-parallel).
-        auto_expose:
+        auto_expose : bool
             Adapt ``V_ref`` to the scene before capturing.
-        lsb_error:
+        lsb_error : bool
             Model the late-detection +1 LSB error (stochastically in
             behavioural mode, exactly in event mode).
-        keep_digital_image:
+        keep_digital_image : bool
             Store the ideal code image in the returned frame.
-        engine:
-            ``"batched"`` (default) or ``"reference"``.  The reference engine
-            runs the event-accurate capture through the original per-column
-            Python loop — the executable specification the batched engine is
-            pinned against; behavioural captures are batched either way.
+        engine : {"batched", "reference"}
+            The reference engine runs the event-accurate capture through the
+            original per-column Python loop — the executable specification
+            the batched engine is pinned against; behavioural captures are
+            batched either way.
+        dtype : {"float64", "float32"}
+            Arithmetic width of the behavioural fast path.  The default
+            ``"float64"`` is bit-exact (byte-identical to the legacy
+            per-pattern loop).  ``"float32"`` is the fast mode for very large
+            arrays: the Φ @ x matmuls run in single precision and the
+            per-event stochastic LSB bookkeeping is replaced by its
+            expectation — see :data:`FLOAT32_SAMPLE_ATOL` for the documented
+            accuracy contract.  Flagged in ``metadata["dtype"]``; rejected
+            for ``fidelity="event"``, which is exact by construction.
+
+        Returns
+        -------
+        CompressedFrame
+            Samples (``int64``, shape ``(n_samples,)``), the CA seed, the
+            configuration and the capture statistics ``metadata``.
         """
         check_choice("fidelity", fidelity, ("behavioural", "event"))
         check_choice("engine", engine, ("batched", "reference"))
+        check_choice("dtype", dtype, ("float64", "float32"))
+        if fidelity == "event" and dtype != "float64":
+            raise ValueError(
+                "dtype='float32' is a behavioural fast mode; the event-accurate "
+                "engine is integer-exact and only supports dtype='float64'"
+            )
         if n_samples is None:
             n_samples = self.config.samples_per_frame
         check_positive("n_samples", n_samples)
@@ -276,7 +311,7 @@ class CompressiveImager:
         self.selection.reset()
         if fidelity == "behavioural":
             samples, metadata = self._capture_behavioural(
-                codes, times, n_samples, lsb_error=lsb_error, rng=rng
+                codes, times, n_samples, lsb_error=lsb_error, rng=rng, dtype=dtype
             )
         elif engine == "reference":
             samples, metadata = self._capture_event_reference(
@@ -353,6 +388,7 @@ class CompressiveImager:
         auto_expose: bool = True,
         lsb_error: bool = True,
         keep_digital_image: bool = True,
+        dtype: str = "float64",
     ) -> List[CompressedFrame]:
         """Capture a stack of frames with a continuously-running selection CA.
 
@@ -370,8 +406,35 @@ class CompressiveImager:
         the loop :class:`~repro.sensor.video.VideoSequencer` used to run —
         and the imager's selection generator is left positioned after the
         last frame, so further captures continue the same CA evolution.
+
+        Parameters
+        ----------
+        photocurrents : iterable of numpy.ndarray
+            Per-frame photocurrent maps, each of shape ``(rows, cols)``.
+        n_samples : int, optional
+            Compressed samples per frame; defaults to ``R * M * N``.
+        fidelity : {"behavioural", "event"}
+            Capture engine, as in :meth:`capture`.
+        auto_expose, lsb_error, keep_digital_image : bool
+            As in :meth:`capture`, applied to every frame.
+        dtype : {"float64", "float32"}
+            Behavioural arithmetic width, as in :meth:`capture`; the float32
+            fast mode applies to every frame of the batch and is rejected
+            for ``fidelity="event"``.
+
+        Returns
+        -------
+        list of CompressedFrame
+            One frame per input scene, in order, each independently
+            decodable from its own ``seed_state``.
         """
         check_choice("fidelity", fidelity, ("behavioural", "event"))
+        check_choice("dtype", dtype, ("float64", "float32"))
+        if fidelity == "event" and dtype != "float64":
+            raise ValueError(
+                "dtype='float32' is a behavioural fast mode; the event-accurate "
+                "engine is integer-exact and only supports dtype='float64'"
+            )
         photocurrents = [np.asarray(current, dtype=float) for current in photocurrents]
         if not photocurrents:
             return []
@@ -406,9 +469,10 @@ class CompressiveImager:
                     codes,
                     lsb_probability=lsb_probability,
                     rng=rng,
+                    dtype=dtype,
                 )
                 metadata = self._behavioural_metadata(
-                    frame_states, times, lsb_probability, n_bumped
+                    frame_states, times, lsb_probability, n_bumped, dtype=dtype
                 )
             else:
                 samples, metadata = self._capture_event(
@@ -464,6 +528,60 @@ class CompressiveImager:
         # the chance of colliding with another event of the same column.
         return self.config.event_overlap_probability(self.config.rows // 2)
 
+    @staticmethod
+    def _rank_structured_project(
+        row_signals: np.ndarray, col_signals: np.ndarray, image: np.ndarray
+    ) -> np.ndarray:
+        """``Φ @ image.ravel()`` without materialising Φ.
+
+        The XOR construction makes ``Φ[i] = R_i ⊕ C_i = R_i + C_i − 2 R_i C_i``
+        a rank-structured mask, so one frame's projection reduces to three
+        small matmuls over the raw row/column CA signals.  The arithmetic
+        runs in whatever float dtype the three operands carry.
+        """
+        return (
+            row_signals @ image.sum(axis=1)
+            + col_signals @ image.sum(axis=0)
+            - 2.0 * ((row_signals @ image) * col_signals).sum(axis=1)
+        )
+
+    def _behavioural_samples_fast(
+        self,
+        states: np.ndarray,
+        codes: np.ndarray,
+        *,
+        lsb_probability: float,
+    ):
+        """The ``dtype="float32"`` fast mode: single precision, expected LSB.
+
+        Two bookkeeping costs of the exact engine are dropped for very large
+        arrays: the matmuls run in float32 (half the memory traffic), and the
+        one-uniform-draw-per-selected-event LSB machinery is replaced by its
+        expectation — each sample gains ``p x (selected, unsaturated pixels)``
+        deterministic bumps instead of a binomial draw.  Saturated pixels are
+        excluded from the expectation exactly as the exact path excludes them
+        from the effective draws.  The accuracy contract versus float64 is
+        documented at :data:`FLOAT32_SAMPLE_ATOL`.
+
+        Returns ``(samples, expected_bumps)``; the bump count is a float
+        expectation, not an integer tally.
+        """
+        rows, cols = self.config.rows, self.config.cols
+        row_signals = states[:, :rows].astype(np.float32)
+        col_signals = states[:, rows:].astype(np.float32)
+        image = codes.reshape(rows, cols).astype(np.float32)
+        samples = self._rank_structured_project(row_signals, col_signals, image)
+        expected_bumps = 0.0
+        if lsb_probability > 0.0:
+            # Bumps only land on selected pixels that are not saturated; the
+            # per-sample count of those is the same rank-structured projection
+            # applied to the 0/1 "unsaturated" indicator image.
+            live = (codes < self.tdc.max_code).astype(np.float32).reshape(rows, cols)
+            eligible = self._rank_structured_project(row_signals, col_signals, live)
+            samples = samples + np.float32(lsb_probability) * eligible
+            expected_bumps = float(lsb_probability * eligible.sum())
+        return np.rint(samples).astype(np.int64), expected_bumps
+
     def _behavioural_samples(
         self,
         states: np.ndarray,
@@ -471,6 +589,7 @@ class CompressiveImager:
         *,
         lsb_probability: float,
         rng: np.random.Generator,
+        dtype: str = "float64",
     ):
         """One frame's compressed samples from its CA state stack, fully batched.
 
@@ -485,15 +604,21 @@ class CompressiveImager:
         event, taken in the exact event order (sample-major, then raster
         pixel order) the legacy per-pattern loop consumed them, so the output
         is bit-identical to that loop for the same generator stream.
+
+        ``dtype="float32"`` routes to :meth:`_behavioural_samples_fast`
+        instead; the default float64 path below is untouched and stays
+        byte-exact.
         """
+        if dtype == "float32":
+            return self._behavioural_samples_fast(
+                states, codes, lsb_probability=lsb_probability
+            )
         rows, cols = self.config.rows, self.config.cols
         row_signals = states[:, :rows].astype(np.float64)
         col_signals = states[:, rows:].astype(np.float64)
         image = codes.reshape(rows, cols).astype(np.float64)
-        samples = (
-            row_signals @ image.sum(axis=1)
-            + col_signals @ image.sum(axis=0)
-            - 2.0 * ((row_signals @ image) * col_signals).sum(axis=1)
+        samples = self._rank_structured_project(
+            row_signals, col_signals, image
         ).astype(np.int64)
         n_bumped = 0
         if lsb_probability > 0.0:
@@ -536,7 +661,9 @@ class CompressiveImager:
         states: np.ndarray,
         times: np.ndarray,
         lsb_probability: float,
-        n_bumped: int,
+        n_bumped,
+        *,
+        dtype: str = "float64",
     ) -> Dict[str, object]:
         """Behavioural capture statistics, with *modelled* event counts.
 
@@ -553,7 +680,10 @@ class CompressiveImager:
           float: (delivered events) x (per-event overlap probability).
 
         ``event_statistics`` is ``"modelled"`` here and ``"exact"`` for event
-        fidelity, so downstream consumers can tell the two apart.
+        fidelity, so downstream consumers can tell the two apart.  ``dtype``
+        records the arithmetic width of the capture; in the float32 fast
+        mode ``n_lsb_errors`` is the *expected* bump count (a float), since
+        that mode applies the expectation instead of drawing per event.
         """
         rows, cols = self.config.rows, self.config.cols
         row_signals = states[:, :rows].astype(np.int64)
@@ -574,10 +704,11 @@ class CompressiveImager:
         overlap = self.config.event_overlap_probability(self.config.rows // 2)
         return {
             "lsb_error_probability": float(lsb_probability),
-            "n_lsb_errors": int(n_bumped),
+            "n_lsb_errors": float(n_bumped) if dtype == "float32" else int(n_bumped),
             "n_lost_events": n_lost,
             "n_queued_events": float((n_selected - n_lost) * overlap),
             "event_statistics": "modelled",
+            "dtype": dtype,
         }
 
     def _capture_behavioural(
@@ -588,14 +719,15 @@ class CompressiveImager:
         *,
         lsb_error: bool,
         rng: np.random.Generator,
+        dtype: str = "float64",
     ):
         lsb_probability = self._behavioural_lsb_probability(lsb_error)
         states = self.selection.next_states(n_samples)
         samples, n_bumped = self._behavioural_samples(
-            states, codes, lsb_probability=lsb_probability, rng=rng
+            states, codes, lsb_probability=lsb_probability, rng=rng, dtype=dtype
         )
         return samples, self._behavioural_metadata(
-            states, times, lsb_probability, n_bumped
+            states, times, lsb_probability, n_bumped, dtype=dtype
         )
 
     # ------------------------------------------------------------ event path

@@ -1,0 +1,479 @@
+"""Sharded tiled-sensor capture: a mosaic of focal-plane arrays as one sensor.
+
+The paper's prototype is a single 64x64 chip; scaling the architecture to
+large scenes means scaling *out*, not up — an array of small compressive
+sensors observing adjacent fields of view, each generating its compressed
+samples concurrently at the focal plane, exactly the parallel one-shot
+acquisition architecture of Björklund & Magli (PAPERS.md).  This module
+models that system level:
+
+* :class:`TiledSensorArray` splits a large scene into a grid of independent
+  :class:`~repro.sensor.imager.CompressiveImager` tiles.  Each tile is its
+  own chip: its own free-running selection CA with its own seed (derived from
+  the array seed and the tile's grid position), its own exposure adaptation,
+  its own compressed-sample stream.  Edge tiles shrink to fit scenes that are
+  not multiples of the tile size, the way a mosaic camera crops its border
+  chips.
+* Tiles capture **concurrently** through a :mod:`concurrent.futures`
+  executor (``executor="thread" | "process" | "serial"``, ``max_workers``
+  configurable).  Every tile capture runs on a *copy* of the tile imager
+  (so nothing mutates the array's state, whichever process captured it) and
+  :meth:`CompressiveImager.capture` re-derives its noise streams from the
+  imager seed — the captured samples are therefore byte-identical whichever
+  executor runs them, and independent of capture history.  The executor is
+  purely a wall-clock knob, and the tiled-capture benchmarks gate that
+  ``max_workers > 1`` actually pays.
+* The per-tile frames merge into one :class:`TiledCaptureResult`: the
+  concatenated sample vector, the per-tile :class:`CompressedFrame` grid and
+  the **summed** event statistics (``n_lost_events``, ``n_queued_events``,
+  ``n_lsb_errors``, ``max_queue_delay`` as a maximum), which the
+  reconstruction pipeline (:func:`repro.recon.pipeline.reconstruct_tiled`)
+  reassembles tile-by-tile into the full frame — mirroring the block-CS
+  reassembly of :mod:`repro.cs.block`, but with every block backed by real
+  sensor hardware state instead of a shared synthetic matrix.
+
+Per-tile invariants are exactly the single-sensor invariants: each tile's Φ
+comes from the one shared builder (shared-Φ invariant) and each tile's
+default-dtype behavioural capture stays byte-identical to the legacy loop
+(bit-fidelity invariant).  The ``dtype="float32"`` fast mode of
+:meth:`CompressiveImager.capture` composes with sharding for very large
+scenes; see :data:`repro.sensor.imager.FLOAT32_SAMPLE_ATOL` for its accuracy
+contract.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import copy
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sensor.config import SensorConfig
+from repro.sensor.imager import CompressedFrame, CompressiveImager
+from repro.utils.rng import derive_seed
+from repro.utils.validation import check_choice, check_in_range, check_positive
+
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class TileSlot:
+    """Geometry of one tile: grid position and scene-pixel footprint.
+
+    Attributes
+    ----------
+    grid_row, grid_col:
+        Position of the tile in the sensor mosaic.
+    row0, col0:
+        Scene coordinates of the tile's top-left pixel.
+    rows, cols:
+        Tile dimensions; edge tiles may be smaller than the nominal tile
+        shape when the scene is not divisible by it.
+    """
+
+    grid_row: int
+    grid_col: int
+    row0: int
+    col0: int
+    rows: int
+    cols: int
+
+    @property
+    def row_slice(self) -> slice:
+        """Scene-row slice covered by this tile."""
+        return slice(self.row0, self.row0 + self.rows)
+
+    @property
+    def col_slice(self) -> slice:
+        """Scene-column slice covered by this tile."""
+        return slice(self.col0, self.col0 + self.cols)
+
+    @property
+    def n_pixels(self) -> int:
+        """Pixels in this tile."""
+        return self.rows * self.cols
+
+
+@dataclass
+class TiledCaptureResult:
+    """The merged output of one tiled capture.
+
+    Attributes
+    ----------
+    tiles:
+        Row-major grid of per-tile :class:`CompressedFrame` objects.
+    slots:
+        The matching grid of :class:`TileSlot` geometry.
+    scene_shape, tile_shape:
+        Full scene dimensions and the nominal (non-edge) tile dimensions.
+    metadata:
+        Aggregated capture statistics: the per-tile event statistics summed
+        (``max_queue_delay`` taken as the maximum), plus the capture options
+        (``fidelity``, ``dtype``, ``executor``, ``max_workers``).
+    """
+
+    tiles: List[List[CompressedFrame]]
+    slots: List[List[TileSlot]]
+    scene_shape: Tuple[int, int]
+    tile_shape: Tuple[int, int]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def grid_shape(self) -> Tuple[int, int]:
+        """Tiles per scene edge, ``(grid_rows, grid_cols)``."""
+        return (len(self.tiles), len(self.tiles[0]) if self.tiles else 0)
+
+    @property
+    def n_tiles(self) -> int:
+        """Total number of tiles in the mosaic."""
+        grid_rows, grid_cols = self.grid_shape
+        return grid_rows * grid_cols
+
+    @property
+    def n_pixels(self) -> int:
+        """Pixels in the full scene."""
+        return self.scene_shape[0] * self.scene_shape[1]
+
+    def frames(self) -> Iterator[Tuple[TileSlot, CompressedFrame]]:
+        """Yield ``(slot, frame)`` pairs in row-major grid order."""
+        for slot_row, tile_row in zip(self.slots, self.tiles):
+            yield from zip(slot_row, tile_row)
+
+    # -------------------------------------------------------------- payload
+    @property
+    def n_samples(self) -> int:
+        """Total compressed samples over all tiles."""
+        return sum(frame.n_samples for _, frame in self.frames())
+
+    @property
+    def samples(self) -> np.ndarray:
+        """All compressed samples, concatenated in row-major tile order."""
+        return np.concatenate([frame.samples for _, frame in self.frames()])
+
+    @property
+    def compression_ratio(self) -> float:
+        """Delivered samples divided by scene pixels."""
+        return self.n_samples / self.n_pixels
+
+    @property
+    def compressed_bits(self) -> int:
+        """Total payload bits over all tile streams."""
+        return sum(frame.compressed_bits for _, frame in self.frames())
+
+    def digital_image(self) -> np.ndarray:
+        """Stitch the per-tile ideal code images into the full scene.
+
+        Requires the capture to have kept the digital images
+        (``keep_digital_image=True``).
+        """
+        image = np.zeros(self.scene_shape, dtype=np.int64)
+        for slot, frame in self.frames():
+            if frame.digital_image is None:
+                raise ValueError(
+                    "tile digital images were not kept; capture with "
+                    "keep_digital_image=True to stitch the ideal code image"
+                )
+            image[slot.row_slice, slot.col_slice] = frame.digital_image
+        return image
+
+
+def merge_tile_statistics(frames: List[CompressedFrame]) -> Dict[str, object]:
+    """Aggregate per-tile capture statistics into mosaic-level counts.
+
+    Counters (``n_lost_events``, ``n_queued_events``, ``n_lsb_errors``,
+    ``n_saturated_pixels``) sum across tiles — behavioural tiles contribute
+    modelled float expectations, event tiles exact integers, so the sums
+    keep the per-tile numeric type discipline.  ``max_queue_delay`` is the
+    maximum over tiles, and ``event_statistics`` stays ``"exact"`` only when
+    every tile reported exact counts.
+    """
+    merged: Dict[str, object] = {}
+    for key in ("n_lost_events", "n_queued_events", "n_lsb_errors", "n_saturated_pixels"):
+        values = [frame.metadata[key] for frame in frames if key in frame.metadata]
+        if values:
+            total = sum(values)
+            merged[key] = float(total) if isinstance(total, float) else int(total)
+    delays = [
+        frame.metadata["max_queue_delay"]
+        for frame in frames
+        if "max_queue_delay" in frame.metadata
+    ]
+    if delays:
+        merged["max_queue_delay"] = float(max(delays))
+    statistics = {frame.metadata.get("event_statistics") for frame in frames}
+    merged["event_statistics"] = "exact" if statistics == {"exact"} else "modelled"
+    return merged
+
+
+def _capture_tile(job) -> CompressedFrame:
+    """Capture one tile; module-level so process executors can pickle it.
+
+    The chip is captured on a *copy*, so the parent's imagers are never
+    mutated (auto-expose adapts the copy's ``V_ref`` only).  This is what
+    makes tile captures stateless and the executors interchangeable: a
+    process worker discards its copy just like the parent discards its own,
+    so the samples cannot depend on which executor — or which previous
+    capture — ran.
+    """
+    imager, photocurrent, kwargs = job
+    return copy.deepcopy(imager).capture(photocurrent, **kwargs)
+
+
+class TiledSensorArray:
+    """A grid of independent compressive imagers covering one large scene.
+
+    Parameters
+    ----------
+    scene_shape : tuple of int
+        Full scene dimensions ``(rows, cols)``.
+    tile_shape : tuple of int
+        Nominal per-chip array size (default the paper's 64x64).  Edge tiles
+        shrink when the scene is not divisible by the tile shape.
+    config : SensorConfig, optional
+        Template for the non-geometry chip parameters (clock, bit depths,
+        frame rate, ...); each tile's configuration is this template with
+        ``rows``/``cols`` replaced by the tile footprint.
+    compression_ratio : float, optional
+        Samples-per-pixel budget applied to every tile (each tile delivers
+        ``round(ratio * tile_pixels)`` samples, so edge tiles automatically
+        deliver proportionally fewer).  Defaults to the template's ratio.
+    rule, steps_per_sample, warmup_steps:
+        Selection-CA parameters shared by all tiles; each tile still draws
+        its *own* CA seed, as independent chips would.
+    executor : {"thread", "process", "serial"}
+        How tile captures run: a thread pool (default — the capture hot path
+        is numpy/BLAS work that releases the GIL), a process pool, or inline.
+        The samples are byte-identical across all three.
+    max_workers : int, optional
+        Concurrency cap for the pool executors; ``None`` lets
+        :mod:`concurrent.futures` pick, and the pool is never wider than the
+        tile count.
+    dtype : {"float64", "float32"}
+        Default behavioural arithmetic width for :meth:`capture`; see
+        :meth:`CompressiveImager.capture`.
+    seed : int
+        Array-level seed; tile ``(i, j)`` derives its chip seed as
+        ``derive_seed(seed, "tile", i, j)``, giving every tile an
+        independent, reproducible CA seed and noise stream.
+    """
+
+    def __init__(
+        self,
+        scene_shape: Tuple[int, int] = (256, 256),
+        *,
+        tile_shape: Tuple[int, int] = (64, 64),
+        config: Optional[SensorConfig] = None,
+        compression_ratio: Optional[float] = None,
+        rule: int = 30,
+        steps_per_sample: int = 1,
+        warmup_steps: int = 8,
+        executor: str = "thread",
+        max_workers: Optional[int] = None,
+        dtype: str = "float64",
+        seed: int = 2018,
+    ) -> None:
+        scene_rows, scene_cols = (int(scene_shape[0]), int(scene_shape[1]))
+        tile_rows, tile_cols = (int(tile_shape[0]), int(tile_shape[1]))
+        check_positive("scene rows", scene_rows)
+        check_positive("scene cols", scene_cols)
+        check_positive("tile rows", tile_rows)
+        check_positive("tile cols", tile_cols)
+        check_choice("executor", executor, EXECUTOR_KINDS)
+        check_choice("dtype", dtype, ("float64", "float32"))
+        if max_workers is not None:
+            check_positive("max_workers", max_workers)
+        template = config or SensorConfig()
+        if compression_ratio is None:
+            compression_ratio = template.compression_ratio
+        check_in_range(
+            "compression_ratio", compression_ratio, 0.0, 1.0, inclusive=False
+        )
+        self.scene_shape = (scene_rows, scene_cols)
+        self.tile_shape = (min(tile_rows, scene_rows), min(tile_cols, scene_cols))
+        self.compression_ratio = float(compression_ratio)
+        self.executor = executor
+        self.max_workers = max_workers
+        self.dtype = dtype
+        self.seed = int(seed)
+
+        self.slots: List[List[TileSlot]] = []
+        self.imagers: List[List[CompressiveImager]] = []
+        nominal_rows, nominal_cols = self.tile_shape
+        for grid_row, row0 in enumerate(range(0, scene_rows, nominal_rows)):
+            slot_row: List[TileSlot] = []
+            imager_row: List[CompressiveImager] = []
+            for grid_col, col0 in enumerate(range(0, scene_cols, nominal_cols)):
+                slot = TileSlot(
+                    grid_row=grid_row,
+                    grid_col=grid_col,
+                    row0=row0,
+                    col0=col0,
+                    rows=min(nominal_rows, scene_rows - row0),
+                    cols=min(nominal_cols, scene_cols - col0),
+                )
+                tile_config = replace(
+                    template,
+                    rows=slot.rows,
+                    cols=slot.cols,
+                    compression_ratio=self.compression_ratio,
+                )
+                imager_row.append(
+                    CompressiveImager(
+                        tile_config,
+                        rule=rule,
+                        steps_per_sample=steps_per_sample,
+                        warmup_steps=warmup_steps,
+                        seed=derive_seed(self.seed, "tile", grid_row, grid_col),
+                    )
+                )
+                slot_row.append(slot)
+            self.slots.append(slot_row)
+            self.imagers.append(imager_row)
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def grid_shape(self) -> Tuple[int, int]:
+        """Tiles per scene edge, ``(grid_rows, grid_cols)``."""
+        return (len(self.slots), len(self.slots[0]))
+
+    @property
+    def n_tiles(self) -> int:
+        """Total number of tiles in the mosaic."""
+        grid_rows, grid_cols = self.grid_shape
+        return grid_rows * grid_cols
+
+    def samples_per_tile(self, slot: TileSlot) -> int:
+        """Compressed-sample budget of one tile (``round(R x tile pixels)``)."""
+        return max(1, int(round(self.compression_ratio * slot.n_pixels)))
+
+    # -------------------------------------------------------------- capture
+    def capture(
+        self,
+        photocurrent: np.ndarray,
+        *,
+        fidelity: str = "behavioural",
+        auto_expose: bool = True,
+        lsb_error: bool = True,
+        keep_digital_image: bool = True,
+        dtype: Optional[str] = None,
+        executor: Optional[str] = None,
+        max_workers: Optional[int] = None,
+    ) -> TiledCaptureResult:
+        """Capture the whole scene, one concurrent frame per tile.
+
+        Parameters
+        ----------
+        photocurrent : numpy.ndarray
+            Full-scene photocurrent map (A), shape ``scene_shape``.
+        fidelity : {"behavioural", "event"}
+            Per-tile capture engine, as in :meth:`CompressiveImager.capture`.
+        auto_expose : bool
+            Per-tile ``V_ref`` adaptation (each chip exposes its own field of
+            view, as independent hardware would).  Tiles whose field of view
+            carries no light are captured without adaptation instead of
+            failing the mosaic.
+        lsb_error, keep_digital_image : bool
+            As in :meth:`CompressiveImager.capture`, applied per tile.
+        dtype : {"float64", "float32"}, optional
+            Behavioural arithmetic width; defaults to the array's ``dtype``.
+        executor, max_workers:
+            Per-call override of the array's executor configuration.
+
+        Returns
+        -------
+        TiledCaptureResult
+            The per-tile frame grid plus merged samples and summed event
+            statistics.
+        """
+        executor = executor or self.executor
+        check_choice("executor", executor, EXECUTOR_KINDS)
+        dtype = dtype or self.dtype
+        photocurrent = np.asarray(photocurrent, dtype=float)
+        if photocurrent.shape != self.scene_shape:
+            raise ValueError(
+                f"photocurrent must have shape {self.scene_shape}, "
+                f"got {photocurrent.shape}"
+            )
+        jobs = []
+        for slot_row, imager_row in zip(self.slots, self.imagers):
+            for slot, imager in zip(slot_row, imager_row):
+                tile_current = photocurrent[slot.row_slice, slot.col_slice]
+                kwargs = dict(
+                    n_samples=self.samples_per_tile(slot),
+                    fidelity=fidelity,
+                    # A fully dark tile cannot adapt its reference ramp; the
+                    # chip falls back to its configured exposure.
+                    auto_expose=auto_expose and bool((tile_current > 0.0).any()),
+                    lsb_error=lsb_error,
+                    keep_digital_image=keep_digital_image,
+                    dtype=dtype,
+                )
+                jobs.append((imager, tile_current, kwargs))
+        frames = self._run_jobs(jobs, executor, max_workers or self.max_workers)
+
+        grid_rows, grid_cols = self.grid_shape
+        tile_grid = [
+            frames[row * grid_cols : (row + 1) * grid_cols] for row in range(grid_rows)
+        ]
+        metadata = merge_tile_statistics(frames)
+        metadata.update(
+            fidelity=fidelity,
+            dtype=dtype,
+            executor=executor,
+            max_workers=max_workers or self.max_workers,
+            n_tiles=self.n_tiles,
+        )
+        return TiledCaptureResult(
+            tiles=tile_grid,
+            slots=self.slots,
+            scene_shape=self.scene_shape,
+            tile_shape=self.tile_shape,
+            metadata=metadata,
+        )
+
+    def capture_scene(
+        self,
+        scene: np.ndarray,
+        *,
+        conversion=None,
+        **kwargs,
+    ) -> TiledCaptureResult:
+        """Convert a normalised scene to photocurrents and capture it.
+
+        One :class:`~repro.optics.photo.PhotoConversion` spans the whole
+        scene, so fixed-pattern noise varies across the mosaic the way it
+        would across a wafer of chips.
+        """
+        from repro.optics.photo import PhotoConversion
+
+        conversion = conversion or PhotoConversion(
+            seed=derive_seed(self.seed, "tiled-photo")
+        )
+        return self.capture(
+            conversion.convert(np.asarray(scene, dtype=float)), **kwargs
+        )
+
+    @staticmethod
+    def _run_jobs(jobs, executor: str, max_workers: Optional[int]):
+        """Run the per-tile capture jobs through the chosen executor."""
+        if executor == "serial" or len(jobs) <= 1:
+            return [_capture_tile(job) for job in jobs]
+        if max_workers is not None:
+            max_workers = min(int(max_workers), len(jobs))
+        pool_class = (
+            concurrent.futures.ThreadPoolExecutor
+            if executor == "thread"
+            else concurrent.futures.ProcessPoolExecutor
+        )
+        with pool_class(max_workers=max_workers) as pool:
+            return list(pool.map(_capture_tile, jobs))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        grid_rows, grid_cols = self.grid_shape
+        return (
+            f"TiledSensorArray(scene={self.scene_shape}, tiles={grid_rows}x{grid_cols}, "
+            f"tile_shape={self.tile_shape}, executor={self.executor!r})"
+        )

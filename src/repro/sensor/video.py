@@ -99,6 +99,7 @@ class VideoSequencer:
         fidelity: str = "behavioural",
         auto_expose: bool = True,
         lsb_error: bool = True,
+        dtype: str = "float64",
     ) -> VideoCaptureResult:
         """Capture every scene in order, advancing the CA between frames.
 
@@ -110,6 +111,27 @@ class VideoSequencer:
         machinery in one pass — the rank-structured Φ @ x engine for
         ``fidelity="behavioural"``, the column-parallel arbitration engine
         (token protocol, queueing, deadline losses) for ``fidelity="event"``.
+
+        Parameters
+        ----------
+        scenes : iterable of numpy.ndarray
+            Normalised scenes, each of shape ``(rows, cols)``; the shared
+            :class:`~repro.optics.photo.PhotoConversion` turns them into
+            photocurrents (fixed-pattern noise stays fixed across frames).
+        fidelity : {"behavioural", "event"}
+            Per-frame capture engine.
+        auto_expose, lsb_error : bool
+            As in :meth:`~repro.sensor.imager.CompressiveImager.capture`.
+        dtype : {"float64", "float32"}
+            Behavioural arithmetic width for the whole sequence; the float32
+            fast mode trades the bit-exact LSB bookkeeping for speed on very
+            large arrays (see
+            :data:`repro.sensor.imager.FLOAT32_SAMPLE_ATOL`).
+
+        Returns
+        -------
+        VideoCaptureResult
+            One independently decodable :class:`CompressedFrame` per scene.
         """
         result = VideoCaptureResult(samples_per_frame=self.samples_per_frame)
         photocurrents = [
@@ -121,6 +143,7 @@ class VideoSequencer:
             fidelity=fidelity,
             auto_expose=auto_expose,
             lsb_error=lsb_error,
+            dtype=dtype,
         )
         return result
 

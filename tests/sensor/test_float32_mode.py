@@ -1,0 +1,143 @@
+"""The float32 behavioural fast mode and its documented accuracy contract.
+
+The contract (:data:`repro.sensor.imager.FLOAT32_SAMPLE_ATOL`):
+
+* with ``lsb_error=False`` a float32 capture is pinned to within
+  ``FLOAT32_SAMPLE_ATOL`` compressed-sample codes of the float64 capture
+  (exact in practice for tiles up to 128x128 — every partial sum stays
+  below 2**24);
+* with ``lsb_error=True`` the fast mode applies the *expected* LSB bump
+  count instead of drawing per event, so the two dtypes additionally differ
+  by the binomial noise of the exact path, bounded at six sigma.
+
+The default dtype must remain byte-exact — the bit-fidelity invariant the
+capture-equivalence suite pins is not allowed to move.
+"""
+
+import numpy as np
+import pytest
+
+from repro.optics.photo import PhotoConversion
+from repro.optics.scenes import make_scene
+from repro.sensor.config import SensorConfig
+from repro.sensor.imager import FLOAT32_SAMPLE_ATOL, CompressiveImager
+from repro.sensor.video import VideoSequencer
+
+
+def make_pair(rows=64, cols=64, seed=11):
+    """Two identically seeded imagers (captures mutate generator state)."""
+    return (
+        CompressiveImager(SensorConfig(rows=rows, cols=cols), seed=seed),
+        CompressiveImager(SensorConfig(rows=rows, cols=cols), seed=seed),
+    )
+
+
+def make_current(shape, seed=5, kind="natural"):
+    scene = make_scene(kind, shape, seed=seed)
+    return PhotoConversion(prnu_sigma=0.0, shot_noise=False).convert(scene)
+
+
+def lsb_noise_bound(imager, n_pixels):
+    """Six-sigma binomial bound on the per-sample dtype difference."""
+    probability = imager.config.event_overlap_probability(imager.config.rows // 2)
+    return 6.0 * np.sqrt(probability * n_pixels) + FLOAT32_SAMPLE_ATOL
+
+
+class TestAccuracyContract:
+    @pytest.mark.parametrize("shape", [(16, 16), (32, 48), (64, 64)])
+    def test_exact_without_lsb_error(self, shape):
+        exact, fast = make_pair(*shape)
+        current = make_current(shape)
+        f64 = exact.capture(current, n_samples=128, lsb_error=False)
+        f32 = fast.capture(
+            current, n_samples=128, lsb_error=False, dtype="float32"
+        )
+        assert (
+            np.abs(f64.samples - f32.samples).max() <= FLOAT32_SAMPLE_ATOL
+        )
+
+    def test_lsb_difference_within_binomial_noise(self):
+        exact, fast = make_pair()
+        current = make_current((64, 64))
+        f64 = exact.capture(current, n_samples=256)
+        f32 = fast.capture(current, n_samples=256, dtype="float32")
+        difference = np.abs(f64.samples - f32.samples)
+        assert difference.max() <= lsb_noise_bound(exact, 64 * 64)
+        # The expectation matches the drawn total to within ~binomial spread.
+        assert f32.metadata["n_lsb_errors"] == pytest.approx(
+            f64.metadata["n_lsb_errors"], rel=0.05
+        )
+
+    def test_expected_bumps_exclude_saturated_pixels(self):
+        # A dark scene saturates every pixel at max_code; neither path may
+        # bump a saturated code, so both deliver the pure Φ @ x sums.
+        exact, fast = make_pair(rows=16, cols=16)
+        dark = np.full((16, 16), 1e-15)
+        f64 = exact.capture(dark, n_samples=64, auto_expose=False)
+        f32 = fast.capture(dark, n_samples=64, auto_expose=False, dtype="float32")
+        assert np.array_equal(f64.samples, f32.samples)
+        assert f32.metadata["n_lsb_errors"] == 0.0
+        assert f64.metadata["n_lsb_errors"] == 0
+
+    def test_metadata_flags_dtype(self):
+        exact, fast = make_pair(rows=16, cols=16)
+        current = make_current((16, 16))
+        f64 = exact.capture(current, n_samples=32)
+        f32 = fast.capture(current, n_samples=32, dtype="float32")
+        assert f64.metadata["dtype"] == "float64"
+        assert f32.metadata["dtype"] == "float32"
+        assert isinstance(f32.metadata["n_lsb_errors"], float)
+        assert isinstance(f64.metadata["n_lsb_errors"], int)
+
+
+class TestDefaultPathUnchanged:
+    def test_explicit_float64_matches_default(self):
+        implicit, explicit = make_pair(rows=32, cols=32)
+        current = make_current((32, 32))
+        default = implicit.capture(current, n_samples=128)
+        float64 = explicit.capture(current, n_samples=128, dtype="float64")
+        assert default.samples.tobytes() == float64.samples.tobytes()
+        assert default.metadata == float64.metadata
+
+
+class TestOptionPlumbing:
+    def test_event_fidelity_rejects_float32(self):
+        imager, _ = make_pair(rows=16, cols=16)
+        current = make_current((16, 16))
+        with pytest.raises(ValueError, match="float32"):
+            imager.capture(current, fidelity="event", dtype="float32")
+        with pytest.raises(ValueError, match="float32"):
+            imager.capture_batch([current], fidelity="event", dtype="float32")
+
+    def test_unknown_dtype_rejected(self):
+        imager, _ = make_pair(rows=16, cols=16)
+        with pytest.raises(ValueError, match="dtype"):
+            imager.capture(make_current((16, 16)), dtype="float16")
+
+    def test_capture_batch_float32_tracks_float64_batch(self):
+        fast_imager, exact_imager = make_pair(rows=32, cols=32)
+        currents = [make_current((32, 32), seed=s) for s in range(3)]
+        fast = fast_imager.capture_batch(currents, n_samples=64, dtype="float32")
+        exact = exact_imager.capture_batch(currents, n_samples=64)
+        bound = lsb_noise_bound(exact_imager, 32 * 32)
+        for fast_frame, exact_frame in zip(fast, exact):
+            assert fast_frame.metadata["dtype"] == "float32"
+            assert np.array_equal(fast_frame.seed_state, exact_frame.seed_state)
+            difference = np.abs(fast_frame.samples - exact_frame.samples)
+            assert difference.max() <= bound
+
+    def test_capture_batch_first_frame_matches_standalone_float32(self):
+        batch_imager, single_imager = make_pair(rows=32, cols=32)
+        current = make_current((32, 32))
+        batch = batch_imager.capture_batch([current], n_samples=64, dtype="float32")
+        single = single_imager.capture(current, n_samples=64, dtype="float32")
+        assert np.array_equal(batch[0].samples, single.samples)
+
+    def test_video_sequencer_passes_dtype_through(self):
+        imager, _ = make_pair(rows=16, cols=16)
+        sequencer = VideoSequencer(imager, samples_per_frame=32)
+        scenes = [make_scene("blobs", (16, 16), seed=s) for s in range(2)]
+        result = sequencer.capture_sequence(scenes, dtype="float32")
+        assert all(
+            frame.metadata["dtype"] == "float32" for frame in result.frames
+        )

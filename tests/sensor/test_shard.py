@@ -1,0 +1,245 @@
+"""Tiled-sensor sharding: geometry, merging, statistics and executors.
+
+Pins the contracts of :mod:`repro.sensor.shard`:
+
+* the tile grid partitions the scene exactly, shrinking edge tiles when the
+  scene is not divisible by the tile shape (including the degenerate
+  single-tile grid);
+* per-tile event statistics sum correctly into the merged
+  :class:`TiledCaptureResult` metadata;
+* the samples are byte-identical whichever executor captures the tiles —
+  the executor is a wall-clock knob, never a semantics knob.
+"""
+
+import numpy as np
+import pytest
+
+from repro.optics.photo import PhotoConversion
+from repro.optics.scenes import make_scene
+from repro.sensor.config import SensorConfig
+from repro.sensor.shard import TiledSensorArray, merge_tile_statistics
+
+
+def make_current(shape, seed=5, kind="natural"):
+    scene = make_scene(kind, shape, seed=seed)
+    return PhotoConversion(prnu_sigma=0.0, shot_noise=False).convert(scene)
+
+
+class TestTileGeometry:
+    def test_divisible_scene_uniform_grid(self):
+        array = TiledSensorArray((64, 96), tile_shape=(32, 32), seed=1)
+        assert array.grid_shape == (2, 3)
+        assert all(
+            (slot.rows, slot.cols) == (32, 32)
+            for row in array.slots
+            for slot in row
+        )
+
+    def test_non_divisible_scene_shrinks_edge_tiles(self):
+        array = TiledSensorArray((48, 40), tile_shape=(32, 32), seed=1)
+        assert array.grid_shape == (2, 2)
+        shapes = [
+            (slot.rows, slot.cols) for row in array.slots for slot in row
+        ]
+        assert shapes == [(32, 32), (32, 8), (16, 32), (16, 8)]
+
+    def test_slots_partition_the_scene_exactly(self):
+        array = TiledSensorArray((48, 40), tile_shape=(32, 32), seed=1)
+        coverage = np.zeros((48, 40), dtype=int)
+        for row in array.slots:
+            for slot in row:
+                coverage[slot.row_slice, slot.col_slice] += 1
+        assert (coverage == 1).all()
+
+    def test_single_tile_degenerate_grid(self):
+        array = TiledSensorArray((32, 32), tile_shape=(32, 32), seed=1)
+        assert array.grid_shape == (1, 1)
+        assert array.n_tiles == 1
+
+    def test_scene_smaller_than_tile_shrinks_tile(self):
+        array = TiledSensorArray((16, 24), tile_shape=(64, 64), seed=1)
+        assert array.grid_shape == (1, 1)
+        assert array.tile_shape == (16, 24)
+        assert array.slots[0][0].n_pixels == 16 * 24
+
+    def test_tiles_have_independent_ca_seeds(self):
+        array = TiledSensorArray((64, 64), tile_shape=(32, 32), seed=1)
+        seeds = [
+            imager.selection.seed_state.tobytes()
+            for row in array.imagers
+            for imager in row
+        ]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_edge_tile_sample_budget_is_proportional(self):
+        array = TiledSensorArray(
+            (48, 32), tile_shape=(32, 32), compression_ratio=0.25, seed=1
+        )
+        full, edge = array.slots[0][0], array.slots[1][0]
+        assert array.samples_per_tile(full) == round(0.25 * 32 * 32)
+        assert array.samples_per_tile(edge) == round(0.25 * 16 * 32)
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            TiledSensorArray((32, 32), executor="fleet")
+
+    def test_shape_mismatch_rejected(self):
+        array = TiledSensorArray((32, 32), tile_shape=(16, 16), seed=1)
+        with pytest.raises(ValueError, match="shape"):
+            array.capture(np.zeros((16, 16)))
+
+
+class TestTiledCapture:
+    def test_merged_samples_concatenate_in_grid_order(self):
+        array = TiledSensorArray((32, 48), tile_shape=(16, 16), seed=3)
+        result = array.capture(make_current((32, 48)))
+        assert result.grid_shape == (2, 3)
+        expected = np.concatenate(
+            [frame.samples for _, frame in result.frames()]
+        )
+        assert np.array_equal(result.samples, expected)
+        assert result.n_samples == expected.size
+        assert result.compression_ratio == pytest.approx(
+            expected.size / (32 * 48)
+        )
+
+    def test_single_tile_matches_direct_imager_capture(self):
+        array = TiledSensorArray((16, 16), tile_shape=(16, 16), seed=3)
+        current = make_current((16, 16))
+        result = array.capture(current)
+        direct = array.imagers[0][0].capture(
+            current, n_samples=array.samples_per_tile(array.slots[0][0])
+        )
+        assert result.n_tiles == 1
+        assert np.array_equal(result.samples, direct.samples)
+
+    def test_executor_choice_does_not_change_samples(self):
+        current = make_current((32, 32))
+        captures = {}
+        for executor in ("serial", "thread", "process"):
+            array = TiledSensorArray(
+                (32, 32), tile_shape=(16, 16), seed=3,
+                executor=executor, max_workers=2,
+            )
+            captures[executor] = array.capture(current).samples
+        assert np.array_equal(captures["serial"], captures["thread"])
+        assert np.array_equal(captures["serial"], captures["process"])
+
+    def test_capture_history_does_not_leak_across_executors(self):
+        # Tile captures run on imager copies, so an earlier auto-exposing
+        # capture must not shift a later auto_expose=False capture — in any
+        # executor (a process worker's state dies with the worker; the
+        # parent's must behave identically).
+        current = make_current((32, 32))
+        outcomes = {}
+        for executor in ("serial", "process"):
+            array = TiledSensorArray(
+                (32, 32), tile_shape=(16, 16), seed=3,
+                executor=executor, max_workers=2,
+            )
+            array.capture(current)  # adapts V_ref only on per-capture copies
+            outcomes[executor] = array.capture(current, auto_expose=False).samples
+        assert np.array_equal(outcomes["serial"], outcomes["process"])
+
+    def test_per_call_executor_override(self):
+        array = TiledSensorArray((32, 32), tile_shape=(16, 16), seed=3)
+        current = make_current((32, 32))
+        serial = array.capture(current, executor="serial")
+        threaded = array.capture(current, executor="thread", max_workers=2)
+        assert np.array_equal(serial.samples, threaded.samples)
+        assert serial.metadata["executor"] == "serial"
+        assert threaded.metadata["executor"] == "thread"
+        assert threaded.metadata["max_workers"] == 2
+
+    def test_dark_tile_does_not_fail_the_mosaic(self):
+        current = make_current((32, 32))
+        current[:16, :16] = 0.0  # one fully dark chip
+        array = TiledSensorArray((32, 32), tile_shape=(16, 16), seed=3)
+        result = array.capture(current)
+        assert result.n_tiles == 4
+        dark = result.tiles[0][0]
+        assert dark.metadata["n_saturated_pixels"] == 16 * 16
+
+    def test_digital_image_stitches_scene(self):
+        array = TiledSensorArray((32, 48), tile_shape=(16, 16), seed=3)
+        result = array.capture(make_current((32, 48)))
+        image = result.digital_image()
+        assert image.shape == (32, 48)
+        corner = result.tiles[0][0].digital_image
+        assert np.array_equal(image[:16, :16], corner)
+
+    def test_digital_image_requires_kept_tiles(self):
+        array = TiledSensorArray((32, 32), tile_shape=(16, 16), seed=3)
+        result = array.capture(make_current((32, 32)), keep_digital_image=False)
+        with pytest.raises(ValueError, match="keep_digital_image"):
+            result.digital_image()
+
+    def test_capture_scene_convenience(self):
+        array = TiledSensorArray((32, 32), tile_shape=(16, 16), seed=3)
+        result = array.capture_scene(make_scene("blobs", (32, 32), seed=2))
+        assert result.n_tiles == 4
+        assert result.compressed_bits == sum(
+            frame.compressed_bits for _, frame in result.frames()
+        )
+
+    def test_float32_dtype_flagged_per_tile_and_mosaic(self):
+        array = TiledSensorArray(
+            (32, 32), tile_shape=(16, 16), dtype="float32", seed=3
+        )
+        result = array.capture(make_current((32, 32)))
+        assert result.metadata["dtype"] == "float32"
+        assert all(
+            frame.metadata["dtype"] == "float32"
+            for _, frame in result.frames()
+        )
+
+
+class TestStatisticsAggregation:
+    def test_behavioural_statistics_sum_over_tiles(self):
+        array = TiledSensorArray((32, 48), tile_shape=(16, 16), seed=3)
+        result = array.capture(make_current((32, 48)))
+        frames = [frame for _, frame in result.frames()]
+        for key in ("n_lost_events", "n_lsb_errors", "n_saturated_pixels"):
+            assert result.metadata[key] == sum(f.metadata[key] for f in frames)
+        assert result.metadata["n_queued_events"] == pytest.approx(
+            sum(f.metadata["n_queued_events"] for f in frames)
+        )
+        assert result.metadata["event_statistics"] == "modelled"
+        assert isinstance(result.metadata["n_queued_events"], float)
+
+    def test_event_statistics_sum_and_max_over_tiles(self):
+        # A constant scene drives every selected pixel of a column to fire at
+        # once, guaranteeing queueing on every tile.
+        current = np.full((16, 32), 5e-9)
+        array = TiledSensorArray(
+            (16, 32), tile_shape=(16, 16), compression_ratio=0.2, seed=3
+        )
+        result = array.capture(current, fidelity="event")
+        frames = [frame for _, frame in result.frames()]
+        assert result.metadata["event_statistics"] == "exact"
+        for key in ("n_lost_events", "n_queued_events", "n_lsb_errors"):
+            assert result.metadata[key] == sum(f.metadata[key] for f in frames)
+            assert isinstance(result.metadata[key], int)
+        assert result.metadata["n_queued_events"] > 0
+        assert result.metadata["max_queue_delay"] == max(
+            f.metadata["max_queue_delay"] for f in frames
+        )
+
+    def test_merge_marks_mixed_fidelities_modelled(self):
+        array = TiledSensorArray((16, 32), tile_shape=(16, 16), seed=3)
+        current = make_current((16, 32))
+        behavioural = array.capture(current).tiles[0][0]
+        event = array.capture(current, fidelity="event").tiles[0][1]
+        merged = merge_tile_statistics([behavioural, event])
+        assert merged["event_statistics"] == "modelled"
+
+    def test_template_config_propagates_to_tiles(self):
+        template = SensorConfig(pixel_bits=10, clock_frequency=12.0e6)
+        array = TiledSensorArray(
+            (32, 32), tile_shape=(16, 16), config=template, seed=3
+        )
+        for row in array.imagers:
+            for imager in row:
+                assert imager.config.pixel_bits == 10
+                assert imager.config.clock_frequency == 12.0e6
+                assert (imager.config.rows, imager.config.cols) == (16, 16)
