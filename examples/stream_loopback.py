@@ -1,0 +1,82 @@
+"""Runnable demo: a tiled camera node streaming live to a receiver.
+
+A 128x128 mosaic of four 64x64 compressive sensor tiles streams a two-frame
+video sequence over a *bounded* in-memory loopback channel to an incremental
+receiver.  Everything the paper promises crosses the wire and nothing else:
+bit-packed compressed samples, the per-tile CA seed once per GOP (later
+frames are seedless — the receiver re-derives their seeds from the CA's
+one-pattern frame overlap), and the capture statistics block.
+
+The receiver reconstructs incrementally — each tile is inverted the moment
+its chunk lands — and the demo prints the running mosaic completion, then
+verifies the streamed reconstruction is byte-identical to the in-process
+pipeline and reports the backpressure the bounded channel exerted.
+
+Run:  python examples/stream_loopback.py
+"""
+
+import asyncio
+
+import numpy as np
+
+from repro import (
+    CameraNode,
+    LoopbackTransport,
+    StreamReceiver,
+    TiledSensorArray,
+    make_scene,
+    psnr,
+    reconstruct_tiled,
+)
+
+SCENE_SHAPE = (128, 128)
+N_FRAMES = 2
+RECON = dict(max_iterations=40)
+
+
+def make_array():
+    return TiledSensorArray(
+        SCENE_SHAPE, tile_shape=(64, 64), compression_ratio=0.12, seed=11,
+        executor="serial",
+    )
+
+
+async def run_stream(scenes):
+    transport = LoopbackTransport(max_buffered=3)
+    node = CameraNode(transport, gop_size=N_FRAMES)
+    receiver = StreamReceiver(**RECON)
+    # Run both ends concurrently; gather surfaces the first real failure.
+    stats, result = await asyncio.gather(
+        node.stream_tiled_video(make_array(), scenes), receiver.run(transport)
+    )
+    return transport, result, stats
+
+
+def main() -> None:
+    scenes = [make_scene("natural", SCENE_SHAPE, seed=30 + i) for i in range(N_FRAMES)]
+    transport, result, stats = asyncio.run(run_stream(scenes))
+
+    print(f"Streamed {result.n_frames} frames as {stats.n_chunks} chunks "
+          f"({stats.n_bytes} bytes) over a loopback channel "
+          f"bounded at {transport.max_buffered} chunks in flight")
+    print(f"Channel high watermark: {transport.high_watermark} "
+          f"(sender stalled {transport.stall_count} times)\n")
+
+    direct_captures = make_array().capture_scene_sequence(scenes)
+    for received, direct in zip(result.frames, direct_captures):
+        direct_recon = reconstruct_tiled(direct, **RECON)
+        identical = received.reconstruction.image.tobytes() == direct_recon.image.tobytes()
+        reference = direct.digital_image().astype(float)
+        quality = psnr(reference, received.reconstruction.image)
+        samples_match = np.array_equal(received.capture.samples, direct.samples)
+        print(f"frame {received.frame_index}: {received.capture.n_samples} samples, "
+              f"R={received.capture.compression_ratio:.2f}, PSNR {quality:.2f} dB, "
+              f"samples bit-exact: {samples_match}, "
+              f"reconstruction byte-identical to in-process: {identical}")
+
+    print("\nOnly each GOP's first frame carried the CA seeds; the receiver "
+          "re-derived every later seed from the free-running CA overlap.")
+
+
+if __name__ == "__main__":
+    main()

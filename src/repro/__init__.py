@@ -29,7 +29,12 @@ from repro.cs import (
 from repro.io import decode_frame, encode_frame
 from repro.optics import PhotoConversion, make_scene
 from repro.pixel import Pixel, TimeEncoder
-from repro.recon import reconstruct_frame, reconstruct_samples, reconstruct_tiled
+from repro.recon import (
+    IncrementalTiledReconstructor,
+    reconstruct_frame,
+    reconstruct_samples,
+    reconstruct_tiled,
+)
 from repro.sensor import (
     CompressedFrame,
     CompressiveImager,
@@ -37,6 +42,12 @@ from repro.sensor import (
     TiledCaptureResult,
     TiledSensorArray,
     VideoSequencer,
+)
+from repro.stream import (
+    BitrateGovernor,
+    CameraNode,
+    LoopbackTransport,
+    StreamReceiver,
 )
 
 __version__ = "1.0.0"
@@ -66,4 +77,9 @@ __all__ = [
     "VideoSequencer",
     "encode_frame",
     "decode_frame",
+    "IncrementalTiledReconstructor",
+    "CameraNode",
+    "BitrateGovernor",
+    "StreamReceiver",
+    "LoopbackTransport",
 ]

@@ -5,11 +5,24 @@ The motivating application of the paper is a camera node that delivers images
 bit-level plumbing that such a node needs: packing the 20-bit compressed
 samples into a byte stream, framing them together with the CA seed and the
 handful of parameters the receiver requires, and parsing the stream back on
-the other side.
+the other side.  The live-streaming layers (chunked wire protocol, asyncio
+camera node and incremental receiver) build on this package from
+:mod:`repro.stream`.
 """
 
 from repro.io.bitstream import BitReader, BitWriter, pack_samples, unpack_samples
-from repro.io.framing import FrameHeader, decode_frame, encode_frame
+from repro.io.framing import (
+    BadMagicError,
+    FrameHeader,
+    FramingError,
+    HeaderMismatchError,
+    TruncatedPayloadError,
+    UnsupportedVersionError,
+    decode_frame,
+    encode_frame,
+    encoded_size_bits,
+    frame_overhead_bits,
+)
 
 __all__ = [
     "BitWriter",
@@ -19,4 +32,11 @@ __all__ = [
     "FrameHeader",
     "encode_frame",
     "decode_frame",
+    "encoded_size_bits",
+    "frame_overhead_bits",
+    "FramingError",
+    "TruncatedPayloadError",
+    "BadMagicError",
+    "UnsupportedVersionError",
+    "HeaderMismatchError",
 ]

@@ -89,19 +89,25 @@ class BitReader:
         return value
 
     def read_many(self, n_values: int, n_bits: int) -> List[int]:
-        """Read ``n_values`` equally-sized values."""
-        check_positive("n_values", n_values)
+        """Read ``n_values`` equally-sized values (an empty list for zero)."""
+        check_positive("n_values", n_values, allow_zero=True)
         return [self.read(n_bits) for _ in range(int(n_values))]
 
 
 def pack_samples(samples: Sequence[int], n_bits: int) -> bytes:
-    """Pack unsigned samples of ``n_bits`` each into a byte string."""
+    """Pack unsigned samples of ``n_bits`` each into a byte string.
+
+    An empty sample vector packs to zero bytes.  (The frame codec itself
+    never produces such a payload — headers require at least one sample, and
+    the streaming bit-rate governor refuses budgets below its
+    ``min_samples`` floor — but the packing layer stays total.)
+    """
     writer = BitWriter()
     writer.write_many(np.asarray(samples, dtype=np.int64).tolist(), n_bits)
     return writer.getvalue()
 
 
 def unpack_samples(data: bytes, n_samples: int, n_bits: int) -> np.ndarray:
-    """Inverse of :func:`pack_samples`."""
+    """Inverse of :func:`pack_samples` (``n_samples=0`` yields an empty array)."""
     reader = BitReader(data)
     return np.array(reader.read_many(n_samples, n_bits), dtype=np.int64)

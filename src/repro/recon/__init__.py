@@ -7,6 +7,7 @@ recovered time-code image back into light intensities.
 """
 
 from repro.recon.calibration import codes_to_intensity, intensity_to_codes
+from repro.recon.incremental import IncrementalTiledReconstructor
 from repro.recon.operator import frame_operator, measurement_matrix_from_seed
 from repro.recon.pipeline import (
     ReconstructionResult,
@@ -26,4 +27,5 @@ __all__ = [
     "reconstruct_tiled",
     "ReconstructionResult",
     "TiledReconstructionResult",
+    "IncrementalTiledReconstructor",
 ]

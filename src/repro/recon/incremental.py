@@ -1,0 +1,218 @@
+"""Incremental tiled reconstruction: tiles land, the scene fills in.
+
+A streamed mosaic does not arrive as one :class:`~repro.sensor.shard.TiledCaptureResult`
+— it arrives tile by tile, and the receiver should start inverting tile
+``(0, 0)`` while tile ``(3, 3)`` is still on the wire.
+:class:`IncrementalTiledReconstructor` is that receiver-side accumulator:
+seeded with nothing but the scene and tile shapes (the two numbers the stream
+header carries), it derives the same tile grid the sensor used
+(:func:`repro.sensor.shard.tile_grid`), reconstructs each tile through the
+ordinary :func:`~repro.recon.pipeline.reconstruct_frame` path as it is added,
+stitches it at its scene offset, and finalises into a
+:class:`~repro.recon.pipeline.TiledReconstructionResult`.
+
+:func:`repro.recon.pipeline.reconstruct_tiled` is built on this class, so the
+in-process and the streamed reconstruction are the *same code path* — a scene
+reconstructed from decoded wire chunks is byte-identical to one reconstructed
+from the in-memory capture, which is the invariant the streaming end-to-end
+tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cs.metrics import psnr, reconstruction_snr
+from repro.recon.pipeline import (
+    ReconstructionResult,
+    TiledReconstructionResult,
+    reconstruct_frame,
+)
+from repro.sensor.imager import CompressedFrame
+from repro.sensor.shard import TileSlot, merge_tile_statistics, tile_grid
+
+
+class IncrementalTiledReconstructor:
+    """Reassemble a tiled scene from per-tile frames, one tile at a time.
+
+    Parameters
+    ----------
+    scene_shape, tile_shape : tuple of int
+        Full-scene and nominal tile dimensions; the tile grid (edge tiles
+        shrunk to fit) is derived exactly as the capture side derives it.
+    dictionary, solver, regularization, sparsity, max_iterations:
+        Per-tile reconstruction options, as in
+        :func:`~repro.recon.pipeline.reconstruct_frame`.
+    """
+
+    def __init__(
+        self,
+        scene_shape: Tuple[int, int],
+        tile_shape: Tuple[int, int],
+        *,
+        dictionary: str = "dct",
+        solver: str = "fista",
+        regularization: Optional[float] = None,
+        sparsity: Optional[int] = None,
+        max_iterations: int = 200,
+    ) -> None:
+        self.scene_shape = (int(scene_shape[0]), int(scene_shape[1]))
+        self.tile_shape = (
+            min(int(tile_shape[0]), self.scene_shape[0]),
+            min(int(tile_shape[1]), self.scene_shape[1]),
+        )
+        self.dictionary = dictionary
+        self.solver = solver
+        self.regularization = regularization
+        self.sparsity = sparsity
+        self.max_iterations = int(max_iterations)
+        self.slots: List[List[TileSlot]] = tile_grid(self.scene_shape, self.tile_shape)
+        grid_rows, grid_cols = self.grid_shape
+        self._frames: List[List[Optional[CompressedFrame]]] = [
+            [None] * grid_cols for _ in range(grid_rows)
+        ]
+        self._tile_results: List[List[Optional[ReconstructionResult]]] = [
+            [None] * grid_cols for _ in range(grid_rows)
+        ]
+        self._image = np.zeros(self.scene_shape, dtype=float)
+        self._n_completed = 0
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def grid_shape(self) -> Tuple[int, int]:
+        """Tiles per scene edge, ``(grid_rows, grid_cols)``."""
+        return (len(self.slots), len(self.slots[0]))
+
+    @property
+    def n_tiles(self) -> int:
+        """Total number of tiles in the mosaic."""
+        grid_rows, grid_cols = self.grid_shape
+        return grid_rows * grid_cols
+
+    @property
+    def n_completed(self) -> int:
+        """Tiles reconstructed and stitched so far."""
+        return self._n_completed
+
+    @property
+    def is_complete(self) -> bool:
+        """True once every tile of the mosaic has landed."""
+        return self._n_completed == self.n_tiles
+
+    def slot(self, grid_row: int, grid_col: int) -> TileSlot:
+        """The :class:`TileSlot` at a grid position (bounds-checked)."""
+        grid_rows, grid_cols = self.grid_shape
+        if not (0 <= grid_row < grid_rows and 0 <= grid_col < grid_cols):
+            raise ValueError(
+                f"tile position ({grid_row}, {grid_col}) outside the "
+                f"{grid_rows}x{grid_cols} grid"
+            )
+        return self.slots[grid_row][grid_col]
+
+    # -------------------------------------------------------------- solving
+    def solve_tile(self, frame: CompressedFrame) -> ReconstructionResult:
+        """Reconstruct one tile frame with this reconstructor's options.
+
+        Stateless (no stitching): both :meth:`add_tile` and the thread pool
+        of :func:`~repro.recon.pipeline.reconstruct_tiled` route through
+        this, so there is exactly one per-tile solve path.
+        """
+        return reconstruct_frame(
+            frame,
+            dictionary=self.dictionary,
+            solver=self.solver,
+            regularization=self.regularization,
+            sparsity=self.sparsity,
+            max_iterations=self.max_iterations,
+        )
+
+    def add_tile(
+        self, grid_row: int, grid_col: int, frame: CompressedFrame
+    ) -> ReconstructionResult:
+        """Reconstruct a newly-landed tile and stitch it into the scene.
+
+        Returns the per-tile :class:`ReconstructionResult` so a streaming
+        receiver can surface progressive quality while the mosaic fills in.
+        """
+        return self.insert_result(grid_row, grid_col, frame, self.solve_tile(frame))
+
+    def insert_result(
+        self,
+        grid_row: int,
+        grid_col: int,
+        frame: CompressedFrame,
+        result: ReconstructionResult,
+    ) -> ReconstructionResult:
+        """Stitch an already-solved tile (the pre-computed, pooled path)."""
+        slot = self.slot(grid_row, grid_col)
+        if (frame.config.rows, frame.config.cols) != (slot.rows, slot.cols):
+            raise ValueError(
+                f"tile ({grid_row}, {grid_col}) frame is "
+                f"{frame.config.rows}x{frame.config.cols}, slot expects "
+                f"{slot.rows}x{slot.cols}"
+            )
+        if self._frames[grid_row][grid_col] is not None:
+            raise ValueError(f"tile ({grid_row}, {grid_col}) was already added")
+        self._frames[grid_row][grid_col] = frame
+        self._tile_results[grid_row][grid_col] = result
+        self._image[slot.row_slice, slot.col_slice] = result.image
+        self._n_completed += 1
+        return result
+
+    # --------------------------------------------------------------- output
+    def partial_image(self) -> np.ndarray:
+        """The scene as reconstructed so far (zeros where tiles are pending)."""
+        return self._image.copy()
+
+    def result(
+        self,
+        *,
+        reference: Optional[np.ndarray] = None,
+        capture_metadata: Optional[Dict[str, object]] = None,
+    ) -> TiledReconstructionResult:
+        """Finalise the mosaic into a :class:`TiledReconstructionResult`.
+
+        Parameters
+        ----------
+        reference : numpy.ndarray, optional
+            Ground-truth code image for scene-level PSNR/SNR.  When omitted,
+            the stitched per-tile digital images are used if every added
+            frame kept one (never true for frames decoded off the wire — the
+            receiver never sees the ground truth).
+        capture_metadata : dict, optional
+            Mosaic-level capture statistics to attach; defaults to
+            :func:`~repro.sensor.shard.merge_tile_statistics` over the added
+            frames, which is what the capture side computes.
+        """
+        if not self.is_complete:
+            raise ValueError(
+                f"mosaic incomplete: {self.n_completed}/{self.n_tiles} tiles added"
+            )
+        flat_frames = [frame for row in self._frames for frame in row]
+        if reference is None and all(
+            frame.digital_image is not None for frame in flat_frames
+        ):
+            stitched = np.zeros(self.scene_shape, dtype=float)
+            for slot_row, frame_row in zip(self.slots, self._frames):
+                for slot, frame in zip(slot_row, frame_row):
+                    stitched[slot.row_slice, slot.col_slice] = frame.digital_image
+            reference = stitched
+        metrics: Dict[str, float] = {}
+        if reference is not None:
+            reference = np.asarray(reference, dtype=float)
+            metrics = {
+                "psnr_db": psnr(reference, self._image),
+                "snr_db": reconstruction_snr(reference, self._image),
+            }
+        if capture_metadata is None:
+            capture_metadata = merge_tile_statistics(flat_frames)
+        return TiledReconstructionResult(
+            image=self._image.copy(),
+            tile_results=[list(row) for row in self._tile_results],
+            dictionary=self.dictionary,
+            solver=self.solver,
+            metrics=metrics,
+            capture_metadata=dict(capture_metadata),
+        )

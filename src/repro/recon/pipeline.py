@@ -345,52 +345,37 @@ def reconstruct_tiled(
     TiledReconstructionResult
         The stitched scene, the per-tile solver results and scene-level
         PSNR/SNR metrics when a reference is available.
+
+    Notes
+    -----
+    The per-tile solve and the stitching are delegated to
+    :class:`repro.recon.incremental.IncrementalTiledReconstructor` — the same
+    accumulator the streaming receiver feeds tile chunks into — so in-process
+    and streamed reconstructions are one code path and stay byte-identical.
     """
+    from repro.recon.incremental import IncrementalTiledReconstructor
+
     check_choice("executor", executor, ("serial", "thread"))
-
-    def solve_tile(frame: CompressedFrame) -> ReconstructionResult:
-        return reconstruct_frame(
-            frame,
-            dictionary=dictionary,
-            solver=solver,
-            regularization=regularization,
-            sparsity=sparsity,
-            max_iterations=max_iterations,
-        )
-
-    flat_frames = [frame for _, frame in capture.frames()]
-    if executor == "thread" and len(flat_frames) > 1:
-        with concurrent.futures.ThreadPoolExecutor(max_workers=max_workers) as pool:
-            flat_results = list(pool.map(solve_tile, flat_frames))
-    else:
-        flat_results = [solve_tile(frame) for frame in flat_frames]
-
-    grid_rows, grid_cols = capture.grid_shape
-    tile_results = [
-        flat_results[row * grid_cols : (row + 1) * grid_cols]
-        for row in range(grid_rows)
-    ]
-    image = np.zeros(capture.scene_shape, dtype=float)
-    for (slot, _), result in zip(capture.frames(), flat_results):
-        image[slot.row_slice, slot.col_slice] = result.image
-
-    if reference is None:
-        try:
-            reference = capture.digital_image().astype(float)
-        except ValueError:
-            reference = None
-    metrics: Dict[str, float] = {}
-    if reference is not None:
-        reference = np.asarray(reference, dtype=float)
-        metrics = {
-            "psnr_db": psnr(reference, image),
-            "snr_db": reconstruction_snr(reference, image),
-        }
-    return TiledReconstructionResult(
-        image=image,
-        tile_results=tile_results,
+    reconstructor = IncrementalTiledReconstructor(
+        capture.scene_shape,
+        capture.tile_shape,
         dictionary=dictionary,
         solver=solver,
-        metrics=metrics,
-        capture_metadata=dict(capture.metadata),
+        regularization=regularization,
+        sparsity=sparsity,
+        max_iterations=max_iterations,
+    )
+    pairs = list(capture.frames())
+    if executor == "thread" and len(pairs) > 1:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=max_workers) as pool:
+            flat_results = list(
+                pool.map(reconstructor.solve_tile, [frame for _, frame in pairs])
+            )
+        for (slot, frame), result in zip(pairs, flat_results):
+            reconstructor.insert_result(slot.grid_row, slot.grid_col, frame, result)
+    else:
+        for slot, frame in pairs:
+            reconstructor.add_tile(slot.grid_row, slot.grid_col, frame)
+    return reconstructor.result(
+        reference=reference, capture_metadata=dict(capture.metadata)
     )

@@ -31,6 +31,7 @@ from repro.sensor.shard import (
     TiledSensorArray,
     TileSlot,
     merge_tile_statistics,
+    tile_grid,
 )
 from repro.sensor.tdc import GlobalCounterTDC
 from repro.sensor.video import VideoCaptureResult, VideoSequencer
@@ -53,4 +54,5 @@ __all__ = [
     "TiledCaptureResult",
     "TileSlot",
     "merge_tile_statistics",
+    "tile_grid",
 ]

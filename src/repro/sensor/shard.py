@@ -50,12 +50,50 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.ca.selection import CASelectionGenerator
 from repro.sensor.config import SensorConfig
 from repro.sensor.imager import CompressedFrame, CompressiveImager
 from repro.utils.rng import derive_seed
 from repro.utils.validation import check_choice, check_in_range, check_positive
 
 EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+def tile_grid(scene_shape, tile_shape) -> List[List["TileSlot"]]:
+    """Split a scene into the row-major grid of :class:`TileSlot` footprints.
+
+    This is the one tiling rule shared by the capture side
+    (:class:`TiledSensorArray`) and the receiving side
+    (:class:`repro.stream.receiver.StreamReceiver` /
+    :class:`repro.recon.incremental.IncrementalTiledReconstructor`): edge
+    tiles shrink to fit scenes that are not multiples of the tile size, so
+    both ends of a channel derive identical geometry from the two shapes the
+    stream header carries.
+    """
+    scene_rows, scene_cols = (int(scene_shape[0]), int(scene_shape[1]))
+    tile_rows, tile_cols = (int(tile_shape[0]), int(tile_shape[1]))
+    check_positive("scene rows", scene_rows)
+    check_positive("scene cols", scene_cols)
+    check_positive("tile rows", tile_rows)
+    check_positive("tile cols", tile_cols)
+    tile_rows = min(tile_rows, scene_rows)
+    tile_cols = min(tile_cols, scene_cols)
+    slots: List[List[TileSlot]] = []
+    for grid_row, row0 in enumerate(range(0, scene_rows, tile_rows)):
+        slot_row: List[TileSlot] = []
+        for grid_col, col0 in enumerate(range(0, scene_cols, tile_cols)):
+            slot_row.append(
+                TileSlot(
+                    grid_row=grid_row,
+                    grid_col=grid_col,
+                    row0=row0,
+                    col0=col0,
+                    rows=min(tile_rows, scene_rows - row0),
+                    cols=min(tile_cols, scene_cols - col0),
+                )
+            )
+        slots.append(slot_row)
+    return slots
 
 
 @dataclass(frozen=True)
@@ -208,6 +246,22 @@ def merge_tile_statistics(frames: List[CompressedFrame]) -> Dict[str, object]:
     return merged
 
 
+def _capture_tile_batch(job):
+    """Capture one tile's whole frame sequence; module-level for pickling.
+
+    Like :func:`_capture_tile`, the chip is a *copy*: the tile's CA advances
+    frame to frame inside the copy (``capture_batch``'s one-pattern overlap),
+    and the copy's final CA state is returned alongside the frames so the
+    parent can — optionally and deterministically — advance its own imagers.
+    One job covers one tile's full sequence, so the result is byte-identical
+    whichever executor runs it.
+    """
+    imager, photocurrents, kwargs = job
+    chip = copy.deepcopy(imager)
+    frames = chip.capture_batch(photocurrents, **kwargs)
+    return frames, chip.selection.seed_state
+
+
 def _capture_tile(job) -> CompressedFrame:
     """Capture one tile; module-level so process executors can pickle it.
 
@@ -299,21 +353,11 @@ class TiledSensorArray:
         self.dtype = dtype
         self.seed = int(seed)
 
-        self.slots: List[List[TileSlot]] = []
+        self.slots: List[List[TileSlot]] = tile_grid(self.scene_shape, self.tile_shape)
         self.imagers: List[List[CompressiveImager]] = []
-        nominal_rows, nominal_cols = self.tile_shape
-        for grid_row, row0 in enumerate(range(0, scene_rows, nominal_rows)):
-            slot_row: List[TileSlot] = []
+        for slot_row in self.slots:
             imager_row: List[CompressiveImager] = []
-            for grid_col, col0 in enumerate(range(0, scene_cols, nominal_cols)):
-                slot = TileSlot(
-                    grid_row=grid_row,
-                    grid_col=grid_col,
-                    row0=row0,
-                    col0=col0,
-                    rows=min(nominal_rows, scene_rows - row0),
-                    cols=min(nominal_cols, scene_cols - col0),
-                )
+            for slot in slot_row:
                 tile_config = replace(
                     template,
                     rows=slot.rows,
@@ -326,11 +370,9 @@ class TiledSensorArray:
                         rule=rule,
                         steps_per_sample=steps_per_sample,
                         warmup_steps=warmup_steps,
-                        seed=derive_seed(self.seed, "tile", grid_row, grid_col),
+                        seed=derive_seed(self.seed, "tile", slot.grid_row, slot.grid_col),
                     )
                 )
-                slot_row.append(slot)
-            self.slots.append(slot_row)
             self.imagers.append(imager_row)
 
     # ------------------------------------------------------------- geometry
@@ -345,11 +387,103 @@ class TiledSensorArray:
         grid_rows, grid_cols = self.grid_shape
         return grid_rows * grid_cols
 
-    def samples_per_tile(self, slot: TileSlot) -> int:
-        """Compressed-sample budget of one tile (``round(R x tile pixels)``)."""
-        return max(1, int(round(self.compression_ratio * slot.n_pixels)))
+    def samples_per_tile(
+        self, slot: TileSlot, compression_ratio: Optional[float] = None
+    ) -> int:
+        """Compressed-sample budget of one tile (``round(R x tile pixels)``).
+
+        ``compression_ratio`` overrides the array's configured ratio for one
+        call — how the streaming bit-rate governor degrades a frame to fit a
+        channel budget without rebuilding the array.
+        """
+        ratio = self.compression_ratio if compression_ratio is None else compression_ratio
+        check_in_range("compression_ratio", ratio, 0.0, 1.0, inclusive=False)
+        return max(1, int(round(ratio * slot.n_pixels)))
 
     # -------------------------------------------------------------- capture
+    def _tile_jobs(
+        self,
+        photocurrent: np.ndarray,
+        *,
+        fidelity: str,
+        auto_expose: bool,
+        lsb_error: bool,
+        keep_digital_image: bool,
+        dtype: str,
+        compression_ratio: Optional[float],
+    ) -> List[tuple]:
+        """Build the per-tile capture jobs of one frame, in row-major order."""
+        photocurrent = np.asarray(photocurrent, dtype=float)
+        if photocurrent.shape != self.scene_shape:
+            raise ValueError(
+                f"photocurrent must have shape {self.scene_shape}, "
+                f"got {photocurrent.shape}"
+            )
+        jobs = []
+        for slot_row, imager_row in zip(self.slots, self.imagers):
+            for slot, imager in zip(slot_row, imager_row):
+                tile_current = photocurrent[slot.row_slice, slot.col_slice]
+                kwargs = dict(
+                    n_samples=self.samples_per_tile(slot, compression_ratio),
+                    fidelity=fidelity,
+                    # A fully dark tile cannot adapt its reference ramp; the
+                    # chip falls back to its configured exposure.
+                    auto_expose=auto_expose and bool((tile_current > 0.0).any()),
+                    lsb_error=lsb_error,
+                    keep_digital_image=keep_digital_image,
+                    dtype=dtype,
+                )
+                jobs.append((imager, tile_current, kwargs))
+        return jobs
+
+    def iter_capture(
+        self,
+        photocurrent: np.ndarray,
+        *,
+        fidelity: str = "behavioural",
+        auto_expose: bool = True,
+        lsb_error: bool = True,
+        keep_digital_image: bool = True,
+        dtype: Optional[str] = None,
+        executor: Optional[str] = None,
+        max_workers: Optional[int] = None,
+        compression_ratio: Optional[float] = None,
+    ) -> Iterator[Tuple[TileSlot, CompressedFrame]]:
+        """Capture the scene and yield ``(slot, frame)`` pairs as tiles finish.
+
+        The chunk-iterator form of :meth:`capture`: tiles are yielded in
+        row-major grid order while later tiles are still being captured on
+        the pool, so a camera node can put tile ``(0, 0)`` on the wire before
+        tile ``(3, 3)`` exists.  The frames are byte-identical to
+        :meth:`capture` under every executor — same per-tile jobs, same
+        stateless :func:`_capture_tile` on an imager copy.
+
+        Parameters are those of :meth:`capture`; ``compression_ratio``
+        overrides the per-tile sample budget for this capture only (the
+        streaming bit-rate governor's degradation knob).
+        """
+        executor = executor or self.executor
+        check_choice("executor", executor, EXECUTOR_KINDS)
+        jobs = self._tile_jobs(
+            photocurrent,
+            fidelity=fidelity,
+            auto_expose=auto_expose,
+            lsb_error=lsb_error,
+            keep_digital_image=keep_digital_image,
+            dtype=dtype or self.dtype,
+            compression_ratio=compression_ratio,
+        )
+        flat_slots = [slot for slot_row in self.slots for slot in slot_row]
+        pool = self._make_pool(executor, max_workers or self.max_workers, len(jobs))
+        if pool is None:
+            for slot, job in zip(flat_slots, jobs):
+                yield slot, _capture_tile(job)
+            return
+        try:
+            yield from zip(flat_slots, pool.map(_capture_tile, jobs))
+        finally:
+            pool.shutdown(wait=True)
+
     def capture(
         self,
         photocurrent: np.ndarray,
@@ -361,6 +495,7 @@ class TiledSensorArray:
         dtype: Optional[str] = None,
         executor: Optional[str] = None,
         max_workers: Optional[int] = None,
+        compression_ratio: Optional[float] = None,
     ) -> TiledCaptureResult:
         """Capture the whole scene, one concurrent frame per tile.
 
@@ -381,6 +516,9 @@ class TiledSensorArray:
             Behavioural arithmetic width; defaults to the array's ``dtype``.
         executor, max_workers:
             Per-call override of the array's executor configuration.
+        compression_ratio : float, optional
+            Per-call override of the per-tile sample budget (the streaming
+            bit-rate governor's degradation knob).
 
         Returns
         -------
@@ -391,27 +529,15 @@ class TiledSensorArray:
         executor = executor or self.executor
         check_choice("executor", executor, EXECUTOR_KINDS)
         dtype = dtype or self.dtype
-        photocurrent = np.asarray(photocurrent, dtype=float)
-        if photocurrent.shape != self.scene_shape:
-            raise ValueError(
-                f"photocurrent must have shape {self.scene_shape}, "
-                f"got {photocurrent.shape}"
-            )
-        jobs = []
-        for slot_row, imager_row in zip(self.slots, self.imagers):
-            for slot, imager in zip(slot_row, imager_row):
-                tile_current = photocurrent[slot.row_slice, slot.col_slice]
-                kwargs = dict(
-                    n_samples=self.samples_per_tile(slot),
-                    fidelity=fidelity,
-                    # A fully dark tile cannot adapt its reference ramp; the
-                    # chip falls back to its configured exposure.
-                    auto_expose=auto_expose and bool((tile_current > 0.0).any()),
-                    lsb_error=lsb_error,
-                    keep_digital_image=keep_digital_image,
-                    dtype=dtype,
-                )
-                jobs.append((imager, tile_current, kwargs))
+        jobs = self._tile_jobs(
+            photocurrent,
+            fidelity=fidelity,
+            auto_expose=auto_expose,
+            lsb_error=lsb_error,
+            keep_digital_image=keep_digital_image,
+            dtype=dtype,
+            compression_ratio=compression_ratio,
+        )
         frames = self._run_jobs(jobs, executor, max_workers or self.max_workers)
 
         grid_rows, grid_cols = self.grid_shape
@@ -456,20 +582,181 @@ class TiledSensorArray:
             conversion.convert(np.asarray(scene, dtype=float)), **kwargs
         )
 
+    def capture_scene_sequence(
+        self,
+        scenes,
+        *,
+        conversion=None,
+        **kwargs,
+    ) -> List[TiledCaptureResult]:
+        """Convert normalised scenes to photocurrents and capture the sequence.
+
+        The same single :class:`~repro.optics.photo.PhotoConversion` spans
+        every frame (fixed-pattern noise stays fixed across the sequence, as
+        on a real wafer); all other keyword arguments go to
+        :meth:`capture_sequence`.
+        """
+        from repro.optics.photo import PhotoConversion
+
+        conversion = conversion or PhotoConversion(
+            seed=derive_seed(self.seed, "tiled-photo")
+        )
+        return self.capture_sequence(
+            [conversion.convert(np.asarray(scene, dtype=float)) for scene in scenes],
+            **kwargs,
+        )
+
+    def capture_sequence(
+        self,
+        photocurrents,
+        *,
+        fidelity: str = "behavioural",
+        auto_expose: bool = True,
+        lsb_error: bool = True,
+        keep_digital_image: bool = True,
+        dtype: Optional[str] = None,
+        executor: Optional[str] = None,
+        max_workers: Optional[int] = None,
+        compression_ratio: Optional[float] = None,
+        advance: bool = False,
+    ) -> List[TiledCaptureResult]:
+        """Capture a video sequence over the whole mosaic, tiles concurrent.
+
+        Every tile runs its *own* :meth:`CompressiveImager.capture_batch`
+        over the sequence — one shared CA evolution per tile, consecutive
+        frames overlapping by one selection pattern exactly as each
+        free-running chip would — and the per-tile frame stacks are regrouped
+        into one :class:`TiledCaptureResult` per input frame.  One executor
+        job covers one tile's full sequence, so the captured samples are
+        byte-identical under ``serial``/``thread``/``process``, like
+        :meth:`capture`.
+
+        Parameters
+        ----------
+        photocurrents : sequence of numpy.ndarray
+            Per-frame photocurrent maps, each of shape ``scene_shape``.
+        fidelity, auto_expose, lsb_error, keep_digital_image, dtype:
+            As in :meth:`capture`.  A tile whose field of view is dark in
+            *any* frame is captured without exposure adaptation (the batched
+            chip adapts once per frame and cannot skip individual frames).
+        executor, max_workers:
+            Per-call override of the array's executor configuration.
+        compression_ratio : float, optional
+            Per-call override of the per-tile sample budget.
+        advance : bool
+            When true, leave every tile imager's selection CA positioned
+            after the last frame (warm-up already absorbed), so the next
+            :meth:`capture_sequence` call continues the same CA evolution —
+            how a streaming node chains GOPs.  The end states come from the
+            job results, so advancing is executor-independent too.  The
+            default keeps :meth:`capture`'s stateless contract.
+
+        Returns
+        -------
+        list of TiledCaptureResult
+            One merged mosaic result per input frame, each tile frame
+            independently decodable from its own seed.
+        """
+        executor = executor or self.executor
+        check_choice("executor", executor, EXECUTOR_KINDS)
+        dtype = dtype or self.dtype
+        photocurrents = [np.asarray(current, dtype=float) for current in photocurrents]
+        for index, current in enumerate(photocurrents):
+            if current.shape != self.scene_shape:
+                raise ValueError(
+                    f"photocurrent {index} must have shape {self.scene_shape}, "
+                    f"got {current.shape}"
+                )
+        if not photocurrents:
+            return []
+        jobs = []
+        flat_slots = [slot for slot_row in self.slots for slot in slot_row]
+        flat_imagers = [imager for imager_row in self.imagers for imager in imager_row]
+        for slot, imager in zip(flat_slots, flat_imagers):
+            tile_currents = [
+                current[slot.row_slice, slot.col_slice] for current in photocurrents
+            ]
+            kwargs = dict(
+                n_samples=self.samples_per_tile(slot, compression_ratio),
+                fidelity=fidelity,
+                auto_expose=auto_expose
+                and all(bool((current > 0.0).any()) for current in tile_currents),
+                lsb_error=lsb_error,
+                keep_digital_image=keep_digital_image,
+                dtype=dtype,
+            )
+            jobs.append((imager, tile_currents, kwargs))
+        outcomes = self._run_jobs(
+            jobs, executor, max_workers or self.max_workers, job_fn=_capture_tile_batch
+        )
+
+        grid_rows, grid_cols = self.grid_shape
+        results: List[TiledCaptureResult] = []
+        for frame_index in range(len(photocurrents)):
+            flat_frames = [frames[frame_index] for frames, _ in outcomes]
+            tile_grid_frames = [
+                flat_frames[row * grid_cols : (row + 1) * grid_cols]
+                for row in range(grid_rows)
+            ]
+            metadata = merge_tile_statistics(flat_frames)
+            metadata.update(
+                fidelity=fidelity,
+                dtype=dtype,
+                executor=executor,
+                max_workers=max_workers or self.max_workers,
+                n_tiles=self.n_tiles,
+                frame_index=frame_index,
+                n_frames=len(photocurrents),
+            )
+            results.append(
+                TiledCaptureResult(
+                    tiles=tile_grid_frames,
+                    slots=self.slots,
+                    scene_shape=self.scene_shape,
+                    tile_shape=self.tile_shape,
+                    metadata=metadata,
+                )
+            )
+        if advance:
+            for imager, (_, end_state) in zip(flat_imagers, outcomes):
+                imager.selection = CASelectionGenerator(
+                    imager.config.rows,
+                    imager.config.cols,
+                    seed_state=end_state,
+                    rule=imager.rule_number,
+                    steps_per_sample=imager.steps_per_sample,
+                    warmup_steps=0,
+                )
+                imager.warmup_steps = 0
+        return results
+
     @staticmethod
-    def _run_jobs(jobs, executor: str, max_workers: Optional[int]):
-        """Run the per-tile capture jobs through the chosen executor."""
-        if executor == "serial" or len(jobs) <= 1:
-            return [_capture_tile(job) for job in jobs]
+    def _make_pool(executor: str, max_workers: Optional[int], n_jobs: int):
+        """The executor pool for a job batch, or ``None`` for inline runs.
+
+        The one place the serial short-circuit, worker clamp and pool-class
+        choice live; :meth:`capture`, :meth:`iter_capture` and
+        :meth:`capture_sequence` all route through it.
+        """
+        if executor == "serial" or n_jobs <= 1:
+            return None
         if max_workers is not None:
-            max_workers = min(int(max_workers), len(jobs))
+            max_workers = min(int(max_workers), n_jobs)
         pool_class = (
             concurrent.futures.ThreadPoolExecutor
             if executor == "thread"
             else concurrent.futures.ProcessPoolExecutor
         )
-        with pool_class(max_workers=max_workers) as pool:
-            return list(pool.map(_capture_tile, jobs))
+        return pool_class(max_workers=max_workers)
+
+    @staticmethod
+    def _run_jobs(jobs, executor: str, max_workers: Optional[int], job_fn=_capture_tile):
+        """Run the per-tile capture jobs through the chosen executor."""
+        pool = TiledSensorArray._make_pool(executor, max_workers, len(jobs))
+        if pool is None:
+            return [job_fn(job) for job in jobs]
+        with pool:
+            return list(pool.map(job_fn, jobs))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         grid_rows, grid_cols = self.grid_shape

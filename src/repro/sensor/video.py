@@ -12,7 +12,7 @@ input scene, each carrying the CA state needed to rebuild its own Φ.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, Iterator, List, Optional
 
 import numpy as np
 
@@ -146,6 +146,63 @@ class VideoSequencer:
             dtype=dtype,
         )
         return result
+
+    def stream_frames(
+        self,
+        scenes: Iterable[np.ndarray],
+        *,
+        fidelity: str = "behavioural",
+        auto_expose: bool = True,
+        lsb_error: bool = True,
+        keep_digital_image: bool = True,
+        dtype: str = "float64",
+        samples_for_frame: Optional[Callable[[int], int]] = None,
+    ) -> Iterator[CompressedFrame]:
+        """Yield frames one at a time while the selection CA keeps running.
+
+        The lazy, streaming form of :meth:`capture_sequence`: each scene is
+        captured through a single-frame
+        :meth:`~repro.sensor.imager.CompressiveImager.capture_batch` call,
+        which leaves the imager's CA positioned one pattern past the frame —
+        so the produced frames are bit-identical to one batched
+        :meth:`capture_sequence` over the same scenes, but each is available
+        (and can go on the wire) before the next scene is even rendered.
+        ``scenes`` may be an unbounded iterator; nothing is buffered.
+
+        Parameters
+        ----------
+        scenes : iterable of numpy.ndarray
+            Normalised scenes, consumed lazily.
+        fidelity, auto_expose, lsb_error, keep_digital_image, dtype:
+            As in :meth:`capture_sequence`, applied per frame.
+        samples_for_frame : callable, optional
+            ``frame_index -> n_samples`` override of the fixed per-frame
+            sample budget — the hook the streaming bit-rate governor uses to
+            degrade frames on a congested channel.  The receiver stays
+            synchronised because every frame's header carries its own sample
+            count.
+
+        Yields
+        ------
+        CompressedFrame
+            One independently decodable frame per scene, in order.
+        """
+        for index, scene in enumerate(scenes):
+            n_samples = (
+                self.samples_per_frame
+                if samples_for_frame is None
+                else int(samples_for_frame(index))
+            )
+            photocurrent = self.conversion.convert(np.asarray(scene, dtype=float))
+            yield self.imager.capture_batch(
+                [photocurrent],
+                n_samples=n_samples,
+                fidelity=fidelity,
+                auto_expose=auto_expose,
+                lsb_error=lsb_error,
+                keep_digital_image=keep_digital_image,
+                dtype=dtype,
+            )[0]
 
 
 def temporal_difference_energy(frames: List[CompressedFrame]) -> np.ndarray:

@@ -1,0 +1,71 @@
+"""Live streaming of compressive captures: node → wire → receiver.
+
+The paper's motivating scenario — an autonomous camera node delivering
+images "over a network under a restricted data rate" by shipping compressed
+samples plus only the CA seed — implemented as a working service on top of
+the capture engines:
+
+* :mod:`repro.stream.protocol` — the chunked wire protocol (v2 frames with
+  capture statistics, seed-once GOPs, incremental chunk parsing);
+* :mod:`repro.stream.transport` — bounded loopback and TCP byte transports,
+  both exerting real backpressure on the sender;
+* :mod:`repro.stream.node` — :class:`CameraNode`, the asyncio capture-and-
+  send loop with its bits-per-frame :class:`BitrateGovernor`;
+* :mod:`repro.stream.receiver` — :class:`StreamReceiver`, decoding chunks as
+  they arrive and reconstructing incrementally (per tile, per frame),
+  byte-identical to the in-process reconstruction pipeline.
+"""
+
+from repro.stream.node import (
+    BitrateGovernor,
+    CameraNode,
+    ChannelBudgetError,
+    StreamStats,
+)
+from repro.stream.protocol import (
+    Chunk,
+    ChunkDecoder,
+    ChunkType,
+    FrameData,
+    StreamHeader,
+    StreamProtocolError,
+    advance_seed_state,
+    encode_chunk,
+)
+from repro.stream.receiver import (
+    ReceivedFrame,
+    StreamReceiver,
+    StreamResult,
+    receive_stream,
+)
+from repro.stream.transport import (
+    LoopbackTransport,
+    TcpTransport,
+    TransportClosedError,
+    connect_tcp,
+    serve_tcp,
+)
+
+__all__ = [
+    "CameraNode",
+    "BitrateGovernor",
+    "ChannelBudgetError",
+    "StreamStats",
+    "StreamReceiver",
+    "StreamResult",
+    "ReceivedFrame",
+    "receive_stream",
+    "LoopbackTransport",
+    "TcpTransport",
+    "TransportClosedError",
+    "connect_tcp",
+    "serve_tcp",
+    "Chunk",
+    "ChunkType",
+    "ChunkDecoder",
+    "FrameData",
+    "StreamHeader",
+    "StreamProtocolError",
+    "advance_seed_state",
+    "encode_chunk",
+]

@@ -1,0 +1,526 @@
+"""The autonomous camera node: capture in workers, chunks on the wire.
+
+This is the paper's motivating system turned into a service: a node that
+captures compressively at the focal plane and "delivers images over a network
+under a restricted data rate", shipping compressed samples plus only the
+128-bit CA seed.  :class:`CameraNode` drives any of the repo's capture
+engines — a single :class:`~repro.sensor.imager.CompressiveImager`, a
+:class:`~repro.sensor.video.VideoSequencer`, or a whole
+:class:`~repro.sensor.shard.TiledSensorArray` mosaic — through a worker
+executor (capture is numpy/BLAS work; the event loop only moves bytes),
+encodes each result as v2 wire chunks and sends them over any transport from
+:mod:`repro.stream.transport`.
+
+Two flow-control mechanisms compose:
+
+* **Backpressure** — every ``transport.send`` is awaited, so a bounded
+  channel (full loopback queue, full TCP socket buffer) suspends the node's
+  capture loop.  Buffering is bounded by the transport, never by the node.
+* **Bit-rate governor** — :class:`BitrateGovernor` fits each frame's sample
+  count to a bits-per-frame channel budget *before* capturing (fewer samples
+  = fewer bits = graceful quality degradation), exactly the sweep
+  ``examples/camera_node_streaming.py`` demonstrates.  Seed-once GOPs lower
+  the per-frame overhead the governor has to charge.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from concurrent.futures import Executor
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.io.framing import encode_frame, frame_overhead_bits
+from repro.sensor.config import SensorConfig
+from repro.sensor.imager import CompressedFrame, CompressiveImager
+from repro.sensor.shard import TiledSensorArray
+from repro.sensor.video import VideoSequencer
+from repro.stream.protocol import (
+    Chunk,
+    ChunkType,
+    FrameData,
+    StreamHeader,
+    encode_chunk,
+    encode_frame_complete,
+    encode_frame_data,
+    encode_stream_end,
+    encode_stream_header,
+)
+from repro.utils.validation import check_positive
+
+
+class ChannelBudgetError(ValueError):
+    """The per-frame bit budget cannot fit even one compressed sample."""
+
+
+#: Wire cost of wrapping one frame as a chunk: the 12-byte chunk header plus
+#: the 9-byte frame-data prefix (frame index, grid position, keyframe flag).
+CHUNK_OVERHEAD_BITS = (12 + 9) * 8
+
+
+def _close_on_error(method):
+    """Close the transport when a stream method dies mid-stream.
+
+    A capture-side failure (governor rejection, bad scene shape, solver
+    error) must not strand the peer: closing the channel turns the
+    receiver's blocking ``recv`` into end-of-stream, so it raises its own
+    "transport closed before the stream-end chunk" protocol error instead of
+    waiting forever on a stream that will never finish — and the node's
+    exception still propagates to whoever awaits the stream task.
+    """
+
+    @functools.wraps(method)
+    async def wrapper(self, *args, **kwargs):
+        try:
+            return await method(self, *args, **kwargs)
+        except BaseException:
+            try:
+                await self.transport.close()
+            except Exception:
+                pass
+            raise
+
+    return wrapper
+
+
+@dataclass
+class BitrateGovernor:
+    """Fits each frame's sample count to a bits-per-frame channel budget.
+
+    Parameters
+    ----------
+    bits_per_frame:
+        Channel budget for one frame, headers and seed included.  ``None``
+        disables governing (the configured sample count is used as-is).
+    min_samples:
+        Floor below which the governor refuses to degrade and raises
+        :class:`ChannelBudgetError` instead — a frame with almost no samples
+        reconstructs to noise, and a node should fail loudly rather than
+        stream garbage.
+    """
+
+    bits_per_frame: Optional[int] = None
+    min_samples: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bits_per_frame is not None:
+            check_positive("bits_per_frame", self.bits_per_frame)
+        check_positive("min_samples", self.min_samples)
+
+    def samples_for_frame(
+        self,
+        config: SensorConfig,
+        *,
+        max_samples: Optional[int] = None,
+        include_seed: bool = True,
+    ) -> int:
+        """Samples that fit the budget after the frame overhead is charged.
+
+        ``include_seed=False`` models a non-keyframe of a GOP, whose seed
+        bits the channel never pays — the governor then fits more samples
+        into the same budget.
+        """
+        if max_samples is None:
+            max_samples = config.samples_per_frame
+        if self.bits_per_frame is None:
+            return int(max_samples)
+        overhead = CHUNK_OVERHEAD_BITS + frame_overhead_bits(
+            config, version=2, include_seed=include_seed
+        )
+        usable = self.bits_per_frame - overhead
+        n_samples = min(int(max_samples), usable // config.compressed_sample_bits)
+        if n_samples < self.min_samples:
+            raise ChannelBudgetError(
+                f"budget of {self.bits_per_frame} bits leaves room for "
+                f"{max(0, n_samples)} samples (< min_samples={self.min_samples})"
+            )
+        return int(n_samples)
+
+    def ratio_for_frame(
+        self,
+        config: SensorConfig,
+        n_pixels: int,
+        *,
+        n_tiles: int = 1,
+        include_seed: bool = True,
+    ) -> Optional[float]:
+        """Per-tile compression-ratio override fitting a tiled frame's budget.
+
+        A mosaic frame pays the per-frame overhead once per tile; the
+        remaining bits spread over ``n_pixels`` scene pixels give the ratio
+        handed to :meth:`TiledSensorArray.capture
+        <repro.sensor.shard.TiledSensorArray.capture>`.  Returns ``None``
+        when ungoverned.
+        """
+        if self.bits_per_frame is None:
+            return None
+        overhead = n_tiles * (
+            CHUNK_OVERHEAD_BITS
+            + frame_overhead_bits(config, version=2, include_seed=include_seed)
+        )
+        usable = self.bits_per_frame - overhead
+        n_samples = usable // config.compressed_sample_bits
+        if n_samples < self.min_samples * n_tiles:
+            raise ChannelBudgetError(
+                f"budget of {self.bits_per_frame} bits leaves room for "
+                f"{max(0, n_samples)} samples over {n_tiles} tiles"
+            )
+        # A generous budget never *upgrades* the capture beyond its
+        # configured ratio — the budget is a ceiling, not a target.
+        return min(0.999, config.compression_ratio, float(n_samples) / float(n_pixels))
+
+
+@dataclass
+class StreamStats:
+    """What one streaming run put on the wire."""
+
+    n_frames: int = 0
+    n_chunks: int = 0
+    n_bytes: int = 0
+    samples_per_frame: List[int] = field(default_factory=list)
+    #: Wire bytes of each frame's data chunks (excluding the one-time
+    #: stream-start/stream-end bookends) — what a per-frame budget governs.
+    bytes_per_frame: List[int] = field(default_factory=list)
+
+
+class CameraNode:
+    """An asyncio camera node streaming captures over a transport.
+
+    Parameters
+    ----------
+    transport:
+        Any transport from :mod:`repro.stream.transport` (loopback, TCP).
+    stream_id:
+        Identifier stamped into every chunk header.
+    governor:
+        Optional :class:`BitrateGovernor`; when omitted the node streams at
+        the capture engine's configured sample budget.
+    gop_size:
+        Frames per group-of-pictures for the video modes: the CA seed is
+        carried by each GOP's first frame only, later frames are seedless
+        and the receiver re-derives their seeds from the one-pattern frame
+        overlap.  ``1`` makes every frame a keyframe.
+    executor:
+        ``concurrent.futures`` executor for the capture work; ``None`` uses
+        the event loop's default thread pool.
+    """
+
+    def __init__(
+        self,
+        transport,
+        *,
+        stream_id: int = 1,
+        governor: Optional[BitrateGovernor] = None,
+        gop_size: int = 4,
+        executor: Optional[Executor] = None,
+    ) -> None:
+        check_positive("gop_size", gop_size)
+        self.transport = transport
+        self.stream_id = int(stream_id)
+        self.governor = governor or BitrateGovernor()
+        self.gop_size = int(gop_size)
+        self.executor = executor
+        self._sequence = 0
+
+    # -------------------------------------------------------------- helpers
+    async def _run(self, fn, *args):
+        """Run blocking capture work on the worker executor."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self.executor, fn, *args)
+
+    async def _send_chunk(
+        self, chunk_type: ChunkType, payload: bytes, stats: StreamStats
+    ) -> int:
+        """Frame one chunk and push it through the transport (may stall)."""
+        chunk = Chunk(
+            chunk_type=chunk_type,
+            stream_id=self.stream_id,
+            sequence=self._sequence,
+            payload=payload,
+        )
+        self._sequence += 1
+        data = encode_chunk(chunk)
+        await self.transport.send(data)
+        stats.n_chunks += 1
+        stats.n_bytes += len(data)
+        return len(data)
+
+    async def _send_header(self, header: StreamHeader, stats: StreamStats) -> None:
+        # Every stream opens with its header chunk at sequence 0, so a node
+        # can be reused across transports/streams without desynchronising
+        # receivers (which expect consecutive sequences from 0).
+        self._sequence = 0
+        await self._send_chunk(
+            ChunkType.STREAM_START, encode_stream_header(header), stats
+        )
+
+    async def _send_frame(
+        self,
+        frame: CompressedFrame,
+        stats: StreamStats,
+        *,
+        frame_index: int,
+        grid_row: int = 0,
+        grid_col: int = 0,
+        keyframe: bool = True,
+    ) -> int:
+        frame_bytes = encode_frame(frame, version=2, include_seed=keyframe)
+        payload = encode_frame_data(
+            FrameData(
+                frame_index=frame_index,
+                grid_row=grid_row,
+                grid_col=grid_col,
+                keyframe=keyframe,
+                frame_bytes=frame_bytes,
+            )
+        )
+        return await self._send_chunk(ChunkType.FRAME_DATA, payload, stats)
+
+    async def _finish(self, stats: StreamStats) -> StreamStats:
+        await self._send_chunk(
+            ChunkType.STREAM_END, encode_stream_end(stats.n_frames), stats
+        )
+        await self.transport.close()
+        return stats
+
+    # ---------------------------------------------------------- single chip
+    @_close_on_error
+    async def stream_frames(
+        self,
+        imager: CompressiveImager,
+        scenes: Iterable[np.ndarray],
+        *,
+        fidelity: str = "behavioural",
+        **capture_kwargs,
+    ) -> StreamStats:
+        """Stream independent frames from one imager (every frame a keyframe).
+
+        Each scene is captured via
+        :meth:`~repro.sensor.imager.CompressiveImager.capture_scene` on the
+        worker executor, encoded as a self-contained v2 frame (seed included)
+        and sent.  The governor, when budgeted, fits each frame's sample
+        count to the channel.
+        """
+        config = imager.config
+        stats = StreamStats()
+        header = StreamHeader(
+            kind="frame",
+            scene_shape=(config.rows, config.cols),
+            tile_shape=(config.rows, config.cols),
+            gop_size=1,
+        )
+        await self._send_header(header, stats)
+        for index, scene in enumerate(scenes):
+            n_samples = self.governor.samples_for_frame(config)
+            frame = await self._run(
+                lambda s=scene, n=n_samples: imager.capture_scene(
+                    s, n_samples=n, fidelity=fidelity, **capture_kwargs
+                )
+            )
+            sent = await self._send_frame(frame, stats, frame_index=index)
+            stats.n_frames += 1
+            stats.samples_per_frame.append(frame.n_samples)
+            stats.bytes_per_frame.append(sent)
+        return await self._finish(stats)
+
+    # --------------------------------------------------------------- video
+    @_close_on_error
+    async def stream_video(
+        self,
+        sequencer: VideoSequencer,
+        scenes: Iterable[np.ndarray],
+        *,
+        fidelity: str = "behavioural",
+        **capture_kwargs,
+    ) -> StreamStats:
+        """Stream a video sequence with seed-once GOPs.
+
+        Frames come from
+        :meth:`~repro.sensor.video.VideoSequencer.stream_frames` — the lazy
+        capture path whose CA free-runs across frames — so only each GOP's
+        keyframe carries the seed; the receiver re-derives every other seed
+        from the one-pattern frame overlap
+        (:func:`repro.stream.protocol.advance_seed_state`).
+        """
+        config = sequencer.imager.config
+        stats = StreamStats()
+        header = StreamHeader(
+            kind="video",
+            scene_shape=(config.rows, config.cols),
+            tile_shape=(config.rows, config.cols),
+            gop_size=self.gop_size,
+        )
+        await self._send_header(header, stats)
+        # The governor must fix one sample count per GOP: seed re-derivation
+        # needs every chained frame's advance to be announced in its header,
+        # and a keyframe budget must also fit its seed bits.
+        n_samples = self.governor.samples_for_frame(
+            config, max_samples=sequencer.samples_per_frame, include_seed=True
+        )
+        iterator = iter(
+            sequencer.stream_frames(
+                scenes,
+                fidelity=fidelity,
+                samples_for_frame=lambda index: n_samples,
+                **capture_kwargs,
+            )
+        )
+        sentinel = object()
+        index = 0
+        while True:
+            frame = await self._run(next, iterator, sentinel)
+            if frame is sentinel:
+                break
+            keyframe = index % self.gop_size == 0
+            sent = await self._send_frame(
+                frame, stats, frame_index=index, keyframe=keyframe
+            )
+            stats.n_frames += 1
+            stats.samples_per_frame.append(frame.n_samples)
+            stats.bytes_per_frame.append(sent)
+            index += 1
+        return await self._finish(stats)
+
+    # --------------------------------------------------------------- tiled
+    @_close_on_error
+    async def stream_tiled(
+        self,
+        array: TiledSensorArray,
+        photocurrent: np.ndarray,
+        *,
+        fidelity: str = "behavioural",
+        **capture_kwargs,
+    ) -> StreamStats:
+        """Stream one mosaic frame, tile chunks flowing as tiles finish.
+
+        Tiles come from
+        :meth:`~repro.sensor.shard.TiledSensorArray.iter_capture`: tile
+        ``(0, 0)`` is encoded and on the wire while the executor is still
+        capturing the rest of the mosaic.  Every tile is self-contained
+        (own seed); a ``FRAME_COMPLETE`` barrier closes the frame.
+        """
+        stats = StreamStats()
+        header = StreamHeader(
+            kind="tiled",
+            scene_shape=array.scene_shape,
+            tile_shape=array.tile_shape,
+            gop_size=1,
+        )
+        await self._send_header(header, stats)
+        ratio = self.governor.ratio_for_frame(
+            array.imagers[0][0].config,
+            array.scene_shape[0] * array.scene_shape[1],
+            n_tiles=array.n_tiles,
+        )
+        iterator = array.iter_capture(
+            photocurrent,
+            fidelity=fidelity,
+            compression_ratio=ratio,
+            **capture_kwargs,
+        )
+        sentinel = object()
+        total_samples = 0
+        frame_bytes = 0
+        while True:
+            pair = await self._run(next, iterator, sentinel)
+            if pair is sentinel:
+                break
+            slot, frame = pair
+            frame_bytes += await self._send_frame(
+                frame,
+                stats,
+                frame_index=0,
+                grid_row=slot.grid_row,
+                grid_col=slot.grid_col,
+            )
+            total_samples += frame.n_samples
+        frame_bytes += await self._send_chunk(
+            ChunkType.FRAME_COMPLETE, encode_frame_complete(0, array.n_tiles), stats
+        )
+        stats.n_frames = 1
+        stats.samples_per_frame.append(total_samples)
+        stats.bytes_per_frame.append(frame_bytes)
+        return await self._finish(stats)
+
+    @_close_on_error
+    async def stream_tiled_video(
+        self,
+        array: TiledSensorArray,
+        scenes: Iterable[np.ndarray],
+        *,
+        fidelity: str = "behavioural",
+        photocurrents: bool = False,
+        **capture_kwargs,
+    ) -> StreamStats:
+        """Stream a tiled video sequence, GOP by GOP, seed-once per tile.
+
+        Scenes are consumed in groups of ``gop_size``; each GOP is captured
+        through
+        :meth:`~repro.sensor.shard.TiledSensorArray.capture_sequence` with
+        ``advance=True`` (every tile's CA free-runs across GOP boundaries),
+        then emitted frame by frame: one ``FRAME_DATA`` chunk per tile —
+        seeds riding only on the GOP's first frame — and one
+        ``FRAME_COMPLETE`` barrier per frame.  ``photocurrents=True`` treats
+        ``scenes`` as photocurrent maps instead of normalised scenes.
+        """
+        stats = StreamStats()
+        header = StreamHeader(
+            kind="tiled-video",
+            scene_shape=array.scene_shape,
+            tile_shape=array.tile_shape,
+            gop_size=self.gop_size,
+        )
+        await self._send_header(header, stats)
+        ratio = self.governor.ratio_for_frame(
+            array.imagers[0][0].config,
+            array.scene_shape[0] * array.scene_shape[1],
+            n_tiles=array.n_tiles,
+        )
+        frame_index = 0
+        iterator = iter(scenes)
+        while True:
+            gop = []
+            for _ in range(self.gop_size):
+                try:
+                    gop.append(next(iterator))
+                except StopIteration:
+                    break
+            if not gop:
+                break
+            capture = (
+                array.capture_sequence if photocurrents else array.capture_scene_sequence
+            )
+            results = await self._run(
+                lambda g=gop: capture(
+                    g,
+                    fidelity=fidelity,
+                    compression_ratio=ratio,
+                    advance=True,
+                    **capture_kwargs,
+                )
+            )
+            for gop_offset, result in enumerate(results):
+                keyframe = gop_offset == 0
+                frame_bytes = 0
+                for slot, frame in result.frames():
+                    frame_bytes += await self._send_frame(
+                        frame,
+                        stats,
+                        frame_index=frame_index,
+                        grid_row=slot.grid_row,
+                        grid_col=slot.grid_col,
+                        keyframe=keyframe,
+                    )
+                frame_bytes += await self._send_chunk(
+                    ChunkType.FRAME_COMPLETE,
+                    encode_frame_complete(frame_index, array.n_tiles),
+                    stats,
+                )
+                stats.n_frames += 1
+                stats.samples_per_frame.append(result.n_samples)
+                stats.bytes_per_frame.append(frame_bytes)
+                frame_index += 1
+        return await self._finish(stats)

@@ -1,0 +1,335 @@
+"""Chunked wire protocol for live compressive-sample streams.
+
+The frame codec (:mod:`repro.io.framing`) serialises *one* capture; a camera
+node needs to put many of them — tile by tile, frame by frame — onto one
+byte channel and let the receiver cut the stream back apart while it is still
+flowing.  This module is that layer:
+
+* every transmission unit is a :class:`Chunk`: a fixed 12-byte header (magic,
+  chunk type, stream id, sequence number, payload length) followed by the
+  payload, so a receiver can re-synchronise and detect truncation without
+  decoding payloads;
+* :class:`ChunkDecoder` performs incremental parsing: feed it whatever byte
+  slices the transport delivers (TCP segments, queue items) and it yields
+  complete chunks, buffering partials;
+* typed payload codecs for the four chunk kinds: the stream header
+  (:class:`StreamHeader` — kind, scene/tile geometry, GOP size: everything a
+  receiver needs to derive the tile grid and pre-size its reconstruction),
+  frame/tile data (grid position + an embedded v2 frame from
+  :func:`repro.io.framing.encode_frame`), the per-frame completion barrier,
+  and the end-of-stream marker;
+* :func:`advance_seed_state` — the GOP resynchronisation rule.  The
+  free-running selection CA overlaps consecutive frames by one pattern, so
+  frame ``k+1``'s seed is frame ``k``'s seed evolved through ``k``'s warm-up
+  and its ``n_samples - 1`` pattern steps.  A GOP therefore carries the
+  128-bit seed once (its keyframe); every later frame ships samples only and
+  the receiver walks the chain.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from repro.ca.automaton import ElementaryCellularAutomaton
+from repro.ca.rules import RuleTable
+
+#: First byte of every chunk ("CC": compressed chunk).
+CHUNK_MAGIC = 0xCC
+#: Version of the chunk layer itself (independent of the frame versions).
+PROTOCOL_VERSION = 1
+#: struct layout of the chunk header: magic, type, stream id, sequence, length.
+_CHUNK_HEADER = struct.Struct(">BBHII")
+#: Hard cap on a single chunk payload (a 64x64 v2 frame is ~10 kB; 16 MiB is
+#: far beyond any legal frame and bounds a corrupt length field).
+MAX_PAYLOAD_BYTES = 16 * 1024 * 1024
+
+#: Stream kinds announced by the stream header.
+STREAM_KINDS = ("frame", "video", "tiled", "tiled-video")
+
+
+class StreamProtocolError(ValueError):
+    """A malformed, out-of-order or impossible chunk was encountered."""
+
+
+class ChunkType(enum.IntEnum):
+    """Discriminator carried in every chunk header."""
+
+    STREAM_START = 1
+    FRAME_DATA = 2
+    FRAME_COMPLETE = 3
+    STREAM_END = 4
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One wire chunk: typed header plus opaque payload bytes."""
+
+    chunk_type: ChunkType
+    stream_id: int
+    sequence: int
+    payload: bytes
+
+    @property
+    def n_bytes(self) -> int:
+        """Size of the chunk on the wire, header included."""
+        return _CHUNK_HEADER.size + len(self.payload)
+
+
+def encode_chunk(chunk: Chunk) -> bytes:
+    """Serialise a :class:`Chunk` (header + payload)."""
+    if len(chunk.payload) > MAX_PAYLOAD_BYTES:
+        raise StreamProtocolError(
+            f"chunk payload of {len(chunk.payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte cap"
+        )
+    return (
+        _CHUNK_HEADER.pack(
+            CHUNK_MAGIC,
+            int(chunk.chunk_type),
+            chunk.stream_id,
+            chunk.sequence,
+            len(chunk.payload),
+        )
+        + chunk.payload
+    )
+
+
+class ChunkDecoder:
+    """Incremental chunk parser over an arbitrary byte-slice stream.
+
+    Transports deliver bytes in whatever granularity they like (a TCP read
+    may end mid-header); :meth:`feed` buffers partial input and returns every
+    chunk completed so far.  Malformed input raises
+    :class:`StreamProtocolError` — the decoder never resynchronises silently.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete chunk."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Chunk]:
+        """Absorb ``data`` and return the chunks it completed."""
+        self._buffer.extend(data)
+        chunks: List[Chunk] = []
+        while len(self._buffer) >= _CHUNK_HEADER.size:
+            magic, chunk_type, stream_id, sequence, length = _CHUNK_HEADER.unpack_from(
+                self._buffer
+            )
+            if magic != CHUNK_MAGIC:
+                raise StreamProtocolError(
+                    f"bad chunk magic 0x{magic:02X} (stream corrupt or misaligned)"
+                )
+            try:
+                chunk_type = ChunkType(chunk_type)
+            except ValueError as error:
+                raise StreamProtocolError(
+                    f"unknown chunk type {chunk_type}"
+                ) from error
+            if length > MAX_PAYLOAD_BYTES:
+                raise StreamProtocolError(
+                    f"chunk announces an impossible payload of {length} bytes"
+                )
+            end = _CHUNK_HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            payload = bytes(self._buffer[_CHUNK_HEADER.size : end])
+            del self._buffer[:end]
+            chunks.append(
+                Chunk(
+                    chunk_type=chunk_type,
+                    stream_id=stream_id,
+                    sequence=sequence,
+                    payload=payload,
+                )
+            )
+        return chunks
+
+
+# ---------------------------------------------------------------- payloads
+@dataclass(frozen=True)
+class StreamHeader:
+    """Stream-level announcement: everything needed before the first frame.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`STREAM_KINDS`.  ``frame``/``video`` are single-sensor
+        streams (one frame per :class:`~repro.stream.protocol.FrameData`
+        chunk); the ``tiled`` kinds ship one chunk per mosaic tile and the
+        receiver derives the grid from the two shapes below.
+    scene_shape, tile_shape:
+        Scene dimensions and nominal tile dimensions.  For single-sensor
+        streams the two coincide.
+    gop_size:
+        Frames per group-of-pictures: the CA seed rides only on each GOP's
+        first frame (``0``/``1`` mean every frame is a keyframe).
+    n_frames:
+        Announced sequence length, ``0`` when unbounded.
+    """
+
+    kind: str
+    scene_shape: Tuple[int, int]
+    tile_shape: Tuple[int, int]
+    gop_size: int = 1
+    n_frames: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in STREAM_KINDS:
+            raise StreamProtocolError(f"unknown stream kind {self.kind!r}")
+
+    @property
+    def tiled(self) -> bool:
+        """True for mosaic streams (one chunk per tile)."""
+        return self.kind in ("tiled", "tiled-video")
+
+
+_STREAM_START = struct.Struct(">BBHHHHHI")
+# 16-bit grid positions: anything tile_grid can produce from the 16-bit
+# scene/tile shapes of the stream header is representable.
+_FRAME_DATA = struct.Struct(">IHHB")
+_FRAME_COMPLETE = struct.Struct(">IH")
+_STREAM_END = struct.Struct(">I")
+
+
+def encode_stream_header(header: StreamHeader) -> bytes:
+    """Payload of a :data:`ChunkType.STREAM_START` chunk."""
+    return _STREAM_START.pack(
+        PROTOCOL_VERSION,
+        STREAM_KINDS.index(header.kind),
+        header.scene_shape[0],
+        header.scene_shape[1],
+        header.tile_shape[0],
+        header.tile_shape[1],
+        header.gop_size,
+        header.n_frames,
+    )
+
+
+def decode_stream_header(payload: bytes) -> StreamHeader:
+    """Inverse of :func:`encode_stream_header`."""
+    try:
+        version, kind, srows, scols, trows, tcols, gop, n_frames = _STREAM_START.unpack(
+            payload
+        )
+    except struct.error as error:
+        raise StreamProtocolError(f"malformed stream header: {error}") from error
+    if version != PROTOCOL_VERSION:
+        raise StreamProtocolError(f"unsupported stream protocol version {version}")
+    if kind >= len(STREAM_KINDS):
+        raise StreamProtocolError(f"unknown stream kind index {kind}")
+    return StreamHeader(
+        kind=STREAM_KINDS[kind],
+        scene_shape=(srows, scols),
+        tile_shape=(trows, tcols),
+        gop_size=gop,
+        n_frames=n_frames,
+    )
+
+
+@dataclass(frozen=True)
+class FrameData:
+    """One frame-data payload: grid position plus an embedded encoded frame.
+
+    ``keyframe`` marks frames that carry their CA seed inline; non-keyframes
+    are seedless v2 frames decoded against the receiver's seed chain.
+    """
+
+    frame_index: int
+    grid_row: int
+    grid_col: int
+    keyframe: bool
+    frame_bytes: bytes
+
+
+def encode_frame_data(data: FrameData) -> bytes:
+    """Payload of a :data:`ChunkType.FRAME_DATA` chunk."""
+    return (
+        _FRAME_DATA.pack(
+            data.frame_index, data.grid_row, data.grid_col, int(data.keyframe)
+        )
+        + data.frame_bytes
+    )
+
+
+def decode_frame_data(payload: bytes) -> FrameData:
+    """Inverse of :func:`encode_frame_data`."""
+    if len(payload) < _FRAME_DATA.size:
+        raise StreamProtocolError(
+            f"frame-data payload of {len(payload)} bytes is shorter than its "
+            f"{_FRAME_DATA.size}-byte header"
+        )
+    frame_index, grid_row, grid_col, keyframe = _FRAME_DATA.unpack_from(payload)
+    return FrameData(
+        frame_index=frame_index,
+        grid_row=grid_row,
+        grid_col=grid_col,
+        keyframe=bool(keyframe),
+        frame_bytes=payload[_FRAME_DATA.size :],
+    )
+
+
+def encode_frame_complete(frame_index: int, n_tiles: int) -> bytes:
+    """Payload of a :data:`ChunkType.FRAME_COMPLETE` chunk."""
+    return _FRAME_COMPLETE.pack(frame_index, n_tiles)
+
+
+def decode_frame_complete(payload: bytes) -> Tuple[int, int]:
+    """Inverse of :func:`encode_frame_complete` → ``(frame_index, n_tiles)``."""
+    try:
+        return _FRAME_COMPLETE.unpack(payload)
+    except struct.error as error:
+        raise StreamProtocolError(f"malformed frame-complete payload: {error}") from error
+
+
+def encode_stream_end(n_frames: int) -> bytes:
+    """Payload of a :data:`ChunkType.STREAM_END` chunk."""
+    return _STREAM_END.pack(n_frames)
+
+
+def decode_stream_end(payload: bytes) -> int:
+    """Inverse of :func:`encode_stream_end` → total frames sent."""
+    try:
+        return _STREAM_END.unpack(payload)[0]
+    except struct.error as error:
+        raise StreamProtocolError(f"malformed stream-end payload: {error}") from error
+
+
+# ------------------------------------------------------------ seed chaining
+def advance_seed_state(
+    seed_state: np.ndarray,
+    rule: Union[int, RuleTable],
+    *,
+    n_samples: int,
+    steps_per_sample: int = 1,
+    warmup_steps: int = 0,
+) -> np.ndarray:
+    """Derive the next frame's CA seed from the current frame's.
+
+    The hardware CA free-runs across frames: a frame's last selection pattern
+    *is* the next frame's seed (with no further warm-up — the register is
+    already mixed).  Given frame ``k``'s seed and header parameters, the next
+    seed is the state after ``warmup_steps`` plus ``n_samples - 1`` pattern
+    advances of ``steps_per_sample`` generations each.  This is the receiver
+    side of the seed-once GOP encoding: only keyframes spend channel bits on
+    the seed, every other frame's measurement matrix is derived by walking
+    this chain — and it matches
+    :meth:`repro.sensor.imager.CompressiveImager.capture_batch` exactly (the
+    streaming tests pin the chain against captured ``seed_state`` values).
+    """
+    seed_state = np.asarray(seed_state)
+    automaton = ElementaryCellularAutomaton(
+        seed_state.size, rule, seed_state=seed_state
+    )
+    total_steps = int(warmup_steps) + (int(n_samples) - 1) * int(steps_per_sample)
+    if total_steps:
+        automaton.step(total_steps)
+    return automaton.state

@@ -1,0 +1,406 @@
+"""The receiving end: decode chunks as they arrive, reconstruct incrementally.
+
+:class:`StreamReceiver` is the off-chip half of the paper's system running as
+a service.  It pulls byte slices from a transport, reassembles them into
+chunks (:class:`~repro.stream.protocol.ChunkDecoder`), decodes each embedded
+v2 frame the moment it lands and reconstructs *incrementally*:
+
+* tiled streams feed an
+  :class:`~repro.recon.incremental.IncrementalTiledReconstructor` per frame —
+  tile ``(0, 0)`` is being inverted while tile ``(3, 3)`` is still on the
+  wire — and the ``FRAME_COMPLETE`` barrier finalises a
+  :class:`~repro.recon.pipeline.TiledReconstructionResult` that is
+  byte-identical to in-process
+  :func:`~repro.recon.pipeline.reconstruct_tiled` (same accumulator class,
+  same per-tile solver path);
+* video streams maintain one **seed chain** per tile position: keyframes
+  re-anchor the chain with their inline seed, seedless frames decode against
+  it, and after every frame the chain advances by the one-pattern frame
+  overlap (:func:`~repro.stream.protocol.advance_seed_state`) — the receiver
+  stays synchronised with the sensor's free-running CA for free, which is the
+  paper's central selling point exercised over an actual wire.
+
+Reconstruction runs on a worker executor so the event loop keeps draining
+the transport; with reconstruction disabled the receiver is a pure decoder
+(useful for benchmarks and relays).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.io.framing import decode_frame
+from repro.recon.incremental import IncrementalTiledReconstructor
+from repro.recon.pipeline import (
+    ReconstructionResult,
+    TiledReconstructionResult,
+    reconstruct_frame,
+)
+from repro.sensor.imager import CompressedFrame
+from repro.sensor.shard import TiledCaptureResult, merge_tile_statistics, tile_grid
+from repro.stream.protocol import (
+    Chunk,
+    ChunkDecoder,
+    ChunkType,
+    StreamHeader,
+    StreamProtocolError,
+    advance_seed_state,
+    decode_frame_complete,
+    decode_frame_data,
+    decode_stream_end,
+    decode_stream_header,
+)
+
+
+@dataclass
+class ReceivedFrame:
+    """One fully-landed frame: the decoded capture and (optionally) its image.
+
+    Attributes
+    ----------
+    frame_index:
+        Position in the stream.
+    capture:
+        The decoded payload — a :class:`CompressedFrame` for single-sensor
+        streams, a reassembled :class:`TiledCaptureResult` for mosaics (its
+        metadata is :func:`~repro.sensor.shard.merge_tile_statistics` over
+        the decoded tiles, so the event statistics that crossed the wire
+        aggregate exactly as the capture side aggregated them).
+    reconstruction:
+        The incremental reconstruction, or ``None`` when the receiver runs
+        as a pure decoder.
+    """
+
+    frame_index: int
+    capture: Union[CompressedFrame, TiledCaptureResult]
+    reconstruction: Optional[
+        Union[ReconstructionResult, TiledReconstructionResult]
+    ] = None
+
+
+@dataclass
+class StreamResult:
+    """Everything one stream delivered."""
+
+    header: Optional[StreamHeader] = None
+    frames: List[ReceivedFrame] = field(default_factory=list)
+    n_chunks: int = 0
+    n_bytes: int = 0
+    announced_frames: Optional[int] = None
+
+    @property
+    def n_frames(self) -> int:
+        """Frames fully received."""
+        return len(self.frames)
+
+
+class StreamReceiver:
+    """Consume one stream from a transport, decoding and reconstructing live.
+
+    Parameters
+    ----------
+    reconstruct:
+        When false the receiver only decodes (no sparse recovery) — the
+        relay/benchmark mode.
+    dictionary, solver, regularization, sparsity, max_iterations:
+        Per-frame/tile reconstruction options, as in
+        :func:`~repro.recon.pipeline.reconstruct_frame`.
+    executor:
+        ``concurrent.futures`` executor for the reconstruction work; ``None``
+        uses the event loop's default thread pool.
+    """
+
+    def __init__(
+        self,
+        *,
+        reconstruct: bool = True,
+        dictionary: str = "dct",
+        solver: str = "fista",
+        regularization: Optional[float] = None,
+        sparsity: Optional[int] = None,
+        max_iterations: int = 200,
+        executor: Optional[Executor] = None,
+    ) -> None:
+        self.reconstruct = bool(reconstruct)
+        self.dictionary = dictionary
+        self.solver = solver
+        self.regularization = regularization
+        self.sparsity = sparsity
+        self.max_iterations = int(max_iterations)
+        self.executor = executor
+        # The one option set shared by the single-frame solve path and the
+        # tiled reconstructors — the two cannot diverge in configuration.
+        self._recon_options = dict(
+            dictionary=dictionary,
+            solver=solver,
+            regularization=regularization,
+            sparsity=sparsity,
+            max_iterations=int(max_iterations),
+        )
+        self._reset_stream_state()
+
+    def _reset_stream_state(self) -> None:
+        """Forget everything about the previous stream (called per run)."""
+        self._header: Optional[StreamHeader] = None
+        self._slots = None
+        self._result = StreamResult()
+        self._next_sequence = 0
+        self._ended = False
+        # Per tile-position seed chains for seedless (GOP) frames.
+        self._seed_chains: Dict[Tuple[int, int], np.ndarray] = {}
+        # Per in-flight frame: grid of decoded tile frames, the frame's
+        # reconstructor, and the in-flight solve tasks (position, frame,
+        # task) awaited at the frame barrier.
+        self._pending_tiles: Dict[int, List[List[Optional[CompressedFrame]]]] = {}
+        self._pending_recon: Dict[int, IncrementalTiledReconstructor] = {}
+        self._pending_solves: Dict[int, List[tuple]] = {}
+        # Single-sensor streams: (ReceivedFrame, task) pairs whose
+        # reconstructions are attached at end-of-stream.
+        self._pending_frame_solves: List[tuple] = []
+
+    # -------------------------------------------------------------- helpers
+    async def _run(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self.executor, fn, *args)
+
+    def _new_reconstructor(self) -> IncrementalTiledReconstructor:
+        return IncrementalTiledReconstructor(
+            self._header.scene_shape,
+            self._header.tile_shape,
+            **self._recon_options,
+        )
+
+    def _solve_frame(self, frame: CompressedFrame) -> ReconstructionResult:
+        return reconstruct_frame(frame, **self._recon_options)
+
+    # ------------------------------------------------------------- chunk fsm
+    async def run(self, transport) -> StreamResult:
+        """Drain the transport until end-of-stream; return everything landed.
+
+        Raises :class:`StreamProtocolError` on malformed chunks, sequence
+        gaps, duplicate tiles, or a stream that ends mid-frame.  A receiver
+        instance can be reused: each call starts from a clean slate.
+        """
+        self._reset_stream_state()
+        decoder = ChunkDecoder()
+        try:
+            while not self._ended:
+                data = await transport.recv()
+                if data is None:
+                    break
+                self._result.n_bytes += len(data)
+                for chunk in decoder.feed(data):
+                    await self._handle_chunk(chunk)
+            if not self._ended:
+                raise StreamProtocolError(
+                    "transport closed before the stream-end chunk arrived"
+                )
+            if decoder.pending_bytes:
+                raise StreamProtocolError(
+                    f"{decoder.pending_bytes} trailing bytes after the stream end"
+                )
+            if self._pending_tiles:
+                pending = sorted(self._pending_tiles)
+                raise StreamProtocolError(
+                    f"stream ended with incomplete tiled frames: {pending}"
+                )
+            for received, task in self._pending_frame_solves:
+                received.reconstruction = await task
+            self._pending_frame_solves = []
+        except BaseException:
+            # Don't leak in-flight solves when the stream errors out.
+            for solves in self._pending_solves.values():
+                for _, _, _, task in solves:
+                    task.cancel()
+            for _, task in self._pending_frame_solves:
+                task.cancel()
+            raise
+        return self._result
+
+    async def _handle_chunk(self, chunk: Chunk) -> None:
+        if self._ended:
+            raise StreamProtocolError(
+                f"{chunk.chunk_type.name} chunk after the stream end"
+            )
+        if chunk.sequence != self._next_sequence:
+            raise StreamProtocolError(
+                f"chunk sequence jumped to {chunk.sequence}, "
+                f"expected {self._next_sequence}"
+            )
+        self._next_sequence += 1
+        self._result.n_chunks += 1
+        if chunk.chunk_type == ChunkType.STREAM_START:
+            if self._header is not None:
+                raise StreamProtocolError("duplicate stream-start chunk")
+            self._header = decode_stream_header(chunk.payload)
+            self._result.header = self._header
+            if self._header.tiled:
+                self._slots = tile_grid(
+                    self._header.scene_shape, self._header.tile_shape
+                )
+            return
+        if self._header is None:
+            raise StreamProtocolError(
+                f"{chunk.chunk_type.name} chunk before the stream start"
+            )
+        if chunk.chunk_type == ChunkType.FRAME_DATA:
+            await self._handle_frame_data(chunk)
+        elif chunk.chunk_type == ChunkType.FRAME_COMPLETE:
+            await self._handle_frame_complete(chunk)
+        elif chunk.chunk_type == ChunkType.STREAM_END:
+            self._result.announced_frames = decode_stream_end(chunk.payload)
+            self._ended = True
+
+    def _decode_with_chain(
+        self, data, key: Tuple[int, int], keyframe: bool
+    ) -> CompressedFrame:
+        """Decode one embedded frame, maintaining the position's seed chain."""
+        if keyframe:
+            frame = decode_frame(data.frame_bytes)
+        else:
+            chain = self._seed_chains.get(key)
+            if chain is None:
+                raise StreamProtocolError(
+                    f"seedless frame for tile {key} arrived before any keyframe"
+                )
+            frame = decode_frame(data.frame_bytes, seed_state=chain)
+        # The one-pattern frame overlap: this frame's last selection pattern
+        # seeds the next frame at this position.  Keyframe-only streams
+        # (gop_size <= 1) never read the chain, so skip the CA evolution on
+        # their decode hot path.
+        if self._header.gop_size > 1:
+            self._seed_chains[key] = advance_seed_state(
+                frame.seed_state,
+                frame.rule_number,
+                n_samples=frame.n_samples,
+                steps_per_sample=frame.steps_per_sample,
+                warmup_steps=frame.warmup_steps,
+            )
+        return frame
+
+    async def _handle_frame_data(self, chunk: Chunk) -> None:
+        data = decode_frame_data(chunk.payload)
+        key = (data.grid_row, data.grid_col)
+        frame = self._decode_with_chain(data, key, data.keyframe)
+        if not self._header.tiled:
+            if key != (0, 0):
+                raise StreamProtocolError(
+                    f"tile position {key} in a single-sensor stream"
+                )
+            expected = self._header.scene_shape
+            if (frame.config.rows, frame.config.cols) != expected:
+                raise StreamProtocolError(
+                    f"frame {data.frame_index} geometry "
+                    f"{(frame.config.rows, frame.config.cols)} does not match "
+                    f"the announced scene {expected}"
+                )
+            received = ReceivedFrame(frame_index=data.frame_index, capture=frame)
+            self._result.frames.append(received)
+            if self.reconstruct:
+                # Schedule the solve but keep draining the transport; the
+                # result is attached at end-of-stream (see :meth:`run`).
+                task = asyncio.ensure_future(self._run(self._solve_frame, frame))
+                self._pending_frame_solves.append((received, task))
+            return
+        # Tiled: land the tile in its in-flight frame, reconstructing eagerly.
+        grid_rows, grid_cols = len(self._slots), len(self._slots[0])
+        if not (data.grid_row < grid_rows and data.grid_col < grid_cols):
+            raise StreamProtocolError(
+                f"tile position {key} outside the {grid_rows}x{grid_cols} grid"
+            )
+        slot = self._slots[data.grid_row][data.grid_col]
+        if (frame.config.rows, frame.config.cols) != (slot.rows, slot.cols):
+            raise StreamProtocolError(
+                f"tile {key} of frame {data.frame_index} is "
+                f"{frame.config.rows}x{frame.config.cols}, its slot expects "
+                f"{slot.rows}x{slot.cols}"
+            )
+        tiles = self._pending_tiles.setdefault(
+            data.frame_index,
+            [[None] * grid_cols for _ in range(grid_rows)],
+        )
+        if tiles[data.grid_row][data.grid_col] is not None:
+            raise StreamProtocolError(
+                f"duplicate tile {key} in frame {data.frame_index}"
+            )
+        tiles[data.grid_row][data.grid_col] = frame
+        if self.reconstruct:
+            reconstructor = self._pending_recon.get(data.frame_index)
+            if reconstructor is None:
+                reconstructor = self._new_reconstructor()
+                self._pending_recon[data.frame_index] = reconstructor
+            # Schedule the solve but keep draining the transport: with a
+            # multi-worker executor, several tiles reconstruct concurrently
+            # while later chunks are still arriving.  The tasks are awaited
+            # (and stitched, in arrival order) at the frame barrier.
+            task = asyncio.ensure_future(
+                self._run(reconstructor.solve_tile, frame)
+            )
+            self._pending_solves.setdefault(data.frame_index, []).append(
+                (data.grid_row, data.grid_col, frame, task)
+            )
+
+    async def _handle_frame_complete(self, chunk: Chunk) -> None:
+        frame_index, n_tiles = decode_frame_complete(chunk.payload)
+        if not self._header.tiled:
+            raise StreamProtocolError(
+                "frame-complete barrier in a single-sensor stream"
+            )
+        tiles = self._pending_tiles.pop(frame_index, None)
+        if tiles is None:
+            raise StreamProtocolError(
+                f"frame-complete for unknown frame {frame_index}"
+            )
+        flat = [frame for row in tiles for frame in row]
+        if any(frame is None for frame in flat):
+            missing = sum(frame is None for frame in flat)
+            raise StreamProtocolError(
+                f"frame {frame_index} completed with {missing} tiles missing"
+            )
+        if n_tiles != len(flat):
+            raise StreamProtocolError(
+                f"frame {frame_index} barrier announces {n_tiles} tiles, "
+                f"grid has {len(flat)}"
+            )
+        capture = TiledCaptureResult(
+            tiles=tiles,
+            slots=self._slots,
+            scene_shape=self._header.scene_shape,
+            tile_shape=self._header.tile_shape,
+            metadata=merge_tile_statistics(flat),
+        )
+        reconstruction = None
+        if self.reconstruct:
+            reconstructor = self._pending_recon.pop(frame_index)
+            solves = self._pending_solves.pop(frame_index, [])
+            try:
+                for grid_row, grid_col, frame, task in solves:
+                    reconstructor.insert_result(
+                        grid_row, grid_col, frame, await task
+                    )
+            except BaseException:
+                # One tile's solve failed: don't let its siblings keep
+                # running unobserved (they left _pending_solves above).
+                for _, _, _, task in solves:
+                    task.cancel()
+                raise
+            reconstruction = reconstructor.result(
+                capture_metadata=capture.metadata
+            )
+        self._result.frames.append(
+            ReceivedFrame(
+                frame_index=frame_index,
+                capture=capture,
+                reconstruction=reconstruction,
+            )
+        )
+
+
+async def receive_stream(transport, **options) -> StreamResult:
+    """One-shot convenience: ``StreamReceiver(**options).run(transport)``."""
+    return await StreamReceiver(**options).run(transport)

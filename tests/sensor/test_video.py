@@ -89,3 +89,60 @@ class TestTemporalDifferenceEnergy:
 
     def test_fewer_than_two_frames(self, sequencer):
         assert temporal_difference_energy([]).size == 0
+
+
+class TestStreamFrames:
+    """The lazy frame-at-a-time path is bit-identical to the batched one."""
+
+    @staticmethod
+    def _make_sequencer(seed=21):
+        imager = CompressiveImager(SensorConfig(rows=16, cols=16), seed=seed)
+        return VideoSequencer(imager, samples_per_frame=48, seed=seed)
+
+    def test_matches_capture_sequence_bit_for_bit(self):
+        scenes = orbiting_blob_sequence(4, (16, 16))
+        batched = self._make_sequencer().capture_sequence(scenes).frames
+        streamed = list(self._make_sequencer().stream_frames(scenes))
+        assert len(streamed) == len(batched)
+        for lazy, batch in zip(streamed, batched):
+            assert np.array_equal(lazy.samples, batch.samples)
+            assert np.array_equal(lazy.seed_state, batch.seed_state)
+            assert lazy.warmup_steps == batch.warmup_steps
+
+    def test_lazy_consumption(self):
+        sequencer = self._make_sequencer()
+        consumed = []
+
+        def scenes():
+            for index in range(3):
+                consumed.append(index)
+                yield orbiting_blob_sequence(1, (16, 16))[0]
+
+        iterator = sequencer.stream_frames(scenes())
+        assert consumed == []
+        next(iterator)
+        assert consumed == [1 - 1]  # exactly one scene pulled so far
+
+    def test_per_frame_sample_schedule(self):
+        scenes = orbiting_blob_sequence(3, (16, 16))
+        schedule = [48, 30, 12]
+        frames = list(
+            self._make_sequencer().stream_frames(
+                scenes, samples_for_frame=lambda index: schedule[index]
+            )
+        )
+        assert [frame.n_samples for frame in frames] == schedule
+        # The CA chain stays consistent despite the varying frame lengths:
+        # each frame's seed is the previous frame's last pattern state.
+        from repro.stream.protocol import advance_seed_state
+
+        chain = frames[0].seed_state
+        for previous, current in zip(frames[:-1], frames[1:]):
+            chain = advance_seed_state(
+                chain,
+                previous.rule_number,
+                n_samples=previous.n_samples,
+                steps_per_sample=previous.steps_per_sample,
+                warmup_steps=previous.warmup_steps,
+            )
+            assert np.array_equal(chain, current.seed_state)

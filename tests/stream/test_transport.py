@@ -1,0 +1,114 @@
+"""Tests for the loopback and TCP byte transports."""
+
+import asyncio
+
+import pytest
+
+from repro.stream.transport import (
+    LoopbackTransport,
+    TransportClosedError,
+    connect_tcp,
+    serve_tcp,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLoopbackTransport:
+    def test_fifo_round_trip_and_eof(self):
+        async def scenario():
+            transport = LoopbackTransport(max_buffered=4)
+            await transport.send(b"one")
+            await transport.send(b"two")
+            await transport.close()
+            received = []
+            while True:
+                item = await transport.recv()
+                if item is None:
+                    break
+                received.append(item)
+            # EOF is sticky: further recv calls keep returning None.
+            assert await transport.recv() is None
+            return received
+
+        assert run(scenario()) == [b"one", b"two"]
+
+    def test_send_after_close_raises(self):
+        async def scenario():
+            transport = LoopbackTransport()
+            await transport.close()
+            with pytest.raises(TransportClosedError):
+                await transport.send(b"late")
+
+        run(scenario())
+
+    def test_backpressure_blocks_the_producer(self):
+        async def scenario():
+            transport = LoopbackTransport(max_buffered=2)
+            await transport.send(b"a")
+            await transport.send(b"b")
+            # The pipe is full: the third send must suspend until a recv.
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(transport.send(b"c"), timeout=0.05)
+            assert await transport.recv() == b"a"
+            await asyncio.wait_for(transport.send(b"d"), timeout=1.0)
+            assert transport.high_watermark <= 2
+            assert transport.stall_count >= 1
+
+        run(scenario())
+
+    def test_watermark_tracks_peak_occupancy(self):
+        async def scenario():
+            transport = LoopbackTransport(max_buffered=8)
+            for index in range(5):
+                await transport.send(bytes([index]))
+            assert transport.high_watermark == 5
+            assert transport.bytes_sent == 5
+            assert transport.send_count == 5
+
+        run(scenario())
+
+
+class TestTcpTransport:
+    def test_round_trip_over_localhost(self):
+        async def scenario():
+            received = []
+            done = asyncio.Event()
+
+            async def handler(transport):
+                while True:
+                    data = await transport.recv()
+                    if data is None:
+                        break
+                    received.append(data)
+                done.set()
+
+            server, port = await serve_tcp(handler)
+            sender = await connect_tcp("127.0.0.1", port)
+            await sender.send(b"hello ")
+            await sender.send(b"world")
+            await sender.close()
+            await asyncio.wait_for(done.wait(), timeout=5.0)
+            server.close()
+            await server.wait_closed()
+            return b"".join(received)
+
+        assert run(scenario()) == b"hello world"
+
+    def test_send_after_close_raises(self):
+        async def scenario():
+            async def handler(transport):
+                while await transport.recv() is not None:
+                    pass
+
+            server, port = await serve_tcp(handler)
+            sender = await connect_tcp("127.0.0.1", port)
+            await sender.close()
+            with pytest.raises(TransportClosedError):
+                await sender.send(b"late")
+            server.close()
+            await server.wait_closed()
+
+        run(scenario())
