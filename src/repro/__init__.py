@@ -22,6 +22,8 @@ from repro.ca import CASelectionGenerator, ElementaryCellularAutomaton, RuleTabl
 from repro.cs import (
     BlockCompressiveSampler,
     SensingOperator,
+    StepSizeCache,
+    StructuredSensingOperator,
     make_dictionary,
     psnr,
     ssim,
@@ -58,6 +60,8 @@ __all__ = [
     "ElementaryCellularAutomaton",
     "CASelectionGenerator",
     "SensingOperator",
+    "StructuredSensingOperator",
+    "StepSizeCache",
     "BlockCompressiveSampler",
     "make_dictionary",
     "psnr",

@@ -59,6 +59,85 @@ def selection_masks_from_states(states: np.ndarray, rows: int, cols: int) -> np.
     return masks.reshape(states.shape[0], rows * cols)
 
 
+def selection_factors_from_states(
+    states: np.ndarray, rows: int, cols: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Split a stack of CA states into the row/column factors ``(R, C)``.
+
+    ``R`` is the ``(n_samples, rows)`` slice of cells driving the row
+    selection lines and ``C`` the ``(n_samples, cols)`` slice driving the
+    columns.  These are the *pre-expansion* factors of the measurement
+    matrix: ``Φ[i] = R_i ⊕ C_i`` as an outer XOR, equivalently
+    ``Φ[i,(r,c)] = R[i,r] + C[i,c] − 2·R[i,r]·C[i,c]`` — the rank-structured
+    form both the sensor's batched capture and the receiver's matrix-free
+    :class:`~repro.cs.structured.StructuredSensingOperator` compute with
+    instead of materialising Φ.
+    """
+    states = np.asarray(states, dtype=np.uint8)
+    if states.ndim != 2 or states.shape[1] != rows + cols:
+        raise ValueError(
+            f"states must have shape (n, {rows + cols}), got {states.shape}"
+        )
+    return states[:, :rows].copy(), states[:, rows:].copy()
+
+
+def _evolved_states(
+    n_samples: int,
+    rows: int,
+    cols: int,
+    seed_state: np.ndarray,
+    *,
+    rule: Union[int, RuleTable],
+    steps_per_sample: int,
+    warmup_steps: int,
+    boundary: BoundaryCondition,
+) -> np.ndarray:
+    """The shared CA evolution behind the dense and factored Φ builders."""
+    check_positive("n_samples", n_samples)
+    check_positive("rows", rows)
+    check_positive("cols", cols)
+    automaton = ElementaryCellularAutomaton(
+        rows + cols, rule, seed_state=np.asarray(seed_state), boundary=boundary
+    )
+    if warmup_steps:
+        automaton.step(int(warmup_steps))
+    return automaton.evolve_states(int(n_samples), int(steps_per_sample))
+
+
+def ca_selection_factors(
+    n_samples: int,
+    rows: int,
+    cols: int,
+    seed_state: np.ndarray,
+    *,
+    rule: Union[int, RuleTable] = 30,
+    steps_per_sample: int = 1,
+    warmup_steps: int = 0,
+    boundary: BoundaryCondition = BoundaryCondition.PERIODIC,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Build the row/column CA factors ``(R, C)`` of Φ from a seed.
+
+    This is the factored twin of :func:`ca_measurement_matrix`: it runs the
+    *same* batched CA evolution but stops before the broadcast-XOR
+    expansion, returning the ``(n_samples, rows)`` / ``(n_samples, cols)``
+    ``uint8`` factor pair instead of the ``(n_samples, rows*cols)`` dense
+    matrix.  ``selection_masks_from_states`` applied to the re-joined
+    factors reproduces the dense Φ bit for bit, so the two builders cannot
+    drift apart — the recon-equivalence suite pins this.
+    """
+    states = _evolved_states(
+        n_samples,
+        rows,
+        cols,
+        seed_state,
+        rule=rule,
+        steps_per_sample=steps_per_sample,
+        warmup_steps=warmup_steps,
+        boundary=boundary,
+    )
+    return selection_factors_from_states(states, int(rows), int(cols))
+
+
 def ca_measurement_matrix(
     n_samples: int,
     rows: int,
@@ -102,15 +181,16 @@ def ca_measurement_matrix(
         Φ as a ``(n_samples, rows * cols)`` ``uint8`` 0/1 matrix, pattern
         masks flattened in raster order.
     """
-    check_positive("n_samples", n_samples)
-    check_positive("rows", rows)
-    check_positive("cols", cols)
-    automaton = ElementaryCellularAutomaton(
-        rows + cols, rule, seed_state=np.asarray(seed_state), boundary=boundary
+    states = _evolved_states(
+        n_samples,
+        rows,
+        cols,
+        seed_state,
+        rule=rule,
+        steps_per_sample=steps_per_sample,
+        warmup_steps=warmup_steps,
+        boundary=boundary,
     )
-    if warmup_steps:
-        automaton.step(int(warmup_steps))
-    states = automaton.evolve_states(int(n_samples), int(steps_per_sample))
     return selection_masks_from_states(states, int(rows), int(cols))
 
 
@@ -304,6 +384,25 @@ class CASelectionGenerator:
         disturb the generator's own position in the sequence.
         """
         return ca_measurement_matrix(
+            int(n_samples),
+            self.rows,
+            self.cols,
+            self._seed_state,
+            rule=self._automaton.rule,
+            steps_per_sample=self.steps_per_sample,
+            warmup_steps=self.warmup_steps,
+            boundary=self._automaton.boundary,
+        )
+
+    def measurement_factors(self, n_samples: int) -> "tuple[np.ndarray, np.ndarray]":
+        """Return the ``(R, C)`` factor pair of the first ``n_samples`` rows of Φ.
+
+        The factored counterpart of :meth:`measurement_matrix`: same seed,
+        same batched CA evolution, but the pre-expansion row/column factors
+        instead of the dense matrix — what the matrix-free reconstruction
+        operator consumes.  Does not disturb the generator's position.
+        """
+        return ca_selection_factors(
             int(n_samples),
             self.rows,
             self.cols,

@@ -28,6 +28,12 @@ from repro.utils.validation import check_positive, check_power_of_two
 class Dictionary(abc.ABC):
     """Abstract orthonormal sparsifying dictionary for images of a fixed shape."""
 
+    #: Declares ``Ψ* Ψ = I``, which the operator-norm power iteration
+    #: exploits (``σ(Φ Ψ) = σ(Φ)``).  Deliberately ``False`` on the abstract
+    #: base — a wrongly-claimed identity would silently mis-size the solver
+    #: steps — and opted into by each shipped (orthonormal) dictionary.
+    orthonormal = False
+
     def __init__(self, shape: Tuple[int, int]) -> None:
         rows, cols = shape
         check_positive("rows", rows)
@@ -69,12 +75,54 @@ class Dictionary(abc.ABC):
         coefficients[index] = 1.0
         return self.synthesize(coefficients)
 
+    # -- batched maps ------------------------------------------------------
+    def _check_batch(self, batch: np.ndarray, name: str) -> np.ndarray:
+        batch = np.asarray(batch, dtype=float)
+        if batch.ndim != 2 or batch.shape[1] != self.n_pixels:
+            raise ValueError(
+                f"{name} must have shape (k, {self.n_pixels}), got {batch.shape}"
+            )
+        return batch
+
+    def synthesize_batch(self, coefficients: np.ndarray) -> np.ndarray:
+        """Apply Ψ to a ``(k, n_pixels)`` stack of coefficient vectors at once.
+
+        Subclasses override this with a genuinely vectorised transform (one
+        ``idctn`` call, one lifting pass over the whole stack); the base
+        implementation is the reference row loop.
+        """
+        coefficients = self._check_batch(coefficients, "coefficients")
+        if coefficients.shape[0] == 0:
+            return coefficients.copy()
+        return np.stack([self.synthesize(row) for row in coefficients])
+
+    def analyze_batch(self, images: np.ndarray) -> np.ndarray:
+        """Apply Ψ* to a ``(k, n_pixels)`` stack of image vectors at once."""
+        images = self._check_batch(images, "images")
+        if images.shape[0] == 0:
+            return images.copy()
+        return np.stack([self.analyze(row) for row in images])
+
+    def atoms(self, indices) -> np.ndarray:
+        """Dense ``(n_pixels, k)`` sub-matrix of Ψ for the given atom indices.
+
+        Synthesised as **one** batched transform over a stack of unit
+        coefficient vectors — this is what lets the greedy solvers build
+        their support sub-matrices without a per-column Python loop.
+        """
+        indices = [int(index) for index in indices]
+        for index in indices:
+            if not 0 <= index < self.n_pixels:
+                raise ValueError(
+                    f"atom index {index} outside 0..{self.n_pixels - 1}"
+                )
+        units = np.zeros((len(indices), self.n_pixels))
+        units[np.arange(len(indices)), indices] = 1.0
+        return self.synthesize_batch(units).T
+
     def dense(self) -> np.ndarray:
         """Explicit Ψ matrix (columns are atoms).  Only sensible for small shapes."""
-        matrix = np.empty((self.n_pixels, self.n_pixels))
-        for index in range(self.n_pixels):
-            matrix[:, index] = self.atom(index)
-        return matrix
+        return self.atoms(range(self.n_pixels))
 
     def sparsity_profile(self, image: np.ndarray, fractions=(0.01, 0.05, 0.1, 0.2)) -> dict:
         """Energy captured by the largest coefficients — how compressible the image is."""
@@ -91,15 +139,25 @@ class Dictionary(abc.ABC):
 class IdentityDictionary(Dictionary):
     """The pixel basis — for signals sparse in the image domain itself."""
 
+    orthonormal = True
+
     def synthesize(self, coefficients: np.ndarray) -> np.ndarray:
         return self._check_vector(coefficients, "coefficients").copy()
 
     def analyze(self, image: np.ndarray) -> np.ndarray:
         return self._check_vector(image, "image").copy()
 
+    def synthesize_batch(self, coefficients: np.ndarray) -> np.ndarray:
+        return self._check_batch(coefficients, "coefficients").copy()
+
+    def analyze_batch(self, images: np.ndarray) -> np.ndarray:
+        return self._check_batch(images, "images").copy()
+
 
 class DCT2Dictionary(Dictionary):
     """Orthonormal 2-D discrete cosine transform (type II, 'ortho' scaling)."""
+
+    orthonormal = True
 
     def synthesize(self, coefficients: np.ndarray) -> np.ndarray:
         coefficients = self._check_vector(coefficients, "coefficients")
@@ -111,6 +169,20 @@ class DCT2Dictionary(Dictionary):
         coefficients = dctn(image.reshape(self.shape), norm="ortho")
         return coefficients.reshape(-1)
 
+    def synthesize_batch(self, coefficients: np.ndarray) -> np.ndarray:
+        coefficients = self._check_batch(coefficients, "coefficients")
+        if coefficients.shape[0] == 0:
+            return coefficients.copy()
+        stack = coefficients.reshape(-1, *self.shape)
+        return idctn(stack, axes=(1, 2), norm="ortho").reshape(coefficients.shape)
+
+    def analyze_batch(self, images: np.ndarray) -> np.ndarray:
+        images = self._check_batch(images, "images")
+        if images.shape[0] == 0:
+            return images.copy()
+        stack = images.reshape(-1, *self.shape)
+        return dctn(stack, axes=(1, 2), norm="ortho").reshape(images.shape)
+
 
 class Haar2Dictionary(Dictionary):
     """Orthonormal 2-D Haar wavelet transform (full decomposition).
@@ -120,6 +192,8 @@ class Haar2Dictionary(Dictionary):
     dimensions must be powers of two, which they are for the 64x64 sensor and
     the 8/16/32 block sizes used by the block-CS baseline.
     """
+
+    orthonormal = True
 
     def __init__(self, shape: Tuple[int, int]) -> None:
         super().__init__(shape)
@@ -149,24 +223,24 @@ class Haar2Dictionary(Dictionary):
         interleaved[1:n:2] = odds
         return np.moveaxis(interleaved, 0, axis)
 
-    def analyze(self, image: np.ndarray) -> np.ndarray:
-        image = self._check_vector(image, "image")
-        coefficients = image.reshape(self.shape).astype(float).copy()
+    def _analyze_stack(self, stack: np.ndarray) -> np.ndarray:
+        """Forward transform on a ``(..., rows, cols)`` stack, in place."""
+        coefficients = stack.astype(float).copy()
         rows, cols = self.shape
         for _ in range(self.levels):
-            block = coefficients[:rows, :cols]
-            block = self._haar_forward_1d(block, axis=0)
-            block = self._haar_forward_1d(block, axis=1)
-            coefficients[:rows, :cols] = block
+            block = coefficients[..., :rows, :cols]
+            block = self._haar_forward_1d(block, axis=-2)
+            block = self._haar_forward_1d(block, axis=-1)
+            coefficients[..., :rows, :cols] = block
             rows //= 2
             cols //= 2
             if rows < 2 or cols < 2:
                 break
-        return coefficients.reshape(-1)
+        return coefficients
 
-    def synthesize(self, coefficients: np.ndarray) -> np.ndarray:
-        coefficients = self._check_vector(coefficients, "coefficients")
-        image = coefficients.reshape(self.shape).astype(float).copy()
+    def _synthesize_stack(self, stack: np.ndarray) -> np.ndarray:
+        """Inverse transform on a ``(..., rows, cols)`` stack, in place."""
+        image = stack.astype(float).copy()
         # Determine the sizes visited by the forward pass, smallest first.
         sizes = []
         rows, cols = self.shape
@@ -177,11 +251,33 @@ class Haar2Dictionary(Dictionary):
             if rows < 2 or cols < 2:
                 break
         for rows, cols in reversed(sizes):
-            block = image[:rows, :cols]
-            block = self._haar_inverse_1d(block, axis=1)
-            block = self._haar_inverse_1d(block, axis=0)
-            image[:rows, :cols] = block
-        return image.reshape(-1)
+            block = image[..., :rows, :cols]
+            block = self._haar_inverse_1d(block, axis=-1)
+            block = self._haar_inverse_1d(block, axis=-2)
+            image[..., :rows, :cols] = block
+        return image
+
+    def analyze(self, image: np.ndarray) -> np.ndarray:
+        image = self._check_vector(image, "image")
+        return self._analyze_stack(image.reshape(self.shape)).reshape(-1)
+
+    def synthesize(self, coefficients: np.ndarray) -> np.ndarray:
+        coefficients = self._check_vector(coefficients, "coefficients")
+        return self._synthesize_stack(coefficients.reshape(self.shape)).reshape(-1)
+
+    def synthesize_batch(self, coefficients: np.ndarray) -> np.ndarray:
+        coefficients = self._check_batch(coefficients, "coefficients")
+        if coefficients.shape[0] == 0:
+            return coefficients.copy()
+        stack = coefficients.reshape(-1, *self.shape)
+        return self._synthesize_stack(stack).reshape(coefficients.shape)
+
+    def analyze_batch(self, images: np.ndarray) -> np.ndarray:
+        images = self._check_batch(images, "images")
+        if images.shape[0] == 0:
+            return images.copy()
+        stack = images.reshape(-1, *self.shape)
+        return self._analyze_stack(stack).reshape(images.shape)
 
 
 _DICTIONARIES = {

@@ -22,6 +22,10 @@ from repro.cs.solvers.result import SolverResult, as_operator
 from repro.cs.solvers.greedy import cosamp, omp
 from repro.cs.solvers.iterative import fista, iht, ista
 from repro.cs.solvers.convex import basis_pursuit
+from repro.cs.solvers.batched import (
+    batched_operator_norms,
+    batched_proximal_gradient,
+)
 
 __all__ = [
     "SolverResult",
@@ -32,4 +36,6 @@ __all__ = [
     "ista",
     "fista",
     "basis_pursuit",
+    "batched_operator_norms",
+    "batched_proximal_gradient",
 ]

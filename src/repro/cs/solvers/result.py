@@ -7,7 +7,7 @@ from typing import List, Union
 
 import numpy as np
 
-from repro.cs.operators import SensingOperator
+from repro.cs.operators import BaseSensingOperator, SensingOperator
 
 
 @dataclass
@@ -44,14 +44,16 @@ class SolverResult:
         return operator.coefficients_to_image(self.coefficients)
 
 
-def as_operator(operator_or_matrix: Union[SensingOperator, np.ndarray]) -> SensingOperator:
-    """Accept either a :class:`SensingOperator` or a dense matrix."""
-    if isinstance(operator_or_matrix, SensingOperator):
+def as_operator(
+    operator_or_matrix: Union[BaseSensingOperator, np.ndarray],
+) -> BaseSensingOperator:
+    """Accept a sensing operator (dense or structured) or a dense matrix."""
+    if isinstance(operator_or_matrix, BaseSensingOperator):
         return operator_or_matrix
     return SensingOperator(np.asarray(operator_or_matrix, dtype=float))
 
 
-def check_measurements(operator: SensingOperator, measurements: np.ndarray) -> np.ndarray:
+def check_measurements(operator: BaseSensingOperator, measurements: np.ndarray) -> np.ndarray:
     """Validate and flatten the measurement vector."""
     measurements = np.asarray(measurements, dtype=float).reshape(-1)
     if measurements.size != operator.n_samples:

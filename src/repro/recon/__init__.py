@@ -6,9 +6,14 @@ solve the sparse-recovery problem in a chosen dictionary, and calibrate the
 recovered time-code image back into light intensities.
 """
 
+from repro.recon.batch import solve_tiles_batched
 from repro.recon.calibration import codes_to_intensity, intensity_to_codes
 from repro.recon.incremental import IncrementalTiledReconstructor
-from repro.recon.operator import frame_operator, measurement_matrix_from_seed
+from repro.recon.operator import (
+    frame_operator,
+    measurement_factors_from_seed,
+    measurement_matrix_from_seed,
+)
 from repro.recon.pipeline import (
     ReconstructionResult,
     TiledReconstructionResult,
@@ -19,7 +24,9 @@ from repro.recon.pipeline import (
 
 __all__ = [
     "measurement_matrix_from_seed",
+    "measurement_factors_from_seed",
     "frame_operator",
+    "solve_tiles_batched",
     "codes_to_intensity",
     "intensity_to_codes",
     "reconstruct_frame",

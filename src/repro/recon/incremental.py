@@ -25,7 +25,10 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.cs.metrics import psnr, reconstruction_snr
+from repro.cs.operators import StepSizeCache
+from repro.recon.batch import batch_group_key, solve_tiles_batched
 from repro.recon.pipeline import (
+    BATCHABLE_SOLVERS,
     ReconstructionResult,
     TiledReconstructionResult,
     reconstruct_frame,
@@ -37,14 +40,28 @@ from repro.sensor.shard import TileSlot, merge_tile_statistics, tile_grid
 class IncrementalTiledReconstructor:
     """Reassemble a tiled scene from per-tile frames, one tile at a time.
 
+    Two solve modes share the stitching accumulator:
+
+    * **eager** — :meth:`add_tile` inverts each tile the moment it lands
+      (the progressive-quality streaming mode, and the ``serial``/``thread``
+      executors of :func:`~repro.recon.pipeline.reconstruct_tiled`);
+    * **staged/batched** — :meth:`stage_tile` only records frames and
+      :meth:`solve_staged` later inverts every equal-shape group in one
+      einsum-driven multi-tile pass (the default for whole-frame
+      reconstruction, in-process and at the streaming frame barrier alike).
+
     Parameters
     ----------
     scene_shape, tile_shape : tuple of int
         Full-scene and nominal tile dimensions; the tile grid (edge tiles
         shrunk to fit) is derived exactly as the capture side derives it.
-    dictionary, solver, regularization, sparsity, max_iterations:
+    dictionary, solver, regularization, sparsity, max_iterations, operator:
         Per-tile reconstruction options, as in
         :func:`~repro.recon.pipeline.reconstruct_frame`.
+    step_cache:
+        Optional :class:`~repro.cs.operators.StepSizeCache` shared across
+        frames so per-tile step sizes are memoised / warm-started along a
+        GOP chain.
     """
 
     def __init__(
@@ -56,7 +73,9 @@ class IncrementalTiledReconstructor:
         solver: str = "fista",
         regularization: Optional[float] = None,
         sparsity: Optional[int] = None,
-        max_iterations: int = 200,
+        max_iterations: Optional[int] = None,
+        operator: str = "structured",
+        step_cache: Optional[StepSizeCache] = None,
     ) -> None:
         self.scene_shape = (int(scene_shape[0]), int(scene_shape[1]))
         self.tile_shape = (
@@ -67,7 +86,9 @@ class IncrementalTiledReconstructor:
         self.solver = solver
         self.regularization = regularization
         self.sparsity = sparsity
-        self.max_iterations = int(max_iterations)
+        self.max_iterations = None if max_iterations is None else int(max_iterations)
+        self.operator = operator
+        self.step_cache = step_cache
         self.slots: List[List[TileSlot]] = tile_grid(self.scene_shape, self.tile_shape)
         grid_rows, grid_cols = self.grid_shape
         self._frames: List[List[Optional[CompressedFrame]]] = [
@@ -78,6 +99,7 @@ class IncrementalTiledReconstructor:
         ]
         self._image = np.zeros(self.scene_shape, dtype=float)
         self._n_completed = 0
+        self._staged: List[Tuple[int, int, CompressedFrame]] = []
 
     # ------------------------------------------------------------- geometry
     @property
@@ -126,7 +148,67 @@ class IncrementalTiledReconstructor:
             regularization=self.regularization,
             sparsity=self.sparsity,
             max_iterations=self.max_iterations,
+            operator=self.operator,
+            step_cache=self.step_cache,
         )
+
+    def stage_tile(
+        self, grid_row: int, grid_col: int, frame: CompressedFrame
+    ) -> None:
+        """Record a tile for a later :meth:`solve_staged` batch, solving nothing.
+
+        Geometry and duplicate checks happen now (so malformed tiles fail at
+        arrival, exactly as on the eager path); the inverse problem itself
+        is deferred until the whole batch is stacked.
+        """
+        slot = self.slot(grid_row, grid_col)
+        if (frame.config.rows, frame.config.cols) != (slot.rows, slot.cols):
+            raise ValueError(
+                f"tile ({grid_row}, {grid_col}) frame is "
+                f"{frame.config.rows}x{frame.config.cols}, slot expects "
+                f"{slot.rows}x{slot.cols}"
+            )
+        if self._frames[grid_row][grid_col] is not None or any(
+            (grid_row, grid_col) == (row, col) for row, col, _ in self._staged
+        ):
+            raise ValueError(f"tile ({grid_row}, {grid_col}) was already added")
+        self._staged.append((grid_row, grid_col, frame))
+
+    def solve_staged(self) -> List[ReconstructionResult]:
+        """Solve every staged tile and stitch the results into the scene.
+
+        With the structured operator and a FISTA/ISTA solver, every
+        equal-geometry group runs through
+        :func:`~repro.recon.batch.solve_tiles_batched` — all tiles of a
+        group iterated in one einsum pass; odd-shaped edge tiles simply form
+        single-tile groups and take the same batched path with ``T = 1``.
+        Greedy solvers and the dense operator flavour fall back to the
+        ordinary per-tile solve.  Returns the per-tile results in staging
+        order.
+        """
+        staged, self._staged = self._staged, []
+        results: List[Optional[ReconstructionResult]] = [None] * len(staged)
+        if self.operator == "structured" and self.solver in BATCHABLE_SOLVERS:
+            groups: Dict[tuple, List[int]] = {}
+            for index, (_, _, frame) in enumerate(staged):
+                groups.setdefault(batch_group_key(frame), []).append(index)
+            for indices in groups.values():
+                solved = solve_tiles_batched(
+                    [staged[index][2] for index in indices],
+                    dictionary=self.dictionary,
+                    solver=self.solver,
+                    regularization=self.regularization,
+                    max_iterations=self.max_iterations,
+                    step_cache=self.step_cache,
+                )
+                for index, result in zip(indices, solved):
+                    results[index] = result
+        else:
+            for index, (_, _, frame) in enumerate(staged):
+                results[index] = self.solve_tile(frame)
+        for (grid_row, grid_col, frame), result in zip(staged, results):
+            self.insert_result(grid_row, grid_col, frame, result)
+        return list(results)
 
     def add_tile(
         self, grid_row: int, grid_col: int, frame: CompressedFrame
@@ -153,7 +235,9 @@ class IncrementalTiledReconstructor:
                 f"{frame.config.rows}x{frame.config.cols}, slot expects "
                 f"{slot.rows}x{slot.cols}"
             )
-        if self._frames[grid_row][grid_col] is not None:
+        if self._frames[grid_row][grid_col] is not None or any(
+            (grid_row, grid_col) == (row, col) for row, col, _ in self._staged
+        ):
             raise ValueError(f"tile ({grid_row}, {grid_col}) was already added")
         self._frames[grid_row][grid_col] = frame
         self._tile_results[grid_row][grid_col] = result

@@ -3,21 +3,34 @@
 The whole point of generating Φ with a seeded cellular automaton is that the
 receiving end can reconstruct Φ *exactly* from the seed — no matrix is ever
 transmitted or stored.  These helpers do precisely that, and package the
-result into the centred :class:`~repro.cs.operators.SensingOperator` the
-solvers expect.
+result into the centred sensing operator the solvers expect.
+
+Two operator flavours share one CA evolution:
+
+* ``operator="structured"`` (the default) rebuilds only the pre-expansion
+  factor pair ``(R, C)`` and returns a matrix-free
+  :class:`~repro.cs.structured.StructuredSensingOperator` — the receiver-side
+  twin of the sensor's rank-structured capture engine;
+* ``operator="dense"`` materialises Φ through the shared dense builder and
+  returns the classic :class:`~repro.cs.operators.SensingOperator`, kept as
+  the executable reference the equivalence suite pins the fast path against.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.ca.selection import ca_measurement_matrix
+from repro.ca.selection import ca_measurement_matrix, ca_selection_factors
 from repro.cs.dictionaries import Dictionary, make_dictionary
-from repro.cs.operators import SensingOperator
+from repro.cs.operators import BaseSensingOperator, SensingOperator, StepSizeCache
+from repro.cs.structured import StructuredSensingOperator
 from repro.sensor.imager import CompressedFrame
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_choice, check_positive
+
+#: Operator flavours accepted by the reconstruction entry points.
+OPERATOR_CHOICES = ("structured", "dense")
 
 
 def measurement_matrix_from_seed(
@@ -50,29 +63,127 @@ def measurement_matrix_from_seed(
     ).astype(float)
 
 
+def measurement_factors_from_seed(
+    seed_state: np.ndarray,
+    n_samples: int,
+    shape: Tuple[int, int],
+    *,
+    rule: int = 30,
+    steps_per_sample: int = 1,
+    warmup_steps: int = 8,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Regenerate the ``(R, C)`` factor pair of Φ from the CA seed.
+
+    The factored twin of :func:`measurement_matrix_from_seed`: the same CA
+    evolution, stopped before the broadcast-XOR expansion.  Re-joining the
+    factors with an outer XOR reproduces the dense matrix bit for bit.
+    """
+    check_positive("n_samples", n_samples)
+    rows, cols = shape
+    return ca_selection_factors(
+        int(n_samples),
+        rows,
+        cols,
+        np.asarray(seed_state),
+        rule=rule,
+        steps_per_sample=steps_per_sample,
+        warmup_steps=warmup_steps,
+    )
+
+
+def frame_cache_keys(
+    frame: CompressedFrame, dictionary: str, center: bool
+) -> Tuple[tuple, tuple]:
+    """The ``(exact, warm)`` step-size cache keys of a frame's operator.
+
+    The exact key captures everything that determines the operator (seed
+    bits, CA parameters, geometry, dictionary, centring), so an exact hit
+    may reuse a memoised norm verbatim.  The warm key drops the seed: any
+    previously converged singular vector of a same-geometry operator — the
+    previous frame of a GOP chain — is a valid power-iteration warm start.
+    """
+    warm_key = (
+        frame.config.rows,
+        frame.config.cols,
+        frame.n_samples,
+        dictionary,
+        bool(center),
+    )
+    exact_key = warm_key + (
+        frame.seed_state.astype(np.uint8).tobytes(),
+        frame.rule_number,
+        frame.steps_per_sample,
+        frame.warmup_steps,
+    )
+    return exact_key, warm_key
+
+
 def frame_operator(
     frame: CompressedFrame,
     *,
     dictionary: str = "dct",
     center: bool = True,
-) -> Tuple[SensingOperator, float]:
+    operator: str = "structured",
+    step_cache: Optional[StepSizeCache] = None,
+) -> Tuple[BaseSensingOperator, float]:
     """Build the sensing operator for a captured frame.
 
     Returns the operator and the selection density used for centring (0.0
     when ``center`` is false).  Centring subtracts the mean entry from the
     0/1 matrix, which removes the large DC component shared by all rows of
     the XOR construction and is what makes smooth dictionaries usable.
+
+    Parameters
+    ----------
+    frame:
+        The captured frame whose seed determines Φ.
+    dictionary:
+        Sparsifying dictionary name.
+    center:
+        Subtract the matrix density from Φ (on the structured path this is
+        folded in analytically — no dense matrix is ever formed).
+    operator : {"structured", "dense"}
+        ``"structured"`` (default) returns the matrix-free rank-structured
+        operator; ``"dense"`` materialises Φ and returns the dense
+        reference.  Both flavours compute bit-identical densities and are
+        pinned numerically equivalent by the recon-equivalence suite.
+    step_cache:
+        Optional :class:`~repro.cs.operators.StepSizeCache` attached to the
+        operator so its power-iteration step size is memoised (exact key)
+        and warm-started (geometry key) across frames of a video/GOP chain.
     """
-    phi = measurement_matrix_from_seed(
-        frame.seed_state,
-        frame.n_samples,
-        (frame.config.rows, frame.config.cols),
-        rule=frame.rule_number,
-        steps_per_sample=frame.steps_per_sample,
-        warmup_steps=frame.warmup_steps,
-    )
-    density = float(phi.mean()) if center else 0.0
-    if center:
-        phi = phi - density
-    psi: Dictionary = make_dictionary(dictionary, (frame.config.rows, frame.config.cols))
-    return SensingOperator(phi, psi), density
+    check_choice("operator", operator, OPERATOR_CHOICES)
+    shape = (frame.config.rows, frame.config.cols)
+    psi: Dictionary = make_dictionary(dictionary, shape)
+    if operator == "structured":
+        row_factors, col_factors = measurement_factors_from_seed(
+            frame.seed_state,
+            frame.n_samples,
+            shape,
+            rule=frame.rule_number,
+            steps_per_sample=frame.steps_per_sample,
+            warmup_steps=frame.warmup_steps,
+        )
+        structured = StructuredSensingOperator(row_factors, col_factors, psi)
+        density = structured.density if center else 0.0
+        structured.center = density
+        built: BaseSensingOperator = structured
+    else:
+        phi = measurement_matrix_from_seed(
+            frame.seed_state,
+            frame.n_samples,
+            shape,
+            rule=frame.rule_number,
+            steps_per_sample=frame.steps_per_sample,
+            warmup_steps=frame.warmup_steps,
+        )
+        density = float(phi.mean()) if center else 0.0
+        if center:
+            phi = phi - density
+        built = SensingOperator(phi, psi)
+    if step_cache is not None:
+        exact_key, warm_key = frame_cache_keys(frame, dictionary, center)
+        built.norm_cache = step_cache
+        built.norm_exact_key = (operator,) + exact_key
+        built.norm_warm_key = warm_key
+    return built, density

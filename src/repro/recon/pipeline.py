@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.cs.dictionaries import make_dictionary
 from repro.cs.metrics import psnr, reconstruction_snr
-from repro.cs.operators import SensingOperator
+from repro.cs.operators import BaseSensingOperator, SensingOperator, StepSizeCache
 from repro.cs.solvers import SolverResult, cosamp, fista, iht, ista, omp
 from repro.recon.operator import frame_operator
 from repro.sensor.imager import CompressedFrame
@@ -38,6 +38,22 @@ _SOLVERS = {
     "cosamp": cosamp,
     "iht": iht,
 }
+
+#: Per-solver iteration budgets used when the caller passes
+#: ``max_iterations=None``: the proximal solvers and IHT get the image-scale
+#: budget, CoSaMP keeps its classic small default (each CoSaMP iteration is
+#: a full least-squares solve, so 30 is already generous), and OMP is driven
+#: by its sparsity target.  An explicit ``max_iterations`` is honoured
+#: verbatim by every solver — it is never silently clamped.
+_DEFAULT_MAX_ITERATIONS = {
+    "fista": 200,
+    "ista": 200,
+    "iht": 200,
+    "cosamp": 30,
+}
+
+#: Solvers the batched multi-tile engine can stack (proximal-gradient family).
+BATCHABLE_SOLVERS = ("fista", "ista")
 
 
 @dataclass
@@ -74,15 +90,17 @@ class ReconstructionResult:
 
 
 def _solve(
-    operator: SensingOperator,
+    operator: BaseSensingOperator,
     measurements: np.ndarray,
     *,
     solver: str,
     regularization: float,
     sparsity: Optional[int],
-    max_iterations: int,
+    max_iterations: Optional[int],
 ) -> SolverResult:
     check_choice("solver", solver, tuple(_SOLVERS))
+    if max_iterations is None:
+        max_iterations = _DEFAULT_MAX_ITERATIONS.get(solver)
     if solver in ("fista", "ista"):
         return _SOLVERS[solver](
             operator,
@@ -96,7 +114,7 @@ def _solve(
         return iht(operator, measurements, sparsity=int(sparsity), max_iterations=max_iterations)
     if solver == "cosamp":
         return cosamp(
-            operator, measurements, sparsity=int(sparsity), max_iterations=min(max_iterations, 30)
+            operator, measurements, sparsity=int(sparsity), max_iterations=max_iterations
         )
     return omp(operator, measurements, sparsity=int(sparsity))
 
@@ -110,7 +128,7 @@ def reconstruct_samples(
     solver: str = "fista",
     regularization: Optional[float] = None,
     sparsity: Optional[int] = None,
-    max_iterations: int = 200,
+    max_iterations: Optional[int] = None,
     center: bool = True,
     reference: Optional[np.ndarray] = None,
 ) -> ReconstructionResult:
@@ -139,8 +157,10 @@ def reconstruct_samples(
     sparsity : int, optional
         Sparsity target for the greedy solvers; defaults to
         ``n_samples // 8``.
-    max_iterations : int
-        Iteration budget.
+    max_iterations : int, optional
+        Iteration budget; per-solver defaults when omitted (200 for the
+        proximal solvers and IHT, 30 for CoSaMP).  An explicit value is
+        honoured verbatim by every solver.
     center : bool
         Apply the selection-matrix DC centring described above.
     reference : numpy.ndarray, optional
@@ -202,8 +222,10 @@ def reconstruct_frame(
     solver: str = "fista",
     regularization: Optional[float] = None,
     sparsity: Optional[int] = None,
-    max_iterations: int = 200,
+    max_iterations: Optional[int] = None,
     reference: Optional[np.ndarray] = None,
+    operator: str = "structured",
+    step_cache: Optional[StepSizeCache] = None,
 ) -> ReconstructionResult:
     """Reconstruct the code image of a captured :class:`CompressedFrame`.
 
@@ -217,9 +239,20 @@ def reconstruct_frame(
         FISTA/ISTA l1 weight.  Defaults to a value scaled to the code range
         and the measurement count, which works well across the synthetic
         scenes.
+    max_iterations:
+        Iteration budget; per-solver defaults when omitted (200 proximal /
+        IHT, 30 CoSaMP), and an explicit value is honoured verbatim.
     reference:
         Optional ground-truth code image (e.g. ``frame.digital_image``); when
         given, PSNR/SNR metrics are attached to the result.
+    operator : {"structured", "dense"}
+        Operator flavour (see :func:`repro.recon.operator.frame_operator`):
+        the matrix-free rank-structured fast path by default, the dense
+        executable reference on request.
+    step_cache:
+        Optional :class:`~repro.cs.operators.StepSizeCache` shared across
+        calls so the power-iteration step size is memoised and warm-started
+        along a video/GOP chain.
 
     Returns
     -------
@@ -229,7 +262,13 @@ def reconstruct_frame(
         and the sensor-side ``capture_metadata`` carried over from the
         frame.
     """
-    operator, density = frame_operator(frame, dictionary=dictionary, center=True)
+    sensing, density = frame_operator(
+        frame,
+        dictionary=dictionary,
+        center=True,
+        operator=operator,
+        step_cache=step_cache,
+    )
     samples = frame.samples.astype(float)
     # Every sample selects ~half the pixels, so the sample mean estimates the
     # image DC: E[y] = density * sum(x).  The DC is handled outside the solver
@@ -237,19 +276,19 @@ def reconstruct_frame(
     dc_estimate = float(samples.mean() / density) if density > 0 else 0.0
     pixel_mean = dc_estimate / frame.config.n_pixels
     centered = samples - density * dc_estimate
-    centered = centered - operator.phi @ np.full(frame.config.n_pixels, pixel_mean)
+    centered = centered - sensing.phi_dot(np.full(frame.config.n_pixels, pixel_mean))
     if regularization is None:
         # Scale with the measurement magnitude so one default fits 8..12 bit codes.
         regularization = 0.02 * float(np.abs(centered).max() + 1.0)
     result = _solve(
-        operator,
+        sensing,
         centered,
         solver=solver,
         regularization=regularization,
         sparsity=sparsity,
         max_iterations=max_iterations,
     )
-    image = operator.coefficients_to_image(result.coefficients)
+    image = sensing.coefficients_to_image(result.coefficients)
     image = image + pixel_mean
     if reference is None and frame.digital_image is not None:
         reference = frame.digital_image
@@ -310,18 +349,19 @@ def reconstruct_tiled(
     solver: str = "fista",
     regularization: Optional[float] = None,
     sparsity: Optional[int] = None,
-    max_iterations: int = 200,
+    max_iterations: Optional[int] = None,
     reference: Optional[np.ndarray] = None,
-    executor: str = "serial",
+    executor: str = "batched",
     max_workers: Optional[int] = None,
+    operator: str = "structured",
+    step_cache: Optional[StepSizeCache] = None,
 ) -> TiledReconstructionResult:
     """Reconstruct a :class:`~repro.sensor.shard.TiledCaptureResult` scene.
 
     Every tile is an independent compressed frame carrying its own CA seed,
     so the receiver reconstructs the mosaic tile-by-tile — each through the
-    ordinary :func:`reconstruct_frame` path, hence through the one shared Φ
-    builder — and stitches the tile images back at their scene offsets,
-    mirroring the block-CS reassembly of
+    one shared Φ builder — and stitches the tile images back at their scene
+    offsets, mirroring the block-CS reassembly of
     :class:`repro.cs.block.BlockCompressiveSampler` with per-tile hardware
     matrices instead of one shared synthetic matrix.
 
@@ -334,11 +374,22 @@ def reconstruct_tiled(
     reference : numpy.ndarray, optional
         Ground-truth code image of the whole scene; when omitted, the
         stitched per-tile digital images are used if the capture kept them.
-    executor : {"serial", "thread"}
-        Reconstruct tiles inline or through a thread pool (the solvers are
-        numpy/scipy-bound and release the GIL in their hot loops).
+    executor : {"batched", "serial", "thread"}
+        ``"batched"`` (default) stacks the rank-structured factors of every
+        equal-shape tile and iterates all of them through one einsum-driven
+        FISTA/ISTA pass (solvers outside that family, or the dense operator
+        flavour, fall back to the per-tile loop inside the same call).
+        ``"serial"`` / ``"thread"`` run the classic per-tile solves inline
+        or on a thread pool.
     max_workers : int, optional
         Thread-pool width; ``None`` lets :mod:`concurrent.futures` pick.
+    operator : {"structured", "dense"}
+        Operator flavour for the per-tile solves, as in
+        :func:`reconstruct_frame`.
+    step_cache:
+        Optional :class:`~repro.cs.operators.StepSizeCache` shared across
+        frames of a video so per-tile step sizes are memoised and
+        warm-started along the GOP chain.
 
     Returns
     -------
@@ -348,14 +399,15 @@ def reconstruct_tiled(
 
     Notes
     -----
-    The per-tile solve and the stitching are delegated to
+    The per-tile solves and the stitching are delegated to
     :class:`repro.recon.incremental.IncrementalTiledReconstructor` — the same
     accumulator the streaming receiver feeds tile chunks into — so in-process
-    and streamed reconstructions are one code path and stay byte-identical.
+    and streamed reconstructions are one code path and stay byte-identical
+    (the streaming receiver defaults to the same batched barrier solve).
     """
     from repro.recon.incremental import IncrementalTiledReconstructor
 
-    check_choice("executor", executor, ("serial", "thread"))
+    check_choice("executor", executor, ("batched", "serial", "thread"))
     reconstructor = IncrementalTiledReconstructor(
         capture.scene_shape,
         capture.tile_shape,
@@ -364,9 +416,15 @@ def reconstruct_tiled(
         regularization=regularization,
         sparsity=sparsity,
         max_iterations=max_iterations,
+        operator=operator,
+        step_cache=step_cache,
     )
     pairs = list(capture.frames())
-    if executor == "thread" and len(pairs) > 1:
+    if executor == "batched":
+        for slot, frame in pairs:
+            reconstructor.stage_tile(slot.grid_row, slot.grid_col, frame)
+        reconstructor.solve_staged()
+    elif executor == "thread" and len(pairs) > 1:
         with concurrent.futures.ThreadPoolExecutor(max_workers=max_workers) as pool:
             flat_results = list(
                 pool.map(reconstructor.solve_tile, [frame for _, frame in pairs])

@@ -6,13 +6,17 @@ chunks (:class:`~repro.stream.protocol.ChunkDecoder`), decodes each embedded
 v2 frame the moment it lands and reconstructs *incrementally*:
 
 * tiled streams feed an
-  :class:`~repro.recon.incremental.IncrementalTiledReconstructor` per frame —
-  tile ``(0, 0)`` is being inverted while tile ``(3, 3)`` is still on the
-  wire — and the ``FRAME_COMPLETE`` barrier finalises a
-  :class:`~repro.recon.pipeline.TiledReconstructionResult` that is
-  byte-identical to in-process
-  :func:`~repro.recon.pipeline.reconstruct_tiled` (same accumulator class,
-  same per-tile solver path);
+  :class:`~repro.recon.incremental.IncrementalTiledReconstructor` per frame.
+  By default the tiles of a frame are collected as they land and inverted
+  **batched** at the ``FRAME_COMPLETE`` barrier — every equal-shape tile of
+  the mosaic iterated through one einsum-driven multi-tile FISTA pass over
+  the stacked rank-structured ``(R, C)`` factors, exactly the path
+  in-process :func:`~repro.recon.pipeline.reconstruct_tiled` defaults to,
+  so streamed and in-process reconstructions stay byte-identical.  With
+  ``eager=True`` the receiver instead inverts each tile the moment its
+  chunk lands — tile ``(0, 0)`` is being solved while tile ``(3, 3)`` is
+  still on the wire — matching the ``serial``/``thread`` per-tile
+  executors of ``reconstruct_tiled`` byte for byte;
 * video streams maintain one **seed chain** per tile position: keyframes
   re-anchor the chain with their inline seed, seedless frames decode against
   it, and after every frame the chain advances by the one-pattern frame
@@ -34,6 +38,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.cs.operators import StepSizeCache
 from repro.io.framing import decode_frame
 from repro.recon.incremental import IncrementalTiledReconstructor
 from repro.recon.pipeline import (
@@ -107,13 +112,34 @@ class StreamReceiver:
     reconstruct:
         When false the receiver only decodes (no sparse recovery) — the
         relay/benchmark mode.
-    dictionary, solver, regularization, sparsity, max_iterations:
+    dictionary, solver, regularization, sparsity, max_iterations, operator:
         Per-frame/tile reconstruction options, as in
         :func:`~repro.recon.pipeline.reconstruct_frame`.
+    eager:
+        ``False`` (default) collects a tiled frame's tiles and inverts them
+        batched at the frame barrier — the multi-tile fast path, identical
+        to default in-process ``reconstruct_tiled``.  ``True`` restores the
+        progressive per-tile mode: each tile's solve is scheduled the
+        moment its chunk lands, overlapping reconstruction with the wire.
+    step_cache:
+        Optional :class:`~repro.cs.operators.StepSizeCache` shared across
+        the stream's frames: per-tile power-iteration step sizes are then
+        memoised and warm-started along the GOP chain instead of being
+        re-estimated from scratch every frame.  Off by default because the
+        warm starts shift the step estimates (and hence the reconstructed
+        images, by small but far-above-round-off amounts), which would
+        break byte-identity with an isolated in-process reconstruction of
+        the same frames.
     executor:
         ``concurrent.futures`` executor for the reconstruction work; ``None``
         uses the event loop's default thread pool.
     """
+
+    #: How many whole-frame batched solves may be in flight at once before
+    #: the frame barrier awaits the oldest.  One is enough to overlap the
+    #: current frame's solve with the next frame's wire transfer while
+    #: keeping receiver memory bounded.
+    MAX_INFLIGHT_TILED_SOLVES = 1
 
     def __init__(
         self,
@@ -123,7 +149,10 @@ class StreamReceiver:
         solver: str = "fista",
         regularization: Optional[float] = None,
         sparsity: Optional[int] = None,
-        max_iterations: int = 200,
+        max_iterations: Optional[int] = None,
+        operator: str = "structured",
+        eager: bool = False,
+        step_cache: Optional["StepSizeCache"] = None,
         executor: Optional[Executor] = None,
     ) -> None:
         self.reconstruct = bool(reconstruct)
@@ -131,7 +160,10 @@ class StreamReceiver:
         self.solver = solver
         self.regularization = regularization
         self.sparsity = sparsity
-        self.max_iterations = int(max_iterations)
+        self.max_iterations = None if max_iterations is None else int(max_iterations)
+        self.operator = operator
+        self.eager = bool(eager)
+        self.step_cache = step_cache
         self.executor = executor
         # The one option set shared by the single-frame solve path and the
         # tiled reconstructors — the two cannot diverge in configuration.
@@ -140,7 +172,9 @@ class StreamReceiver:
             solver=solver,
             regularization=regularization,
             sparsity=sparsity,
-            max_iterations=int(max_iterations),
+            max_iterations=self.max_iterations,
+            operator=operator,
+            step_cache=step_cache,
         )
         self._reset_stream_state()
 
@@ -162,6 +196,11 @@ class StreamReceiver:
         # Single-sensor streams: (ReceivedFrame, task) pairs whose
         # reconstructions are attached at end-of-stream.
         self._pending_frame_solves: List[tuple] = []
+        # Batched tiled mode: the (bounded) queue of in-flight whole-frame
+        # solves — frame k's solve overlaps frame k+1's wire time, but the
+        # barrier awaits older solves past the depth bound so a stream that
+        # outruns the solver cannot accumulate unbounded work.
+        self._pending_tiled_solves: List[tuple] = []
 
     # -------------------------------------------------------------- helpers
     async def _run(self, fn, *args):
@@ -177,6 +216,17 @@ class StreamReceiver:
 
     def _solve_frame(self, frame: CompressedFrame) -> ReconstructionResult:
         return reconstruct_frame(frame, **self._recon_options)
+
+    def _solve_tiled_batched(
+        self, tiles, capture_metadata
+    ) -> TiledReconstructionResult:
+        """Invert one complete tiled frame through the batched barrier solve."""
+        reconstructor = self._new_reconstructor()
+        for grid_row, row in enumerate(tiles):
+            for grid_col, frame in enumerate(row):
+                reconstructor.stage_tile(grid_row, grid_col, frame)
+        reconstructor.solve_staged()
+        return reconstructor.result(capture_metadata=capture_metadata)
 
     # ------------------------------------------------------------- chunk fsm
     async def run(self, transport) -> StreamResult:
@@ -212,12 +262,17 @@ class StreamReceiver:
             for received, task in self._pending_frame_solves:
                 received.reconstruction = await task
             self._pending_frame_solves = []
+            for received, task in self._pending_tiled_solves:
+                received.reconstruction = await task
+            self._pending_tiled_solves = []
         except BaseException:
             # Don't leak in-flight solves when the stream errors out.
             for solves in self._pending_solves.values():
                 for _, _, _, task in solves:
                     task.cancel()
             for _, task in self._pending_frame_solves:
+                task.cancel()
+            for _, task in self._pending_tiled_solves:
                 task.cancel()
             raise
         return self._result
@@ -307,7 +362,8 @@ class StreamReceiver:
                 task = asyncio.ensure_future(self._run(self._solve_frame, frame))
                 self._pending_frame_solves.append((received, task))
             return
-        # Tiled: land the tile in its in-flight frame, reconstructing eagerly.
+        # Tiled: land the tile in its in-flight frame (solved per-tile right
+        # away in eager mode, or collected for the barrier's batched solve).
         grid_rows, grid_cols = len(self._slots), len(self._slots[0])
         if not (data.grid_row < grid_rows and data.grid_col < grid_cols):
             raise StreamProtocolError(
@@ -329,15 +385,17 @@ class StreamReceiver:
                 f"duplicate tile {key} in frame {data.frame_index}"
             )
         tiles[data.grid_row][data.grid_col] = frame
-        if self.reconstruct:
+        if self.reconstruct and self.eager:
             reconstructor = self._pending_recon.get(data.frame_index)
             if reconstructor is None:
                 reconstructor = self._new_reconstructor()
                 self._pending_recon[data.frame_index] = reconstructor
-            # Schedule the solve but keep draining the transport: with a
-            # multi-worker executor, several tiles reconstruct concurrently
-            # while later chunks are still arriving.  The tasks are awaited
-            # (and stitched, in arrival order) at the frame barrier.
+            # Eager mode: schedule the solve but keep draining the transport —
+            # with a multi-worker executor, several tiles reconstruct
+            # concurrently while later chunks are still arriving.  The tasks
+            # are awaited (and stitched, in arrival order) at the frame
+            # barrier.  In the default batched mode the tiles just accumulate
+            # here and the barrier inverts them all in one stacked solve.
             task = asyncio.ensure_future(
                 self._run(reconstructor.solve_tile, frame)
             )
@@ -375,7 +433,7 @@ class StreamReceiver:
             metadata=merge_tile_statistics(flat),
         )
         reconstruction = None
-        if self.reconstruct:
+        if self.reconstruct and self.eager:
             reconstructor = self._pending_recon.pop(frame_index)
             solves = self._pending_solves.pop(frame_index, [])
             try:
@@ -392,13 +450,28 @@ class StreamReceiver:
             reconstruction = reconstructor.result(
                 capture_metadata=capture.metadata
             )
-        self._result.frames.append(
-            ReceivedFrame(
-                frame_index=frame_index,
-                capture=capture,
-                reconstruction=reconstruction,
-            )
+        received = ReceivedFrame(
+            frame_index=frame_index,
+            capture=capture,
+            reconstruction=reconstruction,
         )
+        self._result.frames.append(received)
+        if self.reconstruct and not self.eager:
+            # Batched mode: every tile of the frame has landed — schedule the
+            # stacked multi-tile solve on the worker executor (the same
+            # stage/solve_staged path in-process reconstruct_tiled defaults
+            # to, so the streamed result is byte-identical to it) while the
+            # transport keeps draining the next frame's chunks.  Older
+            # in-flight solves are awaited here past the depth bound, so a
+            # stream faster than the solver back-pressures instead of
+            # accumulating frames without limit.
+            while len(self._pending_tiled_solves) >= self.MAX_INFLIGHT_TILED_SOLVES:
+                earlier, task = self._pending_tiled_solves.pop(0)
+                earlier.reconstruction = await task
+            task = asyncio.ensure_future(
+                self._run(self._solve_tiled_batched, tiles, capture.metadata)
+            )
+            self._pending_tiled_solves.append((received, task))
 
 
 async def receive_stream(transport, **options) -> StreamResult:

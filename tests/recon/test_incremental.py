@@ -22,17 +22,43 @@ RECON_KWARGS = dict(solver="fista", max_iterations=25)
 
 class TestIncrementalTiledReconstructor:
     def test_matches_reconstruct_tiled_byte_for_byte(self, capture):
+        """Eager add_tile ≡ the per-tile executor of reconstruct_tiled."""
         reconstructor = IncrementalTiledReconstructor(
             capture.scene_shape, capture.tile_shape, **RECON_KWARGS
         )
         for slot, frame in capture.frames():
             reconstructor.add_tile(slot.grid_row, slot.grid_col, frame)
         incremental = reconstructor.result()
-        direct = reconstruct_tiled(capture, **RECON_KWARGS)
+        direct = reconstruct_tiled(capture, executor="serial", **RECON_KWARGS)
         assert incremental.image.tobytes() == direct.image.tobytes()
         assert incremental.capture_metadata["event_statistics"] == (
             direct.capture_metadata["event_statistics"]
         )
+
+    def test_staged_matches_reconstruct_tiled_byte_for_byte(self, capture):
+        """stage_tile + solve_staged ≡ the default batched reconstruct_tiled."""
+        reconstructor = IncrementalTiledReconstructor(
+            capture.scene_shape, capture.tile_shape, **RECON_KWARGS
+        )
+        for slot, frame in capture.frames():
+            reconstructor.stage_tile(slot.grid_row, slot.grid_col, frame)
+        results = reconstructor.solve_staged()
+        assert len(results) == reconstructor.n_tiles
+        assert reconstructor.is_complete
+        staged = reconstructor.result()
+        direct = reconstruct_tiled(capture, **RECON_KWARGS)
+        assert staged.image.tobytes() == direct.image.tobytes()
+
+    def test_staged_duplicate_rejected(self, capture):
+        reconstructor = IncrementalTiledReconstructor(
+            capture.scene_shape, capture.tile_shape, **RECON_KWARGS
+        )
+        slot, frame = next(iter(capture.frames()))
+        reconstructor.stage_tile(slot.grid_row, slot.grid_col, frame)
+        with pytest.raises(ValueError, match="already"):
+            reconstructor.stage_tile(slot.grid_row, slot.grid_col, frame)
+        with pytest.raises(ValueError, match="already"):
+            reconstructor.add_tile(slot.grid_row, slot.grid_col, frame)
 
     def test_tile_order_does_not_matter(self, capture):
         pairs = list(capture.frames())

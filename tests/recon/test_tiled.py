@@ -37,11 +37,37 @@ class TestReconstructTiled:
         assert result.capture_metadata["event_statistics"] == "modelled"
 
     def test_thread_executor_matches_serial(self, tiled_capture):
-        serial = reconstruct_tiled(tiled_capture, max_iterations=40)
+        serial = reconstruct_tiled(tiled_capture, max_iterations=40, executor="serial")
         threaded = reconstruct_tiled(
             tiled_capture, max_iterations=40, executor="thread", max_workers=2
         )
         assert np.array_equal(serial.image, threaded.image)
+
+    def test_batched_executor_matches_per_tile(self, tiled_capture):
+        """The default batched solve is the per-tile solve, vectorised."""
+        batched = reconstruct_tiled(tiled_capture, max_iterations=40)
+        serial = reconstruct_tiled(tiled_capture, max_iterations=40, executor="serial")
+        np.testing.assert_allclose(batched.image, serial.image, atol=1e-8)
+        for batched_row, serial_row in zip(batched.tile_results, serial.tile_results):
+            for batched_tile, serial_tile in zip(batched_row, serial_row):
+                assert batched_tile.solver_result.converged == (
+                    serial_tile.solver_result.converged
+                )
+
+    def test_batched_falls_back_for_greedy_solvers(self, tiled_capture):
+        """Non-proximal solvers ride the per-tile loop inside the batched executor."""
+        batched = reconstruct_tiled(tiled_capture, solver="omp", sparsity=12)
+        serial = reconstruct_tiled(
+            tiled_capture, solver="omp", sparsity=12, executor="serial"
+        )
+        assert batched.image.tobytes() == serial.image.tobytes()
+
+    def test_dense_operator_reachable(self, tiled_capture):
+        dense = reconstruct_tiled(tiled_capture, max_iterations=40, operator="dense")
+        structured = reconstruct_tiled(
+            tiled_capture, max_iterations=40, executor="serial"
+        )
+        np.testing.assert_allclose(dense.image, structured.image, atol=1e-8)
 
     def test_explicit_reference_overrides_digital_image(self, tiled_capture):
         reference = tiled_capture.digital_image().astype(float)
