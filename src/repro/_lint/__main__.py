@@ -1,0 +1,116 @@
+"""CLI entry point: ``python -m repro._lint src tests examples``.
+
+Exit status: 0 clean, 1 findings, 2 usage or analysis error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro._lint.engine import Finding, LintError, lint_paths
+from repro._lint.rules import RULES, rule_ids
+from repro._lint.rules.frozen_wire import PINNED_CONSTANTS, current_fingerprints
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro._lint",
+        description="Machine-check the architectural contracts (REPRO001-005).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "examples"],
+        help="files or directories to lint (default: src tests examples)",
+    )
+    parser.add_argument(
+        "--disable",
+        default="",
+        metavar="IDS",
+        help="comma-separated rule ids to skip (e.g. REPRO002,REPRO004)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit findings as a JSON array instead of text",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and their contracts, then exit",
+    )
+    parser.add_argument(
+        "--wire-fingerprint",
+        action="store_true",
+        help="print the current wire-layout fingerprints (for re-pinning "
+        "after a consciously versioned wire change), then exit",
+    )
+    return parser
+
+
+def _print_findings(findings: List[Finding], as_json: bool) -> None:
+    if as_json:
+        payload = [
+            {
+                "rule_id": finding.rule_id,
+                "path": finding.path,
+                "line": finding.line,
+                "column": finding.column,
+                "message": finding.message,
+                "hint": finding.hint,
+            }
+            for finding in findings
+        ]
+        print(json.dumps(payload, indent=2))
+        return
+    for finding in findings:
+        print(finding.render())
+        if finding.hint:
+            print(f"    hint: {finding.hint}")
+    noun = "finding" if len(findings) == 1 else "findings"
+    print(f"\n{len(findings)} {noun} ({', '.join(sorted({f.rule_id for f in findings}))})")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.rule_id}  {rule.contract}")
+        return 0
+    if args.wire_fingerprint:
+        sources = {}
+        for module_rel in PINNED_CONSTANTS:
+            candidate = Path("src") / module_rel
+            if not candidate.exists():
+                candidate = Path(module_rel)
+            if candidate.exists():
+                sources[module_rel] = candidate.read_text(encoding="utf-8")
+        for module_rel, digest in current_fingerprints(sources).items():
+            print(f"{module_rel}: {digest}")
+        return 0
+    disabled = {rule_id.strip() for rule_id in args.disable.split(",") if rule_id.strip()}
+    unknown = disabled - set(rule_ids())
+    if unknown:
+        print(f"unknown rule ids: {', '.join(sorted(unknown))}", file=sys.stderr)
+        return 2
+    active = [rule for rule in RULES if rule.rule_id not in disabled]
+    try:
+        findings = lint_paths(args.paths, rules=active)
+    except LintError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if findings:
+        _print_findings(findings, args.as_json)
+        return 1
+    checked = ", ".join(rule.rule_id for rule in active)
+    print(f"clean: no findings ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

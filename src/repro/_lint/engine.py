@@ -1,0 +1,201 @@
+"""Core machinery of the invariant linter: contexts, suppressions, runners.
+
+The engine is deliberately dependency-free (stdlib ``ast`` + ``tokenize``
+only) so it runs in any environment the library itself runs in — CI, a
+contributor checkout, or the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Rule id reserved for malformed/unjustified suppression comments.
+SUPPRESSION_RULE_ID = "REPRO000"
+
+#: ``# repro-lint: allow=REPRO001,REPRO002 -- justification`` (the
+#: justification after ``--`` is mandatory; rule ids are comma-separated).
+_SUPPRESSION_RE = re.compile(r"#\s*repro-lint:\s*(?P<body>.*)$")
+_ALLOW_RE = re.compile(
+    r"^allow=(?P<ids>REPRO\d{3}(?:\s*,\s*REPRO\d{3})*)"
+    r"(?:\s+--\s*(?P<why>\S.*))?$"
+)
+
+
+class LintError(RuntimeError):
+    """The linter itself could not analyse an input (bad path, syntax error)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured lint finding: where, which contract, and how to fix it."""
+
+    rule_id: str
+    path: str
+    line: int
+    column: int
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        """``path:line:col: RULEID message`` (the clickable one-line form)."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule_id} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro-lint: allow=...`` comment."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    justification: str
+
+
+class ModuleContext:
+    """Everything a rule needs to know about one Python module."""
+
+    def __init__(self, source: str, path: str) -> None:
+        self.source = source
+        #: Normalised (posix) path the findings report.
+        self.path = PurePosixPath(path).as_posix()
+        try:
+            self.tree = ast.parse(source, filename=self.path)
+        except SyntaxError as error:
+            raise LintError(f"{self.path}: cannot parse: {error}") from error
+        parts = PurePosixPath(self.path).parts
+        #: Posix path relative to the ``repro`` package root (e.g.
+        #: ``repro/ca/selection.py``) or ``None`` outside the library.
+        self.module_rel: Optional[str] = None
+        if "repro" in parts:
+            index = parts.index("repro")
+            self.module_rel = "/".join(parts[index:])
+        #: True for library code under ``src/repro`` — where the
+        #: architectural contracts bind.  Tests, examples and benchmarks get
+        #: a freer hand (they *probe* the contracts).
+        self.is_library = self.module_rel is not None and "tests" not in parts
+        self.is_test = "tests" in parts
+        self.suppressions = _parse_suppressions(source)
+        self._suppressed_lines: Dict[int, Set[str]] = {}
+        for suppression in self.suppressions:
+            if suppression.justification:
+                self._suppressed_lines.setdefault(suppression.line, set()).update(
+                    suppression.rule_ids
+                )
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when a justified suppression for ``rule_id`` covers ``line``."""
+        return rule_id in self._suppressed_lines.get(line, set())
+
+    def suppression_findings(self) -> Iterator[Finding]:
+        """Findings for suppressions missing their mandatory justification."""
+        for suppression in self.suppressions:
+            if not suppression.justification:
+                yield Finding(
+                    rule_id=SUPPRESSION_RULE_ID,
+                    path=self.path,
+                    line=suppression.line,
+                    column=0,
+                    message=(
+                        "suppression without a justification: every "
+                        "`repro-lint: allow=` comment must explain itself"
+                    ),
+                    hint=(
+                        "append `-- <one-line reason>` to the suppression "
+                        "comment; an exception nobody can justify is a bug"
+                    ),
+                )
+
+
+def _parse_suppressions(source: str) -> List[Suppression]:
+    suppressions: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_RE.search(token.string)
+            if match is None:
+                continue
+            body = match.group("body").strip()
+            allow = _ALLOW_RE.match(body)
+            if allow is None:
+                # A repro-lint comment that does not parse is treated as an
+                # unjustified suppression: loud, never silently ignored.
+                suppressions.append(
+                    Suppression(line=token.start[0], rule_ids=(), justification="")
+                )
+                continue
+            ids = tuple(
+                rule_id.strip() for rule_id in allow.group("ids").split(",")
+            )
+            justification = (allow.group("why") or "").strip()
+            suppressions.append(
+                Suppression(
+                    line=token.start[0], rule_ids=ids, justification=justification
+                )
+            )
+    except tokenize.TokenError:
+        # A tokenisation failure will already have surfaced as a parse error.
+        pass
+    return suppressions
+
+
+# --------------------------------------------------------------------- running
+def lint_source(
+    source: str,
+    path: str,
+    *,
+    rules: Optional[Sequence] = None,
+) -> List[Finding]:
+    """Lint one in-memory module as if it lived at ``path``.
+
+    ``path`` decides which contracts bind (library code vs. tests), so the
+    fixture tests can replay a violation exactly where it would occur.
+    ``rules`` restricts the pass to a subset (default: all registered rules).
+    """
+    from repro._lint.rules import RULES
+
+    active = list(RULES if rules is None else rules)
+    context = ModuleContext(source, path)
+    findings = list(context.suppression_findings())
+    for rule in active:
+        for finding in rule.check(context):
+            if not context.is_suppressed(finding.rule_id, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule_id))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories, sorted."""
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise LintError(f"no such file or directory: {raw}")
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+        else:
+            yield from sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+
+
+def lint_paths(
+    paths: Iterable[str],
+    *,
+    rules: Optional[Sequence] = None,
+) -> List[Finding]:
+    """Lint every Python file under ``paths`` and return all findings."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, str(file_path), rules=rules))
+    return findings

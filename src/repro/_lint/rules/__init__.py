@@ -1,0 +1,29 @@
+"""Rule registry: one module per architectural contract."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro._lint.rules.async_hygiene import RULE as ASYNC_HYGIENE
+from repro._lint.rules.base import Rule
+from repro._lint.rules.dense_phi import RULE as DENSE_PHI
+from repro._lint.rules.frozen_wire import RULE as FROZEN_WIRE
+from repro._lint.rules.rng_discipline import RULE as RNG_DISCIPLINE
+from repro._lint.rules.shared_phi import RULE as SHARED_PHI
+
+#: Every registered rule, in rule-id order.
+RULES: Tuple[Rule, ...] = (
+    SHARED_PHI,      # REPRO001
+    DENSE_PHI,       # REPRO002
+    RNG_DISCIPLINE,  # REPRO003
+    ASYNC_HYGIENE,   # REPRO004
+    FROZEN_WIRE,     # REPRO005
+)
+
+
+def rule_ids() -> Tuple[str, ...]:
+    """The registered rule ids, in order."""
+    return tuple(rule.rule_id for rule in RULES)
+
+
+__all__ = ["RULES", "Rule", "rule_ids"]

@@ -1,0 +1,67 @@
+"""Shared rule plumbing: the rule base class and small AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro._lint.engine import Finding, ModuleContext
+
+
+class Rule:
+    """One architectural contract, checked statically.
+
+    Subclasses set :attr:`rule_id`/:attr:`contract` and implement
+    :meth:`check`, yielding findings for one module.  Rules must be pure
+    functions of the module context — no filesystem access, no state — so
+    the fixture tests can replay them on in-memory sources.
+    """
+
+    rule_id: str = "REPRO999"
+    contract: str = ""
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, context: ModuleContext, node: ast.AST, message: str, hint: str = ""
+    ) -> Finding:
+        """Build a finding anchored at ``node``'s position."""
+        return Finding(
+            rule_id=self.rule_id,
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            message=message,
+            hint=hint,
+        )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains as a dotted string (else ``None``)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def has_none_subscript(node: ast.AST) -> bool:
+    """True when ``node`` subscripts with ``None`` (a broadcast-expansion axis).
+
+    Detects the ``x[:, :, None]`` / ``x[:, None, :]`` shapes used to expand a
+    factor pair into a full outer product.
+    """
+    if not isinstance(node, ast.Subscript):
+        return False
+    slice_node = node.slice
+    elements = (
+        slice_node.elts if isinstance(slice_node, ast.Tuple) else [slice_node]
+    )
+    return any(
+        isinstance(element, ast.Constant) and element.value is None
+        for element in elements
+    )

@@ -1,0 +1,58 @@
+"""REPRO002 — no dense Φ in hot paths.
+
+:class:`~repro.cs.structured.StructuredSensingOperator` keeps its ``.phi``
+property as a compatibility escape hatch: materialising it turns a
+few-hundred-kilobyte factor pair into a multi-megabyte dense matrix and
+silently forfeits the matrix-free speedup the recon-equivalence work bought.
+Library hot paths therefore never touch ``.phi``; the only modules allowed to
+are the operator implementations themselves (where the dense reference and
+the lazy escape hatch live).  Tests and benchmarks are exempt — pinning
+``structured.phi == dense.phi`` is exactly their job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro._lint.engine import Finding, ModuleContext
+from repro._lint.rules.base import Rule
+
+#: Operator modules: the dense reference and the structured escape hatch.
+ALLOWED_MODULES = frozenset(
+    {
+        "repro/cs/operators.py",
+        "repro/cs/structured.py",
+    }
+)
+
+
+class DensePhiRule(Rule):
+    rule_id = "REPRO002"
+    contract = (
+        "no-dense-Φ-in-hot-paths: .phi materialisation only in operator modules"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.is_library or context.module_rel in ALLOWED_MODULES:
+            return
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "phi"
+                and isinstance(node.ctx, ast.Load)
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    "dense Φ materialisation (`.phi`) in library code",
+                    hint=(
+                        "use the matrix-free products (phi_dot/phi_rdot/"
+                        "phi_dot_columns) or pass operator='dense' explicitly; "
+                        "`.phi` on a structured operator expands the full "
+                        "(m, rows*cols) matrix"
+                    ),
+                )
+
+
+RULE = DensePhiRule()

@@ -1,0 +1,142 @@
+"""REPRO003 — RNG discipline: no global random state in library code.
+
+Executor-neutral byte-identity (``tests/sensor/test_shard.py``) holds because
+every random draw in the library flows from a seeded
+:class:`numpy.random.Generator` derived via
+:func:`repro.utils.rng.new_rng` / :func:`repro.utils.rng.derive_seed` — a
+tile worker gets the same bits whether it runs serial, threaded or in a
+process pool.  One call into NumPy's *global* RNG (``np.random.seed``,
+``np.random.rand``, the legacy ``RandomState``) or the stdlib ``random``
+module breaks that: global state is per-process, draw order depends on
+scheduling, and reproducibility silently becomes executor-dependent.
+
+Flagged in library code:
+
+* any ``np.random.<fn>`` global-state call (``seed``, ``rand``, ``randint``,
+  ``shuffle``, …) or ``RandomState`` construction;
+* ``np.random.default_rng()`` with no arguments (or an explicit ``None``) —
+  fresh entropy is unreproducible; thread a seed or a generator in;
+* stdlib ``random`` module draws.
+
+Tests, examples and benchmarks may do what they like (they typically seed
+``default_rng`` anyway).  :mod:`repro.utils.rng` itself is the sanctioned
+funnel and is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro._lint.engine import Finding, ModuleContext
+from repro._lint.rules.base import Rule, dotted_name
+
+#: The sanctioned RNG funnel (new_rng/derive_seed live here and may accept
+#: ``None`` for fresh entropy at the caller's explicit request).
+ALLOWED_MODULES = frozenset({"repro/utils/rng.py"})
+
+#: ``np.random`` attributes that are *not* global-state draws.
+_SAFE_RANDOM_ATTRS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: stdlib ``random`` functions that draw from or mutate the module-level state.
+_STDLIB_RANDOM_FNS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+        "randbytes", "randint", "random", "randrange", "sample", "seed",
+        "setstate", "shuffle", "triangular", "uniform", "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+
+def _is_none_arg(node: ast.Call) -> bool:
+    if not node.args and not node.keywords:
+        return True
+    if node.args:
+        first = node.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for keyword in node.keywords:
+        if keyword.arg == "seed":
+            return isinstance(keyword.value, ast.Constant) and keyword.value.value is None
+    return False
+
+
+class RngDisciplineRule(Rule):
+    rule_id = "REPRO003"
+    contract = "RNG discipline: seeded generators only, no global random state"
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.is_library or context.module_rel in ALLOWED_MODULES:
+            return
+        stdlib_random_imported = any(
+            isinstance(node, ast.Import)
+            and any(alias.name == "random" for alias in node.names)
+            for node in ast.walk(context.tree)
+        )
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if len(parts) >= 3 and parts[-3] in ("np", "numpy") and parts[-2] == "random":
+                attr = parts[-1]
+                if attr == "default_rng":
+                    if _is_none_arg(node):
+                        yield self.finding(
+                            context,
+                            node,
+                            "unseeded default_rng() in library code "
+                            "(fresh entropy is unreproducible)",
+                            hint=(
+                                "thread a seed through repro.utils.rng."
+                                "new_rng/derive_seed so the draw is part of "
+                                "the experiment's seed tree"
+                            ),
+                        )
+                elif attr not in _SAFE_RANDOM_ATTRS:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"global-state RNG call np.random.{attr}() in library "
+                        "code (breaks executor-neutral byte-identity)",
+                        hint=(
+                            "draw from a seeded numpy Generator "
+                            "(repro.utils.rng.new_rng) passed down the call "
+                            "chain instead of the process-global stream"
+                        ),
+                    )
+            elif (
+                stdlib_random_imported
+                and len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] in _STDLIB_RANDOM_FNS
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    f"stdlib random.{parts[1]}() in library code "
+                    "(process-global state)",
+                    hint=(
+                        "use a seeded numpy Generator from "
+                        "repro.utils.rng.new_rng; stdlib random is "
+                        "per-process and unseeded here"
+                    ),
+                )
+
+
+RULE = RngDisciplineRule()

@@ -1,0 +1,95 @@
+"""REPRO001 — shared-Φ: one builder for every CA measurement matrix.
+
+The ROADMAP contract: every CA measurement matrix — dense *and* the factor
+pair ``(R, C)`` — comes from the one batched builder in
+:mod:`repro.ca.selection` (``ca_measurement_matrix`` / ``ca_selection_factors``
+and their ``selection_*_from_states`` primitives).  A second Φ assembly path
+is exactly how the capture and reconstruction ends of the channel drift
+apart, so this rule flags the two ways one gets written:
+
+* **outer-XOR assembly** — ``np.bitwise_xor.outer(rows, cols)`` or the
+  broadcast form ``np.bitwise_xor(r[:, :, None], c[:, None, :])`` anywhere in
+  library code outside ``ca/selection.py``;
+* **direct CA-state expansion** — calling ``evolve_states`` on an automaton
+  outside ``ca/selection.py``: pattern-batch evolution must ride
+  :class:`~repro.ca.selection.CASelectionGenerator` or the module-level
+  builders, which own warm-up/step bookkeeping.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro._lint.engine import Finding, ModuleContext
+from repro._lint.rules.base import Rule, dotted_name, has_none_subscript
+
+#: The one module allowed to assemble selection masks and expand CA states.
+ALLOWED_MODULES = frozenset({"repro/ca/selection.py"})
+
+#: XOR callables whose *outer* product is a Φ row assembly.
+_XOR_NAMES = frozenset({"bitwise_xor", "logical_xor"})
+
+
+class SharedPhiRule(Rule):
+    rule_id = "REPRO001"
+    contract = (
+        "shared-Φ: CA measurement matrices are built only by repro.ca.selection"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.is_library or context.module_rel in ALLOWED_MODULES:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is not None:
+                terminal = name.split(".")
+                if (
+                    len(terminal) >= 2
+                    and terminal[-1] == "outer"
+                    and terminal[-2] in _XOR_NAMES
+                ):
+                    yield self.finding(
+                        context,
+                        node,
+                        "outer-XOR selection-mask assembly outside "
+                        "ca/selection.py (a second Φ code path)",
+                        hint=(
+                            "route through repro.ca.selection."
+                            "selection_masks_from_states / ca_measurement_matrix "
+                            "so capture and reconstruction share one builder"
+                        ),
+                    )
+                    continue
+                if terminal[-1] == "evolve_states":
+                    yield self.finding(
+                        context,
+                        node,
+                        "direct CA-state expansion (evolve_states) outside "
+                        "ca/selection.py",
+                        hint=(
+                            "use CASelectionGenerator.next_states / "
+                            "ca_selection_factors, which own the warm-up and "
+                            "steps-per-sample bookkeeping the receiver replays"
+                        ),
+                    )
+                    continue
+                if terminal[-1] in _XOR_NAMES and any(
+                    has_none_subscript(arg) for arg in node.args
+                ):
+                    yield self.finding(
+                        context,
+                        node,
+                        "broadcast-XOR Φ assembly (xor over None-expanded "
+                        "factors) outside ca/selection.py",
+                        hint=(
+                            "expand factors with repro.ca.selection."
+                            "selection_masks_from_states instead of a local "
+                            "broadcast XOR"
+                        ),
+                    )
+
+
+RULE = SharedPhiRule()

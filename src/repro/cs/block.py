@@ -21,7 +21,7 @@ simulation.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -66,7 +66,7 @@ class BlockCompressiveSampler:
 
     def __init__(
         self,
-        image_shape=(64, 64),
+        image_shape: Tuple[int, int] = (64, 64),
         *,
         block_size: int = 8,
         compression_ratio: float = 0.4,

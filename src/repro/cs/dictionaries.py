@@ -17,7 +17,7 @@ shape so callers never juggle reshapes.
 from __future__ import annotations
 
 import abc
-from typing import Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 import numpy as np
 from scipy.fft import dctn, idctn
@@ -103,7 +103,7 @@ class Dictionary(abc.ABC):
             return images.copy()
         return np.stack([self.analyze(row) for row in images])
 
-    def atoms(self, indices) -> np.ndarray:
+    def atoms(self, indices: Iterable[int]) -> np.ndarray:
         """Dense ``(n_pixels, k)`` sub-matrix of Ψ for the given atom indices.
 
         Synthesised as **one** batched transform over a stack of unit
@@ -124,7 +124,11 @@ class Dictionary(abc.ABC):
         """Explicit Ψ matrix (columns are atoms).  Only sensible for small shapes."""
         return self.atoms(range(self.n_pixels))
 
-    def sparsity_profile(self, image: np.ndarray, fractions=(0.01, 0.05, 0.1, 0.2)) -> dict:
+    def sparsity_profile(
+        self,
+        image: np.ndarray,
+        fractions: Sequence[float] = (0.01, 0.05, 0.1, 0.2),
+    ) -> Dict[float, float]:
         """Energy captured by the largest coefficients — how compressible the image is."""
         coefficients = self.analyze(np.asarray(image, dtype=float).reshape(-1))
         energy = np.sort(coefficients ** 2)[::-1]

@@ -2,14 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.utils.validation import check_positive
 
 
-def _as_pair(reference: np.ndarray, estimate: np.ndarray):
+def _as_pair(
+    reference: np.ndarray, estimate: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
     reference = np.asarray(reference, dtype=float)
     estimate = np.asarray(estimate, dtype=float)
     if reference.shape != estimate.shape:

@@ -29,7 +29,7 @@ identity key and keeps the converged singular vectors as warm starts for the
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, Optional
+from typing import Dict, Hashable, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -66,11 +66,11 @@ class BaseSensingOperator:
     def __init__(self, n_samples: int, dictionary: Dictionary) -> None:
         self._n_samples = int(n_samples)
         self.dictionary = dictionary
-        self._norm_cache: Dict[tuple, float] = {}
+        self._norm_cache: Dict[Tuple[int, int, float], float] = {}
         #: Optional cross-operator step-size cache (see :class:`StepSizeCache`).
         self.norm_cache: Optional[StepSizeCache] = None
-        self.norm_exact_key = None
-        self.norm_warm_key = None
+        self.norm_exact_key: Optional[Hashable] = None
+        self.norm_warm_key: Optional[Hashable] = None
 
     # -------------------------------------------------------------- shapes
     @property
@@ -84,7 +84,7 @@ class BaseSensingOperator:
         return self.dictionary.n_pixels
 
     @property
-    def shape(self) -> tuple:
+    def shape(self) -> Tuple[int, int]:
         """Operator shape ``(m, n)``."""
         return (self.n_samples, self.n_coefficients)
 
@@ -137,9 +137,9 @@ class BaseSensingOperator:
     def operator_norm(
         self,
         *,
-        n_iterations: int = None,
+        n_iterations: Optional[int] = None,
         seed: int = 0,
-        tolerance: float = None,
+        tolerance: Optional[float] = None,
         warm_start: Optional[np.ndarray] = None,
     ) -> float:
         """Largest singular value of A, estimated by power iteration.
@@ -200,10 +200,10 @@ class BaseSensingOperator:
         # dictionaries are orthonormal; a custom non-orthonormal dictionary
         # opts out via ``Dictionary.orthonormal = False``.
         if getattr(self.dictionary, "orthonormal", False):
-            def step_product(v):
+            def step_product(v: np.ndarray) -> np.ndarray:
                 return self.phi_rdot(self.phi_dot(v))
         else:
-            def step_product(v):
+            def step_product(v: np.ndarray) -> np.ndarray:
                 return self.rmatvec(self.matvec(v))
         sigma = 0.0
         for _ in range(max(1, int(n_iterations))):
@@ -328,14 +328,14 @@ class StepSizeCache:
         if max_entries < 1:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = int(max_entries)
-        self._exact: Dict[object, float] = {}
-        self._warm: Dict[object, np.ndarray] = {}
+        self._exact: Dict[Hashable, float] = {}
+        self._warm: Dict[Hashable, np.ndarray] = {}
         self._lock = threading.Lock()
         self.exact_hits = 0
         self.warm_hits = 0
         self.misses = 0
 
-    def norm(self, exact_key) -> Optional[float]:
+    def norm(self, exact_key: Optional[Hashable]) -> Optional[float]:
         """The memoised norm for an exact operator identity, if any."""
         if exact_key is None:
             return None
@@ -347,7 +347,7 @@ class StepSizeCache:
                 self.exact_hits += 1
             return sigma
 
-    def warm_vector(self, warm_key) -> Optional[np.ndarray]:
+    def warm_vector(self, warm_key: Optional[Hashable]) -> Optional[np.ndarray]:
         """The last converged singular vector for a geometry key, if any."""
         if warm_key is None:
             return None
@@ -358,7 +358,13 @@ class StepSizeCache:
                 return vector.copy()
             return None
 
-    def store(self, exact_key, warm_key, sigma: float, vector: np.ndarray) -> None:
+    def store(
+        self,
+        exact_key: Optional[Hashable],
+        warm_key: Optional[Hashable],
+        sigma: float,
+        vector: np.ndarray,
+    ) -> None:
         """Record a converged power iteration under both key levels."""
         with self._lock:
             if exact_key is not None:

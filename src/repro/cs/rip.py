@@ -10,12 +10,15 @@ against Bernoulli, LFSR and Hadamard constructions.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
 from repro.utils.rng import SeedLike, new_rng
 from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:
+    from repro.cs.dictionaries import Dictionary
 
 
 def _normalized_columns(matrix: np.ndarray) -> np.ndarray:
@@ -115,7 +118,7 @@ def matrix_quality_report(
     sparsity: int = 8,
     n_trials: int = 100,
     seed: SeedLike = None,
-    dictionary=None,
+    dictionary: Optional[Dictionary] = None,
 ) -> Dict[str, float]:
     """One-call summary used by benchmark E10.
 

@@ -19,7 +19,7 @@ suite), not a different algorithm.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -180,13 +180,13 @@ def batched_operator_norms(
     if getattr(dictionary, "orthonormal", False):
         # σ(Φ Ψ) = σ(Φ) for orthonormal Ψ — iterate on the factors alone,
         # mirroring the solo operator_norm shortcut bit for bit in structure.
-        def step_products(stack):
+        def step_products(stack: np.ndarray) -> np.ndarray:
             images = stack.reshape(-1, rows, cols)
             projected = _phi_dot_batch(row_stack, col_stack, centers, images)
             back = _phi_rdot_batch(row_stack, col_stack, centers, projected)
             return back.reshape(stack.shape)
     else:
-        def step_products(stack):
+        def step_products(stack: np.ndarray) -> np.ndarray:
             return _rmatvec_batch(
                 row_stack, col_stack, centers, dictionary,
                 _matvec_batch(row_stack, col_stack, centers, dictionary, stack),
@@ -219,7 +219,7 @@ def batched_proximal_gradient(
     operators: Sequence[StructuredSensingOperator],
     measurements: np.ndarray,
     *,
-    regularization,
+    regularization: Union[float, np.ndarray],
     max_iterations: int = 200,
     tolerance: float = 1e-6,
     step_sizes: Optional[np.ndarray] = None,

@@ -108,8 +108,8 @@ def fista(
 
 
 def _proximal_gradient(
-    operator_or_matrix,
-    measurements,
+    operator_or_matrix: Union[SensingOperator, np.ndarray],
+    measurements: np.ndarray,
     *,
     regularization: float,
     max_iterations: int,

@@ -14,6 +14,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.ca.selection import selection_masks_from_states
 from repro.lfsr.polynomials import primitive_taps
 from repro.utils.rng import SeedLike, new_rng
 from repro.utils.validation import check_positive
@@ -219,12 +220,19 @@ class LFSRSelectionGenerator:
         self._sample_index = 0
 
     def next_pattern(self) -> np.ndarray:
-        """Return the next ``rows x cols`` binary selection mask."""
+        """Return the next ``rows x cols`` binary selection mask.
+
+        The LFSR output window plays the role of the CA state — the first
+        ``rows`` bits drive the row lines, the rest the columns — and the
+        mask expansion rides the one shared XOR builder in
+        :func:`repro.ca.selection.selection_masks_from_states` (the shared-Φ
+        invariant covers the LFSR path too).
+        """
         window = self._lfsr.bits(self.rows + self.cols)
-        row_signals = window[: self.rows]
-        col_signals = window[self.rows:]
         self._sample_index += 1
-        return np.bitwise_xor.outer(row_signals, col_signals).astype(np.uint8)
+        return selection_masks_from_states(
+            window[None, :], self.rows, self.cols
+        ).reshape(self.rows, self.cols)
 
     def measurement_matrix(self, n_samples: int) -> np.ndarray:
         """Return Φ as an ``n_samples x (rows*cols)`` binary matrix (from the seed)."""
@@ -236,7 +244,9 @@ class LFSRSelectionGenerator:
             taps=self._lfsr.taps,
             state=self._initial_state,
         )
-        matrix = np.empty((int(n_samples), self.rows * self.cols), dtype=np.uint8)
-        for i in range(int(n_samples)):
-            matrix[i] = clone.next_pattern().reshape(-1)
-        return matrix
+        # One contiguous bit pull from the re-seeded clone, expanded in a
+        # single batched pass through the shared builder — bit-identical to
+        # per-pattern iteration and non-destructive to this generator.
+        window = clone._lfsr.bits(int(n_samples) * (self.rows + self.cols))
+        states = window.reshape(int(n_samples), self.rows + self.cols)
+        return selection_masks_from_states(states, self.rows, self.cols)

@@ -18,7 +18,7 @@ streamed and in-process mosaics stay byte-identical.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from repro.cs.solvers.batched import (
 from repro.recon.operator import frame_operator
 from repro.sensor.imager import CompressedFrame
 from repro.utils.validation import check_choice
+
+if TYPE_CHECKING:
+    from repro.recon.pipeline import ReconstructionResult
 
 
 def batch_group_key(frame: CompressedFrame) -> tuple:
@@ -54,7 +57,7 @@ def solve_tiles_batched(
     regularization: Optional[float] = None,
     max_iterations: Optional[int] = None,
     step_cache: Optional[StepSizeCache] = None,
-):
+) -> List[ReconstructionResult]:
     """Solve a homogeneous group of tile frames in one batched pass.
 
     Parameters

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import concurrent.futures
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -122,7 +122,7 @@ def _solve(
 def reconstruct_samples(
     phi: np.ndarray,
     samples: np.ndarray,
-    image_shape,
+    image_shape: Tuple[int, int],
     *,
     dictionary: str = "dct",
     solver: str = "fista",

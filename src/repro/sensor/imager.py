@@ -49,7 +49,6 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.ca.automaton import ElementaryCellularAutomaton
 from repro.ca.selection import CASelectionGenerator, selection_masks_from_states
 from repro.pixel.event import PixelEvent
 from repro.pixel.time_encoder import TimeEncoder, column_event_order
@@ -510,14 +509,15 @@ class CompressiveImager:
         ``selection.reset()`` rewinds to) without disturbing the generator
         itself, mirroring how each standalone capture begins.
         """
-        automaton = ElementaryCellularAutomaton(
-            self.config.rows + self.config.cols,
-            self.rule_number,
+        generator = CASelectionGenerator(
+            self.config.rows,
+            self.config.cols,
             seed_state=self.selection.seed_state,
+            rule=self.rule_number,
+            steps_per_sample=self.steps_per_sample,
+            warmup_steps=self.warmup_steps,
         )
-        if self.warmup_steps:
-            automaton.step(self.warmup_steps)
-        return automaton.evolve_states(int(n_states), self.steps_per_sample)
+        return generator.next_states(int(n_states))
 
     # ----------------------------------------------------- behavioural path
     def _behavioural_lsb_probability(self, lsb_error: bool) -> float:

@@ -29,7 +29,7 @@ import asyncio
 import functools
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Any, Awaitable, Callable, Iterable, List, Optional, TypeVar, cast
 
 import numpy as np
 
@@ -49,6 +49,7 @@ from repro.stream.protocol import (
     encode_stream_end,
     encode_stream_header,
 )
+from repro.stream.transport import Transport
 from repro.utils.validation import check_positive
 
 
@@ -61,7 +62,10 @@ class ChannelBudgetError(ValueError):
 CHUNK_OVERHEAD_BITS = (12 + 9) * 8
 
 
-def _close_on_error(method):
+_StreamMethod = TypeVar("_StreamMethod", bound=Callable[..., Awaitable[Any]])
+
+
+def _close_on_error(method: _StreamMethod) -> _StreamMethod:
     """Close the transport when a stream method dies mid-stream.
 
     A capture-side failure (governor rejection, bad scene shape, solver
@@ -73,7 +77,7 @@ def _close_on_error(method):
     """
 
     @functools.wraps(method)
-    async def wrapper(self, *args, **kwargs):
+    async def wrapper(self: CameraNode, *args: Any, **kwargs: Any) -> Any:
         try:
             return await method(self, *args, **kwargs)
         except BaseException:
@@ -83,7 +87,7 @@ def _close_on_error(method):
                 pass
             raise
 
-    return wrapper
+    return cast("_StreamMethod", wrapper)
 
 
 @dataclass
@@ -210,7 +214,7 @@ class CameraNode:
 
     def __init__(
         self,
-        transport,
+        transport: Transport,
         *,
         stream_id: int = 1,
         governor: Optional[BitrateGovernor] = None,
@@ -226,7 +230,7 @@ class CameraNode:
         self._sequence = 0
 
     # -------------------------------------------------------------- helpers
-    async def _run(self, fn, *args):
+    async def _run(self, fn: Callable[..., Any], *args: Any) -> Any:
         """Run blocking capture work on the worker executor."""
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self.executor, fn, *args)
@@ -294,7 +298,7 @@ class CameraNode:
         scenes: Iterable[np.ndarray],
         *,
         fidelity: str = "behavioural",
-        **capture_kwargs,
+        **capture_kwargs: Any,
     ) -> StreamStats:
         """Stream independent frames from one imager (every frame a keyframe).
 
@@ -334,7 +338,7 @@ class CameraNode:
         scenes: Iterable[np.ndarray],
         *,
         fidelity: str = "behavioural",
-        **capture_kwargs,
+        **capture_kwargs: Any,
     ) -> StreamStats:
         """Stream a video sequence with seed-once GOPs.
 
@@ -392,7 +396,7 @@ class CameraNode:
         photocurrent: np.ndarray,
         *,
         fidelity: str = "behavioural",
-        **capture_kwargs,
+        **capture_kwargs: Any,
     ) -> StreamStats:
         """Stream one mosaic frame, tile chunks flowing as tiles finish.
 
@@ -453,7 +457,7 @@ class CameraNode:
         *,
         fidelity: str = "behavioural",
         photocurrents: bool = False,
-        **capture_kwargs,
+        **capture_kwargs: Any,
     ) -> StreamStats:
         """Stream a tiled video sequence, GOP by GOP, seed-once per tile.
 

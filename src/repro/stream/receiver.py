@@ -34,7 +34,7 @@ from __future__ import annotations
 import asyncio
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -47,11 +47,17 @@ from repro.recon.pipeline import (
     reconstruct_frame,
 )
 from repro.sensor.imager import CompressedFrame
-from repro.sensor.shard import TiledCaptureResult, merge_tile_statistics, tile_grid
+from repro.sensor.shard import (
+    TiledCaptureResult,
+    TileSlot,
+    merge_tile_statistics,
+    tile_grid,
+)
 from repro.stream.protocol import (
     Chunk,
     ChunkDecoder,
     ChunkType,
+    FrameData,
     StreamHeader,
     StreamProtocolError,
     advance_seed_state,
@@ -60,6 +66,7 @@ from repro.stream.protocol import (
     decode_stream_end,
     decode_stream_header,
 )
+from repro.stream.transport import Transport
 
 
 @dataclass
@@ -181,7 +188,7 @@ class StreamReceiver:
     def _reset_stream_state(self) -> None:
         """Forget everything about the previous stream (called per run)."""
         self._header: Optional[StreamHeader] = None
-        self._slots = None
+        self._slots: Optional[List[List[TileSlot]]] = None
         self._result = StreamResult()
         self._next_sequence = 0
         self._ended = False
@@ -192,18 +199,20 @@ class StreamReceiver:
         # task) awaited at the frame barrier.
         self._pending_tiles: Dict[int, List[List[Optional[CompressedFrame]]]] = {}
         self._pending_recon: Dict[int, IncrementalTiledReconstructor] = {}
-        self._pending_solves: Dict[int, List[tuple]] = {}
+        self._pending_solves: Dict[
+            int, List[Tuple[int, int, CompressedFrame, asyncio.Task[Any]]]
+        ] = {}
         # Single-sensor streams: (ReceivedFrame, task) pairs whose
         # reconstructions are attached at end-of-stream.
-        self._pending_frame_solves: List[tuple] = []
+        self._pending_frame_solves: List[Tuple[ReceivedFrame, asyncio.Task[Any]]] = []
         # Batched tiled mode: the (bounded) queue of in-flight whole-frame
         # solves — frame k's solve overlaps frame k+1's wire time, but the
         # barrier awaits older solves past the depth bound so a stream that
         # outruns the solver cannot accumulate unbounded work.
-        self._pending_tiled_solves: List[tuple] = []
+        self._pending_tiled_solves: List[Tuple[ReceivedFrame, asyncio.Task[Any]]] = []
 
     # -------------------------------------------------------------- helpers
-    async def _run(self, fn, *args):
+    async def _run(self, fn: Callable[..., Any], *args: Any) -> Any:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self.executor, fn, *args)
 
@@ -218,7 +227,9 @@ class StreamReceiver:
         return reconstruct_frame(frame, **self._recon_options)
 
     def _solve_tiled_batched(
-        self, tiles, capture_metadata
+        self,
+        tiles: List[List[Optional[CompressedFrame]]],
+        capture_metadata: Dict[str, object],
     ) -> TiledReconstructionResult:
         """Invert one complete tiled frame through the batched barrier solve."""
         reconstructor = self._new_reconstructor()
@@ -229,7 +240,7 @@ class StreamReceiver:
         return reconstructor.result(capture_metadata=capture_metadata)
 
     # ------------------------------------------------------------- chunk fsm
-    async def run(self, transport) -> StreamResult:
+    async def run(self, transport: Transport) -> StreamResult:
         """Drain the transport until end-of-stream; return everything landed.
 
         Raises :class:`StreamProtocolError` on malformed chunks, sequence
@@ -312,7 +323,7 @@ class StreamReceiver:
             self._ended = True
 
     def _decode_with_chain(
-        self, data, key: Tuple[int, int], keyframe: bool
+        self, data: FrameData, key: Tuple[int, int], keyframe: bool
     ) -> CompressedFrame:
         """Decode one embedded frame, maintaining the position's seed chain."""
         if keyframe:
@@ -474,6 +485,6 @@ class StreamReceiver:
             self._pending_tiled_solves.append((received, task))
 
 
-async def receive_stream(transport, **options) -> StreamResult:
+async def receive_stream(transport: Transport, **options: Any) -> StreamResult:
     """One-shot convenience: ``StreamReceiver(**options).run(transport)``."""
     return await StreamReceiver(**options).run(transport)

@@ -23,9 +23,22 @@ via ``StreamWriter.drain``.
 from __future__ import annotations
 
 import asyncio
-from typing import Awaitable, Callable, Optional, Tuple
+from typing import Awaitable, Callable, Optional, Protocol, Tuple
 
 from repro.utils.validation import check_positive
+
+
+class Transport(Protocol):
+    """Structural type of a streaming byte channel (see module docstring)."""
+
+    async def send(self, data: bytes) -> None:
+        """Ship one byte slice; may suspend — that is the backpressure."""
+
+    async def recv(self) -> Optional[bytes]:
+        """Next byte slice, or ``None`` at end-of-stream."""
+
+    async def close(self) -> None:
+        """Sender side: flush and signal end-of-stream."""
 
 
 class TransportClosedError(ConnectionError):
@@ -46,7 +59,9 @@ class LoopbackTransport:
     def __init__(self, max_buffered: int = 8) -> None:
         check_positive("max_buffered", max_buffered)
         self.max_buffered = int(max_buffered)
-        self._queue: asyncio.Queue = asyncio.Queue(maxsize=self.max_buffered)
+        self._queue: asyncio.Queue[Optional[bytes]] = asyncio.Queue(
+            maxsize=self.max_buffered
+        )
         self._closed = False
         self._eof_sent = False
         self._eof_received = False
@@ -144,5 +159,5 @@ async def serve_tcp(
         await handler(TcpTransport(reader, writer))
 
     server = await asyncio.start_server(on_connect, host=host, port=port)
-    bound_port = server.sockets[0].getsockname()[1]
+    bound_port = int(server.sockets[0].getsockname()[1])
     return server, bound_port

@@ -1,0 +1,88 @@
+"""Local proxy for the CI strict-typing gate.
+
+The container running tier-1 has no mypy; CI installs its own and runs
+``mypy --strict src/repro/cs src/repro/recon src/repro/stream``.  This test
+keeps the property mypy's ``disallow_untyped_defs``/``disallow_incomplete_defs``
+would enforce — every function in the strict trees is fully annotated — so
+an unannotated def fails locally, long before CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Iterator, List, Tuple
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+#: The trees pyproject.toml pins to ``strict = true``.
+STRICT_TREES = ("cs", "recon", "stream")
+
+
+def _strict_files() -> List[pathlib.Path]:
+    files = []
+    for tree in STRICT_TREES:
+        files.extend(sorted((REPO_ROOT / "src" / "repro" / tree).rglob("*.py")))
+    assert files, "strict trees vanished — update STRICT_TREES"
+    return files
+
+
+def _incomplete_defs(path: pathlib.Path) -> Iterator[Tuple[int, str, List[str]]]:
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+
+    class Visitor(ast.NodeVisitor):
+        def _check(self, node: ast.AST) -> None:
+            assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            missing = []
+            args = node.args
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                if arg.arg in ("self", "cls"):
+                    continue
+                if arg.annotation is None:
+                    missing.append(arg.arg)
+            if args.vararg is not None and args.vararg.annotation is None:
+                missing.append(f"*{args.vararg.arg}")
+            if args.kwarg is not None and args.kwarg.annotation is None:
+                missing.append(f"**{args.kwarg.arg}")
+            # __init__ returns None implicitly; everything else must say so.
+            if node.returns is None and node.name != "__init__":
+                missing.append("return type")
+            if missing:
+                found.append((node.lineno, node.name, missing))
+            self.generic_visit(node)
+
+        visit_FunctionDef = _check
+        visit_AsyncFunctionDef = _check
+
+    found: List[Tuple[int, str, List[str]]] = []
+    Visitor().visit(tree)
+    return iter(found)
+
+
+@pytest.mark.parametrize(
+    "path",
+    _strict_files(),
+    ids=lambda path: str(path.relative_to(REPO_ROOT / "src")),
+)
+def test_strict_tree_defs_are_fully_annotated(path: pathlib.Path) -> None:
+    problems = [
+        f"{path}:{line} {name}: missing annotations for {', '.join(missing)}"
+        for line, name, missing in _incomplete_defs(path)
+    ]
+    assert not problems, "\n".join(problems)
+
+
+def test_py_typed_marker_ships() -> None:
+    assert (REPO_ROOT / "src" / "repro" / "py.typed").exists()
+
+
+def test_mypy_strict_scope_matches_pyproject() -> None:
+    """The trees this test guards are the trees pyproject marks strict."""
+    text = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    for tree in STRICT_TREES:
+        assert f'"repro.{tree}.*"' in text, (
+            f"pyproject.toml no longer marks repro.{tree} strict — "
+            "keep STRICT_TREES and [[tool.mypy.overrides]] in lockstep"
+        )
