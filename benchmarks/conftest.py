@@ -10,7 +10,7 @@ Run them with::
 Add ``-s`` to see the regenerated tables printed to stdout.
 """
 
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 import pytest
 

@@ -9,7 +9,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro._lint.engine import Finding, LintError, lint_paths
 from repro._lint.rules import RULES, rule_ids
@@ -53,7 +53,7 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _print_findings(findings: List[Finding], as_json: bool) -> None:
+def _print_findings(findings: list[Finding], as_json: bool) -> None:
     if as_json:
         payload = [
             {
@@ -76,7 +76,7 @@ def _print_findings(findings: List[Finding], as_json: bool) -> None:
     print(f"\n{len(findings)} {noun} ({', '.join(sorted({f.rule_id for f in findings}))})")
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list_rules:
         for rule in RULES:

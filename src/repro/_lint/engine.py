@@ -13,7 +13,7 @@ import re
 import tokenize
 from dataclasses import dataclass
 from pathlib import Path, PurePosixPath
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from collections.abc import Iterable, Iterator, Sequence
 
 #: Rule id reserved for malformed/unjustified suppression comments.
 SUPPRESSION_RULE_ID = "REPRO000"
@@ -52,7 +52,7 @@ class Suppression:
     """A parsed ``# repro-lint: allow=...`` comment."""
 
     line: int
-    rule_ids: Tuple[str, ...]
+    rule_ids: tuple[str, ...]
     justification: str
 
 
@@ -70,7 +70,7 @@ class ModuleContext:
         parts = PurePosixPath(self.path).parts
         #: Posix path relative to the ``repro`` package root (e.g.
         #: ``repro/ca/selection.py``) or ``None`` outside the library.
-        self.module_rel: Optional[str] = None
+        self.module_rel: str | None = None
         if "repro" in parts:
             index = parts.index("repro")
             self.module_rel = "/".join(parts[index:])
@@ -80,7 +80,7 @@ class ModuleContext:
         self.is_library = self.module_rel is not None and "tests" not in parts
         self.is_test = "tests" in parts
         self.suppressions = _parse_suppressions(source)
-        self._suppressed_lines: Dict[int, Set[str]] = {}
+        self._suppressed_lines: dict[int, set[str]] = {}
         for suppression in self.suppressions:
             if suppression.justification:
                 self._suppressed_lines.setdefault(suppression.line, set()).update(
@@ -111,8 +111,8 @@ class ModuleContext:
                 )
 
 
-def _parse_suppressions(source: str) -> List[Suppression]:
-    suppressions: List[Suppression] = []
+def _parse_suppressions(source: str) -> list[Suppression]:
+    suppressions: list[Suppression] = []
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for token in tokens:
@@ -150,8 +150,8 @@ def lint_source(
     source: str,
     path: str,
     *,
-    rules: Optional[Sequence] = None,
-) -> List[Finding]:
+    rules: Sequence | None = None,
+) -> list[Finding]:
     """Lint one in-memory module as if it lived at ``path``.
 
     ``path`` decides which contracts bind (library code vs. tests), so the
@@ -191,10 +191,10 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
 def lint_paths(
     paths: Iterable[str],
     *,
-    rules: Optional[Sequence] = None,
-) -> List[Finding]:
+    rules: Sequence | None = None,
+) -> list[Finding]:
     """Lint every Python file under ``paths`` and return all findings."""
-    findings: List[Finding] = []
+    findings: list[Finding] = []
     for file_path in iter_python_files(paths):
         source = file_path.read_text(encoding="utf-8")
         findings.extend(lint_source(source, str(file_path), rules=rules))

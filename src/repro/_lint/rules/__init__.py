@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Tuple
 
 from repro._lint.rules.async_hygiene import RULE as ASYNC_HYGIENE
 from repro._lint.rules.base import Rule
@@ -12,7 +11,7 @@ from repro._lint.rules.rng_discipline import RULE as RNG_DISCIPLINE
 from repro._lint.rules.shared_phi import RULE as SHARED_PHI
 
 #: Every registered rule, in rule-id order.
-RULES: Tuple[Rule, ...] = (
+RULES: tuple[Rule, ...] = (
     SHARED_PHI,      # REPRO001
     DENSE_PHI,       # REPRO002
     RNG_DISCIPLINE,  # REPRO003
@@ -21,7 +20,7 @@ RULES: Tuple[Rule, ...] = (
 )
 
 
-def rule_ids() -> Tuple[str, ...]:
+def rule_ids() -> tuple[str, ...]:
     """The registered rule ids, in order."""
     return tuple(rule.rule_id for rule in RULES)
 

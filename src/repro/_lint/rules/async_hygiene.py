@@ -17,7 +17,7 @@ executor) and flags known-blocking calls.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List
+from collections.abc import Iterator
 
 from repro._lint.engine import Finding, ModuleContext
 from repro._lint.rules.base import Rule, dotted_name
@@ -66,7 +66,7 @@ class _AsyncBodyVisitor(ast.NodeVisitor):
     """Collect Call nodes that execute directly on the event loop."""
 
     def __init__(self) -> None:
-        self.calls: List[ast.Call] = []
+        self.calls: list[ast.Call] = []
         self._async_depth = 0
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:

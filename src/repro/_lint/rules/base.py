@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 from repro._lint.engine import Finding, ModuleContext
 
@@ -37,7 +37,7 @@ class Rule:
         )
 
 
-def dotted_name(node: ast.AST) -> Optional[str]:
+def dotted_name(node: ast.AST) -> str | None:
     """Render ``a.b.c`` attribute chains as a dotted string (else ``None``)."""
     parts = []
     while isinstance(node, ast.Attribute):

@@ -13,7 +13,7 @@ the lazy escape hatch live).  Tests and benchmarks are exempt — pinning
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro._lint.engine import Finding, ModuleContext
 from repro._lint.rules.base import Rule

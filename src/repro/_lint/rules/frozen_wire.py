@@ -22,14 +22,14 @@ from __future__ import annotations
 
 import ast
 import hashlib
-from typing import Dict, Iterator, List, Optional, Tuple
+from collections.abc import Iterator
 
 from repro._lint.engine import Finding, LintError, ModuleContext
 from repro._lint.rules.base import Rule
 
 #: Wire-layout constants per module.  Order matters: the digest is computed
 #: over this order, so the tuple doubles as the layout's documentation.
-PINNED_CONSTANTS: Dict[str, Tuple[str, ...]] = {
+PINNED_CONSTANTS: dict[str, tuple[str, ...]] = {
     "repro/io/framing.py": (
         "FRAME_MAGIC",
         "FRAME_VERSION",
@@ -56,7 +56,7 @@ PINNED_CONSTANTS: Dict[str, Tuple[str, ...]] = {
 #: sha256 digests of the canonical constant dump, pinned at the last
 #: consciously-versioned wire layout (v1/v2 frames, chunk protocol v1).
 #: Re-pin ONLY together with a new version byte — never to quiet the linter.
-EXPECTED_FINGERPRINTS: Dict[str, str] = {
+EXPECTED_FINGERPRINTS: dict[str, str] = {
     "repro/io/framing.py": (
         "c3b1418903982b0daefc30acd3a1011fb6d5c9fc655536117c9f20490dbd799b"
     ),
@@ -66,7 +66,7 @@ EXPECTED_FINGERPRINTS: Dict[str, str] = {
 }
 
 
-def _extract_value(node: ast.AST) -> Optional[object]:
+def _extract_value(node: ast.AST) -> object | None:
     """AST-extract a pinned constant: literals, or ``struct.Struct(fmt)``."""
     if isinstance(node, ast.Call):
         # struct.Struct("...") — the format string IS the layout.
@@ -79,12 +79,12 @@ def _extract_value(node: ast.AST) -> Optional[object]:
         return None
 
 
-def extract_constants(tree: ast.AST, names: Tuple[str, ...]) -> Dict[str, object]:
+def extract_constants(tree: ast.AST, names: tuple[str, ...]) -> dict[str, object]:
     """Pull the pinned wire constants out of a parsed module."""
-    found: Dict[str, object] = {}
+    found: dict[str, object] = {}
     for node in ast.iter_child_nodes(tree):
-        targets: List[ast.expr] = []
-        value: Optional[ast.expr] = None
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
         if isinstance(node, ast.Assign):
             targets, value = node.targets, node.value
         elif isinstance(node, ast.AnnAssign) and node.value is not None:
@@ -109,7 +109,7 @@ def extract_constants(tree: ast.AST, names: Tuple[str, ...]) -> Dict[str, object
     return found
 
 
-def compute_fingerprint(tree: ast.AST, module_rel: str) -> Tuple[str, Tuple[str, ...]]:
+def compute_fingerprint(tree: ast.AST, module_rel: str) -> tuple[str, tuple[str, ...]]:
     """Digest a wire module's pinned constants.
 
     Returns ``(sha256_hex, missing_names)``; missing names are part of the
@@ -123,7 +123,7 @@ def compute_fingerprint(tree: ast.AST, module_rel: str) -> Tuple[str, Tuple[str,
     return digest, missing
 
 
-def current_fingerprints(sources: Dict[str, str]) -> Dict[str, str]:
+def current_fingerprints(sources: dict[str, str]) -> dict[str, str]:
     """Compute digests for ``{module_rel: source}`` (the --wire-fingerprint CLI)."""
     digests = {}
     for module_rel, source in sources.items():

@@ -26,7 +26,7 @@ funnel and is exempt.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro._lint.engine import Finding, ModuleContext
 from repro._lint.rules.base import Rule, dotted_name

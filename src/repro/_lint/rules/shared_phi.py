@@ -19,7 +19,7 @@ apart, so this rule flags the two ways one gets written:
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro._lint.engine import Finding, ModuleContext
 from repro._lint.rules.base import Rule, dotted_name, has_none_subscript

@@ -12,7 +12,7 @@ knob buys, so the ablation benchmarks can show the defaults are sensible:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -43,7 +43,7 @@ def ablate_ca_rule(
     scene_kind: str = "blobs",
     max_iterations: int = 150,
     seed: int = 2018,
-) -> List[Dict[str, float]]:
+) -> list[dict[str, float]]:
     """Reconstruction quality when the selection CA runs a different rule."""
     scene = _quantize(make_scene(scene_kind, image_shape, seed=seed), 8)
     n_samples = int(round(compression_ratio * scene.size))
@@ -76,7 +76,7 @@ def ablate_steps_per_sample(
     scene_kind: str = "blobs",
     max_iterations: int = 150,
     seed: int = 2018,
-) -> List[Dict[str, float]]:
+) -> list[dict[str, float]]:
     """Does mixing the CA longer between samples improve Φ?  (It barely should.)"""
     scene = _quantize(make_scene(scene_kind, image_shape, seed=seed), 8)
     n_samples = int(round(compression_ratio * scene.size))
@@ -108,7 +108,7 @@ def ablate_pixel_depth(
     scene_kind: str = "blobs",
     max_iterations: int = 150,
     seed: int = 2018,
-) -> List[Dict[str, float]]:
+) -> list[dict[str, float]]:
     """Counter depth ``N_b``: quality and bit cost of 6/8/10-bit conversion.
 
     Deeper counters resolve the time encoding more finely but inflate every
@@ -152,7 +152,7 @@ def ablate_event_duration(
     window: float = 10.67e-6,
     n_trials: int = 200,
     seed: int = 2018,
-) -> List[Dict[str, float]]:
+) -> list[dict[str, float]]:
     """Event duration vs queueing: longer termination delays congest the bus."""
     rng = new_rng(seed)
     rows = []
@@ -186,7 +186,7 @@ def ablate_dictionary(
     scene_kinds: Sequence[str] = ("blobs", "text", "points"),
     max_iterations: int = 150,
     seed: int = 2018,
-) -> List[Dict[str, float]]:
+) -> list[dict[str, float]]:
     """Receiver-side dictionary choice across scene statistics."""
     rows = []
     for scene_kind in scene_kinds:

@@ -10,7 +10,6 @@ under-provisioned accumulators on worst-case and random selections.
 from __future__ import annotations
 
 import math
-from typing import Dict, List
 
 
 from repro.utils.rng import SeedLike, new_rng
@@ -28,7 +27,7 @@ def compressed_sample_bits(pixel_bits: int, rows: int, cols: int) -> int:
 def dynamic_range_table(
     pixel_bits_values=(6, 8, 10),
     array_sizes=((8, 8), (16, 16), (32, 32), (64, 64), (128, 128), (256, 256)),
-) -> List[Dict[str, float]]:
+) -> list[dict[str, float]]:
     """Tabulate Eq. (1) and the resulting maximum useful compression ratio.
 
     The maximum useful ratio is ``N_b / N_B`` — beyond it, transmitting the

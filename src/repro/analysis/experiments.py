@@ -10,7 +10,7 @@ way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -35,9 +35,9 @@ class ExperimentRecord:
     psnr_db: float
     snr_db: float
     ssim: float
-    extra: Dict[str, float] = field(default_factory=dict)
+    extra: dict[str, float] = field(default_factory=dict)
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         """Flatten to a plain dictionary (for table printing)."""
         row = {
             "scene": self.scene,
@@ -150,7 +150,7 @@ def sweep_compression_ratio(
     strategies: Sequence[str],
     ratios: Sequence[float],
     **kwargs,
-) -> List[ExperimentRecord]:
+) -> list[ExperimentRecord]:
     """Cartesian sweep over scenes, strategies and compression ratios."""
     records = []
     for scene_kind in scene_kinds:
@@ -164,9 +164,9 @@ def sweep_compression_ratio(
 
 def strategy_comparison(
     records: Sequence[ExperimentRecord],
-) -> Dict[str, Dict[float, float]]:
+) -> dict[str, dict[float, float]]:
     """Average PSNR per strategy per compression ratio (the E9 summary table)."""
-    accumulator: Dict[str, Dict[float, List[float]]] = {}
+    accumulator: dict[str, dict[float, list[float]]] = {}
     for record in records:
         accumulator.setdefault(record.strategy, {}).setdefault(
             record.compression_ratio, []

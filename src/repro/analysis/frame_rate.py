@@ -10,7 +10,6 @@ would collide without the serialising token protocol.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 import numpy as np
 
@@ -40,7 +39,7 @@ def sample_rate_table(
     frame_rates=(15.0, 30.0, 60.0),
     compression_ratios=(0.1, 0.2, 0.3, 0.4),
     array_sizes=((32, 32), (64, 64), (128, 128)),
-) -> List[Dict[str, float]]:
+) -> list[dict[str, float]]:
     """Tabulate Eq. (2) across the design space (E7 benchmark table)."""
     table = []
     for rows, cols in array_sizes:
@@ -67,7 +66,7 @@ def simulate_overlap_probability(
     *,
     n_trials: int = 2000,
     seed: SeedLike = None,
-) -> Dict[str, float]:
+) -> dict[str, float]:
     """Monte-Carlo estimate of event-overlap probabilities in one column.
 
     Events are placed uniformly at random in the window.  Returns both the

@@ -10,7 +10,6 @@ benchmark uses them to contrast Rule 30 with structured rules (90, 184).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -19,7 +18,7 @@ from repro.ca.automaton import ElementaryCellularAutomaton
 
 def detect_cycle(
     automaton: ElementaryCellularAutomaton, max_steps: int
-) -> Optional[Tuple[int, int]]:
+) -> tuple[int, int] | None:
     """Detect a state cycle within ``max_steps`` updates.
 
     Returns ``(tail, period)`` — the number of steps before the cycle is
@@ -30,7 +29,7 @@ def detect_cycle(
     """
     if max_steps <= 0:
         raise ValueError(f"max_steps must be positive, got {max_steps}")
-    seen: Dict[bytes, int] = {automaton.state.tobytes(): 0}
+    seen: dict[bytes, int] = {automaton.state.tobytes(): 0}
     for step in range(1, max_steps + 1):
         key = automaton.step().tobytes()
         if key in seen:
@@ -129,7 +128,7 @@ def classify_behaviour(
     n_cells: int = 128,
     n_steps: int = 2048,
     seed: int = 2018,
-) -> Dict[str, float]:
+) -> dict[str, float]:
     """Summary statistics used to argue a rule's Wolfram class empirically.
 
     Returns bit balance, block entropy, maximum |autocorrelation| of the

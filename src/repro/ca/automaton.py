@@ -10,7 +10,7 @@ ring (periodic) and fixed logic levels at both ends.
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Iterator, Optional, Union
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
@@ -53,9 +53,9 @@ class ElementaryCellularAutomaton:
     def __init__(
         self,
         n_cells: int,
-        rule: Union[int, RuleTable] = 30,
+        rule: int | RuleTable = 30,
         *,
-        seed_state: Optional[Iterable[int]] = None,
+        seed_state: Iterable[int] | None = None,
         boundary: BoundaryCondition = BoundaryCondition.PERIODIC,
         seed: SeedLike = None,
     ) -> None:
@@ -92,7 +92,7 @@ class ElementaryCellularAutomaton:
         """Number of update steps applied since the last reset."""
         return self._generation
 
-    def reset(self, seed_state: Optional[Iterable[int]] = None) -> None:
+    def reset(self, seed_state: Iterable[int] | None = None) -> None:
         """Reset to the original seed, or to a new ``seed_state`` if given."""
         if seed_state is not None:
             state = check_binary_array("seed_state", np.array(list(seed_state)))

@@ -11,7 +11,7 @@ equivalent to the Wolfram Rule 30 truth table (Table I) and to the vectorised
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -40,7 +40,7 @@ class Rule30Cell:
         if initial_state not in (0, 1):
             raise ValueError(f"initial_state must be 0 or 1, got {initial_state}")
         self._state = int(initial_state)
-        self._master: Optional[int] = None
+        self._master: int | None = None
 
     @property
     def state(self) -> int:
@@ -80,9 +80,9 @@ class Rule30Register:
 
     def __init__(
         self,
-        n_cells: Optional[int] = None,
+        n_cells: int | None = None,
         *,
-        seed_state: Optional[Iterable[int]] = None,
+        seed_state: Iterable[int] | None = None,
         seed: SeedLike = None,
     ) -> None:
         if seed_state is not None:
@@ -98,7 +98,7 @@ class Rule30Register:
             bits = nonzero_seed_bits(int(n_cells), seed)
         if n_cells < 3:
             raise ValueError(f"n_cells must be at least 3, got {n_cells}")
-        self._cells: List[Rule30Cell] = [Rule30Cell(int(bit)) for bit in bits]
+        self._cells: list[Rule30Cell] = [Rule30Cell(int(bit)) for bit in bits]
         self._initial = bits.copy()
 
     def __len__(self) -> int:
@@ -109,7 +109,7 @@ class Rule30Register:
         """Current ring contents as a ``uint8`` array."""
         return np.array([cell.state for cell in self._cells], dtype=np.uint8)
 
-    def reset(self, seed_state: Optional[Iterable[int]] = None) -> None:
+    def reset(self, seed_state: Iterable[int] | None = None) -> None:
         """Reload the seed (the original one, or a new one if given)."""
         if seed_state is not None:
             bits = check_binary_array("seed_state", np.array(list(seed_state)))

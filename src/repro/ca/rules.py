@@ -11,12 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, List, Tuple
 
 import numpy as np
 
 #: Neighbourhoods in the order used by Table I of the paper (LSR from 111 to 000).
-NEIGHBORHOOD_ORDER: Tuple[Tuple[int, int, int], ...] = (
+NEIGHBORHOOD_ORDER: tuple[tuple[int, int, int], ...] = (
     (1, 1, 1),
     (1, 1, 0),
     (1, 0, 1),
@@ -52,14 +51,14 @@ class RuleTable:
         index = (left << 2) | (center << 1) | right
         return (self.number >> index) & 1
 
-    def as_table(self) -> List[Tuple[int, int, int, int]]:
+    def as_table(self) -> list[tuple[int, int, int, int]]:
         """Return rows ``(L, S, R, NS)`` in the order used by Table I of the paper."""
         return [
             (left, center, right, self.next_state(left, center, right))
             for left, center, right in NEIGHBORHOOD_ORDER
         ]
 
-    def as_dict(self) -> Dict[Tuple[int, int, int], int]:
+    def as_dict(self) -> dict[tuple[int, int, int], int]:
         """Return the truth table as a ``{(L, S, R): NS}`` mapping."""
         return {
             (left, center, right): self.next_state(left, center, right)
@@ -117,7 +116,7 @@ RULE_110 = RuleTable(110)
 RULE_184 = RuleTable(184)
 
 #: Table I of the paper as printed (rows of L, S, R, NS).
-PAPER_TABLE_I: Tuple[Tuple[int, int, int, int], ...] = (
+PAPER_TABLE_I: tuple[tuple[int, int, int, int], ...] = (
     (1, 1, 1, 0),
     (1, 1, 0, 0),
     (1, 0, 1, 0),

@@ -29,7 +29,7 @@ batched states.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Union
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -61,7 +61,7 @@ def selection_masks_from_states(states: np.ndarray, rows: int, cols: int) -> np.
 
 def selection_factors_from_states(
     states: np.ndarray, rows: int, cols: int
-) -> "tuple[np.ndarray, np.ndarray]":
+) -> tuple[np.ndarray, np.ndarray]:
     """Split a stack of CA states into the row/column factors ``(R, C)``.
 
     ``R`` is the ``(n_samples, rows)`` slice of cells driving the row
@@ -87,7 +87,7 @@ def _evolved_states(
     cols: int,
     seed_state: np.ndarray,
     *,
-    rule: Union[int, RuleTable],
+    rule: int | RuleTable,
     steps_per_sample: int,
     warmup_steps: int,
     boundary: BoundaryCondition,
@@ -110,11 +110,11 @@ def ca_selection_factors(
     cols: int,
     seed_state: np.ndarray,
     *,
-    rule: Union[int, RuleTable] = 30,
+    rule: int | RuleTable = 30,
     steps_per_sample: int = 1,
     warmup_steps: int = 0,
     boundary: BoundaryCondition = BoundaryCondition.PERIODIC,
-) -> "tuple[np.ndarray, np.ndarray]":
+) -> tuple[np.ndarray, np.ndarray]:
     """Build the row/column CA factors ``(R, C)`` of Φ from a seed.
 
     This is the factored twin of :func:`ca_measurement_matrix`: it runs the
@@ -144,7 +144,7 @@ def ca_measurement_matrix(
     cols: int,
     seed_state: np.ndarray,
     *,
-    rule: Union[int, RuleTable] = 30,
+    rule: int | RuleTable = 30,
     steps_per_sample: int = 1,
     warmup_steps: int = 0,
     boundary: BoundaryCondition = BoundaryCondition.PERIODIC,
@@ -255,8 +255,8 @@ class CASelectionGenerator:
         rows: int,
         cols: int,
         *,
-        seed_state: Optional[np.ndarray] = None,
-        rule: Union[int, RuleTable] = 30,
+        seed_state: np.ndarray | None = None,
+        rule: int | RuleTable = 30,
         steps_per_sample: int = 1,
         warmup_steps: int = 0,
         boundary: BoundaryCondition = BoundaryCondition.PERIODIC,
@@ -394,7 +394,7 @@ class CASelectionGenerator:
             boundary=self._automaton.boundary,
         )
 
-    def measurement_factors(self, n_samples: int) -> "tuple[np.ndarray, np.ndarray]":
+    def measurement_factors(self, n_samples: int) -> tuple[np.ndarray, np.ndarray]:
         """Return the ``(R, C)`` factor pair of the first ``n_samples`` rows of Φ.
 
         The factored counterpart of :meth:`measurement_matrix`: same seed,

@@ -21,7 +21,6 @@ simulation.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -66,7 +65,7 @@ class BlockCompressiveSampler:
 
     def __init__(
         self,
-        image_shape: Tuple[int, int] = (64, 64),
+        image_shape: tuple[int, int] = (64, 64),
         *,
         block_size: int = 8,
         compression_ratio: float = 0.4,
@@ -148,8 +147,8 @@ class BlockCompressiveSampler:
         samples: np.ndarray,
         *,
         solver: str = "fista",
-        regularization: Optional[float] = None,
-        sparsity: Optional[int] = None,
+        regularization: float | None = None,
+        sparsity: int | None = None,
         max_iterations: int = 150,
     ) -> np.ndarray:
         """Reconstruct the full image from per-block samples.
@@ -206,7 +205,7 @@ class BlockCompressiveSampler:
         return unblock_view(reconstructed_blocks, self.image_shape)
 
     # ------------------------------------------------------------ reporting
-    def describe(self) -> Dict[str, float]:
+    def describe(self) -> dict[str, float]:
         """Summary of the block-CS configuration (used by the E9 benchmark)."""
         return {
             "block_size": float(self.block_size),

@@ -17,7 +17,7 @@ shape so callers never juggle reshapes.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 from scipy.fft import dctn, idctn
@@ -34,7 +34,7 @@ class Dictionary(abc.ABC):
     #: steps — and opted into by each shipped (orthonormal) dictionary.
     orthonormal = False
 
-    def __init__(self, shape: Tuple[int, int]) -> None:
+    def __init__(self, shape: tuple[int, int]) -> None:
         rows, cols = shape
         check_positive("rows", rows)
         check_positive("cols", cols)
@@ -128,7 +128,7 @@ class Dictionary(abc.ABC):
         self,
         image: np.ndarray,
         fractions: Sequence[float] = (0.01, 0.05, 0.1, 0.2),
-    ) -> Dict[float, float]:
+    ) -> dict[float, float]:
         """Energy captured by the largest coefficients — how compressible the image is."""
         coefficients = self.analyze(np.asarray(image, dtype=float).reshape(-1))
         energy = np.sort(coefficients ** 2)[::-1]
@@ -199,7 +199,7 @@ class Haar2Dictionary(Dictionary):
 
     orthonormal = True
 
-    def __init__(self, shape: Tuple[int, int]) -> None:
+    def __init__(self, shape: tuple[int, int]) -> None:
         super().__init__(shape)
         check_power_of_two("rows", self.shape[0])
         check_power_of_two("cols", self.shape[1])
@@ -291,7 +291,7 @@ _DICTIONARIES = {
 }
 
 
-def make_dictionary(name: str, shape: Tuple[int, int]) -> Dictionary:
+def make_dictionary(name: str, shape: tuple[int, int]) -> Dictionary:
     """Factory: build a dictionary by name (``identity``, ``dct`` or ``haar``)."""
     key = name.lower()
     if key not in _DICTIONARIES:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 
@@ -11,7 +10,7 @@ from repro.utils.validation import check_positive
 
 def _as_pair(
     reference: np.ndarray, estimate: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray]:
     reference = np.asarray(reference, dtype=float)
     estimate = np.asarray(estimate, dtype=float)
     if reference.shape != estimate.shape:
@@ -39,7 +38,7 @@ def nmse(reference: np.ndarray, estimate: np.ndarray) -> float:
 
 
 def psnr(
-    reference: np.ndarray, estimate: np.ndarray, *, data_range: Optional[float] = None
+    reference: np.ndarray, estimate: np.ndarray, *, data_range: float | None = None
 ) -> float:
     """Peak signal-to-noise ratio in dB.
 
@@ -70,7 +69,7 @@ def ssim(
     reference: np.ndarray,
     estimate: np.ndarray,
     *,
-    data_range: Optional[float] = None,
+    data_range: float | None = None,
     window: int = 8,
 ) -> float:
     """Mean structural similarity over non-overlapping windows.
@@ -110,7 +109,7 @@ def ssim(
 
 
 def support_recovery_rate(
-    true_coefficients: np.ndarray, estimate: np.ndarray, *, sparsity: Optional[int] = None
+    true_coefficients: np.ndarray, estimate: np.ndarray, *, sparsity: int | None = None
 ) -> float:
     """Fraction of the true support recovered among the largest estimated entries."""
     true_coefficients = np.asarray(true_coefficients, dtype=float).reshape(-1)

@@ -29,7 +29,7 @@ identity key and keeps the converged singular vectors as warm starts for the
 from __future__ import annotations
 
 import threading
-from typing import Dict, Hashable, Iterable, Optional, Tuple
+from collections.abc import Hashable, Iterable
 
 import numpy as np
 
@@ -66,11 +66,11 @@ class BaseSensingOperator:
     def __init__(self, n_samples: int, dictionary: Dictionary) -> None:
         self._n_samples = int(n_samples)
         self.dictionary = dictionary
-        self._norm_cache: Dict[Tuple[int, int, float], float] = {}
+        self._norm_cache: dict[tuple[int, int, float], float] = {}
         #: Optional cross-operator step-size cache (see :class:`StepSizeCache`).
-        self.norm_cache: Optional[StepSizeCache] = None
-        self.norm_exact_key: Optional[Hashable] = None
-        self.norm_warm_key: Optional[Hashable] = None
+        self.norm_cache: StepSizeCache | None = None
+        self.norm_exact_key: Hashable | None = None
+        self.norm_warm_key: Hashable | None = None
 
     # -------------------------------------------------------------- shapes
     @property
@@ -84,7 +84,7 @@ class BaseSensingOperator:
         return self.dictionary.n_pixels
 
     @property
-    def shape(self) -> Tuple[int, int]:
+    def shape(self) -> tuple[int, int]:
         """Operator shape ``(m, n)``."""
         return (self.n_samples, self.n_coefficients)
 
@@ -137,10 +137,10 @@ class BaseSensingOperator:
     def operator_norm(
         self,
         *,
-        n_iterations: Optional[int] = None,
+        n_iterations: int | None = None,
         seed: int = 0,
-        tolerance: Optional[float] = None,
-        warm_start: Optional[np.ndarray] = None,
+        tolerance: float | None = None,
+        warm_start: np.ndarray | None = None,
     ) -> float:
         """Largest singular value of A, estimated by power iteration.
 
@@ -263,7 +263,7 @@ class SensingOperator(BaseSensingOperator):
         pixel domain).
     """
 
-    def __init__(self, phi: np.ndarray, dictionary: Optional[Dictionary] = None) -> None:
+    def __init__(self, phi: np.ndarray, dictionary: Dictionary | None = None) -> None:
         phi = np.asarray(phi, dtype=float)
         if phi.ndim != 2:
             raise ValueError(f"phi must be a 2-D matrix, got {phi.ndim} dimensions")
@@ -328,14 +328,14 @@ class StepSizeCache:
         if max_entries < 1:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = int(max_entries)
-        self._exact: Dict[Hashable, float] = {}
-        self._warm: Dict[Hashable, np.ndarray] = {}
+        self._exact: dict[Hashable, float] = {}
+        self._warm: dict[Hashable, np.ndarray] = {}
         self._lock = threading.Lock()
         self.exact_hits = 0
         self.warm_hits = 0
         self.misses = 0
 
-    def norm(self, exact_key: Optional[Hashable]) -> Optional[float]:
+    def norm(self, exact_key: Hashable | None) -> float | None:
         """The memoised norm for an exact operator identity, if any."""
         if exact_key is None:
             return None
@@ -347,7 +347,7 @@ class StepSizeCache:
                 self.exact_hits += 1
             return sigma
 
-    def warm_vector(self, warm_key: Optional[Hashable]) -> Optional[np.ndarray]:
+    def warm_vector(self, warm_key: Hashable | None) -> np.ndarray | None:
         """The last converged singular vector for a geometry key, if any."""
         if warm_key is None:
             return None
@@ -360,8 +360,8 @@ class StepSizeCache:
 
     def store(
         self,
-        exact_key: Optional[Hashable],
-        warm_key: Optional[Hashable],
+        exact_key: Hashable | None,
+        warm_key: Hashable | None,
         sigma: float,
         vector: np.ndarray,
     ) -> None:

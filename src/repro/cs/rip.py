@@ -10,7 +10,7 @@ against Bernoulli, LFSR and Hadamard constructions.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -61,7 +61,7 @@ def restricted_isometry_estimate(
     *,
     n_trials: int = 200,
     seed: SeedLike = None,
-) -> Dict[str, float]:
+) -> dict[str, float]:
     """Empirical RIP proxy: extreme singular values of random k-column submatrices.
 
     Returns the worst lower/upper deviations of ``||A_S x||²/||x||²`` from 1
@@ -118,8 +118,8 @@ def matrix_quality_report(
     sparsity: int = 8,
     n_trials: int = 100,
     seed: SeedLike = None,
-    dictionary: Optional[Dictionary] = None,
-) -> Dict[str, float]:
+    dictionary: Dictionary | None = None,
+) -> dict[str, float]:
     """One-call summary used by benchmark E10.
 
     When a ``dictionary`` is given the report is computed on ``A = Φ Ψ``

@@ -19,7 +19,7 @@ suite), not a different algorithm.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -32,7 +32,7 @@ from repro.utils.validation import check_positive
 
 def _stack_factors(
     operators: Sequence[StructuredSensingOperator],
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Dictionary]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, Dictionary]:
     """Validate a homogeneous operator stack and return its batched factors."""
     if not operators:
         raise ValueError("need at least one operator to stack")
@@ -139,11 +139,11 @@ def steps_from_norms(sigmas: np.ndarray) -> np.ndarray:
 def batched_operator_norms(
     operators: Sequence[StructuredSensingOperator],
     *,
-    n_iterations: Optional[int] = None,
+    n_iterations: int | None = None,
     seed: int = 0,
-    tolerance: Optional[float] = None,
-    warm_starts: Optional[Sequence[Optional[np.ndarray]]] = None,
-) -> Tuple[np.ndarray, np.ndarray]:
+    tolerance: float | None = None,
+    warm_starts: Sequence[np.ndarray | None] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
     """Largest singular value of every stacked operator, in one power iteration.
 
     The vectorised twin of
@@ -219,12 +219,12 @@ def batched_proximal_gradient(
     operators: Sequence[StructuredSensingOperator],
     measurements: np.ndarray,
     *,
-    regularization: Union[float, np.ndarray],
+    regularization: float | np.ndarray,
     max_iterations: int = 200,
     tolerance: float = 1e-6,
-    step_sizes: Optional[np.ndarray] = None,
+    step_sizes: np.ndarray | None = None,
     accelerated: bool = True,
-) -> List[SolverResult]:
+) -> list[SolverResult]:
     """Run FISTA (or ISTA) on every tile of a homogeneous operator stack.
 
     Parameters
@@ -289,7 +289,7 @@ def batched_proximal_gradient(
     active = np.ones(n_tiles, dtype=bool)
     converged = np.zeros(n_tiles, dtype=bool)
     iterations = np.zeros(n_tiles, dtype=int)
-    histories: List[List[float]] = [[] for _ in range(n_tiles)]
+    histories: list[list[float]] = [[] for _ in range(n_tiles)]
     for iteration in range(1, int(max_iterations) + 1):
         if not active.any():
             break

@@ -11,7 +11,6 @@ cross-validation tests, not for full 64x64 frames.
 
 from __future__ import annotations
 
-from typing import Union
 
 import numpy as np
 from scipy.optimize import linprog
@@ -22,7 +21,7 @@ from repro.utils.validation import check_positive
 
 
 def basis_pursuit(
-    operator_or_matrix: Union[SensingOperator, np.ndarray],
+    operator_or_matrix: SensingOperator | np.ndarray,
     measurements: np.ndarray,
     *,
     max_dimension: int = 4096,

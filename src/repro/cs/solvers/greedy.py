@@ -9,7 +9,6 @@ benchmarks use the proximal solvers instead.
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 import numpy as np
 
@@ -32,12 +31,12 @@ def _least_squares_on_support(
 
 
 def omp(
-    operator_or_matrix: Union[SensingOperator, np.ndarray],
+    operator_or_matrix: SensingOperator | np.ndarray,
     measurements: np.ndarray,
     *,
     sparsity: int,
     tolerance: float = 1e-6,
-    max_iterations: Optional[int] = None,
+    max_iterations: int | None = None,
 ) -> SolverResult:
     """Orthogonal matching pursuit.
 
@@ -91,7 +90,7 @@ def omp(
 
 
 def cosamp(
-    operator_or_matrix: Union[SensingOperator, np.ndarray],
+    operator_or_matrix: SensingOperator | np.ndarray,
     measurements: np.ndarray,
     *,
     sparsity: int,

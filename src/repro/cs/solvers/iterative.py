@@ -13,7 +13,6 @@ fast transform for Ψ).
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 import numpy as np
 
@@ -40,7 +39,7 @@ def hard_threshold(values: np.ndarray, sparsity: int) -> np.ndarray:
     return result
 
 
-def _step_size(operator: SensingOperator, step_size: Optional[float]) -> float:
+def _step_size(operator: SensingOperator, step_size: float | None) -> float:
     if step_size is not None:
         check_positive("step_size", step_size)
         return float(step_size)
@@ -51,14 +50,14 @@ def _step_size(operator: SensingOperator, step_size: Optional[float]) -> float:
 
 
 def ista(
-    operator_or_matrix: Union[SensingOperator, np.ndarray],
+    operator_or_matrix: SensingOperator | np.ndarray,
     measurements: np.ndarray,
     *,
     regularization: float = 0.1,
     max_iterations: int = 200,
     tolerance: float = 1e-6,
-    step_size: Optional[float] = None,
-    initial: Optional[np.ndarray] = None,
+    step_size: float | None = None,
+    initial: np.ndarray | None = None,
 ) -> SolverResult:
     """Iterative shrinkage-thresholding for the LASSO problem.
 
@@ -85,14 +84,14 @@ def ista(
 
 
 def fista(
-    operator_or_matrix: Union[SensingOperator, np.ndarray],
+    operator_or_matrix: SensingOperator | np.ndarray,
     measurements: np.ndarray,
     *,
     regularization: float = 0.1,
     max_iterations: int = 200,
     tolerance: float = 1e-6,
-    step_size: Optional[float] = None,
-    initial: Optional[np.ndarray] = None,
+    step_size: float | None = None,
+    initial: np.ndarray | None = None,
 ) -> SolverResult:
     """FISTA — ISTA with Nesterov momentum (Beck & Teboulle 2009)."""
     return _proximal_gradient(
@@ -108,14 +107,14 @@ def fista(
 
 
 def _proximal_gradient(
-    operator_or_matrix: Union[SensingOperator, np.ndarray],
+    operator_or_matrix: SensingOperator | np.ndarray,
     measurements: np.ndarray,
     *,
     regularization: float,
     max_iterations: int,
     tolerance: float,
-    step_size: Optional[float],
-    initial: Optional[np.ndarray],
+    step_size: float | None,
+    initial: np.ndarray | None,
     accelerated: bool,
 ) -> SolverResult:
     operator = as_operator(operator_or_matrix)
@@ -165,13 +164,13 @@ def _proximal_gradient(
 
 
 def iht(
-    operator_or_matrix: Union[SensingOperator, np.ndarray],
+    operator_or_matrix: SensingOperator | np.ndarray,
     measurements: np.ndarray,
     *,
     sparsity: int,
     max_iterations: int = 100,
     tolerance: float = 1e-6,
-    step_size: Optional[float] = None,
+    step_size: float | None = None,
 ) -> SolverResult:
     """Iterative hard thresholding (Blumensath & Davies 2009)."""
     operator = as_operator(operator_or_matrix)

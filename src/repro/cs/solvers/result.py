@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Union
 
 import numpy as np
 
@@ -32,7 +31,7 @@ class SolverResult:
     n_iterations: int
     converged: bool
     residual_norm: float
-    history: List[float] = field(default_factory=list)
+    history: list[float] = field(default_factory=list)
 
     @property
     def sparsity(self) -> int:
@@ -45,7 +44,7 @@ class SolverResult:
 
 
 def as_operator(
-    operator_or_matrix: Union[BaseSensingOperator, np.ndarray],
+    operator_or_matrix: BaseSensingOperator | np.ndarray,
 ) -> BaseSensingOperator:
     """Accept a sensing operator (dense or structured) or a dense matrix."""
     if isinstance(operator_or_matrix, BaseSensingOperator):

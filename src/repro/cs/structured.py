@@ -31,7 +31,6 @@ invariant).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 
@@ -62,7 +61,7 @@ class StructuredSensingOperator(BaseSensingOperator):
         self,
         row_factors: np.ndarray,
         col_factors: np.ndarray,
-        dictionary: Optional[Dictionary] = None,
+        dictionary: Dictionary | None = None,
         *,
         center: float = 0.0,
     ) -> None:
@@ -82,11 +81,11 @@ class StructuredSensingOperator(BaseSensingOperator):
         self.col_factors = col_factors.astype(np.uint8)
         self._rowf = row_factors.astype(np.float64)
         self._colf = col_factors.astype(np.float64)
-        self.image_shape: Tuple[int, int] = (
+        self.image_shape: tuple[int, int] = (
             int(row_factors.shape[1]),
             int(col_factors.shape[1]),
         )
-        self._phi: Optional[np.ndarray] = None
+        self._phi: np.ndarray | None = None
         self.center = float(center)
         if dictionary is None:
             dictionary = IdentityDictionary(self.image_shape)

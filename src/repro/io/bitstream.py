@@ -10,7 +10,7 @@ layer uses.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -88,7 +88,7 @@ class BitReader:
             remaining -= take
         return value
 
-    def read_many(self, n_values: int, n_bits: int) -> List[int]:
+    def read_many(self, n_values: int, n_bits: int) -> list[int]:
         """Read ``n_values`` equally-sized values (an empty list for zero)."""
         check_positive("n_values", n_values, allow_zero=True)
         return [self.read(n_bits) for _ in range(int(n_values))]

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -141,7 +140,7 @@ def _header_from_frame(frame: CompressedFrame) -> FrameHeader:
     )
 
 
-def _write_stats(writer: BitWriter, metadata: Dict[str, object]) -> None:
+def _write_stats(writer: BitWriter, metadata: dict[str, object]) -> None:
     """Serialise the capture-statistics block (presence-coded, 64-bit values)."""
     for key, values in _CATEGORICAL_KEYS:
         value = metadata.get(key)
@@ -164,9 +163,9 @@ def _write_stats(writer: BitWriter, metadata: Dict[str, object]) -> None:
             writer.write(int(value), 64)
 
 
-def _read_stats(reader: BitReader) -> Dict[str, object]:
+def _read_stats(reader: BitReader) -> dict[str, object]:
     """Inverse of :func:`_write_stats`."""
-    metadata: Dict[str, object] = {}
+    metadata: dict[str, object] = {}
     for key, values in _CATEGORICAL_KEYS:
         if reader.read(1):
             metadata[key] = values[reader.read(1)]
@@ -235,8 +234,8 @@ def encode_frame(
 def decode_frame(
     data: bytes,
     *,
-    seed_state: Optional[np.ndarray] = None,
-    expected_config: Optional[SensorConfig] = None,
+    seed_state: np.ndarray | None = None,
+    expected_config: SensorConfig | None = None,
 ) -> CompressedFrame:
     """Parse the transmission format back into a :class:`CompressedFrame`.
 
@@ -298,7 +297,7 @@ def decode_frame(
     if expected_config is not None:
         _check_expected(header, expected_config)
 
-    metadata: Dict[str, object] = {}
+    metadata: dict[str, object] = {}
     if version == 2 and flags & FLAG_HAS_STATS:
         stats_bits = 2 * len(_CATEGORICAL_KEYS)  # lower bound: all absent
         if reader.bits_remaining < stats_bits:
@@ -361,7 +360,7 @@ def decode_frame(
 
 
 def _check_expected(header: FrameHeader, config: SensorConfig) -> None:
-    expectations: Tuple[Tuple[str, int, int], ...] = (
+    expectations: tuple[tuple[str, int, int], ...] = (
         ("rows", header.rows, config.rows),
         ("cols", header.cols, config.cols),
         ("pixel_bits", header.pixel_bits, config.pixel_bits),

@@ -10,7 +10,7 @@ matrix-quality benchmark (E10).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -39,14 +39,14 @@ class FibonacciLFSR:
     def __init__(
         self,
         n_bits: int,
-        taps: Optional[Sequence[int]] = None,
+        taps: Sequence[int] | None = None,
         *,
-        state: Optional[int] = None,
+        state: int | None = None,
         seed: SeedLike = None,
     ) -> None:
         check_positive("n_bits", n_bits)
         self.n_bits = int(n_bits)
-        self.taps: Tuple[int, ...] = (
+        self.taps: tuple[int, ...] = (
             tuple(taps) if taps is not None else primitive_taps(self.n_bits)
         )
         for tap in self.taps:
@@ -72,7 +72,7 @@ class FibonacciLFSR:
         """Maximal period for a primitive polynomial: ``2**n_bits - 1``."""
         return (1 << self.n_bits) - 1
 
-    def reset(self, state: Optional[int] = None) -> None:
+    def reset(self, state: int | None = None) -> None:
         """Reload the initial state (or a new non-zero ``state``)."""
         if state is not None:
             state = int(state) & ((1 << self.n_bits) - 1)
@@ -118,14 +118,14 @@ class GaloisLFSR:
     def __init__(
         self,
         n_bits: int,
-        taps: Optional[Sequence[int]] = None,
+        taps: Sequence[int] | None = None,
         *,
-        state: Optional[int] = None,
+        state: int | None = None,
         seed: SeedLike = None,
     ) -> None:
         check_positive("n_bits", n_bits)
         self.n_bits = int(n_bits)
-        self.taps: Tuple[int, ...] = (
+        self.taps: tuple[int, ...] = (
             tuple(taps) if taps is not None else primitive_taps(self.n_bits)
         )
         mask = (1 << self.n_bits) - 1
@@ -154,7 +154,7 @@ class GaloisLFSR:
         """Maximal period for a primitive polynomial: ``2**n_bits - 1``."""
         return (1 << self.n_bits) - 1
 
-    def reset(self, state: Optional[int] = None) -> None:
+    def reset(self, state: int | None = None) -> None:
         """Reload the initial state (or a new non-zero ``state``)."""
         if state is not None:
             state = int(state) & ((1 << self.n_bits) - 1)
@@ -192,8 +192,8 @@ class LFSRSelectionGenerator:
         cols: int,
         *,
         n_bits: int = 32,
-        taps: Optional[Iterable[int]] = None,
-        state: Optional[int] = None,
+        taps: Iterable[int] | None = None,
+        state: int | None = None,
         seed: SeedLike = None,
     ) -> None:
         check_positive("rows", rows)

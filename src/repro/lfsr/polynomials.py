@@ -8,12 +8,11 @@ states before repeating.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 #: Tap exponents (excluding the register length itself) of one primitive
 #: polynomial per register length.  Standard table (Xilinx XAPP052 and
 #: classic references).
-PRIMITIVE_POLYNOMIALS: Dict[int, Tuple[int, ...]] = {
+PRIMITIVE_POLYNOMIALS: dict[int, tuple[int, ...]] = {
     2: (1,),
     3: (2,),
     4: (3,),
@@ -48,7 +47,7 @@ PRIMITIVE_POLYNOMIALS: Dict[int, Tuple[int, ...]] = {
 }
 
 
-def primitive_taps(n_bits: int) -> Tuple[int, ...]:
+def primitive_taps(n_bits: int) -> tuple[int, ...]:
     """Return the full tap tuple (including ``n_bits``) for a maximal LFSR.
 
     Raises ``ValueError`` for register lengths outside the table.

@@ -8,7 +8,6 @@ examples and tests can reason about frame-to-frame sample correlation.
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 import numpy as np
 
@@ -26,11 +25,11 @@ def translate_scene(scene: np.ndarray, shift_rows: int, shift_cols: int) -> np.n
 def drifting_sequence(
     kind: str,
     n_frames: int,
-    shape: Tuple[int, int] = (64, 64),
+    shape: tuple[int, int] = (64, 64),
     *,
-    velocity: Tuple[int, int] = (1, 2),
+    velocity: tuple[int, int] = (1, 2),
     seed: SeedLike = None,
-) -> List[np.ndarray]:
+) -> list[np.ndarray]:
     """A static scene translating by ``velocity`` pixels per frame."""
     check_positive("n_frames", n_frames)
     base = make_scene(kind, shape, seed=seed)
@@ -42,12 +41,12 @@ def drifting_sequence(
 
 def orbiting_blob_sequence(
     n_frames: int,
-    shape: Tuple[int, int] = (64, 64),
+    shape: tuple[int, int] = (64, 64),
     *,
     radius_fraction: float = 0.3,
     blob_sigma_fraction: float = 0.08,
     background: float = 0.1,
-) -> List[np.ndarray]:
+) -> list[np.ndarray]:
     """A bright Gaussian blob orbiting the image centre — a fully analytic sequence."""
     check_positive("n_frames", n_frames)
     rows, cols = shape
@@ -70,12 +69,12 @@ def orbiting_blob_sequence(
 def brightness_ramp_sequence(
     kind: str,
     n_frames: int,
-    shape: Tuple[int, int] = (64, 64),
+    shape: tuple[int, int] = (64, 64),
     *,
     low: float = 0.2,
     high: float = 1.0,
     seed: SeedLike = None,
-) -> List[np.ndarray]:
+) -> list[np.ndarray]:
     """The same scene under a global illumination ramp (tests exposure adaptation)."""
     check_positive("n_frames", n_frames)
     if not 0.0 < low <= high <= 1.0:
@@ -88,11 +87,11 @@ def brightness_ramp_sequence(
 def random_walk_sequence(
     kind: str,
     n_frames: int,
-    shape: Tuple[int, int] = (64, 64),
+    shape: tuple[int, int] = (64, 64),
     *,
     step_sigma: float = 1.5,
     seed: SeedLike = None,
-) -> List[np.ndarray]:
+) -> list[np.ndarray]:
     """A scene performing a random walk (integer shifts drawn per frame)."""
     check_positive("n_frames", n_frames)
     check_positive("step_sigma", step_sigma)

@@ -17,7 +17,7 @@ All scenes are returned normalised to ``[0, 1]`` relative irradiance.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from collections.abc import Callable
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from repro.utils.rng import SeedLike, new_rng
 from repro.utils.validation import check_positive
 
 
-def _gradient(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+def _gradient(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     rows, cols = shape
     angle = rng.uniform(0.0, 2.0 * np.pi)
     row_axis = np.linspace(-1.0, 1.0, rows)[:, None]
@@ -34,7 +34,7 @@ def _gradient(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     return normalize_image(np.cos(angle) * row_axis + np.sin(angle) * col_axis)
 
 
-def _bars(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+def _bars(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     rows, cols = shape
     period = int(rng.integers(4, max(5, cols // 4)))
     phase = float(rng.uniform(0.0, period))
@@ -46,7 +46,7 @@ def _bars(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     return np.tile(stripe[:, None], (1, cols))
 
 
-def _checkerboard(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+def _checkerboard(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     rows, cols = shape
     cell = int(rng.integers(2, max(3, min(rows, cols) // 4)))
     row_idx = (np.arange(rows) // cell)[:, None]
@@ -54,7 +54,7 @@ def _checkerboard(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarra
     return ((row_idx + col_idx) % 2).astype(float)
 
 
-def _blobs(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+def _blobs(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     rows, cols = shape
     n_blobs = int(rng.integers(3, 8))
     row_axis = np.arange(rows)[:, None]
@@ -72,7 +72,7 @@ def _blobs(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     return normalize_image(image)
 
 
-def _natural(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+def _natural(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     """1/f-spectrum random field — the standard natural-image surrogate."""
     rows, cols = shape
     freq_rows = np.fft.fftfreq(rows)[:, None]
@@ -85,7 +85,7 @@ def _natural(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     return normalize_image(field)
 
 
-def _points(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+def _points(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     rows, cols = shape
     n_points = int(rng.integers(5, 20))
     image = np.full(shape, 0.05, dtype=float)
@@ -96,7 +96,7 @@ def _points(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     return image
 
 
-def _text(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+def _text(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     rows, cols = shape
     image = np.full(shape, 0.9, dtype=float)
     n_strokes = int(rng.integers(8, 20))
@@ -111,7 +111,7 @@ def _text(shape: Tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     return image
 
 
-_SCENE_BUILDERS: Dict[str, Callable[[Tuple[int, int], np.random.Generator], np.ndarray]] = {
+_SCENE_BUILDERS: dict[str, Callable[[tuple[int, int], np.random.Generator], np.ndarray]] = {
     "gradient": _gradient,
     "bars": _bars,
     "checkerboard": _checkerboard,
@@ -122,14 +122,14 @@ _SCENE_BUILDERS: Dict[str, Callable[[Tuple[int, int], np.random.Generator], np.n
 }
 
 
-def list_scenes() -> List[str]:
+def list_scenes() -> list[str]:
     """Names of the available synthetic scene kinds."""
     return sorted(_SCENE_BUILDERS)
 
 
 def make_scene(
     kind: str,
-    shape: Tuple[int, int] = (64, 64),
+    shape: tuple[int, int] = (64, 64),
     *,
     seed: SeedLike = None,
 ) -> np.ndarray:
@@ -160,9 +160,9 @@ class SceneGenerator:
 
     def __init__(
         self,
-        shape: Tuple[int, int] = (64, 64),
+        shape: tuple[int, int] = (64, 64),
         *,
-        kinds: Tuple[str, ...] = (),
+        kinds: tuple[str, ...] = (),
         seed: int = 2018,
     ) -> None:
         self.shape = (int(shape[0]), int(shape[1]))

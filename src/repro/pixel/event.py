@@ -24,7 +24,6 @@ and ``Q`` and observes ``V_5``/``C_out``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -50,8 +49,8 @@ class PixelEvent:
     row: int
     col: int
     fire_time: float
-    emit_time: Optional[float] = None
-    sampled_code: Optional[int] = None
+    emit_time: float | None = None
+    sampled_code: int | None = None
 
     @property
     def queued_delay(self) -> float:
@@ -60,16 +59,16 @@ class PixelEvent:
             return 0.0
         return max(0.0, self.emit_time - self.fire_time)
 
-    def with_emit_time(self, emit_time: float) -> "PixelEvent":
+    def with_emit_time(self, emit_time: float) -> PixelEvent:
         """Return a copy annotated with the actual bus emission time."""
         return PixelEvent(self.row, self.col, self.fire_time, emit_time, self.sampled_code)
 
-    def with_sampled_code(self, code: int) -> "PixelEvent":
+    def with_sampled_code(self, code: int) -> PixelEvent:
         """Return a copy annotated with the TDC code assigned to this event."""
         return PixelEvent(self.row, self.col, self.fire_time, self.emit_time, int(code))
 
 
-def events_from_arrays(rows, col, fire_times) -> "list[PixelEvent]":
+def events_from_arrays(rows, col, fire_times) -> list[PixelEvent]:
     """Build the :class:`PixelEvent` list of one column from parallel arrays.
 
     This is the bridge between the array-world of the batched capture engine

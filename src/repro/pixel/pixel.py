@@ -12,7 +12,6 @@ where following a single pixel through a frame is the point.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -41,7 +40,7 @@ class Pixel:
     encoder: TimeEncoder = field(default_factory=TimeEncoder)
     latch: EventLatch = field(default_factory=EventLatch)
     _photocurrent: float = field(default=0.0, repr=False)
-    _fire_time: Optional[float] = field(default=None, repr=False)
+    _fire_time: float | None = field(default=None, repr=False)
     _selected: bool = field(default=False, repr=False)
 
     def reset(self) -> None:
@@ -65,7 +64,7 @@ class Pixel:
         return self._fire_time
 
     @property
-    def fire_time(self) -> Optional[float]:
+    def fire_time(self) -> float | None:
         """Firing time computed by the last :meth:`expose` call."""
         return self._fire_time
 
@@ -85,7 +84,7 @@ class Pixel:
         return v2_output(v1, row_signal, col_signal)
 
     # ----------------------------------------------------------------- event
-    def maybe_activate(self, now: float) -> Optional[PixelEvent]:
+    def maybe_activate(self, now: float) -> PixelEvent | None:
         """Activate the event latch if the comparator has flipped by time ``now``.
 
         Returns a :class:`PixelEvent` the first time the activation happens

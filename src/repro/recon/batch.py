@@ -18,7 +18,8 @@ streamed and in-process mosaics stay byte-identical.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -54,10 +55,10 @@ def solve_tiles_batched(
     *,
     dictionary: str = "dct",
     solver: str = "fista",
-    regularization: Optional[float] = None,
-    max_iterations: Optional[int] = None,
-    step_cache: Optional[StepSizeCache] = None,
-) -> List[ReconstructionResult]:
+    regularization: float | None = None,
+    max_iterations: int | None = None,
+    step_cache: StepSizeCache | None = None,
+) -> list[ReconstructionResult]:
     """Solve a homogeneous group of tile frames in one batched pass.
 
     Parameters
@@ -131,8 +132,8 @@ def solve_tiles_batched(
     # Per-tile step sizes: exact cache hits ride the memoised value
     # verbatim, and one batched power iteration covers *only* the misses —
     # the whole point of the cache is not to pay those matmuls again.
-    cached: Dict[int, float] = {}
-    warm_starts: Optional[List[Optional[np.ndarray]]] = None
+    cached: dict[int, float] = {}
+    warm_starts: list[np.ndarray | None] | None = None
     if step_cache is not None:
         warm_starts = []
         for index, operator in enumerate(operators):
@@ -174,7 +175,7 @@ def solve_tiles_batched(
         frames, operators, solver_results, pixel_means
     ):
         image = operator.coefficients_to_image(solver_result.coefficients) + pixel_mean
-        metrics: Dict[str, float] = {}
+        metrics: dict[str, float] = {}
         if frame.digital_image is not None:
             reference = np.asarray(frame.digital_image, dtype=float)
             metrics = {

@@ -11,7 +11,6 @@ during capture.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -25,7 +24,7 @@ def codes_to_intensity(
     *,
     encoder: TimeEncoder,
     tdc: GlobalCounterTDC,
-    full_scale_current: Optional[float] = None,
+    full_scale_current: float | None = None,
 ) -> np.ndarray:
     """Convert counter codes back into (relative or absolute) light intensity.
 

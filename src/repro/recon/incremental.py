@@ -20,7 +20,6 @@ tests pin.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -66,16 +65,16 @@ class IncrementalTiledReconstructor:
 
     def __init__(
         self,
-        scene_shape: Tuple[int, int],
-        tile_shape: Tuple[int, int],
+        scene_shape: tuple[int, int],
+        tile_shape: tuple[int, int],
         *,
         dictionary: str = "dct",
         solver: str = "fista",
-        regularization: Optional[float] = None,
-        sparsity: Optional[int] = None,
-        max_iterations: Optional[int] = None,
+        regularization: float | None = None,
+        sparsity: int | None = None,
+        max_iterations: int | None = None,
         operator: str = "structured",
-        step_cache: Optional[StepSizeCache] = None,
+        step_cache: StepSizeCache | None = None,
     ) -> None:
         self.scene_shape = (int(scene_shape[0]), int(scene_shape[1]))
         self.tile_shape = (
@@ -89,21 +88,21 @@ class IncrementalTiledReconstructor:
         self.max_iterations = None if max_iterations is None else int(max_iterations)
         self.operator = operator
         self.step_cache = step_cache
-        self.slots: List[List[TileSlot]] = tile_grid(self.scene_shape, self.tile_shape)
+        self.slots: list[list[TileSlot]] = tile_grid(self.scene_shape, self.tile_shape)
         grid_rows, grid_cols = self.grid_shape
-        self._frames: List[List[Optional[CompressedFrame]]] = [
+        self._frames: list[list[CompressedFrame | None]] = [
             [None] * grid_cols for _ in range(grid_rows)
         ]
-        self._tile_results: List[List[Optional[ReconstructionResult]]] = [
+        self._tile_results: list[list[ReconstructionResult | None]] = [
             [None] * grid_cols for _ in range(grid_rows)
         ]
         self._image = np.zeros(self.scene_shape, dtype=float)
         self._n_completed = 0
-        self._staged: List[Tuple[int, int, CompressedFrame]] = []
+        self._staged: list[tuple[int, int, CompressedFrame]] = []
 
     # ------------------------------------------------------------- geometry
     @property
-    def grid_shape(self) -> Tuple[int, int]:
+    def grid_shape(self) -> tuple[int, int]:
         """Tiles per scene edge, ``(grid_rows, grid_cols)``."""
         return (len(self.slots), len(self.slots[0]))
 
@@ -174,7 +173,7 @@ class IncrementalTiledReconstructor:
             raise ValueError(f"tile ({grid_row}, {grid_col}) was already added")
         self._staged.append((grid_row, grid_col, frame))
 
-    def solve_staged(self) -> List[ReconstructionResult]:
+    def solve_staged(self) -> list[ReconstructionResult]:
         """Solve every staged tile and stitch the results into the scene.
 
         With the structured operator and a FISTA/ISTA solver, every
@@ -187,9 +186,9 @@ class IncrementalTiledReconstructor:
         order.
         """
         staged, self._staged = self._staged, []
-        results: List[Optional[ReconstructionResult]] = [None] * len(staged)
+        results: list[ReconstructionResult | None] = [None] * len(staged)
         if self.operator == "structured" and self.solver in BATCHABLE_SOLVERS:
-            groups: Dict[tuple, List[int]] = {}
+            groups: dict[tuple, list[int]] = {}
             for index, (_, _, frame) in enumerate(staged):
                 groups.setdefault(batch_group_key(frame), []).append(index)
             for indices in groups.values():
@@ -253,8 +252,8 @@ class IncrementalTiledReconstructor:
     def result(
         self,
         *,
-        reference: Optional[np.ndarray] = None,
-        capture_metadata: Optional[Dict[str, object]] = None,
+        reference: np.ndarray | None = None,
+        capture_metadata: dict[str, object] | None = None,
     ) -> TiledReconstructionResult:
         """Finalise the mosaic into a :class:`TiledReconstructionResult`.
 
@@ -283,7 +282,7 @@ class IncrementalTiledReconstructor:
                 for slot, frame in zip(slot_row, frame_row):
                     stitched[slot.row_slice, slot.col_slice] = frame.digital_image
             reference = stitched
-        metrics: Dict[str, float] = {}
+        metrics: dict[str, float] = {}
         if reference is not None:
             reference = np.asarray(reference, dtype=float)
             metrics = {

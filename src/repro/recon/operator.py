@@ -18,7 +18,6 @@ Two operator flavours share one CA evolution:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 
@@ -36,7 +35,7 @@ OPERATOR_CHOICES = ("structured", "dense")
 def measurement_matrix_from_seed(
     seed_state: np.ndarray,
     n_samples: int,
-    shape: Tuple[int, int],
+    shape: tuple[int, int],
     *,
     rule: int = 30,
     steps_per_sample: int = 1,
@@ -66,12 +65,12 @@ def measurement_matrix_from_seed(
 def measurement_factors_from_seed(
     seed_state: np.ndarray,
     n_samples: int,
-    shape: Tuple[int, int],
+    shape: tuple[int, int],
     *,
     rule: int = 30,
     steps_per_sample: int = 1,
     warmup_steps: int = 8,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray]:
     """Regenerate the ``(R, C)`` factor pair of Φ from the CA seed.
 
     The factored twin of :func:`measurement_matrix_from_seed`: the same CA
@@ -93,7 +92,7 @@ def measurement_factors_from_seed(
 
 def frame_cache_keys(
     frame: CompressedFrame, dictionary: str, center: bool
-) -> Tuple[tuple, tuple]:
+) -> tuple[tuple, tuple]:
     """The ``(exact, warm)`` step-size cache keys of a frame's operator.
 
     The exact key captures everything that determines the operator (seed
@@ -124,8 +123,8 @@ def frame_operator(
     dictionary: str = "dct",
     center: bool = True,
     operator: str = "structured",
-    step_cache: Optional[StepSizeCache] = None,
-) -> Tuple[BaseSensingOperator, float]:
+    step_cache: StepSizeCache | None = None,
+) -> tuple[BaseSensingOperator, float]:
     """Build the sensing operator for a captured frame.
 
     Returns the operator and the selection density used for centring (0.0

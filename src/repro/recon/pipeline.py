@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import concurrent.futures
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -85,8 +84,8 @@ class ReconstructionResult:
     solver_result: SolverResult
     dictionary: str
     solver: str
-    metrics: Dict[str, float]
-    capture_metadata: Dict[str, object] = field(default_factory=dict)
+    metrics: dict[str, float]
+    capture_metadata: dict[str, object] = field(default_factory=dict)
 
 
 def _solve(
@@ -95,8 +94,8 @@ def _solve(
     *,
     solver: str,
     regularization: float,
-    sparsity: Optional[int],
-    max_iterations: Optional[int],
+    sparsity: int | None,
+    max_iterations: int | None,
 ) -> SolverResult:
     check_choice("solver", solver, tuple(_SOLVERS))
     if max_iterations is None:
@@ -122,15 +121,15 @@ def _solve(
 def reconstruct_samples(
     phi: np.ndarray,
     samples: np.ndarray,
-    image_shape: Tuple[int, int],
+    image_shape: tuple[int, int],
     *,
     dictionary: str = "dct",
     solver: str = "fista",
-    regularization: Optional[float] = None,
-    sparsity: Optional[int] = None,
-    max_iterations: Optional[int] = None,
+    regularization: float | None = None,
+    sparsity: int | None = None,
+    max_iterations: int | None = None,
     center: bool = True,
-    reference: Optional[np.ndarray] = None,
+    reference: np.ndarray | None = None,
 ) -> ReconstructionResult:
     """Reconstruct an image from explicit measurements ``y = Φ x``.
 
@@ -199,7 +198,7 @@ def reconstruct_samples(
     image = operator.coefficients_to_image(result.coefficients)
     if dc_estimate:
         image = image + pixel_mean
-    metrics: Dict[str, float] = {}
+    metrics: dict[str, float] = {}
     if reference is not None:
         reference = np.asarray(reference, dtype=float)
         metrics = {
@@ -220,12 +219,12 @@ def reconstruct_frame(
     *,
     dictionary: str = "dct",
     solver: str = "fista",
-    regularization: Optional[float] = None,
-    sparsity: Optional[int] = None,
-    max_iterations: Optional[int] = None,
-    reference: Optional[np.ndarray] = None,
+    regularization: float | None = None,
+    sparsity: int | None = None,
+    max_iterations: int | None = None,
+    reference: np.ndarray | None = None,
     operator: str = "structured",
-    step_cache: Optional[StepSizeCache] = None,
+    step_cache: StepSizeCache | None = None,
 ) -> ReconstructionResult:
     """Reconstruct the code image of a captured :class:`CompressedFrame`.
 
@@ -292,7 +291,7 @@ def reconstruct_frame(
     image = image + pixel_mean
     if reference is None and frame.digital_image is not None:
         reference = frame.digital_image
-    metrics: Dict[str, float] = {}
+    metrics: dict[str, float] = {}
     if reference is not None:
         reference = np.asarray(reference, dtype=float)
         metrics = {
@@ -335,11 +334,11 @@ class TiledReconstructionResult:
     """
 
     image: np.ndarray
-    tile_results: List[List[ReconstructionResult]]
+    tile_results: list[list[ReconstructionResult]]
     dictionary: str
     solver: str
-    metrics: Dict[str, float]
-    capture_metadata: Dict[str, object] = field(default_factory=dict)
+    metrics: dict[str, float]
+    capture_metadata: dict[str, object] = field(default_factory=dict)
 
 
 def reconstruct_tiled(
@@ -347,14 +346,14 @@ def reconstruct_tiled(
     *,
     dictionary: str = "dct",
     solver: str = "fista",
-    regularization: Optional[float] = None,
-    sparsity: Optional[int] = None,
-    max_iterations: Optional[int] = None,
-    reference: Optional[np.ndarray] = None,
+    regularization: float | None = None,
+    sparsity: int | None = None,
+    max_iterations: int | None = None,
+    reference: np.ndarray | None = None,
     executor: str = "batched",
-    max_workers: Optional[int] = None,
+    max_workers: int | None = None,
     operator: str = "structured",
-    step_cache: Optional[StepSizeCache] = None,
+    step_cache: StepSizeCache | None = None,
 ) -> TiledReconstructionResult:
     """Reconstruct a :class:`~repro.sensor.shard.TiledCaptureResult` scene.
 

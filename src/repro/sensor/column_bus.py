@@ -38,7 +38,7 @@ batched engine stays event-for-event identical to the scalar arbiter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -95,7 +95,7 @@ class ArbitrationResult:
         Total time the bus spent occupied.
     """
 
-    events: List[PixelEvent] = field(default_factory=list)
+    events: list[PixelEvent] = field(default_factory=list)
     n_queued: int = 0
     max_queue_delay: float = 0.0
     bus_busy_time: float = 0.0
@@ -125,7 +125,7 @@ class ColumnBusArbiter:
         self,
         events: Sequence[PixelEvent],
         *,
-        deadline: Optional[float] = None,
+        deadline: float | None = None,
     ) -> ArbitrationResult:
         """Assign bus-occupation times to ``events``.
 
@@ -232,7 +232,7 @@ def _fifo_emission_pass(
     fire_times: np.ndarray,
     active: np.ndarray,
     event_duration: float,
-    deadline: Optional[float],
+    deadline: float | None,
 ):
     """Run the single-server emission recurrence over every group at once.
 
@@ -271,7 +271,7 @@ def arbitrate_columns(
     rows: np.ndarray,
     *,
     event_duration: float,
-    deadline: Optional[float] = None,
+    deadline: float | None = None,
 ) -> BatchArbitrationResult:
     """Serialise the events of many column instances in a few numpy passes.
 
@@ -439,11 +439,11 @@ class GateLevelColumn:
 
     def simulate(
         self,
-        fire_times: Sequence[Optional[float]],
+        fire_times: Sequence[float | None],
         *,
         time_step: float = 1.0e-9,
-        end_time: Optional[float] = None,
-    ) -> List[PixelEvent]:
+        end_time: float | None = None,
+    ) -> list[PixelEvent]:
         """Run the column on a uniform time grid and return the emitted events.
 
         Parameters
@@ -470,9 +470,9 @@ class GateLevelColumn:
 
         for latch in self.latches:
             latch.reset()
-        emitted: List[PixelEvent] = []
-        driving_row: Optional[int] = None
-        termination_at: Optional[float] = None
+        emitted: list[PixelEvent] = []
+        driving_row: int | None = None
+        termination_at: float | None = None
 
         now = 0.0
         while now <= end_time:

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.utils.validation import check_in_range, check_positive
 
@@ -179,7 +178,7 @@ class SensorConfig:
         return 1.0 - probability_clear
 
     # ------------------------------------------------------------- reporting
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         """Flat dictionary of the configured and derived quantities (for Table II)."""
         return {
             "technology": self.technology,

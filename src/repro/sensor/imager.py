@@ -45,7 +45,6 @@ image, which is the central selling point of the paper's architecture.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -99,8 +98,8 @@ class CompressedFrame:
     steps_per_sample: int
     warmup_steps: int
     config: SensorConfig
-    digital_image: Optional[np.ndarray] = None
-    metadata: Dict[str, object] = field(default_factory=dict)
+    digital_image: np.ndarray | None = None
+    metadata: dict[str, object] = field(default_factory=dict)
 
     @property
     def n_samples(self) -> int:
@@ -163,10 +162,10 @@ class CompressiveImager:
 
     def __init__(
         self,
-        config: Optional[SensorConfig] = None,
+        config: SensorConfig | None = None,
         *,
-        encoder: Optional[TimeEncoder] = None,
-        ca_seed_state: Optional[np.ndarray] = None,
+        encoder: TimeEncoder | None = None,
+        ca_seed_state: np.ndarray | None = None,
         rule: int = 30,
         steps_per_sample: int = 1,
         warmup_steps: int = 8,
@@ -235,7 +234,7 @@ class CompressiveImager:
         self,
         photocurrent: np.ndarray,
         *,
-        n_samples: Optional[int] = None,
+        n_samples: int | None = None,
         fidelity: str = "behavioural",
         auto_expose: bool = True,
         lsb_error: bool = True,
@@ -333,7 +332,7 @@ class CompressiveImager:
     def _assemble_frame(
         self,
         samples: np.ndarray,
-        metadata: Dict[str, object],
+        metadata: dict[str, object],
         codes: np.ndarray,
         *,
         fidelity: str,
@@ -365,7 +364,7 @@ class CompressiveImager:
         scene: np.ndarray,
         *,
         conversion=None,
-        n_samples: Optional[int] = None,
+        n_samples: int | None = None,
         fidelity: str = "behavioural",
         **kwargs,
     ) -> CompressedFrame:
@@ -382,13 +381,13 @@ class CompressiveImager:
         self,
         photocurrents,
         *,
-        n_samples: Optional[int] = None,
+        n_samples: int | None = None,
         fidelity: str = "behavioural",
         auto_expose: bool = True,
         lsb_error: bool = True,
         keep_digital_image: bool = True,
         dtype: str = "float64",
-    ) -> List[CompressedFrame]:
+    ) -> list[CompressedFrame]:
         """Capture a stack of frames with a continuously-running selection CA.
 
         This is the batched multi-frame fast path: the CA states for the
@@ -450,7 +449,7 @@ class CompressiveImager:
         n_states = n_frames * (n_samples - 1) + 1
         states = self._sequence_states(n_states)
 
-        frames: List[CompressedFrame] = []
+        frames: list[CompressedFrame] = []
         for frame_index, photocurrent in enumerate(photocurrents):
             if auto_expose:
                 self.auto_expose(photocurrent)
@@ -664,7 +663,7 @@ class CompressiveImager:
         n_bumped,
         *,
         dtype: str = "float64",
-    ) -> Dict[str, object]:
+    ) -> dict[str, object]:
         """Behavioural capture statistics, with *modelled* event counts.
 
         The behavioural engine never arbitrates a bus, so it cannot count
@@ -838,7 +837,7 @@ class CompressiveImager:
             adder.reset()
             for col in range(self.config.cols):
                 selected_rows = np.nonzero(pattern.mask[:, col])[0]
-                events: List[PixelEvent] = []
+                events: list[PixelEvent] = []
                 for row in selected_rows:
                     fire_time = times[row, col]
                     if not np.isfinite(fire_time) or fire_time >= deadline:

@@ -15,7 +15,6 @@ explore the design space.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.sensor.config import SensorConfig
 from repro.utils.validation import check_positive
@@ -67,7 +66,7 @@ class PowerAreaModel:
             check_positive(name, getattr(self, name))
 
     # ---------------------------------------------------------------- power
-    def power_breakdown(self, config: SensorConfig) -> Dict[str, float]:
+    def power_breakdown(self, config: SensorConfig) -> dict[str, float]:
         """Per-block power estimate (W) for a sensor configuration."""
         n_pixels = config.n_pixels
         samples_per_second = config.compressed_sample_rate
@@ -93,7 +92,7 @@ class PowerAreaModel:
         return self.power_breakdown(config)["total"]
 
     # ----------------------------------------------------------------- area
-    def area_breakdown(self, config: SensorConfig) -> Dict[str, float]:
+    def area_breakdown(self, config: SensorConfig) -> dict[str, float]:
         """Per-block area estimate (m^2) and die dimensions (m)."""
         array_width = config.array_width
         array_height = config.array_height
@@ -119,7 +118,7 @@ class PowerAreaModel:
 def chip_feature_summary(
     config: SensorConfig = None,
     model: PowerAreaModel = None,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Regenerate the rows of Table II for a configuration.
 
     Reported die size and power come from the parametric model; the purely
@@ -149,7 +148,7 @@ def chip_feature_summary(
 
 #: Table II of the paper, transcribed for direct comparison in EXPERIMENTS.md
 #: and the E2 benchmark.
-PAPER_TABLE_II: Dict[str, object] = {
+PAPER_TABLE_II: dict[str, object] = {
     "technology": "CMOS 0.18um 1P6M",
     "die_size_mm": (3.174, 2.227),
     "pixel_size_um": (22.0, 22.0),

@@ -12,7 +12,7 @@ caught rather than silently wrapped.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -112,7 +112,7 @@ class SampleAndAdd:
     column_bits: int = 14
     sample_bits: int = 20
     strict: bool = True
-    _columns: List[ColumnAccumulator] = field(default_factory=list, repr=False)
+    _columns: list[ColumnAccumulator] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         check_positive("n_columns", self.n_columns)

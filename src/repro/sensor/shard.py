@@ -46,7 +46,7 @@ from __future__ import annotations
 import concurrent.futures
 import copy
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, List, Optional, Tuple
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -59,7 +59,7 @@ from repro.utils.validation import check_choice, check_in_range, check_positive
 EXECUTOR_KINDS = ("serial", "thread", "process")
 
 
-def tile_grid(scene_shape, tile_shape) -> List[List["TileSlot"]]:
+def tile_grid(scene_shape, tile_shape) -> list[list[TileSlot]]:
     """Split a scene into the row-major grid of :class:`TileSlot` footprints.
 
     This is the one tiling rule shared by the capture side
@@ -78,9 +78,9 @@ def tile_grid(scene_shape, tile_shape) -> List[List["TileSlot"]]:
     check_positive("tile cols", tile_cols)
     tile_rows = min(tile_rows, scene_rows)
     tile_cols = min(tile_cols, scene_cols)
-    slots: List[List[TileSlot]] = []
+    slots: list[list[TileSlot]] = []
     for grid_row, row0 in enumerate(range(0, scene_rows, tile_rows)):
-        slot_row: List[TileSlot] = []
+        slot_row: list[TileSlot] = []
         for grid_col, col0 in enumerate(range(0, scene_cols, tile_cols)):
             slot_row.append(
                 TileSlot(
@@ -152,15 +152,15 @@ class TiledCaptureResult:
         (``fidelity``, ``dtype``, ``executor``, ``max_workers``).
     """
 
-    tiles: List[List[CompressedFrame]]
-    slots: List[List[TileSlot]]
-    scene_shape: Tuple[int, int]
-    tile_shape: Tuple[int, int]
-    metadata: Dict[str, object] = field(default_factory=dict)
+    tiles: list[list[CompressedFrame]]
+    slots: list[list[TileSlot]]
+    scene_shape: tuple[int, int]
+    tile_shape: tuple[int, int]
+    metadata: dict[str, object] = field(default_factory=dict)
 
     # ------------------------------------------------------------- geometry
     @property
-    def grid_shape(self) -> Tuple[int, int]:
+    def grid_shape(self) -> tuple[int, int]:
         """Tiles per scene edge, ``(grid_rows, grid_cols)``."""
         return (len(self.tiles), len(self.tiles[0]) if self.tiles else 0)
 
@@ -175,7 +175,7 @@ class TiledCaptureResult:
         """Pixels in the full scene."""
         return self.scene_shape[0] * self.scene_shape[1]
 
-    def frames(self) -> Iterator[Tuple[TileSlot, CompressedFrame]]:
+    def frames(self) -> Iterator[tuple[TileSlot, CompressedFrame]]:
         """Yield ``(slot, frame)`` pairs in row-major grid order."""
         for slot_row, tile_row in zip(self.slots, self.tiles):
             yield from zip(slot_row, tile_row)
@@ -218,7 +218,7 @@ class TiledCaptureResult:
         return image
 
 
-def merge_tile_statistics(frames: List[CompressedFrame]) -> Dict[str, object]:
+def merge_tile_statistics(frames: list[CompressedFrame]) -> dict[str, object]:
     """Aggregate per-tile capture statistics into mosaic-level counts.
 
     Counters (``n_lost_events``, ``n_queued_events``, ``n_lsb_errors``,
@@ -228,7 +228,7 @@ def merge_tile_statistics(frames: List[CompressedFrame]) -> Dict[str, object]:
     maximum over tiles, and ``event_statistics`` stays ``"exact"`` only when
     every tile reported exact counts.
     """
-    merged: Dict[str, object] = {}
+    merged: dict[str, object] = {}
     for key in ("n_lost_events", "n_queued_events", "n_lsb_errors", "n_saturated_pixels"):
         values = [frame.metadata[key] for frame in frames if key in frame.metadata]
         if values:
@@ -316,16 +316,16 @@ class TiledSensorArray:
 
     def __init__(
         self,
-        scene_shape: Tuple[int, int] = (256, 256),
+        scene_shape: tuple[int, int] = (256, 256),
         *,
-        tile_shape: Tuple[int, int] = (64, 64),
-        config: Optional[SensorConfig] = None,
-        compression_ratio: Optional[float] = None,
+        tile_shape: tuple[int, int] = (64, 64),
+        config: SensorConfig | None = None,
+        compression_ratio: float | None = None,
         rule: int = 30,
         steps_per_sample: int = 1,
         warmup_steps: int = 8,
         executor: str = "thread",
-        max_workers: Optional[int] = None,
+        max_workers: int | None = None,
         dtype: str = "float64",
         seed: int = 2018,
     ) -> None:
@@ -353,10 +353,10 @@ class TiledSensorArray:
         self.dtype = dtype
         self.seed = int(seed)
 
-        self.slots: List[List[TileSlot]] = tile_grid(self.scene_shape, self.tile_shape)
-        self.imagers: List[List[CompressiveImager]] = []
+        self.slots: list[list[TileSlot]] = tile_grid(self.scene_shape, self.tile_shape)
+        self.imagers: list[list[CompressiveImager]] = []
         for slot_row in self.slots:
-            imager_row: List[CompressiveImager] = []
+            imager_row: list[CompressiveImager] = []
             for slot in slot_row:
                 tile_config = replace(
                     template,
@@ -377,7 +377,7 @@ class TiledSensorArray:
 
     # ------------------------------------------------------------- geometry
     @property
-    def grid_shape(self) -> Tuple[int, int]:
+    def grid_shape(self) -> tuple[int, int]:
         """Tiles per scene edge, ``(grid_rows, grid_cols)``."""
         return (len(self.slots), len(self.slots[0]))
 
@@ -388,7 +388,7 @@ class TiledSensorArray:
         return grid_rows * grid_cols
 
     def samples_per_tile(
-        self, slot: TileSlot, compression_ratio: Optional[float] = None
+        self, slot: TileSlot, compression_ratio: float | None = None
     ) -> int:
         """Compressed-sample budget of one tile (``round(R x tile pixels)``).
 
@@ -410,8 +410,8 @@ class TiledSensorArray:
         lsb_error: bool,
         keep_digital_image: bool,
         dtype: str,
-        compression_ratio: Optional[float],
-    ) -> List[tuple]:
+        compression_ratio: float | None,
+    ) -> list[tuple]:
         """Build the per-tile capture jobs of one frame, in row-major order."""
         photocurrent = np.asarray(photocurrent, dtype=float)
         if photocurrent.shape != self.scene_shape:
@@ -444,11 +444,11 @@ class TiledSensorArray:
         auto_expose: bool = True,
         lsb_error: bool = True,
         keep_digital_image: bool = True,
-        dtype: Optional[str] = None,
-        executor: Optional[str] = None,
-        max_workers: Optional[int] = None,
-        compression_ratio: Optional[float] = None,
-    ) -> Iterator[Tuple[TileSlot, CompressedFrame]]:
+        dtype: str | None = None,
+        executor: str | None = None,
+        max_workers: int | None = None,
+        compression_ratio: float | None = None,
+    ) -> Iterator[tuple[TileSlot, CompressedFrame]]:
         """Capture the scene and yield ``(slot, frame)`` pairs as tiles finish.
 
         The chunk-iterator form of :meth:`capture`: tiles are yielded in
@@ -492,10 +492,10 @@ class TiledSensorArray:
         auto_expose: bool = True,
         lsb_error: bool = True,
         keep_digital_image: bool = True,
-        dtype: Optional[str] = None,
-        executor: Optional[str] = None,
-        max_workers: Optional[int] = None,
-        compression_ratio: Optional[float] = None,
+        dtype: str | None = None,
+        executor: str | None = None,
+        max_workers: int | None = None,
+        compression_ratio: float | None = None,
     ) -> TiledCaptureResult:
         """Capture the whole scene, one concurrent frame per tile.
 
@@ -588,7 +588,7 @@ class TiledSensorArray:
         *,
         conversion=None,
         **kwargs,
-    ) -> List[TiledCaptureResult]:
+    ) -> list[TiledCaptureResult]:
         """Convert normalised scenes to photocurrents and capture the sequence.
 
         The same single :class:`~repro.optics.photo.PhotoConversion` spans
@@ -614,12 +614,12 @@ class TiledSensorArray:
         auto_expose: bool = True,
         lsb_error: bool = True,
         keep_digital_image: bool = True,
-        dtype: Optional[str] = None,
-        executor: Optional[str] = None,
-        max_workers: Optional[int] = None,
-        compression_ratio: Optional[float] = None,
+        dtype: str | None = None,
+        executor: str | None = None,
+        max_workers: int | None = None,
+        compression_ratio: float | None = None,
         advance: bool = False,
-    ) -> List[TiledCaptureResult]:
+    ) -> list[TiledCaptureResult]:
         """Capture a video sequence over the whole mosaic, tiles concurrent.
 
         Every tile runs its *own* :meth:`CompressiveImager.capture_batch`
@@ -691,7 +691,7 @@ class TiledSensorArray:
         )
 
         grid_rows, grid_cols = self.grid_shape
-        results: List[TiledCaptureResult] = []
+        results: list[TiledCaptureResult] = []
         for frame_index in range(len(photocurrents)):
             flat_frames = [frames[frame_index] for frames, _ in outcomes]
             tile_grid_frames = [
@@ -731,7 +731,7 @@ class TiledSensorArray:
         return results
 
     @staticmethod
-    def _make_pool(executor: str, max_workers: Optional[int], n_jobs: int):
+    def _make_pool(executor: str, max_workers: int | None, n_jobs: int):
         """The executor pool for a job batch, or ``None`` for inline runs.
 
         The one place the serial short-circuit, worker clamp and pool-class
@@ -750,7 +750,7 @@ class TiledSensorArray:
         return pool_class(max_workers=max_workers)
 
     @staticmethod
-    def _run_jobs(jobs, executor: str, max_workers: Optional[int], job_fn=_capture_tile):
+    def _run_jobs(jobs, executor: str, max_workers: int | None, job_fn=_capture_tile):
         """Run the per-tile capture jobs through the chosen executor."""
         pool = TiledSensorArray._make_pool(executor, max_workers, len(jobs))
         if pool is None:

@@ -12,7 +12,7 @@ input scene, each carrying the CA state needed to rebuild its own Φ.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, List, Optional
+from collections.abc import Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -37,7 +37,7 @@ class VideoCaptureResult:
         Total payload bits over the sequence (samples only, excluding headers).
     """
 
-    frames: List[CompressedFrame] = field(default_factory=list)
+    frames: list[CompressedFrame] = field(default_factory=list)
     samples_per_frame: int = 0
 
     @property
@@ -77,10 +77,10 @@ class VideoSequencer:
 
     def __init__(
         self,
-        imager: Optional[CompressiveImager] = None,
+        imager: CompressiveImager | None = None,
         *,
-        conversion: Optional[PhotoConversion] = None,
-        samples_per_frame: Optional[int] = None,
+        conversion: PhotoConversion | None = None,
+        samples_per_frame: int | None = None,
         seed: int = 2018,
     ) -> None:
         self.imager = imager or CompressiveImager(SensorConfig(), seed=seed)
@@ -156,7 +156,7 @@ class VideoSequencer:
         lsb_error: bool = True,
         keep_digital_image: bool = True,
         dtype: str = "float64",
-        samples_for_frame: Optional[Callable[[int], int]] = None,
+        samples_for_frame: Callable[[int], int] | None = None,
     ) -> Iterator[CompressedFrame]:
         """Yield frames one at a time while the selection CA keeps running.
 
@@ -205,7 +205,7 @@ class VideoSequencer:
             )[0]
 
 
-def temporal_difference_energy(frames: List[CompressedFrame]) -> np.ndarray:
+def temporal_difference_energy(frames: list[CompressedFrame]) -> np.ndarray:
     """Relative sample-domain change between consecutive frames.
 
     Because consecutive frames use different selection patterns, this is not a

@@ -26,10 +26,12 @@ Two flow-control mechanisms compose:
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import functools
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
-from typing import Any, Awaitable, Callable, Iterable, List, Optional, TypeVar, cast
+from collections.abc import Awaitable, Callable, Iterable
+from typing import Any, TypeVar, cast
 
 import numpy as np
 
@@ -81,10 +83,8 @@ def _close_on_error(method: _StreamMethod) -> _StreamMethod:
         try:
             return await method(self, *args, **kwargs)
         except BaseException:
-            try:
+            with contextlib.suppress(Exception):
                 await self.transport.close()
-            except Exception:
-                pass
             raise
 
     return cast("_StreamMethod", wrapper)
@@ -106,7 +106,7 @@ class BitrateGovernor:
         stream garbage.
     """
 
-    bits_per_frame: Optional[int] = None
+    bits_per_frame: int | None = None
     min_samples: int = 1
 
     def __post_init__(self) -> None:
@@ -118,7 +118,7 @@ class BitrateGovernor:
         self,
         config: SensorConfig,
         *,
-        max_samples: Optional[int] = None,
+        max_samples: int | None = None,
         include_seed: bool = True,
     ) -> int:
         """Samples that fit the budget after the frame overhead is charged.
@@ -150,7 +150,7 @@ class BitrateGovernor:
         *,
         n_tiles: int = 1,
         include_seed: bool = True,
-    ) -> Optional[float]:
+    ) -> float | None:
         """Per-tile compression-ratio override fitting a tiled frame's budget.
 
         A mosaic frame pays the per-frame overhead once per tile; the
@@ -184,10 +184,10 @@ class StreamStats:
     n_frames: int = 0
     n_chunks: int = 0
     n_bytes: int = 0
-    samples_per_frame: List[int] = field(default_factory=list)
+    samples_per_frame: list[int] = field(default_factory=list)
     #: Wire bytes of each frame's data chunks (excluding the one-time
     #: stream-start/stream-end bookends) — what a per-frame budget governs.
-    bytes_per_frame: List[int] = field(default_factory=list)
+    bytes_per_frame: list[int] = field(default_factory=list)
 
 
 class CameraNode:
@@ -217,9 +217,9 @@ class CameraNode:
         transport: Transport,
         *,
         stream_id: int = 1,
-        governor: Optional[BitrateGovernor] = None,
+        governor: BitrateGovernor | None = None,
         gop_size: int = 4,
-        executor: Optional[Executor] = None,
+        executor: Executor | None = None,
     ) -> None:
         check_positive("gop_size", gop_size)
         self.transport = transport

@@ -31,7 +31,6 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass
-from typing import List, Tuple, Union
 
 import numpy as np
 
@@ -116,10 +115,10 @@ class ChunkDecoder:
         """Bytes buffered but not yet forming a complete chunk."""
         return len(self._buffer)
 
-    def feed(self, data: bytes) -> List[Chunk]:
+    def feed(self, data: bytes) -> list[Chunk]:
         """Absorb ``data`` and return the chunks it completed."""
         self._buffer.extend(data)
-        chunks: List[Chunk] = []
+        chunks: list[Chunk] = []
         while len(self._buffer) >= _CHUNK_HEADER.size:
             magic, chunk_type, stream_id, sequence, length = _CHUNK_HEADER.unpack_from(
                 self._buffer
@@ -177,8 +176,8 @@ class StreamHeader:
     """
 
     kind: str
-    scene_shape: Tuple[int, int]
-    tile_shape: Tuple[int, int]
+    scene_shape: tuple[int, int]
+    tile_shape: tuple[int, int]
     gop_size: int = 1
     n_frames: int = 0
 
@@ -282,7 +281,7 @@ def encode_frame_complete(frame_index: int, n_tiles: int) -> bytes:
     return _FRAME_COMPLETE.pack(frame_index, n_tiles)
 
 
-def decode_frame_complete(payload: bytes) -> Tuple[int, int]:
+def decode_frame_complete(payload: bytes) -> tuple[int, int]:
     """Inverse of :func:`encode_frame_complete` → ``(frame_index, n_tiles)``."""
     try:
         return _FRAME_COMPLETE.unpack(payload)
@@ -306,7 +305,7 @@ def decode_stream_end(payload: bytes) -> int:
 # ------------------------------------------------------------ seed chaining
 def advance_seed_state(
     seed_state: np.ndarray,
-    rule: Union[int, RuleTable],
+    rule: int | RuleTable,
     *,
     n_samples: int,
     steps_per_sample: int = 1,

@@ -34,7 +34,8 @@ from __future__ import annotations
 import asyncio
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from collections.abc import Callable
+from typing import Any
 
 import numpy as np
 
@@ -89,21 +90,19 @@ class ReceivedFrame:
     """
 
     frame_index: int
-    capture: Union[CompressedFrame, TiledCaptureResult]
-    reconstruction: Optional[
-        Union[ReconstructionResult, TiledReconstructionResult]
-    ] = None
+    capture: CompressedFrame | TiledCaptureResult
+    reconstruction: ReconstructionResult | TiledReconstructionResult | None = None
 
 
 @dataclass
 class StreamResult:
     """Everything one stream delivered."""
 
-    header: Optional[StreamHeader] = None
-    frames: List[ReceivedFrame] = field(default_factory=list)
+    header: StreamHeader | None = None
+    frames: list[ReceivedFrame] = field(default_factory=list)
     n_chunks: int = 0
     n_bytes: int = 0
-    announced_frames: Optional[int] = None
+    announced_frames: int | None = None
 
     @property
     def n_frames(self) -> int:
@@ -154,13 +153,13 @@ class StreamReceiver:
         reconstruct: bool = True,
         dictionary: str = "dct",
         solver: str = "fista",
-        regularization: Optional[float] = None,
-        sparsity: Optional[int] = None,
-        max_iterations: Optional[int] = None,
+        regularization: float | None = None,
+        sparsity: int | None = None,
+        max_iterations: int | None = None,
         operator: str = "structured",
         eager: bool = False,
-        step_cache: Optional["StepSizeCache"] = None,
-        executor: Optional[Executor] = None,
+        step_cache: StepSizeCache | None = None,
+        executor: Executor | None = None,
     ) -> None:
         self.reconstruct = bool(reconstruct)
         self.dictionary = dictionary
@@ -187,29 +186,27 @@ class StreamReceiver:
 
     def _reset_stream_state(self) -> None:
         """Forget everything about the previous stream (called per run)."""
-        self._header: Optional[StreamHeader] = None
-        self._slots: Optional[List[List[TileSlot]]] = None
+        self._header: StreamHeader | None = None
+        self._slots: list[list[TileSlot]] | None = None
         self._result = StreamResult()
         self._next_sequence = 0
         self._ended = False
         # Per tile-position seed chains for seedless (GOP) frames.
-        self._seed_chains: Dict[Tuple[int, int], np.ndarray] = {}
+        self._seed_chains: dict[tuple[int, int], np.ndarray] = {}
         # Per in-flight frame: grid of decoded tile frames, the frame's
         # reconstructor, and the in-flight solve tasks (position, frame,
         # task) awaited at the frame barrier.
-        self._pending_tiles: Dict[int, List[List[Optional[CompressedFrame]]]] = {}
-        self._pending_recon: Dict[int, IncrementalTiledReconstructor] = {}
-        self._pending_solves: Dict[
-            int, List[Tuple[int, int, CompressedFrame, asyncio.Task[Any]]]
-        ] = {}
+        self._pending_tiles: dict[int, list[list[CompressedFrame | None]]] = {}
+        self._pending_recon: dict[int, IncrementalTiledReconstructor] = {}
+        self._pending_solves: dict[int, list[tuple[int, int, CompressedFrame, asyncio.Task[Any]]]] = {}
         # Single-sensor streams: (ReceivedFrame, task) pairs whose
         # reconstructions are attached at end-of-stream.
-        self._pending_frame_solves: List[Tuple[ReceivedFrame, asyncio.Task[Any]]] = []
+        self._pending_frame_solves: list[tuple[ReceivedFrame, asyncio.Task[Any]]] = []
         # Batched tiled mode: the (bounded) queue of in-flight whole-frame
         # solves — frame k's solve overlaps frame k+1's wire time, but the
         # barrier awaits older solves past the depth bound so a stream that
         # outruns the solver cannot accumulate unbounded work.
-        self._pending_tiled_solves: List[Tuple[ReceivedFrame, asyncio.Task[Any]]] = []
+        self._pending_tiled_solves: list[tuple[ReceivedFrame, asyncio.Task[Any]]] = []
 
     # -------------------------------------------------------------- helpers
     async def _run(self, fn: Callable[..., Any], *args: Any) -> Any:
@@ -228,8 +225,8 @@ class StreamReceiver:
 
     def _solve_tiled_batched(
         self,
-        tiles: List[List[Optional[CompressedFrame]]],
-        capture_metadata: Dict[str, object],
+        tiles: list[list[CompressedFrame | None]],
+        capture_metadata: dict[str, object],
     ) -> TiledReconstructionResult:
         """Invert one complete tiled frame through the batched barrier solve."""
         reconstructor = self._new_reconstructor()
@@ -323,7 +320,7 @@ class StreamReceiver:
             self._ended = True
 
     def _decode_with_chain(
-        self, data: FrameData, key: Tuple[int, int], keyframe: bool
+        self, data: FrameData, key: tuple[int, int], keyframe: bool
     ) -> CompressedFrame:
         """Decode one embedded frame, maintaining the position's seed chain."""
         if keyframe:

@@ -23,7 +23,8 @@ via ``StreamWriter.drain``.
 from __future__ import annotations
 
 import asyncio
-from typing import Awaitable, Callable, Optional, Protocol, Tuple
+from collections.abc import Awaitable, Callable
+from typing import Protocol
 
 from repro.utils.validation import check_positive
 
@@ -34,7 +35,7 @@ class Transport(Protocol):
     async def send(self, data: bytes) -> None:
         """Ship one byte slice; may suspend — that is the backpressure."""
 
-    async def recv(self) -> Optional[bytes]:
+    async def recv(self) -> bytes | None:
         """Next byte slice, or ``None`` at end-of-stream."""
 
     async def close(self) -> None:
@@ -59,7 +60,7 @@ class LoopbackTransport:
     def __init__(self, max_buffered: int = 8) -> None:
         check_positive("max_buffered", max_buffered)
         self.max_buffered = int(max_buffered)
-        self._queue: asyncio.Queue[Optional[bytes]] = asyncio.Queue(
+        self._queue: asyncio.Queue[bytes | None] = asyncio.Queue(
             maxsize=self.max_buffered
         )
         self._closed = False
@@ -81,7 +82,7 @@ class LoopbackTransport:
         self.bytes_sent += len(data)
         self.send_count += 1
 
-    async def recv(self) -> Optional[bytes]:
+    async def recv(self) -> bytes | None:
         """Dequeue the next byte slice; ``None`` signals end-of-stream."""
         if self._eof_received:
             return None
@@ -121,7 +122,7 @@ class TcpTransport:
         await self._writer.drain()
         self.bytes_sent += len(data)
 
-    async def recv(self, max_bytes: int = 65536) -> Optional[bytes]:
+    async def recv(self, max_bytes: int = 65536) -> bytes | None:
         """Read the next TCP segment; ``None`` at end-of-stream."""
         data = await self._reader.read(max_bytes)
         return data if data else None
@@ -146,7 +147,7 @@ async def serve_tcp(
     handler: Callable[[TcpTransport], Awaitable[None]],
     host: str = "127.0.0.1",
     port: int = 0,
-) -> Tuple[asyncio.AbstractServer, int]:
+) -> tuple[asyncio.AbstractServer, int]:
     """Start a TCP server that hands each connection to ``handler``.
 
     Returns the server object and the bound port (useful with ``port=0``,

@@ -9,7 +9,7 @@ needs: width computation, saturation, wrap-around and bit (de)serialisation.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -46,7 +46,7 @@ def wrap_unsigned(value: int, n_bits: int) -> int:
     return int(value) & ((1 << n_bits) - 1)
 
 
-def int_to_bits(value: int, n_bits: int) -> List[int]:
+def int_to_bits(value: int, n_bits: int) -> list[int]:
     """Return ``value`` as a list of ``n_bits`` bits, most-significant first."""
     if value < 0:
         raise ValueError("int_to_bits only supports non-negative values")

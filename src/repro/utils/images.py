@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 
@@ -29,7 +28,7 @@ def image_to_vector(image: np.ndarray) -> np.ndarray:
     return image.reshape(-1)
 
 
-def vector_to_image(vector: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
+def vector_to_image(vector: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
     """Inverse of :func:`image_to_vector`."""
     vector = np.asarray(vector)
     rows, cols = shape
@@ -59,7 +58,7 @@ def block_view(image: np.ndarray, block_size: int) -> np.ndarray:
     return reshaped.transpose(0, 2, 1, 3).reshape(-1, block_size, block_size)
 
 
-def unblock_view(blocks: np.ndarray, image_shape: Tuple[int, int]) -> np.ndarray:
+def unblock_view(blocks: np.ndarray, image_shape: tuple[int, int]) -> np.ndarray:
     """Reassemble blocks produced by :func:`block_view` into a full image."""
     blocks = np.asarray(blocks)
     if blocks.ndim != 3 or blocks.shape[1] != blocks.shape[2]:
@@ -79,7 +78,7 @@ def unblock_view(blocks: np.ndarray, image_shape: Tuple[int, int]) -> np.ndarray
     return grid.transpose(0, 2, 1, 3).reshape(rows, cols)
 
 
-def crop_center(image: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
+def crop_center(image: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
     """Crop the central ``shape`` region out of ``image``."""
     image = np.asarray(image)
     rows, cols = shape
@@ -90,7 +89,7 @@ def crop_center(image: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
     return image[top:top + rows, left:left + cols]
 
 
-def resize_nearest(image: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
+def resize_nearest(image: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
     """Nearest-neighbour resize (sufficient for synthetic test scenes)."""
     image = np.asarray(image, dtype=float)
     rows, cols = shape

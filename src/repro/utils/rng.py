@@ -28,7 +28,7 @@ def new_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def derive_seed(base_seed: int, *labels: Union[str, int]) -> int:
+def derive_seed(base_seed: int, *labels: str | int) -> int:
     """Derive a stable sub-seed from ``base_seed`` and a sequence of labels.
 
     Used to give independent, reproducible randomness to the different

@@ -10,7 +10,7 @@ offending parameter, which keeps the call sites to a single line.
 from __future__ import annotations
 
 import numbers
-from typing import Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -62,7 +62,7 @@ def check_power_of_two(name: str, value) -> None:
         raise ValueError(f"{name} must be a positive power of two, got {value}")
 
 
-def check_shape(name: str, array: np.ndarray, shape: Tuple[int, ...]) -> None:
+def check_shape(name: str, array: np.ndarray, shape: tuple[int, ...]) -> None:
     """Raise ``ValueError`` unless ``array.shape`` equals ``shape``.
 
     A ``-1`` entry in ``shape`` matches any extent along that axis.

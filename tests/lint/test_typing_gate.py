@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import ast
 import pathlib
-from typing import Iterator, List, Tuple
+from collections.abc import Iterator
 
 import pytest
 
@@ -21,7 +21,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 STRICT_TREES = ("cs", "recon", "stream")
 
 
-def _strict_files() -> List[pathlib.Path]:
+def _strict_files() -> list[pathlib.Path]:
     files = []
     for tree in STRICT_TREES:
         files.extend(sorted((REPO_ROOT / "src" / "repro" / tree).rglob("*.py")))
@@ -29,7 +29,7 @@ def _strict_files() -> List[pathlib.Path]:
     return files
 
 
-def _incomplete_defs(path: pathlib.Path) -> Iterator[Tuple[int, str, List[str]]]:
+def _incomplete_defs(path: pathlib.Path) -> Iterator[tuple[int, str, list[str]]]:
     tree = ast.parse(path.read_text(encoding="utf-8"))
 
     class Visitor(ast.NodeVisitor):
@@ -56,7 +56,7 @@ def _incomplete_defs(path: pathlib.Path) -> Iterator[Tuple[int, str, List[str]]]
         visit_FunctionDef = _check
         visit_AsyncFunctionDef = _check
 
-    found: List[Tuple[int, str, List[str]]] = []
+    found: list[tuple[int, str, list[str]]] = []
     Visitor().visit(tree)
     return iter(found)
 
