@@ -76,6 +76,8 @@ def main() -> None:
 
     print("\nOnly each GOP's first frame carried the CA seeds; the receiver "
           "re-derived every later seed from the free-running CA overlap.")
+    print("For the fleet-scale version of this pipeline — many nodes muxed "
+          "into one ReceiverHub — see examples/fleet_ingest.py.")
 
 
 if __name__ == "__main__":

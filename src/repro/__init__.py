@@ -49,6 +49,7 @@ from repro.stream import (
     BitrateGovernor,
     CameraNode,
     LoopbackTransport,
+    ReceiverHub,
     StreamReceiver,
 )
 
@@ -85,5 +86,6 @@ __all__ = [
     "CameraNode",
     "BitrateGovernor",
     "StreamReceiver",
+    "ReceiverHub",
     "LoopbackTransport",
 ]

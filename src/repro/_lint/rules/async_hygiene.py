@@ -121,8 +121,8 @@ class AsyncHygieneRule(Rule):
                     f"blocking call inside async def: {reason}",
                     hint=(
                         "dispatch through loop.run_in_executor (see "
-                        "CameraNode._run / StreamReceiver._run) or use the "
-                        "asyncio equivalent; the loop must only move bytes"
+                        "CameraNode._run / FairSolveScheduler._worker) or use "
+                        "the asyncio equivalent; the loop must only move bytes"
                     ),
                 )
 

@@ -11,11 +11,25 @@ the capture engines:
   both exerting real backpressure on the sender;
 * :mod:`repro.stream.node` — :class:`CameraNode`, the asyncio capture-and-
   send loop with its bits-per-frame :class:`BitrateGovernor`;
-* :mod:`repro.stream.receiver` — :class:`StreamReceiver`, decoding chunks as
-  they arrive and reconstructing incrementally (per tile, per frame),
-  byte-identical to the in-process reconstruction pipeline.
+* :mod:`repro.stream.session` — :class:`StreamSession`, the per-stream chunk
+  FSM (seed chains, tile barriers, incremental reconstruction state);
+* :mod:`repro.stream.hub` — :class:`ReceiverHub`, the fleet-scale ingest
+  service muxing many node connections over one event loop, with
+  round-robin solve fairness (:class:`FairSolveScheduler`) and two-level
+  backpressure high-watermarks;
+* :mod:`repro.stream.receiver` — :class:`StreamReceiver`, the single-node
+  receiver (a thin one-session hub), decoding chunks as they arrive and
+  reconstructing incrementally (per tile, per frame), byte-identical to the
+  in-process reconstruction pipeline.
 """
 
+from repro.stream.hub import (
+    DuplicateStreamIdError,
+    FairSolveScheduler,
+    HubCapacityError,
+    HubStats,
+    ReceiverHub,
+)
 from repro.stream.node import (
     BitrateGovernor,
     CameraNode,
@@ -38,6 +52,7 @@ from repro.stream.receiver import (
     StreamResult,
     receive_stream,
 )
+from repro.stream.session import SessionStats, StreamSession
 from repro.stream.transport import (
     LoopbackTransport,
     TcpTransport,
@@ -55,6 +70,13 @@ __all__ = [
     "StreamResult",
     "ReceivedFrame",
     "receive_stream",
+    "StreamSession",
+    "SessionStats",
+    "ReceiverHub",
+    "FairSolveScheduler",
+    "HubStats",
+    "DuplicateStreamIdError",
+    "HubCapacityError",
     "LoopbackTransport",
     "TcpTransport",
     "TransportClosedError",

@@ -1,0 +1,502 @@
+"""Fleet-scale ingest: one asyncio hub muxing many camera-node streams.
+
+:class:`ReceiverHub` is the many-cameras counterpart of the single-node
+:class:`~repro.stream.receiver.StreamReceiver`.  It terminates hundreds of
+concurrent node connections (loopback or TCP), demultiplexes chunks by the
+stream id **already carried in every chunk header** — the frozen v1 wire
+layout needs no extension — and gives each stream its own
+:class:`~repro.stream.session.StreamSession` (seed chains, tile barriers,
+incremental reconstructor), so fleet ingest is the same FSM as single-node
+ingest, just many of it.
+
+Two hub-level policies sit on top of the sessions:
+
+* **Fair solve scheduling** (:class:`FairSolveScheduler`) — every
+  CPU-bound reconstruction the sessions produce goes through one scheduler
+  that keeps a FIFO queue *per stream* and dispatches round-robin across
+  streams onto a bounded pool of executor slots.  A chatty camera with
+  fifty frames queued gets exactly one solve per scheduling cycle, the same
+  as a camera with one frame queued — it cannot starve the rest of the
+  fleet (the recorded :attr:`~FairSolveScheduler.dispatch_order` lets tests
+  pin this).
+* **Two-level backpressure high-watermarks** — ``per_stream_pending``
+  bounds one stream's queued-plus-running solves, ``max_pending`` bounds
+  the hub-wide total.  A full watermark suspends the *submitting* stream's
+  connection coroutine, which (through the transport's own bounded
+  buffering) stalls that camera's capture loop — while every other
+  connection keeps draining.  Nothing in the hub buffers unboundedly.
+
+Sessions may share one :class:`~repro.cs.operators.StepSizeCache`
+(``share_step_cache=True``): the fleet then pays each tile-geometry power
+iteration once instead of once per camera.  Off by default because warm
+starts shift the step estimates and hence the reconstructed bytes — with
+defaults, a hub serving a single node is **byte-identical** to
+``StreamReceiver`` (a pinned test), which is the invariant that makes the
+fleet path trustworthy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import Executor
+from dataclasses import dataclass, field
+from collections.abc import Callable
+from typing import Any
+
+from repro.cs.operators import StepSizeCache
+from repro.stream.protocol import ChunkDecoder, StreamProtocolError
+from repro.stream.session import SessionStats, StreamResult, StreamSession
+from repro.stream.transport import TcpTransport, Transport, serve_tcp
+from repro.utils.validation import check_positive
+
+
+class DuplicateStreamIdError(StreamProtocolError):
+    """A connection announced a stream id already live on another connection.
+
+    Stream ids are the demux key: two live streams with one id would
+    interleave into a single session's FSM and corrupt both.  The id
+    becomes reusable again the moment its stream completes (or its
+    connection dies), so fleets may recycle ids across sessions — just not
+    concurrently.
+    """
+
+
+class HubCapacityError(StreamProtocolError):
+    """The hub's ``max_streams`` bound is reached; the new stream is refused.
+
+    Refusing loudly at admission beats degrading every existing stream:
+    the rejected node sees a clean typed error while the fleet already
+    being served is unaffected.
+    """
+
+
+@dataclass
+class _Job:
+    """One queued unit of solver work: the thunk and its result future."""
+
+    fn: Callable[[], Any]
+    future: asyncio.Future[Any]
+
+
+class FairSolveScheduler:
+    """Round-robin solve dispatch across streams with two-level watermarks.
+
+    Parameters
+    ----------
+    slots:
+        Worker coroutines executing jobs (each runs its job on the
+        executor via ``run_in_executor``).  This bounds hub-wide solver
+        parallelism regardless of how many streams are connected.
+    per_stream_pending:
+        High-watermark on one stream's queued-plus-running jobs; ``None``
+        is unbounded.  :meth:`submit` suspends the submitting stream past
+        the bound — per-stream backpressure.
+    max_pending:
+        High-watermark on the hub-wide queued-plus-running total; ``None``
+        is unbounded — global backpressure.
+    executor:
+        ``concurrent.futures`` executor the jobs run on; ``None`` uses the
+        event loop's default thread pool.
+    """
+
+    def __init__(
+        self,
+        *,
+        slots: int = 2,
+        per_stream_pending: int | None = 2,
+        max_pending: int | None = None,
+        executor: Executor | None = None,
+    ) -> None:
+        check_positive("slots", slots)
+        if per_stream_pending is not None:
+            check_positive("per_stream_pending", per_stream_pending)
+        if max_pending is not None:
+            check_positive("max_pending", max_pending)
+        self.slots = int(slots)
+        self.per_stream_pending = (
+            None if per_stream_pending is None else int(per_stream_pending)
+        )
+        self.max_pending = None if max_pending is None else int(max_pending)
+        self.executor = executor
+        # All scheduler state is guarded by one condition, created lazily so
+        # the scheduler can be constructed outside a running event loop.
+        self._cond: asyncio.Condition | None = None
+        self._queues: dict[int, deque[_Job]] = {}
+        self._order: deque[int] = deque()
+        self._pending: dict[int, int] = {}
+        self._total_pending = 0
+        self._workers: list[asyncio.Task[None]] = []
+        self._closed = False
+        #: Stream key of every dispatch, in dispatch order — the fairness
+        #: audit trail the tests assert round-robin interleaving on.
+        self.dispatch_order: list[int] = []
+        self.n_dispatched = 0
+
+    def _condition(self) -> asyncio.Condition:
+        if self._cond is None:
+            self._cond = asyncio.Condition()
+        return self._cond
+
+    def pending(self, key: int | None = None) -> int:
+        """Queued-plus-running jobs for one stream (or hub-wide total)."""
+        if key is None:
+            return self._total_pending
+        return self._pending.get(key, 0)
+
+    def _has_space(self, key: int) -> bool:
+        if (
+            self.per_stream_pending is not None
+            and self._pending.get(key, 0) >= self.per_stream_pending
+        ):
+            return False
+        return self.max_pending is None or self._total_pending < self.max_pending
+
+    async def submit(self, key: int, fn: Callable[[], Any]) -> asyncio.Future[Any]:
+        """Queue ``fn`` under ``key``; suspends while a watermark is full."""
+        if self._closed:
+            raise RuntimeError("solve scheduler is closed")
+        cond = self._condition()
+        if not self._workers:
+            self._workers = [
+                asyncio.ensure_future(self._worker()) for _ in range(self.slots)
+            ]
+        future: asyncio.Future[Any] = asyncio.get_running_loop().create_future()
+        async with cond:
+            while not self._has_space(key):
+                await cond.wait()
+                if self._closed:
+                    raise RuntimeError("solve scheduler is closed")
+            queue = self._queues.get(key)
+            if queue is None:
+                queue = self._queues[key] = deque()
+                self._order.append(key)
+            queue.append(_Job(fn=fn, future=future))
+            self._pending[key] = self._pending.get(key, 0) + 1
+            self._total_pending += 1
+            cond.notify_all()
+        return future
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        cond = self._condition()
+        while True:
+            async with cond:
+                while not self._order:
+                    await cond.wait()
+                key = self._order.popleft()
+                queue = self._queues[key]
+                job = queue.popleft()
+                if queue:
+                    # Re-queue the key at the *back*: the next dispatch goes
+                    # to some other stream first — round-robin fairness.
+                    self._order.append(key)
+                else:
+                    del self._queues[key]
+                self.dispatch_order.append(key)
+                self.n_dispatched += 1
+            try:
+                if job.future.cancelled():
+                    continue
+                try:
+                    result = await loop.run_in_executor(self.executor, job.fn)
+                except asyncio.CancelledError:
+                    job.future.cancel()
+                    raise
+                except BaseException as error:
+                    if not job.future.cancelled():
+                        job.future.set_exception(error)
+                else:
+                    if not job.future.cancelled():
+                        job.future.set_result(result)
+            finally:
+                async with cond:
+                    self._pending[key] -= 1
+                    if not self._pending[key]:
+                        del self._pending[key]
+                    self._total_pending -= 1
+                    cond.notify_all()
+
+    async def close(self) -> None:
+        """Cancel the workers and fail any still-queued jobs (idempotent)."""
+        self._closed = True
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            worker.cancel()
+        if workers:
+            await asyncio.gather(*workers, return_exceptions=True)
+        for queue in self._queues.values():
+            for job in queue:
+                job.future.cancel()
+        self._queues.clear()
+        self._order.clear()
+        self._pending.clear()
+        self._total_pending = 0
+        if self._cond is not None:
+            async with self._cond:
+                self._cond.notify_all()
+
+
+@dataclass
+class HubStats:
+    """Fleet-level snapshot assembled by :meth:`ReceiverHub.stats`."""
+
+    n_active: int = 0
+    n_completed: int = 0
+    n_failed: int = 0
+    n_frames: int = 0
+    n_bytes: int = 0
+    solves_dispatched: int = 0
+    frame_latencies: list[float] = field(default_factory=list)
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) of ``values`` by linear interpolation."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    position = (len(ordered) - 1) * (q / 100.0)
+    below = int(position)
+    above = min(below + 1, len(ordered) - 1)
+    weight = position - below
+    return ordered[below] * (1.0 - weight) + ordered[above] * weight
+
+
+class ReceiverHub:
+    """One asyncio service ingesting many camera-node streams concurrently.
+
+    Parameters
+    ----------
+    reconstruct, dictionary, solver, regularization, sparsity,
+    max_iterations, operator, eager:
+        Per-session reconstruction options, exactly as on
+        :class:`~repro.stream.receiver.StreamReceiver`; every session the
+        hub opens gets the same configuration.
+    step_cache, share_step_cache:
+        ``share_step_cache=True`` creates one
+        :class:`~repro.cs.operators.StepSizeCache` handed to every session,
+        so the whole fleet pays each tile-geometry power iteration once
+        (pass ``step_cache`` to supply your own).  Off by default: warm
+        starts shift the step estimates and the reconstructed bytes, and
+        the default must keep a single-node hub byte-identical to
+        ``StreamReceiver``.
+    executor:
+        ``concurrent.futures`` executor for solver work; ``None`` uses the
+        event loop's default thread pool.
+    solver_slots, per_stream_pending, max_pending:
+        :class:`FairSolveScheduler` sizing — concurrent solver slots, the
+        per-stream pending high-watermark, the hub-wide one.
+    max_streams:
+        Bound on concurrently-live sessions; admission past it raises
+        :class:`HubCapacityError` on the offending connection.  ``None``
+        is unbounded.
+    """
+
+    def __init__(
+        self,
+        *,
+        reconstruct: bool = True,
+        dictionary: str = "dct",
+        solver: str = "fista",
+        regularization: float | None = None,
+        sparsity: int | None = None,
+        max_iterations: int | None = None,
+        operator: str = "structured",
+        eager: bool = False,
+        step_cache: StepSizeCache | None = None,
+        share_step_cache: bool = False,
+        executor: Executor | None = None,
+        solver_slots: int = 2,
+        per_stream_pending: int | None = 2,
+        max_pending: int | None = None,
+        max_streams: int | None = None,
+    ) -> None:
+        if max_streams is not None:
+            check_positive("max_streams", max_streams)
+        if step_cache is None and share_step_cache:
+            step_cache = StepSizeCache()
+        self.step_cache = step_cache
+        self.max_streams = None if max_streams is None else int(max_streams)
+        self.scheduler = FairSolveScheduler(
+            slots=solver_slots,
+            per_stream_pending=per_stream_pending,
+            max_pending=max_pending,
+            executor=executor,
+        )
+        self._session_options: dict[str, Any] = dict(
+            reconstruct=reconstruct,
+            dictionary=dictionary,
+            solver=solver,
+            regularization=regularization,
+            sparsity=sparsity,
+            max_iterations=max_iterations,
+            operator=operator,
+            eager=eager,
+            step_cache=step_cache,
+        )
+        # Live sessions hub-wide, keyed by stream id — the duplicate /
+        # capacity admission registry.  Ids leave it at stream completion
+        # (or connection death), so they are reusable sequentially.
+        self._active: dict[int, StreamSession] = {}
+        #: Latest per-stream-id stats (live and finished) — what an
+        #: operator polls while streams run; see docs/OPERATIONS.md.
+        self.session_stats: dict[int, SessionStats] = {}
+        self._all_stats: list[SessionStats] = []
+        #: Results of every cleanly-finished stream, in completion order.
+        self.completed: list[StreamResult] = []
+        #: Errors of failed connections, in failure order (each failure
+        #: tears down only that connection's sessions).
+        self.failures: list[BaseException] = []
+        self._servers: list[asyncio.AbstractServer] = []
+        self._connections: set[asyncio.Task[Any]] = set()
+
+    # ------------------------------------------------------------ admission
+    @property
+    def n_active(self) -> int:
+        """Sessions currently live across all connections."""
+        return len(self._active)
+
+    def _open_session(self, stream_id: int) -> StreamSession:
+        if stream_id in self._active:
+            raise DuplicateStreamIdError(
+                f"stream id {stream_id} is already active on another connection"
+            )
+        if self.max_streams is not None and len(self._active) >= self.max_streams:
+            raise HubCapacityError(
+                f"hub is at its max_streams bound of {self.max_streams}; "
+                f"stream id {stream_id} refused"
+            )
+        session = StreamSession(stream_id, self.scheduler, **self._session_options)
+        self._active[stream_id] = session
+        self.session_stats[stream_id] = session.stats
+        self._all_stats.append(session.stats)
+        return session
+
+    def _release_session(self, session: StreamSession) -> None:
+        if self._active.get(session.stream_id) is session:
+            del self._active[session.stream_id]
+
+    # ----------------------------------------------------------- connections
+    async def attach(
+        self, transport: Transport, *, expected_streams: int | None = None
+    ) -> list[StreamResult]:
+        """Serve one node connection until end-of-stream; return its streams.
+
+        Chunks are demuxed by their stream id: one connection may carry any
+        number of (concurrent or sequential) streams, each landing in its
+        own session.  With ``expected_streams`` set, the call returns as
+        soon as that many streams completed — without waiting for the
+        connection's EOF (how the single-node ``StreamReceiver`` preserves
+        its historical semantics); otherwise it serves until EOF.
+
+        A protocol error (or the transport dying mid-stream) cancels only
+        *this connection's* unfinished sessions, records the error in
+        :attr:`failures` and re-raises — every other connection keeps
+        flowing; their sessions never observe the failure.
+        """
+        decoder = ChunkDecoder()
+        # The connection's own id → session map, *including* ended sessions:
+        # a late chunk for a finished stream must hit that session's "after
+        # the stream end" error, not open a fresh session.
+        sessions: dict[int, StreamSession] = {}
+        finished: list[StreamResult] = []
+        try:
+            while expected_streams is None or len(finished) < expected_streams:
+                data = await transport.recv()
+                if data is None:
+                    break
+                for chunk in decoder.feed(data):
+                    session = sessions.get(chunk.stream_id)
+                    if session is None:
+                        session = self._open_session(chunk.stream_id)
+                        sessions[chunk.stream_id] = session
+                    await session.handle_chunk(chunk)
+                    if session.ended:
+                        result = await session.finish()
+                        self._release_session(session)
+                        finished.append(result)
+                        self.completed.append(result)
+            unfinished = [s for s in sessions.values() if not s.ended]
+            if unfinished or (
+                expected_streams is not None and len(finished) < expected_streams
+            ):
+                raise StreamProtocolError(
+                    "transport closed before the stream-end chunk arrived"
+                )
+            if decoder.pending_bytes:
+                raise StreamProtocolError(
+                    f"{decoder.pending_bytes} trailing bytes after the stream end"
+                )
+            return finished
+        except BaseException as error:
+            for session in sessions.values():
+                if not session.ended:
+                    session.cancel()
+                self._release_session(session)
+            self.failures.append(error)
+            raise
+
+    async def serve(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[asyncio.AbstractServer, int]:
+        """Accept TCP node connections, each served by :meth:`attach`.
+
+        Returns the server and its bound port (``port=0`` lets the OS
+        pick).  Per-connection failures are recorded in :attr:`failures`
+        and close that connection only; the server keeps accepting.
+        """
+
+        async def handle(transport: TcpTransport) -> None:
+            task = asyncio.current_task()
+            if task is not None:
+                self._connections.add(task)
+            try:
+                await self.attach(transport)
+            except asyncio.CancelledError:
+                raise
+            except BaseException:
+                # Already recorded in self.failures by attach(); the
+                # connection dies, the hub keeps serving the rest.
+                pass
+            finally:
+                if task is not None:
+                    self._connections.discard(task)
+                await transport.close()
+
+        server, bound_port = await serve_tcp(handle, host=host, port=port)
+        self._servers.append(server)
+        return server, bound_port
+
+    async def drain(self) -> None:
+        """Wait for every in-flight TCP connection handler to finish."""
+        while self._connections:
+            await asyncio.gather(*list(self._connections), return_exceptions=True)
+
+    async def close(self) -> None:
+        """Stop serving: close servers, drain connections, stop the scheduler."""
+        servers, self._servers = self._servers, []
+        for server in servers:
+            server.close()
+            await server.wait_closed()
+        await self.drain()
+        await self.scheduler.close()
+
+    # ---------------------------------------------------------------- stats
+    def stats(self) -> HubStats:
+        """Aggregate fleet snapshot (cheap; safe to poll while streams run)."""
+        latencies = [
+            latency
+            for stats in self._all_stats
+            for latency in stats.frame_latencies
+        ]
+        return HubStats(
+            n_active=len(self._active),
+            n_completed=len(self.completed),
+            n_failed=len(self.failures),
+            n_frames=sum(stats.n_frames for stats in self._all_stats),
+            n_bytes=sum(stats.n_bytes for stats in self._all_stats),
+            solves_dispatched=self.scheduler.n_dispatched,
+            frame_latencies=latencies,
+        )

@@ -1,9 +1,11 @@
 """The receiving end: decode chunks as they arrive, reconstruct incrementally.
 
 :class:`StreamReceiver` is the off-chip half of the paper's system running as
-a service.  It pulls byte slices from a transport, reassembles them into
-chunks (:class:`~repro.stream.protocol.ChunkDecoder`), decodes each embedded
-v2 frame the moment it lands and reconstructs *incrementally*:
+a service, serving exactly one camera node.  Since the transport / session /
+scheduling split it is a *thin one-session hub*: every call to :meth:`run`
+builds a private :class:`~repro.stream.hub.ReceiverHub` capped at one
+stream, attaches the transport and returns that stream's result.  All the
+actual protocol work lives in :class:`~repro.stream.session.StreamSession`:
 
 * tiled streams feed an
   :class:`~repro.recon.incremental.IncrementalTiledReconstructor` per frame.
@@ -26,88 +28,24 @@ v2 frame the moment it lands and reconstructs *incrementally*:
 
 Reconstruction runs on a worker executor so the event loop keeps draining
 the transport; with reconstruction disabled the receiver is a pure decoder
-(useful for benchmarks and relays).
+(useful for benchmarks and relays).  Because the single-node path *is* the
+hub path with ``max_streams=1``, the fleet-scale
+:class:`~repro.stream.hub.ReceiverHub` inherits the byte-identity invariant
+verbatim — a hub session serving one node reconstructs identically to this
+class (pinned by the hub tests).
 """
 
 from __future__ import annotations
 
-import asyncio
 from concurrent.futures import Executor
-from dataclasses import dataclass, field
-from collections.abc import Callable
 from typing import Any
 
-import numpy as np
-
 from repro.cs.operators import StepSizeCache
-from repro.io.framing import decode_frame
-from repro.recon.incremental import IncrementalTiledReconstructor
-from repro.recon.pipeline import (
-    ReconstructionResult,
-    TiledReconstructionResult,
-    reconstruct_frame,
-)
-from repro.sensor.imager import CompressedFrame
-from repro.sensor.shard import (
-    TiledCaptureResult,
-    TileSlot,
-    merge_tile_statistics,
-    tile_grid,
-)
-from repro.stream.protocol import (
-    Chunk,
-    ChunkDecoder,
-    ChunkType,
-    FrameData,
-    StreamHeader,
-    StreamProtocolError,
-    advance_seed_state,
-    decode_frame_complete,
-    decode_frame_data,
-    decode_stream_end,
-    decode_stream_header,
-)
+from repro.stream.hub import ReceiverHub
+from repro.stream.session import ReceivedFrame, StreamResult, StreamSession
 from repro.stream.transport import Transport
 
-
-@dataclass
-class ReceivedFrame:
-    """One fully-landed frame: the decoded capture and (optionally) its image.
-
-    Attributes
-    ----------
-    frame_index:
-        Position in the stream.
-    capture:
-        The decoded payload — a :class:`CompressedFrame` for single-sensor
-        streams, a reassembled :class:`TiledCaptureResult` for mosaics (its
-        metadata is :func:`~repro.sensor.shard.merge_tile_statistics` over
-        the decoded tiles, so the event statistics that crossed the wire
-        aggregate exactly as the capture side aggregated them).
-    reconstruction:
-        The incremental reconstruction, or ``None`` when the receiver runs
-        as a pure decoder.
-    """
-
-    frame_index: int
-    capture: CompressedFrame | TiledCaptureResult
-    reconstruction: ReconstructionResult | TiledReconstructionResult | None = None
-
-
-@dataclass
-class StreamResult:
-    """Everything one stream delivered."""
-
-    header: StreamHeader | None = None
-    frames: list[ReceivedFrame] = field(default_factory=list)
-    n_chunks: int = 0
-    n_bytes: int = 0
-    announced_frames: int | None = None
-
-    @property
-    def n_frames(self) -> int:
-        """Frames fully received."""
-        return len(self.frames)
+__all__ = ["ReceivedFrame", "StreamReceiver", "StreamResult", "receive_stream"]
 
 
 class StreamReceiver:
@@ -141,11 +79,17 @@ class StreamReceiver:
         uses the event loop's default thread pool.
     """
 
-    #: How many whole-frame batched solves may be in flight at once before
-    #: the frame barrier awaits the oldest.  One is enough to overlap the
-    #: current frame's solve with the next frame's wire transfer while
-    #: keeping receiver memory bounded.
-    MAX_INFLIGHT_TILED_SOLVES = 1
+    #: Re-exported session bound (see
+    #: :attr:`StreamSession.MAX_INFLIGHT_TILED_SOLVES`): how many whole-frame
+    #: batched solves may be in flight before the frame barrier awaits the
+    #: oldest.
+    MAX_INFLIGHT_TILED_SOLVES = StreamSession.MAX_INFLIGHT_TILED_SOLVES
+
+    #: Solver slots of the private single-stream hub.  Generous on purpose:
+    #: the historical receiver never bounded its in-flight solves (the tiled
+    #: depth bound lives in the session), and a single stream needs no
+    #: cross-stream fairness.
+    SOLVER_SLOTS = 8
 
     def __init__(
         self,
@@ -171,315 +115,39 @@ class StreamReceiver:
         self.eager = bool(eager)
         self.step_cache = step_cache
         self.executor = executor
-        # The one option set shared by the single-frame solve path and the
-        # tiled reconstructors — the two cannot diverge in configuration.
-        self._recon_options = dict(
-            dictionary=dictionary,
-            solver=solver,
-            regularization=regularization,
-            sparsity=sparsity,
+
+    def _new_hub(self) -> ReceiverHub:
+        return ReceiverHub(
+            reconstruct=self.reconstruct,
+            dictionary=self.dictionary,
+            solver=self.solver,
+            regularization=self.regularization,
+            sparsity=self.sparsity,
             max_iterations=self.max_iterations,
-            operator=operator,
-            step_cache=step_cache,
-        )
-        self._reset_stream_state()
-
-    def _reset_stream_state(self) -> None:
-        """Forget everything about the previous stream (called per run)."""
-        self._header: StreamHeader | None = None
-        self._slots: list[list[TileSlot]] | None = None
-        self._result = StreamResult()
-        self._next_sequence = 0
-        self._ended = False
-        # Per tile-position seed chains for seedless (GOP) frames.
-        self._seed_chains: dict[tuple[int, int], np.ndarray] = {}
-        # Per in-flight frame: grid of decoded tile frames, the frame's
-        # reconstructor, and the in-flight solve tasks (position, frame,
-        # task) awaited at the frame barrier.
-        self._pending_tiles: dict[int, list[list[CompressedFrame | None]]] = {}
-        self._pending_recon: dict[int, IncrementalTiledReconstructor] = {}
-        self._pending_solves: dict[int, list[tuple[int, int, CompressedFrame, asyncio.Task[Any]]]] = {}
-        # Single-sensor streams: (ReceivedFrame, task) pairs whose
-        # reconstructions are attached at end-of-stream.
-        self._pending_frame_solves: list[tuple[ReceivedFrame, asyncio.Task[Any]]] = []
-        # Batched tiled mode: the (bounded) queue of in-flight whole-frame
-        # solves — frame k's solve overlaps frame k+1's wire time, but the
-        # barrier awaits older solves past the depth bound so a stream that
-        # outruns the solver cannot accumulate unbounded work.
-        self._pending_tiled_solves: list[tuple[ReceivedFrame, asyncio.Task[Any]]] = []
-
-    # -------------------------------------------------------------- helpers
-    async def _run(self, fn: Callable[..., Any], *args: Any) -> Any:
-        loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self.executor, fn, *args)
-
-    def _new_reconstructor(self) -> IncrementalTiledReconstructor:
-        return IncrementalTiledReconstructor(
-            self._header.scene_shape,
-            self._header.tile_shape,
-            **self._recon_options,
+            operator=self.operator,
+            eager=self.eager,
+            step_cache=self.step_cache,
+            executor=self.executor,
+            solver_slots=self.SOLVER_SLOTS,
+            per_stream_pending=None,
+            max_pending=None,
+            max_streams=1,
         )
 
-    def _solve_frame(self, frame: CompressedFrame) -> ReconstructionResult:
-        return reconstruct_frame(frame, **self._recon_options)
-
-    def _solve_tiled_batched(
-        self,
-        tiles: list[list[CompressedFrame | None]],
-        capture_metadata: dict[str, object],
-    ) -> TiledReconstructionResult:
-        """Invert one complete tiled frame through the batched barrier solve."""
-        reconstructor = self._new_reconstructor()
-        for grid_row, row in enumerate(tiles):
-            for grid_col, frame in enumerate(row):
-                reconstructor.stage_tile(grid_row, grid_col, frame)
-        reconstructor.solve_staged()
-        return reconstructor.result(capture_metadata=capture_metadata)
-
-    # ------------------------------------------------------------- chunk fsm
     async def run(self, transport: Transport) -> StreamResult:
         """Drain the transport until end-of-stream; return everything landed.
 
-        Raises :class:`StreamProtocolError` on malformed chunks, sequence
-        gaps, duplicate tiles, or a stream that ends mid-frame.  A receiver
-        instance can be reused: each call starts from a clean slate.
+        Raises :class:`~repro.stream.protocol.StreamProtocolError` on
+        malformed chunks, sequence gaps, duplicate tiles, or a stream that
+        ends mid-frame.  A receiver instance can be reused: each call runs
+        on a fresh single-stream hub, starting from a clean slate.
         """
-        self._reset_stream_state()
-        decoder = ChunkDecoder()
+        hub = self._new_hub()
         try:
-            while not self._ended:
-                data = await transport.recv()
-                if data is None:
-                    break
-                self._result.n_bytes += len(data)
-                for chunk in decoder.feed(data):
-                    await self._handle_chunk(chunk)
-            if not self._ended:
-                raise StreamProtocolError(
-                    "transport closed before the stream-end chunk arrived"
-                )
-            if decoder.pending_bytes:
-                raise StreamProtocolError(
-                    f"{decoder.pending_bytes} trailing bytes after the stream end"
-                )
-            if self._pending_tiles:
-                pending = sorted(self._pending_tiles)
-                raise StreamProtocolError(
-                    f"stream ended with incomplete tiled frames: {pending}"
-                )
-            for received, task in self._pending_frame_solves:
-                received.reconstruction = await task
-            self._pending_frame_solves = []
-            for received, task in self._pending_tiled_solves:
-                received.reconstruction = await task
-            self._pending_tiled_solves = []
-        except BaseException:
-            # Don't leak in-flight solves when the stream errors out.
-            for solves in self._pending_solves.values():
-                for _, _, _, task in solves:
-                    task.cancel()
-            for _, task in self._pending_frame_solves:
-                task.cancel()
-            for _, task in self._pending_tiled_solves:
-                task.cancel()
-            raise
-        return self._result
-
-    async def _handle_chunk(self, chunk: Chunk) -> None:
-        if self._ended:
-            raise StreamProtocolError(
-                f"{chunk.chunk_type.name} chunk after the stream end"
-            )
-        if chunk.sequence != self._next_sequence:
-            raise StreamProtocolError(
-                f"chunk sequence jumped to {chunk.sequence}, "
-                f"expected {self._next_sequence}"
-            )
-        self._next_sequence += 1
-        self._result.n_chunks += 1
-        if chunk.chunk_type == ChunkType.STREAM_START:
-            if self._header is not None:
-                raise StreamProtocolError("duplicate stream-start chunk")
-            self._header = decode_stream_header(chunk.payload)
-            self._result.header = self._header
-            if self._header.tiled:
-                self._slots = tile_grid(
-                    self._header.scene_shape, self._header.tile_shape
-                )
-            return
-        if self._header is None:
-            raise StreamProtocolError(
-                f"{chunk.chunk_type.name} chunk before the stream start"
-            )
-        if chunk.chunk_type == ChunkType.FRAME_DATA:
-            await self._handle_frame_data(chunk)
-        elif chunk.chunk_type == ChunkType.FRAME_COMPLETE:
-            await self._handle_frame_complete(chunk)
-        elif chunk.chunk_type == ChunkType.STREAM_END:
-            self._result.announced_frames = decode_stream_end(chunk.payload)
-            self._ended = True
-
-    def _decode_with_chain(
-        self, data: FrameData, key: tuple[int, int], keyframe: bool
-    ) -> CompressedFrame:
-        """Decode one embedded frame, maintaining the position's seed chain."""
-        if keyframe:
-            frame = decode_frame(data.frame_bytes)
-        else:
-            chain = self._seed_chains.get(key)
-            if chain is None:
-                raise StreamProtocolError(
-                    f"seedless frame for tile {key} arrived before any keyframe"
-                )
-            frame = decode_frame(data.frame_bytes, seed_state=chain)
-        # The one-pattern frame overlap: this frame's last selection pattern
-        # seeds the next frame at this position.  Keyframe-only streams
-        # (gop_size <= 1) never read the chain, so skip the CA evolution on
-        # their decode hot path.
-        if self._header.gop_size > 1:
-            self._seed_chains[key] = advance_seed_state(
-                frame.seed_state,
-                frame.rule_number,
-                n_samples=frame.n_samples,
-                steps_per_sample=frame.steps_per_sample,
-                warmup_steps=frame.warmup_steps,
-            )
-        return frame
-
-    async def _handle_frame_data(self, chunk: Chunk) -> None:
-        data = decode_frame_data(chunk.payload)
-        key = (data.grid_row, data.grid_col)
-        frame = self._decode_with_chain(data, key, data.keyframe)
-        if not self._header.tiled:
-            if key != (0, 0):
-                raise StreamProtocolError(
-                    f"tile position {key} in a single-sensor stream"
-                )
-            expected = self._header.scene_shape
-            if (frame.config.rows, frame.config.cols) != expected:
-                raise StreamProtocolError(
-                    f"frame {data.frame_index} geometry "
-                    f"{(frame.config.rows, frame.config.cols)} does not match "
-                    f"the announced scene {expected}"
-                )
-            received = ReceivedFrame(frame_index=data.frame_index, capture=frame)
-            self._result.frames.append(received)
-            if self.reconstruct:
-                # Schedule the solve but keep draining the transport; the
-                # result is attached at end-of-stream (see :meth:`run`).
-                task = asyncio.ensure_future(self._run(self._solve_frame, frame))
-                self._pending_frame_solves.append((received, task))
-            return
-        # Tiled: land the tile in its in-flight frame (solved per-tile right
-        # away in eager mode, or collected for the barrier's batched solve).
-        grid_rows, grid_cols = len(self._slots), len(self._slots[0])
-        if not (data.grid_row < grid_rows and data.grid_col < grid_cols):
-            raise StreamProtocolError(
-                f"tile position {key} outside the {grid_rows}x{grid_cols} grid"
-            )
-        slot = self._slots[data.grid_row][data.grid_col]
-        if (frame.config.rows, frame.config.cols) != (slot.rows, slot.cols):
-            raise StreamProtocolError(
-                f"tile {key} of frame {data.frame_index} is "
-                f"{frame.config.rows}x{frame.config.cols}, its slot expects "
-                f"{slot.rows}x{slot.cols}"
-            )
-        tiles = self._pending_tiles.setdefault(
-            data.frame_index,
-            [[None] * grid_cols for _ in range(grid_rows)],
-        )
-        if tiles[data.grid_row][data.grid_col] is not None:
-            raise StreamProtocolError(
-                f"duplicate tile {key} in frame {data.frame_index}"
-            )
-        tiles[data.grid_row][data.grid_col] = frame
-        if self.reconstruct and self.eager:
-            reconstructor = self._pending_recon.get(data.frame_index)
-            if reconstructor is None:
-                reconstructor = self._new_reconstructor()
-                self._pending_recon[data.frame_index] = reconstructor
-            # Eager mode: schedule the solve but keep draining the transport —
-            # with a multi-worker executor, several tiles reconstruct
-            # concurrently while later chunks are still arriving.  The tasks
-            # are awaited (and stitched, in arrival order) at the frame
-            # barrier.  In the default batched mode the tiles just accumulate
-            # here and the barrier inverts them all in one stacked solve.
-            task = asyncio.ensure_future(
-                self._run(reconstructor.solve_tile, frame)
-            )
-            self._pending_solves.setdefault(data.frame_index, []).append(
-                (data.grid_row, data.grid_col, frame, task)
-            )
-
-    async def _handle_frame_complete(self, chunk: Chunk) -> None:
-        frame_index, n_tiles = decode_frame_complete(chunk.payload)
-        if not self._header.tiled:
-            raise StreamProtocolError(
-                "frame-complete barrier in a single-sensor stream"
-            )
-        tiles = self._pending_tiles.pop(frame_index, None)
-        if tiles is None:
-            raise StreamProtocolError(
-                f"frame-complete for unknown frame {frame_index}"
-            )
-        flat = [frame for row in tiles for frame in row]
-        if any(frame is None for frame in flat):
-            missing = sum(frame is None for frame in flat)
-            raise StreamProtocolError(
-                f"frame {frame_index} completed with {missing} tiles missing"
-            )
-        if n_tiles != len(flat):
-            raise StreamProtocolError(
-                f"frame {frame_index} barrier announces {n_tiles} tiles, "
-                f"grid has {len(flat)}"
-            )
-        capture = TiledCaptureResult(
-            tiles=tiles,
-            slots=self._slots,
-            scene_shape=self._header.scene_shape,
-            tile_shape=self._header.tile_shape,
-            metadata=merge_tile_statistics(flat),
-        )
-        reconstruction = None
-        if self.reconstruct and self.eager:
-            reconstructor = self._pending_recon.pop(frame_index)
-            solves = self._pending_solves.pop(frame_index, [])
-            try:
-                for grid_row, grid_col, frame, task in solves:
-                    reconstructor.insert_result(
-                        grid_row, grid_col, frame, await task
-                    )
-            except BaseException:
-                # One tile's solve failed: don't let its siblings keep
-                # running unobserved (they left _pending_solves above).
-                for _, _, _, task in solves:
-                    task.cancel()
-                raise
-            reconstruction = reconstructor.result(
-                capture_metadata=capture.metadata
-            )
-        received = ReceivedFrame(
-            frame_index=frame_index,
-            capture=capture,
-            reconstruction=reconstruction,
-        )
-        self._result.frames.append(received)
-        if self.reconstruct and not self.eager:
-            # Batched mode: every tile of the frame has landed — schedule the
-            # stacked multi-tile solve on the worker executor (the same
-            # stage/solve_staged path in-process reconstruct_tiled defaults
-            # to, so the streamed result is byte-identical to it) while the
-            # transport keeps draining the next frame's chunks.  Older
-            # in-flight solves are awaited here past the depth bound, so a
-            # stream faster than the solver back-pressures instead of
-            # accumulating frames without limit.
-            while len(self._pending_tiled_solves) >= self.MAX_INFLIGHT_TILED_SOLVES:
-                earlier, task = self._pending_tiled_solves.pop(0)
-                earlier.reconstruction = await task
-            task = asyncio.ensure_future(
-                self._run(self._solve_tiled_batched, tiles, capture.metadata)
-            )
-            self._pending_tiled_solves.append((received, task))
+            results = await hub.attach(transport, expected_streams=1)
+        finally:
+            await hub.close()
+        return results[0]
 
 
 async def receive_stream(transport: Transport, **options: Any) -> StreamResult:

@@ -1,0 +1,561 @@
+"""Per-stream session state: decode chunks, walk GOP chains, stage solves.
+
+This is the middle layer of the streaming stack.  The three layers are
+deliberately separate so each can scale independently:
+
+* :mod:`repro.stream.transport` is **wire-only**: it moves opaque byte
+  slices and exerts backpressure, nothing else;
+* this module owns everything *one stream* needs between the wire and the
+  solver — the chunk finite-state machine, per-tile-position seed chains
+  (:func:`~repro.stream.protocol.advance_seed_state`), the per-stream
+  :class:`~repro.recon.incremental.IncrementalTiledReconstructor`, and the
+  frame-barrier bookkeeping;
+* :mod:`repro.stream.hub` owns the *many-streams* concerns — the accept
+  loop, demultiplexing by the stream ids already on the wire, fair solve
+  scheduling across streams, and the high-watermark backpressure.
+
+A :class:`StreamSession` never touches a transport and never runs a solve
+itself: it consumes already-parsed :class:`~repro.stream.protocol.Chunk`
+objects and hands every CPU-bound reconstruction to a
+:class:`SolveScheduler` — the seam where the hub's fairness policy plugs in.
+The single-node :class:`~repro.stream.receiver.StreamReceiver` drives exactly
+one session through exactly the same code path, which is what keeps
+streamed ≡ in-process byte-identical whether one camera is connected or
+hundreds are.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from collections.abc import Callable
+from typing import Any, Protocol
+
+import numpy as np
+
+from repro.cs.operators import StepSizeCache
+from repro.io.framing import decode_frame
+from repro.recon.incremental import IncrementalTiledReconstructor
+from repro.recon.pipeline import (
+    ReconstructionResult,
+    TiledReconstructionResult,
+    reconstruct_frame,
+)
+from repro.sensor.imager import CompressedFrame
+from repro.sensor.shard import (
+    TiledCaptureResult,
+    TileSlot,
+    merge_tile_statistics,
+    tile_grid,
+)
+from repro.stream.protocol import (
+    Chunk,
+    ChunkType,
+    FrameData,
+    StreamHeader,
+    StreamProtocolError,
+    advance_seed_state,
+    decode_frame_complete,
+    decode_frame_data,
+    decode_stream_end,
+    decode_stream_header,
+)
+
+
+class SolveScheduler(Protocol):
+    """Structural type of the solve-dispatch seam between session and hub.
+
+    ``submit`` takes the session's stream id (the fairness key) and a
+    zero-argument callable of CPU-bound solver work, and returns a future
+    resolving to the callable's result.  The call itself **may suspend** —
+    that is the solve-side backpressure: a scheduler whose per-stream or
+    global high-watermark is full parks the submitting session (and hence,
+    through the transport, its camera node) without stalling any other
+    stream's chunk processing.
+    """
+
+    async def submit(
+        self, key: int, fn: Callable[[], Any]
+    ) -> asyncio.Future[Any]:
+        """Queue one unit of solver work for ``key``; await queue space."""
+        ...  # pragma: no cover - protocol body
+
+
+@dataclass
+class ReceivedFrame:
+    """One fully-landed frame: the decoded capture and (optionally) its image.
+
+    Attributes
+    ----------
+    frame_index:
+        Position in the stream.
+    capture:
+        The decoded payload — a :class:`CompressedFrame` for single-sensor
+        streams, a reassembled :class:`TiledCaptureResult` for mosaics (its
+        metadata is :func:`~repro.sensor.shard.merge_tile_statistics` over
+        the decoded tiles, so the event statistics that crossed the wire
+        aggregate exactly as the capture side aggregated them).
+    reconstruction:
+        The incremental reconstruction, or ``None`` when the receiver runs
+        as a pure decoder.
+    """
+
+    frame_index: int
+    capture: CompressedFrame | TiledCaptureResult
+    reconstruction: ReconstructionResult | TiledReconstructionResult | None = None
+
+
+@dataclass
+class StreamResult:
+    """Everything one stream delivered."""
+
+    header: StreamHeader | None = None
+    frames: list[ReceivedFrame] = field(default_factory=list)
+    n_chunks: int = 0
+    n_bytes: int = 0
+    announced_frames: int | None = None
+    stream_id: int | None = None
+
+    @property
+    def n_frames(self) -> int:
+        """Frames fully received."""
+        return len(self.frames)
+
+
+@dataclass
+class SessionStats:
+    """Live per-stream counters a hub operator reads while the stream runs.
+
+    ``frame_latencies`` records, per frame, the seconds from the frame's
+    first chunk landing to the frame being fully decoded *and* (when
+    reconstruction is on) solved — the quantity whose p99 the ``hub``
+    benchmark group tracks.  Unlike :class:`StreamResult` (which is only
+    returned for streams that finish cleanly), the stats object outlives a
+    failed session, so a disconnect still leaves its partial counters
+    readable.
+    """
+
+    stream_id: int
+    n_chunks: int = 0
+    n_bytes: int = 0
+    n_frames: int = 0
+    frame_latencies: list[float] = field(default_factory=list)
+
+
+class StreamSession:
+    """The chunk finite-state machine for exactly one stream.
+
+    Parameters
+    ----------
+    stream_id:
+        The id this session answers to — the demux key the hub routes by.
+    scheduler:
+        The :class:`SolveScheduler` every reconstruction is dispatched
+        through.  The session never blocks the event loop on solver work.
+    reconstruct, dictionary, solver, regularization, sparsity,
+    max_iterations, operator, eager, step_cache:
+        Reconstruction options, exactly as on
+        :class:`~repro.stream.receiver.StreamReceiver` (which forwards them
+        here verbatim).
+    """
+
+    #: How many whole-frame batched solves may be in flight at once before
+    #: the frame barrier awaits the oldest.  One is enough to overlap the
+    #: current frame's solve with the next frame's wire transfer while
+    #: keeping per-session memory bounded.
+    MAX_INFLIGHT_TILED_SOLVES = 1
+
+    def __init__(
+        self,
+        stream_id: int,
+        scheduler: SolveScheduler,
+        *,
+        reconstruct: bool = True,
+        dictionary: str = "dct",
+        solver: str = "fista",
+        regularization: float | None = None,
+        sparsity: int | None = None,
+        max_iterations: int | None = None,
+        operator: str = "structured",
+        eager: bool = False,
+        step_cache: StepSizeCache | None = None,
+    ) -> None:
+        self.stream_id = int(stream_id)
+        self.scheduler = scheduler
+        self.reconstruct = bool(reconstruct)
+        self.eager = bool(eager)
+        self.stats = SessionStats(stream_id=self.stream_id)
+        # The one option set shared by the single-frame solve path and the
+        # tiled reconstructors — the two cannot diverge in configuration.
+        self._recon_options: dict[str, Any] = dict(
+            dictionary=dictionary,
+            solver=solver,
+            regularization=regularization,
+            sparsity=sparsity,
+            max_iterations=None if max_iterations is None else int(max_iterations),
+            operator=operator,
+            step_cache=step_cache,
+        )
+        self._header: StreamHeader | None = None
+        self._slots: list[list[TileSlot]] | None = None
+        self._result = StreamResult(stream_id=self.stream_id)
+        self._next_sequence = 0
+        self._ended = False
+        # Per tile-position seed chains for seedless (GOP) frames.
+        self._seed_chains: dict[tuple[int, int], np.ndarray] = {}
+        # Per in-flight frame: grid of decoded tile frames, the frame's
+        # reconstructor, the event-loop time its first chunk landed, and the
+        # in-flight solve futures awaited at the frame barrier.
+        self._pending_tiles: dict[int, list[list[CompressedFrame | None]]] = {}
+        self._pending_recon: dict[int, IncrementalTiledReconstructor] = {}
+        self._frame_started: dict[int, float] = {}
+        self._pending_solves: dict[
+            int,
+            list[tuple[int, int, CompressedFrame, asyncio.Future[Any]]],
+        ] = {}
+        # Single-sensor streams: (ReceivedFrame, future) pairs whose
+        # reconstructions are attached at end-of-stream (see :meth:`finish`).
+        self._pending_frame_solves: list[
+            tuple[ReceivedFrame, asyncio.Future[Any]]
+        ] = []
+        # Batched tiled mode: the (bounded) queue of in-flight whole-frame
+        # solves — frame k's solve overlaps frame k+1's wire time, but the
+        # barrier awaits older solves past the depth bound so a stream that
+        # outruns the solver cannot accumulate unbounded work.
+        self._pending_tiled_solves: list[
+            tuple[ReceivedFrame, asyncio.Future[Any]]
+        ] = []
+
+    # -------------------------------------------------------------- helpers
+    @property
+    def ended(self) -> bool:
+        """True once the stream-end chunk has been processed."""
+        return self._ended
+
+    def _now(self) -> float:
+        return asyncio.get_running_loop().time()
+
+    def _note_frame_landed(self, frame_index: int) -> None:
+        """Record a frame's latency for the decode-only completion point."""
+        started = self._frame_started.pop(frame_index, None)
+        if started is not None:
+            self.stats.frame_latencies.append(self._now() - started)
+
+    def _note_on_solve_done(
+        self, frame_index: int, future: asyncio.Future[Any]
+    ) -> None:
+        """Record a frame's latency when its (scheduled) solve resolves."""
+        started = self._frame_started.pop(frame_index, None)
+        if started is None:
+            return
+        loop = asyncio.get_running_loop()
+
+        def note(done: asyncio.Future[Any]) -> None:
+            if not done.cancelled():
+                self.stats.frame_latencies.append(loop.time() - started)
+
+        future.add_done_callback(note)
+
+    def _new_reconstructor(self) -> IncrementalTiledReconstructor:
+        assert self._header is not None
+        return IncrementalTiledReconstructor(
+            self._header.scene_shape,
+            self._header.tile_shape,
+            **self._recon_options,
+        )
+
+    def _solve_frame(self, frame: CompressedFrame) -> ReconstructionResult:
+        return reconstruct_frame(frame, **self._recon_options)
+
+    def _solve_tiled_batched(
+        self,
+        tiles: list[list[CompressedFrame | None]],
+        capture_metadata: dict[str, object],
+    ) -> TiledReconstructionResult:
+        """Invert one complete tiled frame through the batched barrier solve."""
+        reconstructor = self._new_reconstructor()
+        for grid_row, row in enumerate(tiles):
+            for grid_col, frame in enumerate(row):
+                reconstructor.stage_tile(grid_row, grid_col, frame)
+        reconstructor.solve_staged()
+        return reconstructor.result(capture_metadata=capture_metadata)
+
+    # ------------------------------------------------------------- chunk fsm
+    async def handle_chunk(self, chunk: Chunk) -> None:
+        """Advance the FSM by one chunk (may suspend on solve backpressure).
+
+        Raises :class:`StreamProtocolError` on malformed chunks, sequence
+        gaps, duplicate tiles, or chunks after the stream end.
+        """
+        if self._ended:
+            raise StreamProtocolError(
+                f"{chunk.chunk_type.name} chunk after the stream end"
+            )
+        if chunk.sequence != self._next_sequence:
+            raise StreamProtocolError(
+                f"chunk sequence jumped to {chunk.sequence}, "
+                f"expected {self._next_sequence}"
+            )
+        self._next_sequence += 1
+        self._result.n_chunks += 1
+        self._result.n_bytes += chunk.n_bytes
+        self.stats.n_chunks += 1
+        self.stats.n_bytes += chunk.n_bytes
+        if chunk.chunk_type == ChunkType.STREAM_START:
+            if self._header is not None:
+                raise StreamProtocolError("duplicate stream-start chunk")
+            self._header = decode_stream_header(chunk.payload)
+            self._result.header = self._header
+            if self._header.tiled:
+                self._slots = tile_grid(
+                    self._header.scene_shape, self._header.tile_shape
+                )
+            return
+        if self._header is None:
+            raise StreamProtocolError(
+                f"{chunk.chunk_type.name} chunk before the stream start"
+            )
+        if chunk.chunk_type == ChunkType.FRAME_DATA:
+            await self._handle_frame_data(chunk)
+        elif chunk.chunk_type == ChunkType.FRAME_COMPLETE:
+            await self._handle_frame_complete(chunk)
+        elif chunk.chunk_type == ChunkType.STREAM_END:
+            self._result.announced_frames = decode_stream_end(chunk.payload)
+            self._ended = True
+
+    def _decode_with_chain(
+        self, data: FrameData, key: tuple[int, int], keyframe: bool
+    ) -> CompressedFrame:
+        """Decode one embedded frame, maintaining the position's seed chain."""
+        assert self._header is not None
+        if keyframe:
+            frame = decode_frame(data.frame_bytes)
+        else:
+            chain = self._seed_chains.get(key)
+            if chain is None:
+                raise StreamProtocolError(
+                    f"seedless frame for tile {key} arrived before any keyframe"
+                )
+            frame = decode_frame(data.frame_bytes, seed_state=chain)
+        # The one-pattern frame overlap: this frame's last selection pattern
+        # seeds the next frame at this position.  Keyframe-only streams
+        # (gop_size <= 1) never read the chain, so skip the CA evolution on
+        # their decode hot path.
+        if self._header.gop_size > 1:
+            self._seed_chains[key] = advance_seed_state(
+                frame.seed_state,
+                frame.rule_number,
+                n_samples=frame.n_samples,
+                steps_per_sample=frame.steps_per_sample,
+                warmup_steps=frame.warmup_steps,
+            )
+        return frame
+
+    async def _handle_frame_data(self, chunk: Chunk) -> None:
+        assert self._header is not None
+        data = decode_frame_data(chunk.payload)
+        key = (data.grid_row, data.grid_col)
+        frame = self._decode_with_chain(data, key, data.keyframe)
+        self._frame_started.setdefault(data.frame_index, self._now())
+        if not self._header.tiled:
+            if key != (0, 0):
+                raise StreamProtocolError(
+                    f"tile position {key} in a single-sensor stream"
+                )
+            expected = self._header.scene_shape
+            if (frame.config.rows, frame.config.cols) != expected:
+                raise StreamProtocolError(
+                    f"frame {data.frame_index} geometry "
+                    f"{(frame.config.rows, frame.config.cols)} does not match "
+                    f"the announced scene {expected}"
+                )
+            received = ReceivedFrame(frame_index=data.frame_index, capture=frame)
+            self._result.frames.append(received)
+            self.stats.n_frames += 1
+            if self.reconstruct:
+                # Queue the solve but keep draining the stream; the result
+                # is attached at end-of-stream (see :meth:`finish`).
+                future = await self.scheduler.submit(
+                    self.stream_id, _bind(self._solve_frame, frame)
+                )
+                self._note_on_solve_done(data.frame_index, future)
+                self._pending_frame_solves.append((received, future))
+            else:
+                self._note_frame_landed(data.frame_index)
+            return
+        # Tiled: land the tile in its in-flight frame (solved per-tile right
+        # away in eager mode, or collected for the barrier's batched solve).
+        assert self._slots is not None
+        grid_rows, grid_cols = len(self._slots), len(self._slots[0])
+        if not (data.grid_row < grid_rows and data.grid_col < grid_cols):
+            raise StreamProtocolError(
+                f"tile position {key} outside the {grid_rows}x{grid_cols} grid"
+            )
+        slot = self._slots[data.grid_row][data.grid_col]
+        if (frame.config.rows, frame.config.cols) != (slot.rows, slot.cols):
+            raise StreamProtocolError(
+                f"tile {key} of frame {data.frame_index} is "
+                f"{frame.config.rows}x{frame.config.cols}, its slot expects "
+                f"{slot.rows}x{slot.cols}"
+            )
+        tiles = self._pending_tiles.setdefault(
+            data.frame_index,
+            [[None] * grid_cols for _ in range(grid_rows)],
+        )
+        if tiles[data.grid_row][data.grid_col] is not None:
+            raise StreamProtocolError(
+                f"duplicate tile {key} in frame {data.frame_index}"
+            )
+        tiles[data.grid_row][data.grid_col] = frame
+        if self.reconstruct and self.eager:
+            reconstructor = self._pending_recon.get(data.frame_index)
+            if reconstructor is None:
+                reconstructor = self._new_reconstructor()
+                self._pending_recon[data.frame_index] = reconstructor
+            # Eager mode: queue the solve but keep draining the stream —
+            # with several scheduler slots, tiles reconstruct concurrently
+            # while later chunks are still arriving.  The futures are
+            # awaited (and stitched, in arrival order) at the frame barrier.
+            # In the default batched mode the tiles just accumulate here and
+            # the barrier inverts them all in one stacked solve.
+            future = await self.scheduler.submit(
+                self.stream_id, _bind(reconstructor.solve_tile, frame)
+            )
+            self._pending_solves.setdefault(data.frame_index, []).append(
+                (data.grid_row, data.grid_col, frame, future)
+            )
+
+    async def _handle_frame_complete(self, chunk: Chunk) -> None:
+        assert self._header is not None
+        frame_index, n_tiles = decode_frame_complete(chunk.payload)
+        if not self._header.tiled:
+            raise StreamProtocolError(
+                "frame-complete barrier in a single-sensor stream"
+            )
+        tiles = self._pending_tiles.pop(frame_index, None)
+        if tiles is None:
+            raise StreamProtocolError(
+                f"frame-complete for unknown frame {frame_index}"
+            )
+        flat = [frame for row in tiles for frame in row]
+        if any(frame is None for frame in flat):
+            missing = sum(frame is None for frame in flat)
+            raise StreamProtocolError(
+                f"frame {frame_index} completed with {missing} tiles missing"
+            )
+        if n_tiles != len(flat):
+            raise StreamProtocolError(
+                f"frame {frame_index} barrier announces {n_tiles} tiles, "
+                f"grid has {len(flat)}"
+            )
+        assert self._slots is not None
+        capture = TiledCaptureResult(
+            tiles=tiles,
+            slots=self._slots,
+            scene_shape=self._header.scene_shape,
+            tile_shape=self._header.tile_shape,
+            metadata=merge_tile_statistics(flat),
+        )
+        reconstruction = None
+        if self.reconstruct and self.eager:
+            reconstructor = self._pending_recon.pop(frame_index)
+            solves = self._pending_solves.pop(frame_index, [])
+            try:
+                for grid_row, grid_col, frame, future in solves:
+                    reconstructor.insert_result(
+                        grid_row, grid_col, frame, await future
+                    )
+            except BaseException:
+                # One tile's solve failed: don't let its siblings keep
+                # running unobserved (they left _pending_solves above).
+                for _, _, _, future in solves:
+                    future.cancel()
+                raise
+            reconstruction = reconstructor.result(
+                capture_metadata=capture.metadata
+            )
+        received = ReceivedFrame(
+            frame_index=frame_index,
+            capture=capture,
+            reconstruction=reconstruction,
+        )
+        self._result.frames.append(received)
+        self.stats.n_frames += 1
+        if self.reconstruct and not self.eager:
+            # Batched mode: every tile of the frame has landed — queue the
+            # stacked multi-tile solve (the same stage/solve_staged path
+            # in-process reconstruct_tiled defaults to, so the streamed
+            # result is byte-identical to it) while the stream keeps
+            # draining the next frame's chunks.  Older in-flight solves are
+            # awaited here past the depth bound, so a stream faster than the
+            # solver back-pressures instead of accumulating frames without
+            # limit.
+            while len(self._pending_tiled_solves) >= self.MAX_INFLIGHT_TILED_SOLVES:
+                earlier, future = self._pending_tiled_solves.pop(0)
+                earlier.reconstruction = await future
+            future = await self.scheduler.submit(
+                self.stream_id,
+                _bind(self._solve_tiled_batched, tiles, capture.metadata),
+            )
+            self._note_on_solve_done(frame_index, future)
+            self._pending_tiled_solves.append((received, future))
+        else:
+            self._note_frame_landed(frame_index)
+
+    # --------------------------------------------------------------- closing
+    async def finish(self) -> StreamResult:
+        """Settle all in-flight work and return the stream's result.
+
+        Called once :attr:`ended` is true.  Raises
+        :class:`StreamProtocolError` for streams that ended with incomplete
+        tiled frames.
+        """
+        if not self._ended:
+            raise StreamProtocolError(
+                "transport closed before the stream-end chunk arrived"
+            )
+        if self._pending_tiles:
+            pending = sorted(self._pending_tiles)
+            raise StreamProtocolError(
+                f"stream ended with incomplete tiled frames: {pending}"
+            )
+        for received, future in self._pending_frame_solves:
+            received.reconstruction = await future
+        self._pending_frame_solves = []
+        for received, future in self._pending_tiled_solves:
+            received.reconstruction = await future
+        self._pending_tiled_solves = []
+        return self._result
+
+    def cancel(self) -> None:
+        """Cancel every in-flight solve (the session is being torn down)."""
+        for solves in self._pending_solves.values():
+            for _, _, _, future in solves:
+                future.cancel()
+        for _, future in self._pending_frame_solves:
+            future.cancel()
+        for _, future in self._pending_tiled_solves:
+            future.cancel()
+        # Consume exceptions of already-settled futures so a torn-down
+        # session never leaves "exception was never retrieved" noise.
+        for solves in self._pending_solves.values():
+            for _, _, _, future in solves:
+                _consume_exception(future)
+        for _, future in self._pending_frame_solves:
+            _consume_exception(future)
+        for _, future in self._pending_tiled_solves:
+            _consume_exception(future)
+
+
+def _bind(fn: Callable[..., Any], *args: Any) -> Callable[[], Any]:
+    """A zero-argument thunk of ``fn(*args)`` for :meth:`SolveScheduler.submit`."""
+
+    def call() -> Any:
+        return fn(*args)
+
+    return call
+
+
+def _consume_exception(future: asyncio.Future[Any]) -> None:
+    if future.done() and not future.cancelled():
+        future.exception()
