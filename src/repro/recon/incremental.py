@@ -133,12 +133,18 @@ class IncrementalTiledReconstructor:
         return self.slots[grid_row][grid_col]
 
     # -------------------------------------------------------------- solving
-    def solve_tile(self, frame: CompressedFrame) -> ReconstructionResult:
+    def solve_tile(
+        self,
+        frame: CompressedFrame,
+        sample_mask: np.ndarray | None = None,
+    ) -> ReconstructionResult:
         """Reconstruct one tile frame with this reconstructor's options.
 
         Stateless (no stitching): both :meth:`add_tile` and the thread pool
         of :func:`~repro.recon.pipeline.reconstruct_tiled` route through
-        this, so there is exactly one per-tile solve path.
+        this, so there is exactly one per-tile solve path.  ``sample_mask``
+        is the lossy-streaming row-survival mask forwarded to
+        :func:`~repro.recon.pipeline.reconstruct_frame` (partial-Φ solve).
         """
         return reconstruct_frame(
             frame,
@@ -149,6 +155,7 @@ class IncrementalTiledReconstructor:
             max_iterations=self.max_iterations,
             operator=self.operator,
             step_cache=self.step_cache,
+            sample_mask=sample_mask,
         )
 
     def stage_tile(
@@ -210,14 +217,21 @@ class IncrementalTiledReconstructor:
         return list(results)
 
     def add_tile(
-        self, grid_row: int, grid_col: int, frame: CompressedFrame
+        self,
+        grid_row: int,
+        grid_col: int,
+        frame: CompressedFrame,
+        sample_mask: np.ndarray | None = None,
     ) -> ReconstructionResult:
         """Reconstruct a newly-landed tile and stitch it into the scene.
 
         Returns the per-tile :class:`ReconstructionResult` so a streaming
         receiver can surface progressive quality while the mosaic fills in.
+        ``sample_mask`` forwards a lossy-streaming survival mask to the solve.
         """
-        return self.insert_result(grid_row, grid_col, frame, self.solve_tile(frame))
+        return self.insert_result(
+            grid_row, grid_col, frame, self.solve_tile(frame, sample_mask)
+        )
 
     def insert_result(
         self,
@@ -254,6 +268,7 @@ class IncrementalTiledReconstructor:
         *,
         reference: np.ndarray | None = None,
         capture_metadata: dict[str, object] | None = None,
+        partial: bool = False,
     ) -> TiledReconstructionResult:
         """Finalise the mosaic into a :class:`TiledReconstructionResult`.
 
@@ -268,14 +283,23 @@ class IncrementalTiledReconstructor:
             Mosaic-level capture statistics to attach; defaults to
             :func:`~repro.sensor.shard.merge_tile_statistics` over the added
             frames, which is what the capture side computes.
+        partial : bool
+            Allow finalising an incomplete mosaic (the lossy-streaming
+            graceful-degradation path): missing tiles stay zero in the
+            stitched image and ``None`` in ``tile_results`` instead of
+            raising.  Defaults to the strict all-tiles contract.
         """
-        if not self.is_complete:
+        if not self.is_complete and not partial:
             raise ValueError(
                 f"mosaic incomplete: {self.n_completed}/{self.n_tiles} tiles added"
             )
-        flat_frames = [frame for row in self._frames for frame in row]
-        if reference is None and all(
-            frame.digital_image is not None for frame in flat_frames
+        flat_frames = [
+            frame for row in self._frames for frame in row if frame is not None
+        ]
+        if (
+            reference is None
+            and self.is_complete
+            and all(frame.digital_image is not None for frame in flat_frames)
         ):
             stitched = np.zeros(self.scene_shape, dtype=float)
             for slot_row, frame_row in zip(self.slots, self._frames):
@@ -290,7 +314,9 @@ class IncrementalTiledReconstructor:
                 "snr_db": reconstruction_snr(reference, self._image),
             }
         if capture_metadata is None:
-            capture_metadata = merge_tile_statistics(flat_frames)
+            capture_metadata = (
+                merge_tile_statistics(flat_frames) if flat_frames else {}
+            )
         return TiledReconstructionResult(
             image=self._image.copy(),
             tile_results=[list(row) for row in self._tile_results],

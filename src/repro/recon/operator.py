@@ -117,6 +117,29 @@ def frame_cache_keys(
     return exact_key, warm_key
 
 
+def normalize_sample_mask(
+    sample_mask: np.ndarray | None, n_samples: int
+) -> np.ndarray | None:
+    """Validate a row-survival mask; ``None`` means "every row survived".
+
+    An all-true mask is normalised to ``None`` so the masked and unmasked
+    code paths cannot diverge when nothing was actually lost — the zero-loss
+    byte-identity property depends on this short-circuit.
+    """
+    if sample_mask is None:
+        return None
+    mask = np.asarray(sample_mask, dtype=bool).reshape(-1)
+    if mask.size != n_samples:
+        raise ValueError(
+            f"sample_mask has {mask.size} entries for {n_samples} samples"
+        )
+    if bool(mask.all()):
+        return None
+    if not bool(mask.any()):
+        raise ValueError("sample_mask keeps no samples — nothing to solve from")
+    return mask
+
+
 def frame_operator(
     frame: CompressedFrame,
     *,
@@ -124,6 +147,7 @@ def frame_operator(
     center: bool = True,
     operator: str = "structured",
     step_cache: StepSizeCache | None = None,
+    sample_mask: np.ndarray | None = None,
 ) -> tuple[BaseSensingOperator, float]:
     """Build the sensing operator for a captured frame.
 
@@ -150,8 +174,17 @@ def frame_operator(
         Optional :class:`~repro.cs.operators.StepSizeCache` attached to the
         operator so its power-iteration step size is memoised (exact key)
         and warm-started (geometry key) across frames of a video/GOP chain.
+    sample_mask:
+        Optional boolean row-survival mask over the frame's ``n_samples``
+        measurements (the partial-Φ path of lossy streaming).  Φ is rebuilt
+        in full from the seed, then restricted to the surviving rows —
+        dropped chunks become dropped rows, which CS tolerates by design.
+        The centring density is recomputed over the *surviving* subset so
+        the masked operator matches a from-scratch solve on those rows.  An
+        all-true mask takes the exact unmasked path.
     """
     check_choice("operator", operator, OPERATOR_CHOICES)
+    mask = normalize_sample_mask(sample_mask, frame.n_samples)
     shape = (frame.config.rows, frame.config.cols)
     psi: Dictionary = make_dictionary(dictionary, shape)
     if operator == "structured":
@@ -163,6 +196,9 @@ def frame_operator(
             steps_per_sample=frame.steps_per_sample,
             warmup_steps=frame.warmup_steps,
         )
+        if mask is not None:
+            row_factors = row_factors[mask]
+            col_factors = col_factors[mask]
         structured = StructuredSensingOperator(row_factors, col_factors, psi)
         density = structured.density if center else 0.0
         structured.center = density
@@ -176,11 +212,15 @@ def frame_operator(
             steps_per_sample=frame.steps_per_sample,
             warmup_steps=frame.warmup_steps,
         )
+        if mask is not None:
+            phi = phi[mask]
         density = float(phi.mean()) if center else 0.0
         if center:
             phi = phi - density
         built = SensingOperator(phi, psi)
-    if step_cache is not None:
+    if step_cache is not None and mask is None:
+        # A masked operator has a different row space per loss pattern, so
+        # its step size is neither reusable nor worth polluting the cache.
         exact_key, warm_key = frame_cache_keys(frame, dictionary, center)
         built.norm_cache = step_cache
         built.norm_exact_key = (operator,) + exact_key

@@ -25,7 +25,7 @@ from repro.cs.dictionaries import make_dictionary
 from repro.cs.metrics import psnr, reconstruction_snr
 from repro.cs.operators import BaseSensingOperator, SensingOperator, StepSizeCache
 from repro.cs.solvers import SolverResult, cosamp, fista, iht, ista, omp
-from repro.recon.operator import frame_operator
+from repro.recon.operator import frame_operator, normalize_sample_mask
 from repro.sensor.imager import CompressedFrame
 from repro.sensor.shard import TiledCaptureResult
 from repro.utils.validation import check_choice
@@ -225,6 +225,7 @@ def reconstruct_frame(
     reference: np.ndarray | None = None,
     operator: str = "structured",
     step_cache: StepSizeCache | None = None,
+    sample_mask: np.ndarray | None = None,
 ) -> ReconstructionResult:
     """Reconstruct the code image of a captured :class:`CompressedFrame`.
 
@@ -252,6 +253,12 @@ def reconstruct_frame(
         Optional :class:`~repro.cs.operators.StepSizeCache` shared across
         calls so the power-iteration step size is memoised and warm-started
         along a video/GOP chain.
+    sample_mask:
+        Optional boolean survival mask over the frame's samples (the lossy
+        streaming path): only the masked samples and the matching rows of Φ
+        enter the solve.  Dropped chunks are dropped rows of Φ — CS recovers
+        from the surviving subset; an all-true mask is byte-identical to no
+        mask at all.
 
     Returns
     -------
@@ -261,14 +268,18 @@ def reconstruct_frame(
         and the sensor-side ``capture_metadata`` carried over from the
         frame.
     """
+    mask = normalize_sample_mask(sample_mask, frame.n_samples)
     sensing, density = frame_operator(
         frame,
         dictionary=dictionary,
         center=True,
         operator=operator,
         step_cache=step_cache,
+        sample_mask=mask,
     )
     samples = frame.samples.astype(float)
+    if mask is not None:
+        samples = samples[mask]
     # Every sample selects ~half the pixels, so the sample mean estimates the
     # image DC: E[y] = density * sum(x).  The DC is handled outside the solver
     # (see reconstruct_samples): the solver only recovers the AC image.

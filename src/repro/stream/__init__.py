@@ -20,9 +20,14 @@ the capture engines:
 * :mod:`repro.stream.receiver` — :class:`StreamReceiver`, the single-node
   receiver (a thin one-session hub), decoding chunks as they arrive and
   reconstructing incrementally (per tile, per frame), byte-identical to the
-  in-process reconstruction pipeline.
+  in-process reconstruction pipeline;
+* :mod:`repro.stream.fault` — :class:`LossyTransport`, seeded chunk-level
+  fault injection (drop / truncate / duplicate / reorder), the adversary
+  the resilient receive path and the closed rate-control loop are tested
+  against.
 """
 
+from repro.stream.fault import LossyTransport
 from repro.stream.hub import (
     DuplicateStreamIdError,
     FairSolveScheduler,
@@ -37,14 +42,27 @@ from repro.stream.node import (
     StreamStats,
 )
 from repro.stream.protocol import (
+    CONTROL_CHUNK_TYPES,
     Chunk,
     ChunkDecoder,
     ChunkType,
+    ControlAck,
     FrameData,
+    FrameParity,
+    FrameSegment,
+    RateAdvice,
     StreamHeader,
     StreamProtocolError,
     advance_seed_state,
+    decode_control_ack,
+    decode_frame_parity,
+    decode_frame_segment,
+    decode_rate_advice,
     encode_chunk,
+    encode_control_ack,
+    encode_frame_parity,
+    encode_frame_segment,
+    encode_rate_advice,
 )
 from repro.stream.receiver import (
     ReceivedFrame,
@@ -52,12 +70,14 @@ from repro.stream.receiver import (
     StreamResult,
     receive_stream,
 )
-from repro.stream.session import SessionStats, StreamSession
+from repro.stream.session import FrameLossReport, SessionStats, StreamSession
 from repro.stream.transport import (
+    DuplexTransport,
     LoopbackTransport,
     TcpTransport,
     TransportClosedError,
     connect_tcp,
+    loopback_duplex_pair,
     serve_tcp,
 )
 
@@ -72,12 +92,16 @@ __all__ = [
     "receive_stream",
     "StreamSession",
     "SessionStats",
+    "FrameLossReport",
     "ReceiverHub",
     "FairSolveScheduler",
     "HubStats",
     "DuplicateStreamIdError",
     "HubCapacityError",
     "LoopbackTransport",
+    "DuplexTransport",
+    "loopback_duplex_pair",
+    "LossyTransport",
     "TcpTransport",
     "TransportClosedError",
     "connect_tcp",
@@ -86,8 +110,21 @@ __all__ = [
     "ChunkType",
     "ChunkDecoder",
     "FrameData",
+    "FrameSegment",
+    "FrameParity",
+    "ControlAck",
+    "RateAdvice",
+    "CONTROL_CHUNK_TYPES",
     "StreamHeader",
     "StreamProtocolError",
     "advance_seed_state",
     "encode_chunk",
+    "encode_frame_segment",
+    "decode_frame_segment",
+    "encode_frame_parity",
+    "decode_frame_parity",
+    "encode_control_ack",
+    "decode_control_ack",
+    "encode_rate_advice",
+    "decode_rate_advice",
 ]

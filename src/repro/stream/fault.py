@@ -1,0 +1,158 @@
+"""Deterministic fault injection for streaming transports.
+
+:class:`LossyTransport` wraps any :class:`~repro.stream.transport.Transport`
+and subjects the sender's byte slices to seeded drop / truncate / duplicate /
+reorder faults — the adversary the loss-resilience layer is built against,
+and the harness the fault-injection suite drives.  Every decision comes from
+one :func:`repro.utils.rng.new_rng` generator, so a ``(seed, rates)`` pair
+replays the exact same fault pattern on every run, and the transport records
+*which* send indices it hit so tests can assert the receiver's loss metadata
+matches the injected loss exactly.
+
+Because the camera node sends exactly one chunk per ``send`` call, the fault
+granularity is the chunk: a dropped slice is a lost chunk, a truncated slice
+is a corrupted one, and the recorded send indices line up one-to-one with
+chunk sequence numbers.
+
+Reordering needs a *next* slice to swap with, so the transport holds each
+slice for one send: the fault decision for slice ``k`` is applied when slice
+``k + 1`` arrives, and ``close()`` flushes the final held slice **intact** —
+the stream-end chunk always survives, mirroring a real channel where the
+sender would retransmit its terminal control message until acknowledged.
+``protect_first=True`` (default) likewise exempts slice 0, the stream header,
+without which no receiver could do anything at all.
+"""
+
+from __future__ import annotations
+
+from repro.stream.transport import Transport
+from repro.utils.rng import derive_seed, new_rng
+
+
+class LossyTransport:
+    """A transport wrapper injecting seeded chunk-level faults.
+
+    Parameters
+    ----------
+    inner:
+        The transport actually carrying the surviving slices.
+    seed:
+        Base seed; the fault generator is derived via
+        :func:`repro.utils.rng.derive_seed` so it cannot couple with any
+        other randomness in an experiment.
+    drop_rate, truncate_rate, duplicate_rate, reorder_rate:
+        Per-slice fault probabilities; one uniform draw per slice picks at
+        most one fault, so the rates must sum to at most 1.
+    protect_first:
+        Deliver slice 0 (the stream header) intact regardless of the draw.
+
+    Attributes
+    ----------
+    dropped, truncated, duplicated, reordered:
+        Send indices (0-based, in the order the sender called ``send``) each
+        fault actually hit — the ground truth the fault-injection tests
+        compare receiver-side loss metadata against.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        *,
+        seed: int,
+        drop_rate: float = 0.0,
+        truncate_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        protect_first: bool = True,
+    ) -> None:
+        rates = (drop_rate, truncate_rate, duplicate_rate, reorder_rate)
+        if any(rate < 0.0 for rate in rates) or sum(rates) > 1.0:
+            raise ValueError(
+                "fault rates must be non-negative and sum to at most 1, got "
+                f"drop={drop_rate}, truncate={truncate_rate}, "
+                f"duplicate={duplicate_rate}, reorder={reorder_rate}"
+            )
+        self.inner = inner
+        self.drop_rate = float(drop_rate)
+        self.truncate_rate = float(truncate_rate)
+        self.duplicate_rate = float(duplicate_rate)
+        self.reorder_rate = float(reorder_rate)
+        self.protect_first = bool(protect_first)
+        self._rng = new_rng(derive_seed(seed, "lossy-transport"))
+        self._held: tuple[int, bytes] | None = None
+        self.n_sends = 0
+        self.dropped: list[int] = []
+        self.truncated: list[int] = []
+        self.duplicated: list[int] = []
+        self.reordered: list[int] = []
+
+    @property
+    def n_faults(self) -> int:
+        """Total slices hit by any fault."""
+        return (
+            len(self.dropped)
+            + len(self.truncated)
+            + len(self.duplicated)
+            + len(self.reordered)
+        )
+
+    async def _flush_held(self, incoming: tuple[int, bytes] | None) -> None:
+        """Apply the fault draw to the held slice and deliver the outcome.
+
+        ``incoming`` is the slice that triggered the flush (``None`` on
+        close); a *reorder* delivers it first and the held slice after,
+        consuming both.
+        """
+        if self._held is None:
+            if incoming is not None:
+                self._held = incoming
+            return
+        index, data = self._held
+        self._held = incoming
+        if self.protect_first and index == 0:
+            await self.inner.send(data)
+            return
+        draw = float(self._rng.random())
+        if draw < self.drop_rate:
+            self.dropped.append(index)
+            return
+        draw -= self.drop_rate
+        if draw < self.truncate_rate:
+            if len(data) > 1:
+                self.truncated.append(index)
+                cut = int(self._rng.integers(1, len(data)))
+                await self.inner.send(data[:cut])
+            else:
+                await self.inner.send(data)
+            return
+        draw -= self.truncate_rate
+        if draw < self.duplicate_rate:
+            self.duplicated.append(index)
+            await self.inner.send(data)
+            await self.inner.send(data)
+            return
+        draw -= self.duplicate_rate
+        if draw < self.reorder_rate and incoming is not None:
+            self.reordered.append(index)
+            self._held = None
+            await self.inner.send(incoming[1])
+            await self.inner.send(data)
+            return
+        await self.inner.send(data)
+
+    async def send(self, data: bytes) -> None:
+        """Hold this slice and deliver its predecessor through the fault draw."""
+        incoming = (self.n_sends, bytes(data))
+        self.n_sends += 1
+        await self._flush_held(incoming)
+
+    async def recv(self) -> bytes | None:
+        """Pass-through to the inner transport (feedback path is unfaulted)."""
+        return await self.inner.recv()
+
+    async def close(self) -> None:
+        """Deliver the final held slice intact, then close the inner transport."""
+        held, self._held = self._held, None
+        if held is not None:
+            await self.inner.send(held[1])
+        await self.inner.close()

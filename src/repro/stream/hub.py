@@ -45,9 +45,19 @@ from collections.abc import Callable
 from typing import Any
 
 from repro.cs.operators import StepSizeCache
-from repro.stream.protocol import ChunkDecoder, StreamProtocolError
+from repro.stream.protocol import (
+    Chunk,
+    ChunkDecoder,
+    StreamProtocolError,
+    encode_chunk,
+)
 from repro.stream.session import SessionStats, StreamResult, StreamSession
-from repro.stream.transport import TcpTransport, Transport, serve_tcp
+from repro.stream.transport import (
+    TcpTransport,
+    Transport,
+    TransportClosedError,
+    serve_tcp,
+)
 from repro.utils.validation import check_positive
 
 
@@ -239,7 +249,12 @@ class FairSolveScheduler:
 
 @dataclass
 class HubStats:
-    """Fleet-level snapshot assembled by :meth:`ReceiverHub.stats`."""
+    """Fleet-level snapshot assembled by :meth:`ReceiverHub.stats`.
+
+    The loss counters aggregate the per-session loss accounting (see
+    :class:`~repro.stream.session.SessionStats`); they stay zero on strict
+    (non-resilient) hubs.
+    """
 
     n_active: int = 0
     n_completed: int = 0
@@ -248,6 +263,14 @@ class HubStats:
     n_bytes: int = 0
     solves_dispatched: int = 0
     frame_latencies: list[float] = field(default_factory=list)
+    n_lost_chunks: int = 0
+    n_reordered_chunks: int = 0
+    n_duplicate_chunks: int = 0
+    n_corrupt_chunks: int = 0
+    n_recovered_chunks: int = 0
+    n_late_chunks: int = 0
+    n_partial_frames: int = 0
+    n_dropped_frames: int = 0
 
 
 def percentile(values: list[float], q: float) -> float:
@@ -292,6 +315,21 @@ class ReceiverHub:
         Bound on concurrently-live sessions; admission past it raises
         :class:`HubCapacityError` on the offending connection.  ``None``
         is unbounded.
+    resilient:
+        Serve lossy channels: sessions run the loss-tolerant FSM (see
+        :class:`~repro.stream.session.StreamSession`), the chunk decoder
+        resynchronises over corrupt framing instead of raising, and a
+        transport dying before its stream-end chunk salvages every frame
+        already in flight rather than failing the connection.
+    min_surviving_samples:
+        Per-session sample floor for the partial-Φ solve (resilient mode).
+    feedback:
+        Ship each session's queued control chunks (delivery ACKs and rate
+        advice) back down the connection's transport — the receiver half of
+        the closed loop.  Requires a duplex transport (TCP, or
+        :func:`~repro.stream.transport.loopback_duplex_pair`); never enable
+        it on a plain single-queue loopback, whose "backward" path is the
+        forward queue itself.
     """
 
     def __init__(
@@ -312,12 +350,17 @@ class ReceiverHub:
         per_stream_pending: int | None = 2,
         max_pending: int | None = None,
         max_streams: int | None = None,
+        resilient: bool = False,
+        min_surviving_samples: int = 1,
+        feedback: bool = False,
     ) -> None:
         if max_streams is not None:
             check_positive("max_streams", max_streams)
         if step_cache is None and share_step_cache:
             step_cache = StepSizeCache()
         self.step_cache = step_cache
+        self.resilient = bool(resilient)
+        self.feedback = bool(feedback)
         self.max_streams = None if max_streams is None else int(max_streams)
         self.scheduler = FairSolveScheduler(
             slots=solver_slots,
@@ -335,6 +378,9 @@ class ReceiverHub:
             operator=operator,
             eager=eager,
             step_cache=step_cache,
+            resilient=self.resilient,
+            min_surviving_samples=min_surviving_samples,
+            emit_feedback=self.feedback,
         )
         # Live sessions hub-wide, keyed by stream id — the duplicate /
         # capacity admission registry.  Ids leave it at stream completion
@@ -394,14 +440,48 @@ class ReceiverHub:
         A protocol error (or the transport dying mid-stream) cancels only
         *this connection's* unfinished sessions, records the error in
         :attr:`failures` and re-raises — every other connection keeps
-        flowing; their sessions never observe the failure.
+        flowing; their sessions never observe the failure.  A resilient hub
+        instead resynchronises over corrupt framing, ships session feedback
+        back down the transport (``feedback=True``), and salvages the
+        in-flight frames of a connection that dies before its stream-end.
         """
-        decoder = ChunkDecoder()
+        decoder = ChunkDecoder(resync=self.resilient)
         # The connection's own id → session map, *including* ended sessions:
         # a late chunk for a finished stream must hit that session's "after
         # the stream end" error, not open a fresh session.
         sessions: dict[int, StreamSession] = {}
         finished: list[StreamResult] = []
+        # The receiver→node control path: its own sequence numbering, torn
+        # down (without failing ingest) the moment the back channel breaks.
+        feedback_sequence = 0
+        feedback_open = self.feedback
+
+        async def ship_feedback(session: StreamSession) -> None:
+            nonlocal feedback_sequence, feedback_open
+            for chunk_type, payload in session.take_outgoing_control():
+                if not feedback_open:
+                    return
+                control = Chunk(
+                    chunk_type=chunk_type,
+                    stream_id=session.stream_id,
+                    sequence=feedback_sequence,
+                    payload=payload,
+                )
+                try:
+                    await transport.send(encode_chunk(control))
+                except (TransportClosedError, ConnectionError, OSError):
+                    # Feedback is advisory: a node that stopped listening
+                    # degrades the loop to open-loop, never kills ingest.
+                    feedback_open = False
+                    return
+                feedback_sequence += 1
+
+        async def settle(session: StreamSession) -> None:
+            result = await session.finish()
+            self._release_session(session)
+            finished.append(result)
+            self.completed.append(result)
+
         try:
             while expected_streams is None or len(finished) < expected_streams:
                 data = await transport.recv()
@@ -413,19 +493,23 @@ class ReceiverHub:
                         session = self._open_session(chunk.stream_id)
                         sessions[chunk.stream_id] = session
                     await session.handle_chunk(chunk)
-                    if session.ended:
-                        result = await session.finish()
-                        self._release_session(session)
-                        finished.append(result)
-                        self.completed.append(result)
+                    if feedback_open:
+                        await ship_feedback(session)
+                    if session.ended and not session.finished:
+                        await settle(session)
             unfinished = [s for s in sessions.values() if not s.ended]
-            if unfinished or (
+            if self.resilient:
+                # Salvage: seal and settle streams the EOF cut short.
+                for session in unfinished:
+                    await session.handle_eof()
+                    await settle(session)
+            elif unfinished or (
                 expected_streams is not None and len(finished) < expected_streams
             ):
                 raise StreamProtocolError(
                     "transport closed before the stream-end chunk arrived"
                 )
-            if decoder.pending_bytes:
+            if decoder.pending_bytes and not self.resilient:
                 raise StreamProtocolError(
                     f"{decoder.pending_bytes} trailing bytes after the stream end"
                 )
@@ -499,4 +583,12 @@ class ReceiverHub:
             n_bytes=sum(stats.n_bytes for stats in self._all_stats),
             solves_dispatched=self.scheduler.n_dispatched,
             frame_latencies=latencies,
+            n_lost_chunks=sum(s.n_lost_chunks for s in self._all_stats),
+            n_reordered_chunks=sum(s.n_reordered_chunks for s in self._all_stats),
+            n_duplicate_chunks=sum(s.n_duplicate_chunks for s in self._all_stats),
+            n_corrupt_chunks=sum(s.n_corrupt_chunks for s in self._all_stats),
+            n_recovered_chunks=sum(s.n_recovered_chunks for s in self._all_stats),
+            n_late_chunks=sum(s.n_late_chunks for s in self._all_stats),
+            n_partial_frames=sum(s.n_partial_frames for s in self._all_stats),
+            n_dropped_frames=sum(s.n_dropped_frames for s in self._all_stats),
         )

@@ -35,6 +35,7 @@ from typing import Any, TypeVar, cast
 
 import numpy as np
 
+from repro.io.bitstream import pack_samples
 from repro.io.framing import encode_frame, frame_overhead_bits
 from repro.sensor.config import SensorConfig
 from repro.sensor.imager import CompressedFrame, CompressiveImager
@@ -42,12 +43,22 @@ from repro.sensor.shard import TiledSensorArray
 from repro.sensor.video import VideoSequencer
 from repro.stream.protocol import (
     Chunk,
+    ChunkDecoder,
     ChunkType,
+    ControlAck,
     FrameData,
+    FrameSegment,
+    RateAdvice,
     StreamHeader,
+    StreamProtocolError,
+    build_frame_parity,
+    decode_control_ack,
+    decode_rate_advice,
     encode_chunk,
     encode_frame_complete,
     encode_frame_data,
+    encode_frame_parity,
+    encode_frame_segment,
     encode_stream_end,
     encode_stream_header,
 )
@@ -84,6 +95,8 @@ def _close_on_error(method: _StreamMethod) -> _StreamMethod:
             return await method(self, *args, **kwargs)
         except BaseException:
             with contextlib.suppress(Exception):
+                await self._stop_feedback()
+            with contextlib.suppress(Exception):
                 await self.transport.close()
             raise
 
@@ -104,15 +117,84 @@ class BitrateGovernor:
         :class:`ChannelBudgetError` instead — a frame with almost no samples
         reconstructs to noise, and a node should fail loudly rather than
         stream garbage.
+    closed_loop:
+        Steer the sample count from receiver feedback (AIMD, below).  Off by
+        default — the open-loop governor is the bit-reproducible path, and
+        with zero loss the closed loop provably never deviates from it: the
+        target starts *at* the open-loop count, increases are capped there,
+        and only a lossy frame can pull it down.
+    aimd_increase:
+        Samples added back per clean frame (additive increase).
+    aimd_decrease:
+        Multiplicative factor applied to the target when the receiver
+        reports a lossy frame — the classic congestion-control asymmetry:
+        back off fast, probe back slowly.
+
+    Notes
+    -----
+    The feedback callbacks (:meth:`on_feedback`, :meth:`on_rate_advice`) run
+    on the node's feedback task while ``samples_for_frame`` runs inside the
+    capture worker; both only read/assign small ints, so the loop needs no
+    lock.
     """
 
     bits_per_frame: int | None = None
     min_samples: int = 1
+    closed_loop: bool = False
+    aimd_increase: int = 32
+    aimd_decrease: float = 0.5
+    #: Receiver reports processed (both kinds) — observability counters.
+    n_feedback: int = field(default=0, init=False)
+    n_loss_events: int = field(default=0, init=False)
+    #: Target after each adjustment, the trace a rate plot reads.
+    rate_trace: list[int] = field(default_factory=list, init=False)
+    _target: int | None = field(default=None, init=False, repr=False)
+    _ceiling: int | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.bits_per_frame is not None:
             check_positive("bits_per_frame", self.bits_per_frame)
         check_positive("min_samples", self.min_samples)
+        check_positive("aimd_increase", self.aimd_increase)
+        if not 0.0 < self.aimd_decrease < 1.0:
+            raise ValueError(
+                f"aimd_decrease must be in (0, 1), got {self.aimd_decrease}"
+            )
+
+    # ----------------------------------------------------- feedback (AIMD)
+    def on_feedback(self, ack: ControlAck) -> None:
+        """Absorb a receiver delivery report (additive-increase half).
+
+        A clean frame earns ``aimd_increase`` samples back, never beyond the
+        open-loop ceiling; a lossy frame multiplies the target by
+        ``aimd_decrease``, never below ``min_samples``.
+        """
+        self.n_feedback += 1
+        if not self.closed_loop or self._target is None:
+            return
+        if ack.n_samples_received < ack.n_samples_expected:
+            self.n_loss_events += 1
+            self._target = max(
+                self.min_samples, int(self._target * self.aimd_decrease)
+            )
+        else:
+            ceiling = self._ceiling if self._ceiling is not None else self._target
+            self._target = min(ceiling, self._target + self.aimd_increase)
+        self.rate_trace.append(self._target)
+
+    def on_rate_advice(self, advice: RateAdvice) -> None:
+        """Clamp the target to the receiver's measured channel capacity.
+
+        Advice only ever *lowers* the target (the additive increase is how
+        it recovers), so a stale advice chunk cannot burst the rate.
+        """
+        self.n_feedback += 1
+        if not self.closed_loop or self._target is None:
+            return
+        advised = max(self.min_samples, int(advice.advised_samples))
+        if advised < self._target:
+            self._target = advised
+            self.rate_trace.append(self._target)
 
     def samples_for_frame(
         self,
@@ -130,7 +212,7 @@ class BitrateGovernor:
         if max_samples is None:
             max_samples = config.samples_per_frame
         if self.bits_per_frame is None:
-            return int(max_samples)
+            return self._governed(int(max_samples))
         overhead = CHUNK_OVERHEAD_BITS + frame_overhead_bits(
             config, version=2, include_seed=include_seed
         )
@@ -141,7 +223,18 @@ class BitrateGovernor:
                 f"budget of {self.bits_per_frame} bits leaves room for "
                 f"{max(0, n_samples)} samples (< min_samples={self.min_samples})"
             )
-        return int(n_samples)
+        return self._governed(int(n_samples))
+
+    def _governed(self, base: int) -> int:
+        """Apply the closed-loop target on top of the open-loop count."""
+        if not self.closed_loop:
+            return base
+        if self._target is None:
+            self._target = base
+        # The open-loop count is the ceiling the additive increase probes
+        # back towards — feedback can only ever *lower* the rate.
+        self._ceiling = base
+        return max(self.min_samples, min(base, self._target))
 
     def ratio_for_frame(
         self,
@@ -210,6 +303,22 @@ class CameraNode:
     executor:
         ``concurrent.futures`` executor for the capture work; ``None`` uses
         the event loop's default thread pool.
+    segments_per_frame:
+        Split each single-sensor frame's sample vector across this many
+        :data:`~repro.stream.protocol.ChunkType.FRAME_SEGMENT` chunks (each
+        carrying the frame prefix, so any survivor decodes), turning a lost
+        chunk into a lost *row subset* of Φ instead of a lost frame.  ``1``
+        (default) keeps the legacy one-chunk-per-frame framing.  Segmented
+        streams need a resilient receiver and are single-sensor only.
+    parity:
+        Append one XOR-parity chunk per segment group, recovering any single
+        lost segment of a frame at the receiver (burst-loss insurance, off
+        by default; implies segment framing even with one segment).
+    feedback:
+        Read receiver→node control chunks (ACK / rate advice) from the
+        transport's return path and feed them to the governor — requires a
+        duplex channel (:func:`~repro.stream.transport.loopback_duplex_pair`
+        or TCP) and a hub running with ``feedback=True``.
     """
 
     def __init__(
@@ -220,20 +329,91 @@ class CameraNode:
         governor: BitrateGovernor | None = None,
         gop_size: int = 4,
         executor: Executor | None = None,
+        segments_per_frame: int = 1,
+        parity: bool = False,
+        feedback: bool = False,
     ) -> None:
         check_positive("gop_size", gop_size)
+        check_positive("segments_per_frame", segments_per_frame)
+        if segments_per_frame > 255:
+            raise ValueError(
+                f"segments_per_frame must fit the wire's u8, got {segments_per_frame}"
+            )
         self.transport = transport
         self.stream_id = int(stream_id)
         self.governor = governor or BitrateGovernor()
         self.gop_size = int(gop_size)
         self.executor = executor
+        self.segments_per_frame = int(segments_per_frame)
+        self.parity = bool(parity)
+        self.feedback = bool(feedback)
+        self.n_feedback_chunks = 0
+        self.n_feedback_errors = 0
         self._sequence = 0
+        self._feedback_task: asyncio.Task[None] | None = None
 
     # -------------------------------------------------------------- helpers
+    @property
+    def _segmented(self) -> bool:
+        """True when frames ride the segment/parity framing."""
+        return self.segments_per_frame > 1 or self.parity
+
     async def _run(self, fn: Callable[..., Any], *args: Any) -> Any:
         """Run blocking capture work on the worker executor."""
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self.executor, fn, *args)
+
+    async def _feedback_loop(self) -> None:
+        """Drain receiver→node control chunks into the governor.
+
+        A malformed or non-control chunk on the feedback path is counted and
+        skipped (with a fresh decoder, since a framing error poisons the
+        buffer) — feedback is advisory, so it must never kill the stream.
+        """
+        decoder = ChunkDecoder(resync=True)
+        while True:
+            data = await self.transport.recv()
+            if data is None:
+                return
+            try:
+                chunks = list(decoder.feed(data))
+            except StreamProtocolError:
+                self.n_feedback_errors += 1
+                decoder = ChunkDecoder(resync=True)
+                continue
+            for chunk in chunks:
+                try:
+                    if chunk.chunk_type is ChunkType.CONTROL_ACK:
+                        self.governor.on_feedback(decode_control_ack(chunk.payload))
+                    elif chunk.chunk_type is ChunkType.CONTROL_RATE:
+                        self.governor.on_rate_advice(
+                            decode_rate_advice(chunk.payload)
+                        )
+                    else:
+                        raise StreamProtocolError(
+                            f"non-control chunk type {chunk.chunk_type} on "
+                            "the feedback path"
+                        )
+                except StreamProtocolError:
+                    self.n_feedback_errors += 1
+                else:
+                    self.n_feedback_chunks += 1
+
+    async def _stop_feedback(self) -> None:
+        task, self._feedback_task = self._feedback_task, None
+        if task is not None:
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+
+    def _reject_segmented(self, method: str) -> None:
+        """Tiled streams already shard frames across tile chunks; the
+        segment/parity framing is single-sensor only."""
+        if self._segmented:
+            raise ValueError(
+                f"{method} does not support segments_per_frame/parity — "
+                "tiled frames are already chunked per tile"
+            )
 
     async def _send_chunk(
         self, chunk_type: ChunkType, payload: bytes, stats: StreamStats
@@ -257,6 +437,8 @@ class CameraNode:
         # can be reused across transports/streams without desynchronising
         # receivers (which expect consecutive sequences from 0).
         self._sequence = 0
+        if self.feedback and self._feedback_task is None:
+            self._feedback_task = asyncio.create_task(self._feedback_loop())
         await self._send_chunk(
             ChunkType.STREAM_START, encode_stream_header(header), stats
         )
@@ -272,6 +454,16 @@ class CameraNode:
         keyframe: bool = True,
     ) -> int:
         frame_bytes = encode_frame(frame, version=2, include_seed=keyframe)
+        if self._segmented:
+            return await self._send_frame_segmented(
+                frame,
+                frame_bytes,
+                stats,
+                frame_index=frame_index,
+                grid_row=grid_row,
+                grid_col=grid_col,
+                keyframe=keyframe,
+            )
         payload = encode_frame_data(
             FrameData(
                 frame_index=frame_index,
@@ -283,10 +475,70 @@ class CameraNode:
         )
         return await self._send_chunk(ChunkType.FRAME_DATA, payload, stats)
 
+    async def _send_frame_segmented(
+        self,
+        frame: CompressedFrame,
+        frame_bytes: bytes,
+        stats: StreamStats,
+        *,
+        frame_index: int,
+        grid_row: int,
+        grid_col: int,
+        keyframe: bool,
+    ) -> int:
+        """Ship one frame as a segment group (+ optional parity chunk).
+
+        The encoded frame splits into its *prefix* (header, stats, seed —
+        everything before the packed samples) and the samples themselves;
+        every segment replicates the prefix and bit-packs its own contiguous
+        sample slice, so each chunk decodes independently and a lost chunk
+        costs exactly its rows of Φ.
+        """
+        sample_bits = frame.config.compressed_sample_bits
+        packed = pack_samples(frame.samples, sample_bits)
+        prefix = frame_bytes[: len(frame_bytes) - len(packed)]
+        n_samples = frame.n_samples
+        n_segments = max(1, min(self.segments_per_frame, n_samples))
+        payloads: list[bytes] = []
+        sent = 0
+        for index in range(n_segments):
+            start = index * n_samples // n_segments
+            stop = (index + 1) * n_samples // n_segments
+            payload = encode_frame_segment(
+                FrameSegment(
+                    frame_index=frame_index,
+                    grid_row=grid_row,
+                    grid_col=grid_col,
+                    keyframe=keyframe,
+                    segment_index=index,
+                    n_segments=n_segments,
+                    start_sample=start,
+                    n_samples=stop - start,
+                    prefix_bytes=prefix,
+                    sample_bytes=pack_samples(
+                        frame.samples[start:stop], sample_bits
+                    ),
+                )
+            )
+            payloads.append(payload)
+            sent += await self._send_chunk(ChunkType.FRAME_SEGMENT, payload, stats)
+        if self.parity:
+            parity = build_frame_parity(frame_index, grid_row, grid_col, payloads)
+            sent += await self._send_chunk(
+                ChunkType.FRAME_PARITY, encode_frame_parity(parity), stats
+            )
+        return sent
+
+    def _frame_chunk_count(self, frame: CompressedFrame) -> int:
+        """Chunks a segmented frame occupies (announced by its barrier)."""
+        n_segments = max(1, min(self.segments_per_frame, frame.n_samples))
+        return n_segments + (1 if self.parity else 0)
+
     async def _finish(self, stats: StreamStats) -> StreamStats:
         await self._send_chunk(
             ChunkType.STREAM_END, encode_stream_end(stats.n_frames), stats
         )
+        await self._stop_feedback()
         await self.transport.close()
         return stats
 
@@ -325,6 +577,15 @@ class CameraNode:
                 )
             )
             sent = await self._send_frame(frame, stats, frame_index=index)
+            if self._segmented:
+                # The barrier tells a resilient receiver how many chunks the
+                # frame occupied, so it can finalise (and account loss for)
+                # the frame without waiting for the next one.
+                sent += await self._send_chunk(
+                    ChunkType.FRAME_COMPLETE,
+                    encode_frame_complete(index, self._frame_chunk_count(frame)),
+                    stats,
+                )
             stats.n_frames += 1
             stats.samples_per_frame.append(frame.n_samples)
             stats.bytes_per_frame.append(sent)
@@ -360,15 +621,27 @@ class CameraNode:
         await self._send_header(header, stats)
         # The governor must fix one sample count per GOP: seed re-derivation
         # needs every chained frame's advance to be announced in its header,
-        # and a keyframe budget must also fit its seed bits.
-        n_samples = self.governor.samples_for_frame(
-            config, max_samples=sequencer.samples_per_frame, include_seed=True
-        )
+        # and a keyframe budget must also fit its seed bits.  Re-asking the
+        # governor at each GOP boundary is where closed-loop rate changes
+        # land; the open-loop governor returns the same count every time, so
+        # this stays byte-identical to fixing the count up front.
+        gop_samples: dict[int, int] = {}
+
+        def samples_for(index: int) -> int:
+            gop = index // self.gop_size
+            if gop not in gop_samples:
+                gop_samples[gop] = self.governor.samples_for_frame(
+                    config,
+                    max_samples=sequencer.samples_per_frame,
+                    include_seed=True,
+                )
+            return gop_samples[gop]
+
         iterator = iter(
             sequencer.stream_frames(
                 scenes,
                 fidelity=fidelity,
-                samples_for_frame=lambda index: n_samples,
+                samples_for_frame=samples_for,
                 **capture_kwargs,
             )
         )
@@ -382,6 +655,12 @@ class CameraNode:
             sent = await self._send_frame(
                 frame, stats, frame_index=index, keyframe=keyframe
             )
+            if self._segmented:
+                sent += await self._send_chunk(
+                    ChunkType.FRAME_COMPLETE,
+                    encode_frame_complete(index, self._frame_chunk_count(frame)),
+                    stats,
+                )
             stats.n_frames += 1
             stats.samples_per_frame.append(frame.n_samples)
             stats.bytes_per_frame.append(sent)
@@ -406,6 +685,7 @@ class CameraNode:
         capturing the rest of the mosaic.  Every tile is self-contained
         (own seed); a ``FRAME_COMPLETE`` barrier closes the frame.
         """
+        self._reject_segmented("stream_tiled")
         stats = StreamStats()
         header = StreamHeader(
             kind="tiled",
@@ -470,6 +750,7 @@ class CameraNode:
         ``FRAME_COMPLETE`` barrier per frame.  ``photocurrents=True`` treats
         ``scenes`` as photocurrent maps instead of normalised scenes.
         """
+        self._reject_segmented("stream_tiled_video")
         stats = StreamStats()
         header = StreamHeader(
             kind="tiled-video",

@@ -12,12 +12,20 @@ flowing.  This module is that layer:
 * :class:`ChunkDecoder` performs incremental parsing: feed it whatever byte
   slices the transport delivers (TCP segments, queue items) and it yields
   complete chunks, buffering partials;
-* typed payload codecs for the four chunk kinds: the stream header
+* typed payload codecs for the chunk kinds: the stream header
   (:class:`StreamHeader` — kind, scene/tile geometry, GOP size: everything a
   receiver needs to derive the tile grid and pre-size its reconstruction),
   frame/tile data (grid position + an embedded v2 frame from
   :func:`repro.io.framing.encode_frame`), the per-frame completion barrier,
   and the end-of-stream marker;
+* the loss-resilience extension (additive — the original four type bytes and
+  their layouts are frozen): :class:`FrameSegment` splits one frame's sample
+  vector across several chunks so a lost chunk costs a *row subset* of Φ
+  instead of the frame, :class:`FrameParity` is an XOR erasure-code chunk
+  over a frame's segment group, and the two **control payloads**
+  (:class:`ControlAck`, :class:`RateAdvice`) flow receiver→node over the
+  feedback path to close the :class:`~repro.stream.node.BitrateGovernor`
+  loop;
 * :func:`advance_seed_state` — the GOP resynchronisation rule.  The
   free-running selection CA overlaps consecutive frames by one pattern, so
   frame ``k+1``'s seed is frame ``k``'s seed evolved through ``k``'s warm-up
@@ -30,6 +38,7 @@ from __future__ import annotations
 
 import enum
 import struct
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -56,12 +65,30 @@ class StreamProtocolError(ValueError):
 
 
 class ChunkType(enum.IntEnum):
-    """Discriminator carried in every chunk header."""
+    """Discriminator carried in every chunk header.
+
+    Types 1–4 are the frozen original protocol; 5–8 are the additive
+    loss-resilience extension (segments, parity, and the receiver→node
+    control payloads).  A v1 stream never contains types above 4, so every
+    previously-written stream still decodes unchanged.
+    """
 
     STREAM_START = 1
     FRAME_DATA = 2
     FRAME_COMPLETE = 3
     STREAM_END = 4
+    FRAME_SEGMENT = 5
+    FRAME_PARITY = 6
+    CONTROL_ACK = 7
+    CONTROL_RATE = 8
+
+
+#: Chunk types that flow receiver → node on the feedback path (never on the
+#: forward data path).
+CONTROL_CHUNK_TYPES = (ChunkType.CONTROL_ACK, ChunkType.CONTROL_RATE)
+
+#: Valid chunk-type byte values (what the resynchronising decoder scans for).
+_CHUNK_TYPE_VALUES = frozenset(int(member) for member in ChunkType)
 
 
 @dataclass(frozen=True)
@@ -103,17 +130,49 @@ class ChunkDecoder:
 
     Transports deliver bytes in whatever granularity they like (a TCP read
     may end mid-header); :meth:`feed` buffers partial input and returns every
-    chunk completed so far.  Malformed input raises
+    chunk completed so far.  By default malformed input raises
     :class:`StreamProtocolError` — the decoder never resynchronises silently.
+    With ``resync=True`` (the lossy-channel mode) a corrupt header instead
+    triggers a scan for the next plausible chunk boundary: the skipped bytes
+    are counted in :attr:`bytes_skipped`/:attr:`resync_count` and decoding
+    continues, so one truncated chunk costs its neighbours at worst, never
+    the connection.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, resync: bool = False) -> None:
         self._buffer = bytearray()
+        self.resync = bool(resync)
+        #: Number of times a corrupt header forced a boundary scan.
+        self.resync_count = 0
+        #: Total bytes discarded while resynchronising.
+        self.bytes_skipped = 0
 
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered but not yet forming a complete chunk."""
         return len(self._buffer)
+
+    def _resynchronise(self) -> bool:
+        """Drop bytes up to the next plausible header; False if none buffered."""
+        self.resync_count += 1
+        for offset in range(1, len(self._buffer) - _CHUNK_HEADER.size + 1):
+            magic, chunk_type, _, _, length = _CHUNK_HEADER.unpack_from(
+                self._buffer, offset
+            )
+            if (
+                magic == CHUNK_MAGIC
+                and chunk_type in _CHUNK_TYPE_VALUES
+                and length <= MAX_PAYLOAD_BYTES
+            ):
+                self.bytes_skipped += offset
+                del self._buffer[:offset]
+                return True
+        # No candidate header: keep a headers-worth of tail (a boundary may
+        # straddle the next feed) and discard the rest.
+        keep = min(len(self._buffer), _CHUNK_HEADER.size - 1)
+        self.bytes_skipped += len(self._buffer) - keep
+        del self._buffer[: len(self._buffer) - keep]
+        return False
 
     def feed(self, data: bytes) -> list[Chunk]:
         """Absorb ``data`` and return the chunks it completed."""
@@ -124,16 +183,28 @@ class ChunkDecoder:
                 self._buffer
             )
             if magic != CHUNK_MAGIC:
+                if self.resync:
+                    if self._resynchronise():
+                        continue
+                    break
                 raise StreamProtocolError(
                     f"bad chunk magic 0x{magic:02X} (stream corrupt or misaligned)"
                 )
             try:
                 chunk_type = ChunkType(chunk_type)
             except ValueError as error:
+                if self.resync:
+                    if self._resynchronise():
+                        continue
+                    break
                 raise StreamProtocolError(
                     f"unknown chunk type {chunk_type}"
                 ) from error
             if length > MAX_PAYLOAD_BYTES:
+                if self.resync:
+                    if self._resynchronise():
+                        continue
+                    break
                 raise StreamProtocolError(
                     f"chunk announces an impossible payload of {length} bytes"
                 )
@@ -300,6 +371,362 @@ def decode_stream_end(payload: bytes) -> int:
         return _STREAM_END.unpack(payload)[0]
     except struct.error as error:
         raise StreamProtocolError(f"malformed stream-end payload: {error}") from error
+
+
+# ------------------------------------------- loss-resilience payloads (5–8)
+# Segment prefix: frame index, grid position, keyframe flag, segment index,
+# segment count, first sample index, samples in this segment, length of the
+# replicated frame prefix, CRC-32 of the body (prefix + packed samples).
+_FRAME_SEGMENT = struct.Struct(">IHHBBBIIHI")
+# Parity prefix: frame index, grid position, segment-group size; followed by
+# one u32 per segment (the encoded payload lengths) and the XOR body.
+_FRAME_PARITY = struct.Struct(">IHHB")
+_PARITY_LENGTH = struct.Struct(">I")
+# Receiver→node delivery report for one finalised frame.
+_CONTROL_ACK = struct.Struct(">IHHHII")
+# Receiver→node explicit rate advice.
+_CONTROL_RATE = struct.Struct(">IId")
+
+
+@dataclass(frozen=True)
+class FrameSegment:
+    """One contiguous slice of a frame's sample vector, independently decodable.
+
+    Every segment replicates the frame's encoded *prefix* (header, optional
+    statistics block, keyframe seed — everything
+    :func:`repro.io.framing.encode_frame` emits before the packed samples),
+    so any surviving segment carries enough to rebuild Φ; the samples of lost
+    segments become masked rows.  ``sample_bytes`` is the slice bit-packed
+    on its own (:func:`repro.io.bitstream.pack_samples`), so segments unpack
+    independently of their neighbours.
+    """
+
+    frame_index: int
+    grid_row: int
+    grid_col: int
+    keyframe: bool
+    segment_index: int
+    n_segments: int
+    start_sample: int
+    n_samples: int
+    prefix_bytes: bytes
+    sample_bytes: bytes
+
+
+def encode_frame_segment(segment: FrameSegment) -> bytes:
+    """Payload of a :data:`ChunkType.FRAME_SEGMENT` chunk."""
+    if not 0 <= segment.segment_index < segment.n_segments <= 255:
+        raise StreamProtocolError(
+            f"segment index {segment.segment_index} outside its group of "
+            f"{segment.n_segments}"
+        )
+    body = segment.prefix_bytes + segment.sample_bytes
+    return (
+        _FRAME_SEGMENT.pack(
+            segment.frame_index,
+            segment.grid_row,
+            segment.grid_col,
+            int(segment.keyframe),
+            segment.segment_index,
+            segment.n_segments,
+            segment.start_sample,
+            segment.n_samples,
+            len(segment.prefix_bytes),
+            zlib.crc32(body),
+        )
+        + body
+    )
+
+
+def decode_frame_segment(payload: bytes) -> FrameSegment:
+    """Inverse of :func:`encode_frame_segment`.
+
+    The CRC guards the body: a segment whose tail was corrupted in flight
+    (e.g. a truncated chunk that swallowed its neighbour's header) raises
+    here instead of delivering garbage samples into the solve.
+    """
+    if len(payload) < _FRAME_SEGMENT.size:
+        raise StreamProtocolError(
+            f"frame-segment payload of {len(payload)} bytes is shorter than "
+            f"its {_FRAME_SEGMENT.size}-byte header"
+        )
+    (
+        frame_index,
+        grid_row,
+        grid_col,
+        keyframe,
+        segment_index,
+        n_segments,
+        start_sample,
+        n_samples,
+        prefix_length,
+        checksum,
+    ) = _FRAME_SEGMENT.unpack_from(payload)
+    body = payload[_FRAME_SEGMENT.size :]
+    if segment_index >= n_segments:
+        raise StreamProtocolError(
+            f"segment index {segment_index} outside its group of {n_segments}"
+        )
+    if prefix_length > len(body):
+        raise StreamProtocolError(
+            f"frame segment announces a {prefix_length}-byte prefix but "
+            f"carries only {len(body)} body bytes"
+        )
+    if zlib.crc32(body) != checksum:
+        raise StreamProtocolError(
+            f"frame segment {segment_index} of frame {frame_index} failed "
+            "its checksum (payload corrupted in flight)"
+        )
+    return FrameSegment(
+        frame_index=frame_index,
+        grid_row=grid_row,
+        grid_col=grid_col,
+        keyframe=bool(keyframe),
+        segment_index=segment_index,
+        n_segments=n_segments,
+        start_sample=start_sample,
+        n_samples=n_samples,
+        prefix_bytes=body[:prefix_length],
+        sample_bytes=body[prefix_length:],
+    )
+
+
+@dataclass(frozen=True)
+class FrameParity:
+    """XOR erasure code across one frame's segment group.
+
+    ``parity_bytes`` is the bytewise XOR of the group's encoded segment
+    payloads, each zero-padded to the longest; ``payload_lengths`` records
+    the true lengths so a single missing segment can be recovered exactly
+    (XOR the parity with every surviving payload, truncate to the missing
+    length).  One parity chunk repairs **one** lost segment per frame —
+    the classic RAID-4 trade.
+    """
+
+    frame_index: int
+    grid_row: int
+    grid_col: int
+    payload_lengths: tuple[int, ...]
+    parity_bytes: bytes
+
+
+def xor_payloads(payloads: list[bytes]) -> bytes:
+    """Bytewise XOR of byte strings, zero-padded to the longest."""
+    if not payloads:
+        raise StreamProtocolError("cannot XOR an empty payload group")
+    width = max(len(payload) for payload in payloads)
+    accumulator = np.zeros(width, dtype=np.uint8)
+    for payload in payloads:
+        padded = np.frombuffer(payload.ljust(width, b"\x00"), dtype=np.uint8)
+        accumulator ^= padded
+    return accumulator.tobytes()
+
+
+def build_frame_parity(
+    frame_index: int,
+    grid_row: int,
+    grid_col: int,
+    segment_payloads: list[bytes],
+) -> FrameParity:
+    """Compute the parity chunk for a frame's encoded segment payloads."""
+    return FrameParity(
+        frame_index=frame_index,
+        grid_row=grid_row,
+        grid_col=grid_col,
+        payload_lengths=tuple(len(payload) for payload in segment_payloads),
+        parity_bytes=xor_payloads(segment_payloads),
+    )
+
+
+def recover_missing_payload(
+    parity: FrameParity, surviving: dict[int, bytes], missing_index: int
+) -> bytes:
+    """Rebuild exactly one missing segment payload from the parity chunk."""
+    if len(surviving) != len(parity.payload_lengths) - 1:
+        raise StreamProtocolError(
+            f"parity recovery needs all {len(parity.payload_lengths) - 1} "
+            f"surviving segments, got {len(surviving)}"
+        )
+    recovered = xor_payloads([parity.parity_bytes, *surviving.values()])
+    return recovered[: parity.payload_lengths[missing_index]]
+
+
+def encode_frame_parity(parity: FrameParity) -> bytes:
+    """Payload of a :data:`ChunkType.FRAME_PARITY` chunk."""
+    if not 1 <= len(parity.payload_lengths) <= 255:
+        raise StreamProtocolError(
+            f"parity group of {len(parity.payload_lengths)} segments "
+            "(must be 1–255)"
+        )
+    lengths = b"".join(
+        _PARITY_LENGTH.pack(length) for length in parity.payload_lengths
+    )
+    return (
+        _FRAME_PARITY.pack(
+            parity.frame_index,
+            parity.grid_row,
+            parity.grid_col,
+            len(parity.payload_lengths),
+        )
+        + lengths
+        + parity.parity_bytes
+    )
+
+
+def decode_frame_parity(payload: bytes) -> FrameParity:
+    """Inverse of :func:`encode_frame_parity`."""
+    if len(payload) < _FRAME_PARITY.size:
+        raise StreamProtocolError(
+            f"frame-parity payload of {len(payload)} bytes is shorter than "
+            f"its {_FRAME_PARITY.size}-byte header"
+        )
+    frame_index, grid_row, grid_col, n_segments = _FRAME_PARITY.unpack_from(payload)
+    if n_segments < 1:
+        raise StreamProtocolError("frame-parity chunk announces an empty group")
+    offset = _FRAME_PARITY.size
+    end = offset + n_segments * _PARITY_LENGTH.size
+    if len(payload) < end:
+        raise StreamProtocolError(
+            f"frame-parity chunk truncated inside its {n_segments}-entry "
+            "length table"
+        )
+    lengths = tuple(
+        _PARITY_LENGTH.unpack_from(payload, offset + i * _PARITY_LENGTH.size)[0]
+        for i in range(n_segments)
+    )
+    parity_bytes = payload[end:]
+    if len(parity_bytes) < max(lengths):
+        raise StreamProtocolError(
+            f"frame-parity body of {len(parity_bytes)} bytes cannot cover "
+            f"its longest segment of {max(lengths)}"
+        )
+    return FrameParity(
+        frame_index=frame_index,
+        grid_row=grid_row,
+        grid_col=grid_col,
+        payload_lengths=lengths,
+        parity_bytes=parity_bytes,
+    )
+
+
+@dataclass(frozen=True)
+class ControlAck:
+    """Receiver→node delivery report for one finalised frame.
+
+    The closed-loop :class:`~repro.stream.node.BitrateGovernor` reads these:
+    a frame whose ``n_samples_received`` fell short of ``n_samples_expected``
+    is the AIMD *decrease* signal, a clean frame the *increase* signal.
+    ``n_recovered_chunks`` counts parity repairs (the chunks were lost on the
+    wire but their samples were not).
+    """
+
+    frame_index: int
+    n_expected_chunks: int
+    n_received_chunks: int
+    n_recovered_chunks: int
+    n_samples_expected: int
+    n_samples_received: int
+
+    @property
+    def clean(self) -> bool:
+        """True when every expected sample of the frame was delivered.
+
+        An ack whose expectation is unknown (``n_samples_expected == 0`` —
+        the receiver could not even parse how many samples the frame
+        carried) is never clean: the governor must treat it as loss.
+        """
+        return (
+            self.n_samples_expected > 0
+            and self.n_samples_received >= self.n_samples_expected
+        )
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of the frame's samples lost in flight."""
+        if self.n_samples_expected <= 0:
+            return 0.0
+        return 1.0 - self.n_samples_received / self.n_samples_expected
+
+
+def encode_control_ack(ack: ControlAck) -> bytes:
+    """Payload of a :data:`ChunkType.CONTROL_ACK` chunk."""
+    return _CONTROL_ACK.pack(
+        ack.frame_index,
+        ack.n_expected_chunks,
+        ack.n_received_chunks,
+        ack.n_recovered_chunks,
+        ack.n_samples_expected,
+        ack.n_samples_received,
+    )
+
+
+def decode_control_ack(payload: bytes) -> ControlAck:
+    """Inverse of :func:`encode_control_ack`."""
+    try:
+        (
+            frame_index,
+            n_expected_chunks,
+            n_received_chunks,
+            n_recovered_chunks,
+            n_samples_expected,
+            n_samples_received,
+        ) = _CONTROL_ACK.unpack(payload)
+    except struct.error as error:
+        raise StreamProtocolError(f"malformed control-ack payload: {error}") from error
+    if n_received_chunks > n_expected_chunks:
+        raise StreamProtocolError(
+            f"control ack reports {n_received_chunks} received chunks of "
+            f"{n_expected_chunks} expected"
+        )
+    return ControlAck(
+        frame_index=frame_index,
+        n_expected_chunks=n_expected_chunks,
+        n_received_chunks=n_received_chunks,
+        n_recovered_chunks=n_recovered_chunks,
+        n_samples_expected=n_samples_expected,
+        n_samples_received=n_samples_received,
+    )
+
+
+@dataclass(frozen=True)
+class RateAdvice:
+    """Receiver→node explicit rate advice: "the channel carried this many".
+
+    Emitted alongside the ack when a frame saw loss — ``advised_samples`` is
+    the sample count that actually made it through, a direct measurement of
+    the channel's current capacity the governor can clamp to without probing
+    its way down multiplicatively.
+    """
+
+    frame_index: int
+    advised_samples: int
+    loss_fraction: float
+
+
+def encode_rate_advice(advice: RateAdvice) -> bytes:
+    """Payload of a :data:`ChunkType.CONTROL_RATE` chunk."""
+    return _CONTROL_RATE.pack(
+        advice.frame_index, advice.advised_samples, advice.loss_fraction
+    )
+
+
+def decode_rate_advice(payload: bytes) -> RateAdvice:
+    """Inverse of :func:`encode_rate_advice`."""
+    try:
+        frame_index, advised_samples, loss_fraction = _CONTROL_RATE.unpack(payload)
+    except struct.error as error:
+        raise StreamProtocolError(
+            f"malformed rate-advice payload: {error}"
+        ) from error
+    if not 0.0 <= loss_fraction <= 1.0:
+        raise StreamProtocolError(
+            f"rate advice carries an impossible loss fraction {loss_fraction}"
+        )
+    return RateAdvice(
+        frame_index=frame_index,
+        advised_samples=advised_samples,
+        loss_fraction=float(loss_fraction),
+    )
 
 
 # ------------------------------------------------------------ seed chaining

@@ -42,6 +42,7 @@ from typing import Any
 
 from repro.cs.operators import StepSizeCache
 from repro.stream.hub import ReceiverHub
+from repro.stream.protocol import StreamProtocolError
 from repro.stream.session import ReceivedFrame, StreamResult, StreamSession
 from repro.stream.transport import Transport
 
@@ -77,6 +78,18 @@ class StreamReceiver:
     executor:
         ``concurrent.futures`` executor for the reconstruction work; ``None``
         uses the event loop's default thread pool.
+    resilient:
+        Tolerate a lossy channel: sequence gaps become tracked losses,
+        segmented frames reconstruct from the surviving row subset of Φ,
+        and a dead transport salvages the frames already in flight (see
+        :class:`~repro.stream.session.StreamSession`).  Off by default —
+        zero-loss resilient reception is byte-identical to strict.
+    min_surviving_samples:
+        Sample floor under which a lossy frame is landed without a solve.
+    feedback:
+        Send per-frame delivery ACKs and rate advice back up the transport
+        (requires a duplex transport; pairs with ``feedback=True`` on the
+        :class:`~repro.stream.node.CameraNode`).
     """
 
     #: Re-exported session bound (see
@@ -104,6 +117,9 @@ class StreamReceiver:
         eager: bool = False,
         step_cache: StepSizeCache | None = None,
         executor: Executor | None = None,
+        resilient: bool = False,
+        min_surviving_samples: int = 1,
+        feedback: bool = False,
     ) -> None:
         self.reconstruct = bool(reconstruct)
         self.dictionary = dictionary
@@ -115,6 +131,9 @@ class StreamReceiver:
         self.eager = bool(eager)
         self.step_cache = step_cache
         self.executor = executor
+        self.resilient = bool(resilient)
+        self.min_surviving_samples = int(min_surviving_samples)
+        self.feedback = bool(feedback)
 
     def _new_hub(self) -> ReceiverHub:
         return ReceiverHub(
@@ -132,6 +151,9 @@ class StreamReceiver:
             per_stream_pending=None,
             max_pending=None,
             max_streams=1,
+            resilient=self.resilient,
+            min_surviving_samples=self.min_surviving_samples,
+            feedback=self.feedback,
         )
 
     async def run(self, transport: Transport) -> StreamResult:
@@ -147,6 +169,10 @@ class StreamReceiver:
             results = await hub.attach(transport, expected_streams=1)
         finally:
             await hub.close()
+        if not results:
+            raise StreamProtocolError(
+                "transport closed before any stream arrived"
+            )
         return results[0]
 
 

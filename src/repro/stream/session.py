@@ -34,13 +34,20 @@ from typing import Any, Protocol
 import numpy as np
 
 from repro.cs.operators import StepSizeCache
-from repro.io.framing import decode_frame
+from repro.io.bitstream import unpack_samples
+from repro.io.framing import (
+    FrameHeader,
+    FramingError,
+    decode_frame,
+    decode_frame_prefix,
+)
 from repro.recon.incremental import IncrementalTiledReconstructor
 from repro.recon.pipeline import (
     ReconstructionResult,
     TiledReconstructionResult,
     reconstruct_frame,
 )
+from repro.sensor.config import SensorConfig
 from repro.sensor.imager import CompressedFrame
 from repro.sensor.shard import (
     TiledCaptureResult,
@@ -51,14 +58,23 @@ from repro.sensor.shard import (
 from repro.stream.protocol import (
     Chunk,
     ChunkType,
+    ControlAck,
     FrameData,
+    FrameParity,
+    FrameSegment,
+    RateAdvice,
     StreamHeader,
     StreamProtocolError,
     advance_seed_state,
     decode_frame_complete,
     decode_frame_data,
+    decode_frame_parity,
+    decode_frame_segment,
     decode_stream_end,
     decode_stream_header,
+    encode_control_ack,
+    encode_rate_advice,
+    recover_missing_payload,
 )
 
 
@@ -81,6 +97,49 @@ class SolveScheduler(Protocol):
         ...  # pragma: no cover - protocol body
 
 
+@dataclass(frozen=True)
+class FrameLossReport:
+    """Receiver-side delivery accounting for one frame of a lossy stream.
+
+    One entry per landed frame in a resilient session's
+    ``stats.frame_loss``; the same numbers ride the
+    :class:`~repro.stream.protocol.ControlAck` back to the node when
+    feedback is on.  ``n_recovered_chunks`` counts parity repairs — those
+    chunks were lost on the wire (so they *do* appear in the session's
+    ``n_lost_chunks``) but their samples reached the solve anyway.
+    """
+
+    frame_index: int
+    n_expected_chunks: int
+    n_received_chunks: int
+    n_recovered_chunks: int
+    n_samples_expected: int
+    n_samples_received: int
+
+    @property
+    def clean(self) -> bool:
+        """True when every expected sample of the frame was delivered.
+
+        A report whose expectation is unknown (``n_samples_expected == 0``,
+        e.g. a frame none of whose chunks arrived) is never clean.
+        """
+        return (
+            self.n_samples_expected > 0
+            and self.n_samples_received >= self.n_samples_expected
+        )
+
+    def to_ack(self) -> ControlAck:
+        """The wire form of this report (what feedback sends to the node)."""
+        return ControlAck(
+            frame_index=self.frame_index,
+            n_expected_chunks=self.n_expected_chunks,
+            n_received_chunks=self.n_received_chunks,
+            n_recovered_chunks=self.n_recovered_chunks,
+            n_samples_expected=self.n_samples_expected,
+            n_samples_received=self.n_samples_received,
+        )
+
+
 @dataclass
 class ReceivedFrame:
     """One fully-landed frame: the decoded capture and (optionally) its image.
@@ -97,12 +156,21 @@ class ReceivedFrame:
         aggregate exactly as the capture side aggregated them).
     reconstruction:
         The incremental reconstruction, or ``None`` when the receiver runs
-        as a pure decoder.
+        as a pure decoder — or when a resilient session dropped the solve
+        because too few samples survived (see ``loss``).
+    loss:
+        Delivery accounting for this frame (resilient sessions only;
+        ``None`` on the lossless path).
+    sample_mask:
+        The survival mask the solve used — ``None`` when every sample
+        arrived (full-Φ solve) or for mosaics (whose loss is per tile).
     """
 
     frame_index: int
     capture: CompressedFrame | TiledCaptureResult
     reconstruction: ReconstructionResult | TiledReconstructionResult | None = None
+    loss: FrameLossReport | None = None
+    sample_mask: np.ndarray | None = None
 
 
 @dataclass
@@ -140,6 +208,86 @@ class SessionStats:
     n_bytes: int = 0
     n_frames: int = 0
     frame_latencies: list[float] = field(default_factory=list)
+    # ---- loss accounting (only a resilient session moves these) ----
+    #: Chunks the sequence numbers prove never arrived (parity-recovered
+    #: chunks still count — they were lost on the wire).
+    n_lost_chunks: int = 0
+    #: Chunks that arrived after a later sequence number (and were used).
+    n_reordered_chunks: int = 0
+    #: Chunks whose sequence number had already been processed (skipped).
+    n_duplicate_chunks: int = 0
+    #: Chunks that arrived but failed payload decoding (checksum, framing).
+    n_corrupt_chunks: int = 0
+    #: Segment chunks rebuilt from XOR parity.
+    n_recovered_chunks: int = 0
+    #: Chunks arriving after the stream-end chunk (ignored).
+    n_late_chunks: int = 0
+    #: Frames solved from a strict subset of their samples (partial Φ).
+    n_partial_frames: int = 0
+    #: Frames landed without reconstruction (below the sample floor, or a
+    #: broken GOP seed chain).
+    n_dropped_frames: int = 0
+    #: Per-frame delivery accounting, in finalisation order.
+    frame_loss: list[FrameLossReport] = field(default_factory=list)
+
+
+class _SegmentAssembly:
+    """In-flight segment group of one frame (resilient single-sensor path)."""
+
+    def __init__(self, frame_index: int) -> None:
+        self.frame_index = frame_index
+        self.n_segments: int | None = None
+        self.keyframe = False
+        self.segments: dict[int, FrameSegment] = {}
+        self.payloads: dict[int, bytes] = {}
+        self.parity: FrameParity | None = None
+        #: Chunks of this frame that actually arrived off the wire.
+        self.n_chunks_received = 0
+
+    def add_segment(self, segment: FrameSegment, payload: bytes) -> bool:
+        """Land one segment; returns False for an in-frame duplicate."""
+        if self.n_segments is None:
+            self.n_segments = segment.n_segments
+            self.keyframe = segment.keyframe
+        elif segment.n_segments != self.n_segments:
+            raise StreamProtocolError(
+                f"frame {self.frame_index} segments disagree on group size "
+                f"({segment.n_segments} vs {self.n_segments})"
+            )
+        if segment.segment_index in self.segments:
+            return False
+        self.segments[segment.segment_index] = segment
+        self.payloads[segment.segment_index] = payload
+        self.n_chunks_received += 1
+        return True
+
+    def add_parity(self, parity: FrameParity) -> bool:
+        """Land the frame's parity chunk; returns False for a duplicate."""
+        if self.parity is not None:
+            return False
+        self.parity = parity
+        self.n_chunks_received += 1
+        return True
+
+    def try_recover(self) -> FrameSegment | None:
+        """Rebuild the single missing segment from parity, if possible."""
+        if self.parity is None or self.n_segments is None:
+            return None
+        if len(self.segments) != self.n_segments - 1:
+            return None
+        (missing_index,) = set(range(self.n_segments)) - set(self.segments)
+        try:
+            payload = recover_missing_payload(
+                self.parity, self.payloads, missing_index
+            )
+            segment = decode_frame_segment(payload)
+        except StreamProtocolError:
+            return None
+        if segment.segment_index != missing_index:
+            return None
+        self.segments[missing_index] = segment
+        self.payloads[missing_index] = payload
+        return segment
 
 
 class StreamSession:
@@ -157,6 +305,23 @@ class StreamSession:
         Reconstruction options, exactly as on
         :class:`~repro.stream.receiver.StreamReceiver` (which forwards them
         here verbatim).
+    resilient:
+        Tolerate a lossy channel instead of treating every anomaly as a
+        protocol violation: sequence gaps become tracked losses, duplicates
+        and late chunks are skipped, corrupt payloads are counted, segment
+        frames reconstruct from the surviving row subset of Φ, and mosaics
+        may finalise with missing tiles.  Off by default — on a lossless
+        channel the strict FSM is the stronger contract, and a zero-loss
+        resilient session is byte-identical to it.
+    min_surviving_samples:
+        Sample floor for the partial-Φ solve: a frame that lands with fewer
+        surviving samples keeps its decoded capture but gets no
+        reconstruction (``n_dropped_frames``) — below some point a solve
+        returns noise, and a receiver should say "lost" rather than lie.
+    emit_feedback:
+        Queue a :class:`~repro.stream.protocol.ControlAck` per finalised
+        frame (plus a :class:`~repro.stream.protocol.RateAdvice` when the
+        frame saw loss) for the hub to ship down the feedback path.
     """
 
     #: How many whole-frame batched solves may be in flight at once before
@@ -164,6 +329,12 @@ class StreamSession:
     #: current frame's solve with the next frame's wire transfer while
     #: keeping per-session memory bounded.
     MAX_INFLIGHT_TILED_SOLVES = 1
+
+    #: Largest tolerated forward sequence jump in resilient mode.  A jump
+    #: past this is not plausible loss but a corrupt sequence field (or a
+    #: different stream) — treating it as loss would fabricate millions of
+    #: phantom missing chunks.
+    MAX_SEQUENCE_GAP = 4096
 
     def __init__(
         self,
@@ -179,11 +350,17 @@ class StreamSession:
         operator: str = "structured",
         eager: bool = False,
         step_cache: StepSizeCache | None = None,
+        resilient: bool = False,
+        min_surviving_samples: int = 1,
+        emit_feedback: bool = False,
     ) -> None:
         self.stream_id = int(stream_id)
         self.scheduler = scheduler
         self.reconstruct = bool(reconstruct)
         self.eager = bool(eager)
+        self.resilient = bool(resilient)
+        self.min_surviving_samples = max(1, int(min_surviving_samples))
+        self.emit_feedback = bool(emit_feedback)
         self.stats = SessionStats(stream_id=self.stream_id)
         # The one option set shared by the single-frame solve path and the
         # tiled reconstructors — the two cannot diverge in configuration.
@@ -225,12 +402,85 @@ class StreamSession:
         self._pending_tiled_solves: list[
             tuple[ReceivedFrame, asyncio.Future[Any]]
         ] = []
+        # ---- resilient-mode state ----
+        self._finished = False
+        #: Sequence numbers proven missing (gap seen, chunk never arrived).
+        self._missing: set[int] = set()
+        #: Next frame index the stream has not yet settled (landed, finalised
+        #: partial, or written off as lost).  Frames are emitted in this
+        #: order, so everything below it is history.
+        self._next_frame_index = 0
+        #: Chunks per frame, learned from the first frame barrier (segmented
+        #: streams) or pinned to 1 (frame-data streams) — the expectation a
+        #: fully-lost frame is reported against.
+        self._expected_frame_chunks: int | None = None
+        #: In-flight segment groups, by frame index (single-sensor only).
+        self._assemblies: dict[int, _SegmentAssembly] = {}
+        #: Frame index of the last frame that advanced each position's seed
+        #: chain — a gap in this walk means the chain is stale and seedless
+        #: frames must be dropped until the next keyframe re-anchors it.
+        self._chain_frame: dict[tuple[int, int], int] = {}
+        #: Encoded control chunks (type, payload) awaiting the feedback path.
+        self._outgoing_control: list[tuple[ChunkType, bytes]] = []
 
     # -------------------------------------------------------------- helpers
     @property
     def ended(self) -> bool:
         """True once the stream-end chunk has been processed."""
         return self._ended
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` has settled the session's result."""
+        return self._finished
+
+    @property
+    def missing_sequences(self) -> tuple[int, ...]:
+        """Sequence numbers of chunks proven lost, ascending.
+
+        Parity-recovered chunks stay listed — they never arrived; recovery
+        happened above the wire.  With a drop-only fault model and the
+        node's one-chunk-per-send discipline, this equals the injected drop
+        indices exactly (what the fault-injection suite pins).
+        """
+        return tuple(sorted(self._missing))
+
+    def take_outgoing_control(self) -> list[tuple[ChunkType, bytes]]:
+        """Drain queued feedback payloads (the hub ships them to the node)."""
+        queued, self._outgoing_control = self._outgoing_control, []
+        return queued
+
+    def _record_loss(self, report: FrameLossReport) -> None:
+        """Book a frame's delivery accounting and queue its feedback."""
+        self.stats.frame_loss.append(report)
+        if not self.emit_feedback:
+            return
+        self._outgoing_control.append(
+            (ChunkType.CONTROL_ACK, encode_control_ack(report.to_ack()))
+        )
+        if report.n_samples_received < report.n_samples_expected:
+            advice = RateAdvice(
+                frame_index=report.frame_index,
+                advised_samples=report.n_samples_received,
+                loss_fraction=report.to_ack().loss_fraction,
+            )
+            self._outgoing_control.append(
+                (ChunkType.CONTROL_RATE, encode_rate_advice(advice))
+            )
+
+    def _chain_ready(self, key: tuple[int, int], frame_index: int) -> bool:
+        """True when the position's seed chain is valid for this frame.
+
+        The chain is only trustworthy if *every* previous frame at this
+        position advanced it; a fully-lost frame leaves a gap in the walk
+        and everything after it (until the next keyframe) would silently
+        decode against a stale seed — the one failure mode worse than a
+        dropped frame.
+        """
+        assert self._header is not None
+        if self._header.gop_size <= 1:
+            return True
+        return self._chain_frame.get(key) == frame_index - 1
 
     def _now(self) -> float:
         return asyncio.get_running_loop().time()
@@ -267,40 +517,402 @@ class StreamSession:
     def _solve_frame(self, frame: CompressedFrame) -> ReconstructionResult:
         return reconstruct_frame(frame, **self._recon_options)
 
+    def _solve_frame_masked(
+        self, frame: CompressedFrame, sample_mask: np.ndarray
+    ) -> ReconstructionResult:
+        """Partial-Φ solve: invert only the rows whose samples survived."""
+        return reconstruct_frame(frame, sample_mask=sample_mask, **self._recon_options)
+
     def _solve_tiled_batched(
         self,
         tiles: list[list[CompressedFrame | None]],
         capture_metadata: dict[str, object],
+        partial: bool = False,
     ) -> TiledReconstructionResult:
-        """Invert one complete tiled frame through the batched barrier solve."""
+        """Invert one tiled frame through the batched barrier solve.
+
+        ``partial`` (resilient streams) skips missing tiles — they stay zero
+        in the stitched scene — instead of requiring the full mosaic.
+        """
         reconstructor = self._new_reconstructor()
         for grid_row, row in enumerate(tiles):
             for grid_col, frame in enumerate(row):
-                reconstructor.stage_tile(grid_row, grid_col, frame)
+                if frame is not None:
+                    reconstructor.stage_tile(grid_row, grid_col, frame)
         reconstructor.solve_staged()
-        return reconstructor.result(capture_metadata=capture_metadata)
+        return reconstructor.result(capture_metadata=capture_metadata, partial=partial)
+
+    # ----------------------------------------------- resilient-mode settling
+    def _peek_header(
+        self, prefix_bytes: bytes, key: tuple[int, int]
+    ) -> FrameHeader | None:
+        """Best-effort parse of a frame header whose seed chain is unusable.
+
+        The fixed header precedes the seed on the wire, so decoding against a
+        placeholder seed of the right width recovers the header fields (all
+        a loss report needs) even when the real chain is stale or absent.
+        """
+        assert self._header is not None
+        if self._slots is not None:
+            slot = self._slots[key[0]][key[1]]
+            rows, cols = slot.rows, slot.cols
+        else:
+            rows, cols = self._header.scene_shape
+        placeholder = np.zeros(rows + cols, dtype=np.uint8)
+        try:
+            return decode_frame_prefix(prefix_bytes, seed_state=placeholder).header
+        except FramingError:
+            return None
+
+    def _report_fully_lost(self, frame_index: int, n_expected_chunks: int) -> None:
+        """Write off a frame none of whose chunks arrived (or none usable)."""
+        self.stats.n_dropped_frames += 1
+        self._frame_started.pop(frame_index, None)
+        self._record_loss(
+            FrameLossReport(
+                frame_index=frame_index,
+                n_expected_chunks=n_expected_chunks,
+                n_received_chunks=0,
+                n_recovered_chunks=0,
+                n_samples_expected=0,
+                n_samples_received=0,
+            )
+        )
+
+    def _expected_chunks_for(self, assembly: _SegmentAssembly | None) -> int:
+        """Best-known chunk count of one frame (barrier, else inference)."""
+        if self._expected_frame_chunks is not None:
+            return self._expected_frame_chunks
+        if assembly is not None and assembly.n_segments is not None:
+            return assembly.n_segments + (1 if assembly.parity is not None else 0)
+        return 0
+
+    async def _settle_one_frame(self, frame_index: int) -> None:
+        """Finalise (or write off) one single-sensor frame the stream passed."""
+        assembly = self._assemblies.pop(frame_index, None)
+        expected = self._expected_chunks_for(assembly)
+        if assembly is None:
+            self._report_fully_lost(frame_index, expected)
+        else:
+            await self._finalize_assembly(assembly, expected)
+
+    async def _finalize_assembly(
+        self, assembly: _SegmentAssembly, n_expected_chunks: int
+    ) -> None:
+        """Reassemble a segment group into a frame and stage its solve.
+
+        Loss shows up as masked rows of Φ: every surviving segment fills its
+        sample slice and marks it in the survival mask; a full mask takes the
+        exact lossless solve path, a partial one the masked row-subset solve
+        (when it clears ``min_surviving_samples``), and a frame whose prefix
+        cannot be trusted — no segment at all, or a seedless frame behind a
+        broken GOP chain — is written off rather than solved against a wrong
+        or unknown Φ.
+        """
+        assert self._header is not None
+        frame_index = assembly.frame_index
+        key = (0, 0)
+        recovered = assembly.try_recover()
+        n_recovered = 1 if recovered is not None else 0
+        self.stats.n_recovered_chunks += n_recovered
+
+        def write_off(n_samples_expected: int) -> None:
+            self.stats.n_dropped_frames += 1
+            self._frame_started.pop(frame_index, None)
+            self._record_loss(
+                FrameLossReport(
+                    frame_index=frame_index,
+                    n_expected_chunks=n_expected_chunks,
+                    n_received_chunks=assembly.n_chunks_received,
+                    n_recovered_chunks=n_recovered,
+                    n_samples_expected=n_samples_expected,
+                    n_samples_received=0,
+                )
+            )
+
+        segments = [assembly.segments[i] for i in sorted(assembly.segments)]
+        if not segments:
+            # Parity alone cannot rebuild anything.
+            write_off(0)
+            return
+        first = segments[0]
+        try:
+            if first.keyframe:
+                prefix = decode_frame_prefix(first.prefix_bytes)
+            elif self._chain_ready(key, frame_index):
+                prefix = decode_frame_prefix(
+                    first.prefix_bytes, seed_state=self._seed_chains[key]
+                )
+            else:
+                # An earlier loss broke the seed chain; decoding against the
+                # stale seed would hand the solver the wrong Φ.
+                peeked = self._peek_header(first.prefix_bytes, key)
+                write_off(0 if peeked is None else peeked.n_samples)
+                return
+        except FramingError:
+            write_off(0)
+            return
+        header = prefix.header
+        if (header.rows, header.cols) != self._header.scene_shape:
+            write_off(header.n_samples)
+            return
+        samples = np.zeros(header.n_samples, dtype=np.int64)
+        mask = np.zeros(header.n_samples, dtype=bool)
+        n_bytes = len(first.prefix_bytes)
+        for segment in segments:
+            stop = segment.start_sample + segment.n_samples
+            if stop > header.n_samples:
+                self.stats.n_corrupt_chunks += 1
+                continue
+            try:
+                values = unpack_samples(
+                    segment.sample_bytes, segment.n_samples, header.sample_bits
+                )
+            except ValueError:
+                self.stats.n_corrupt_chunks += 1
+                continue
+            samples[segment.start_sample : stop] = values
+            mask[segment.start_sample : stop] = True
+            n_bytes += len(segment.sample_bytes)
+        if self._header.gop_size > 1:
+            self._seed_chains[key] = advance_seed_state(
+                prefix.seed_state,
+                header.rule_number,
+                n_samples=header.n_samples,
+                steps_per_sample=header.steps_per_sample,
+                warmup_steps=header.warmup_steps,
+            )
+            self._chain_frame[key] = frame_index
+        metadata = dict(prefix.metadata)
+        metadata["decoded_from_bytes"] = n_bytes
+        frame = CompressedFrame(
+            samples=samples,
+            seed_state=prefix.seed_state,
+            rule_number=header.rule_number,
+            steps_per_sample=header.steps_per_sample,
+            warmup_steps=header.warmup_steps,
+            config=SensorConfig(
+                rows=header.rows, cols=header.cols, pixel_bits=header.pixel_bits
+            ),
+            digital_image=None,
+            metadata=metadata,
+        )
+        n_received_samples = int(mask.sum())
+        complete = bool(mask.all())
+        report = FrameLossReport(
+            frame_index=frame_index,
+            n_expected_chunks=n_expected_chunks,
+            n_received_chunks=assembly.n_chunks_received,
+            n_recovered_chunks=n_recovered,
+            n_samples_expected=header.n_samples,
+            n_samples_received=n_received_samples,
+        )
+        received = ReceivedFrame(
+            frame_index=frame_index,
+            capture=frame,
+            loss=report,
+            sample_mask=None if complete else mask,
+        )
+        self._result.frames.append(received)
+        self.stats.n_frames += 1
+        self._record_loss(report)
+        if self.reconstruct and complete:
+            future = await self.scheduler.submit(
+                self.stream_id, _bind(self._solve_frame, frame)
+            )
+        elif self.reconstruct and n_received_samples >= self.min_surviving_samples:
+            self.stats.n_partial_frames += 1
+            future = await self.scheduler.submit(
+                self.stream_id, _bind(self._solve_frame_masked, frame, mask)
+            )
+        else:
+            if self.reconstruct:
+                self.stats.n_dropped_frames += 1
+            future = None
+        if future is None:
+            self._note_frame_landed(frame_index)
+        else:
+            self._note_on_solve_done(frame_index, future)
+            self._pending_frame_solves.append((received, future))
+
+    async def _settle_tiled_before(self, stop_index: int) -> None:
+        """Settle every tiled frame below ``stop_index`` (lost barriers)."""
+        assert self._slots is not None
+        grid_size = len(self._slots) * len(self._slots[0])
+        for frame_index in range(self._next_frame_index, stop_index):
+            tiles = self._pending_tiles.pop(frame_index, None)
+            if tiles is None:
+                self._report_fully_lost(frame_index, grid_size)
+            else:
+                await self._emit_tiled_frame(
+                    frame_index, tiles, n_expected_chunks=grid_size
+                )
+        self._next_frame_index = max(self._next_frame_index, stop_index)
+
+    async def _emit_tiled_frame(
+        self,
+        frame_index: int,
+        tiles: list[list[CompressedFrame | None]],
+        *,
+        n_expected_chunks: int,
+    ) -> None:
+        """Land one tiled frame — complete, or (resilient) missing tiles."""
+        assert self._header is not None and self._slots is not None
+        flat = [frame for row in tiles for frame in row]
+        present = [frame for frame in flat if frame is not None]
+        n_missing = len(flat) - len(present)
+        capture = TiledCaptureResult(
+            tiles=tiles,
+            slots=self._slots,
+            scene_shape=self._header.scene_shape,
+            tile_shape=self._header.tile_shape,
+            metadata=merge_tile_statistics(present),
+        )
+        report = None
+        if self.resilient:
+            # Every tile of a stream samples at the same rate, so a missing
+            # tile's expectation is any survivor's count.
+            per_tile = present[0].n_samples if present else 0
+            n_received_samples = sum(frame.n_samples for frame in present)
+            report = FrameLossReport(
+                frame_index=frame_index,
+                n_expected_chunks=n_expected_chunks,
+                n_received_chunks=len(present),
+                n_recovered_chunks=0,
+                n_samples_expected=n_received_samples + n_missing * per_tile,
+                n_samples_received=n_received_samples,
+            )
+            if n_missing:
+                self.stats.n_partial_frames += 1
+        reconstruction = None
+        if self.reconstruct and self.eager:
+            reconstructor = self._pending_recon.pop(frame_index)
+            solves = self._pending_solves.pop(frame_index, [])
+            try:
+                for grid_row, grid_col, frame, future in solves:
+                    reconstructor.insert_result(
+                        grid_row, grid_col, frame, await future
+                    )
+            except BaseException:
+                # One tile's solve failed: don't let its siblings keep
+                # running unobserved (they left _pending_solves above).
+                for _, _, _, future in solves:
+                    future.cancel()
+                raise
+            reconstruction = reconstructor.result(
+                capture_metadata=capture.metadata, partial=bool(n_missing)
+            )
+        received = ReceivedFrame(
+            frame_index=frame_index,
+            capture=capture,
+            reconstruction=reconstruction,
+            loss=report,
+        )
+        self._result.frames.append(received)
+        self.stats.n_frames += 1
+        if report is not None:
+            self._record_loss(report)
+        if self.reconstruct and not self.eager:
+            # Batched mode: every landed tile of the frame is here — queue
+            # the stacked multi-tile solve (the same stage/solve_staged path
+            # in-process reconstruct_tiled defaults to, so the streamed
+            # result is byte-identical to it) while the stream keeps
+            # draining the next frame's chunks.  Older in-flight solves are
+            # awaited here past the depth bound, so a stream faster than the
+            # solver back-pressures instead of accumulating frames without
+            # limit.
+            while len(self._pending_tiled_solves) >= self.MAX_INFLIGHT_TILED_SOLVES:
+                earlier, future = self._pending_tiled_solves.pop(0)
+                earlier.reconstruction = await future
+            future = await self.scheduler.submit(
+                self.stream_id,
+                _bind(
+                    self._solve_tiled_batched,
+                    tiles,
+                    capture.metadata,
+                    bool(n_missing),
+                ),
+            )
+            self._note_on_solve_done(frame_index, future)
+            self._pending_tiled_solves.append((received, future))
+        else:
+            self._note_frame_landed(frame_index)
 
     # ------------------------------------------------------------- chunk fsm
     async def handle_chunk(self, chunk: Chunk) -> None:
         """Advance the FSM by one chunk (may suspend on solve backpressure).
 
-        Raises :class:`StreamProtocolError` on malformed chunks, sequence
-        gaps, duplicate tiles, or chunks after the stream end.
+        On the strict (default) path, raises :class:`StreamProtocolError` on
+        malformed chunks, sequence gaps, duplicate tiles, or chunks after
+        the stream end.  A resilient session turns those anomalies into
+        accounting instead: gaps become tracked losses, duplicates and
+        post-end chunks are skipped, reordered chunks are used, and corrupt
+        payloads — including an implausible sequence jump past
+        :data:`MAX_SEQUENCE_GAP`, the signature of a resync decoder latching
+        onto a false magic byte — are counted and skipped; only a missing
+        stream header still raises.
         """
-        if self._ended:
-            raise StreamProtocolError(
-                f"{chunk.chunk_type.name} chunk after the stream end"
-            )
-        if chunk.sequence != self._next_sequence:
-            raise StreamProtocolError(
-                f"chunk sequence jumped to {chunk.sequence}, "
-                f"expected {self._next_sequence}"
-            )
-        self._next_sequence += 1
+        if not self._advance_sequence(chunk):
+            return
         self._result.n_chunks += 1
         self._result.n_bytes += chunk.n_bytes
         self.stats.n_chunks += 1
         self.stats.n_bytes += chunk.n_bytes
+        try:
+            await self._dispatch_chunk(chunk)
+        except StreamProtocolError:
+            if not self.resilient:
+                raise
+            # A chunk that arrived but cannot be used (failed checksum, a
+            # truncated payload that swallowed its neighbour, an impossible
+            # field) — its data is as lost as a dropped chunk's, but the
+            # stream itself keeps flowing.
+            self.stats.n_corrupt_chunks += 1
+
+    def _advance_sequence(self, chunk: Chunk) -> bool:
+        """Run the sequence FSM; returns False when the chunk is skipped."""
+        if self._ended:
+            if self.resilient:
+                self.stats.n_late_chunks += 1
+                return False
+            raise StreamProtocolError(
+                f"{chunk.chunk_type.name} chunk after the stream end"
+            )
+        if chunk.sequence == self._next_sequence:
+            self._next_sequence += 1
+            return True
+        if not self.resilient:
+            raise StreamProtocolError(
+                f"chunk sequence jumped to {chunk.sequence}, "
+                f"expected {self._next_sequence}"
+            )
+        if chunk.sequence > self._next_sequence:
+            gap = chunk.sequence - self._next_sequence
+            if gap > self.MAX_SEQUENCE_GAP:
+                # Not plausible loss but a corrupt sequence field (typically
+                # a resync decoder latching onto a false magic byte inside a
+                # truncated chunk's spilled payload).  Treating it as loss
+                # would fabricate millions of phantom missing chunks, and
+                # raising would kill the very salvage resilient mode exists
+                # for — so the chunk itself is the casualty: counted corrupt,
+                # skipped, and the sequence FSM holds its position.
+                self.stats.n_corrupt_chunks += 1
+                return False
+            # Everything between is now provably lost *unless* it arrives
+            # late, in which case the FSM below reclaims it.
+            self._missing.update(range(self._next_sequence, chunk.sequence))
+            self.stats.n_lost_chunks = len(self._missing)
+            self._next_sequence = chunk.sequence + 1
+            return True
+        if chunk.sequence in self._missing:
+            self._missing.discard(chunk.sequence)
+            self.stats.n_lost_chunks = len(self._missing)
+            self.stats.n_reordered_chunks += 1
+            return True
+        self.stats.n_duplicate_chunks += 1
+        return False
+
+    async def _dispatch_chunk(self, chunk: Chunk) -> None:
         if chunk.chunk_type == ChunkType.STREAM_START:
             if self._header is not None:
                 raise StreamProtocolError("duplicate stream-start chunk")
@@ -317,11 +929,30 @@ class StreamSession:
             )
         if chunk.chunk_type == ChunkType.FRAME_DATA:
             await self._handle_frame_data(chunk)
+        elif chunk.chunk_type == ChunkType.FRAME_SEGMENT:
+            self._handle_frame_segment(chunk)
+        elif chunk.chunk_type == ChunkType.FRAME_PARITY:
+            self._handle_frame_parity(chunk)
         elif chunk.chunk_type == ChunkType.FRAME_COMPLETE:
             await self._handle_frame_complete(chunk)
         elif chunk.chunk_type == ChunkType.STREAM_END:
-            self._result.announced_frames = decode_stream_end(chunk.payload)
+            announced = decode_stream_end(chunk.payload)
+            if self.resilient and self._header is not None:
+                # Frames whose barrier (or every chunk) was lost are still
+                # outstanding — settle them before sealing the stream.
+                if self._header.tiled:
+                    await self._settle_tiled_before(announced)
+                else:
+                    while self._next_frame_index < announced:
+                        await self._settle_one_frame(self._next_frame_index)
+                        self._next_frame_index += 1
+            self._result.announced_frames = announced
             self._ended = True
+        elif chunk.chunk_type in (ChunkType.CONTROL_ACK, ChunkType.CONTROL_RATE):
+            raise StreamProtocolError(
+                f"{chunk.chunk_type.name} control chunk on the forward data "
+                "path (control flows receiver → node only)"
+            )
 
     def _decode_with_chain(
         self, data: FrameData, key: tuple[int, int], keyframe: bool
@@ -349,12 +980,47 @@ class StreamSession:
                 steps_per_sample=frame.steps_per_sample,
                 warmup_steps=frame.warmup_steps,
             )
+            self._chain_frame[key] = data.frame_index
         return frame
 
     async def _handle_frame_data(self, chunk: Chunk) -> None:
         assert self._header is not None
         data = decode_frame_data(chunk.payload)
         key = (data.grid_row, data.grid_col)
+        if self.resilient and not self._header.tiled:
+            if data.frame_index < self._next_frame_index:
+                self.stats.n_late_chunks += 1
+                return
+            if self._expected_frame_chunks is None:
+                self._expected_frame_chunks = 1
+            # Frames the stream skipped entirely (their one chunk dropped).
+            while self._next_frame_index < data.frame_index:
+                await self._settle_one_frame(self._next_frame_index)
+                self._next_frame_index += 1
+            self._next_frame_index = data.frame_index + 1
+        if (
+            self.resilient
+            and not data.keyframe
+            and not self._chain_ready(key, data.frame_index)
+        ):
+            # The chunk arrived intact but an earlier loss broke this
+            # position's seed chain: decoding would silently rebuild the
+            # wrong Φ.  Drop it; the next keyframe re-anchors the chain.
+            if self._header.tiled:
+                return  # the frame barrier accounts for the missing tile
+            peeked = self._peek_header(data.frame_bytes, key)
+            self.stats.n_dropped_frames += 1
+            self._record_loss(
+                FrameLossReport(
+                    frame_index=data.frame_index,
+                    n_expected_chunks=1,
+                    n_received_chunks=1,
+                    n_recovered_chunks=0,
+                    n_samples_expected=0 if peeked is None else peeked.n_samples,
+                    n_samples_received=0,
+                )
+            )
+            return
         frame = self._decode_with_chain(data, key, data.keyframe)
         self._frame_started.setdefault(data.frame_index, self._now())
         if not self._header.tiled:
@@ -370,6 +1036,16 @@ class StreamSession:
                     f"the announced scene {expected}"
                 )
             received = ReceivedFrame(frame_index=data.frame_index, capture=frame)
+            if self.resilient:
+                received.loss = FrameLossReport(
+                    frame_index=data.frame_index,
+                    n_expected_chunks=1,
+                    n_received_chunks=1,
+                    n_recovered_chunks=0,
+                    n_samples_expected=frame.n_samples,
+                    n_samples_received=frame.n_samples,
+                )
+                self._record_loss(received.loss)
             self._result.frames.append(received)
             self.stats.n_frames += 1
             if self.reconstruct:
@@ -425,84 +1101,138 @@ class StreamSession:
                 (data.grid_row, data.grid_col, frame, future)
             )
 
+    def _handle_frame_segment(self, chunk: Chunk) -> None:
+        assert self._header is not None
+        if not self.resilient:
+            raise StreamProtocolError(
+                "frame-segment chunk on a strict session (segmented streams "
+                "need a resilient receiver)"
+            )
+        if self._header.tiled:
+            raise StreamProtocolError("frame-segment chunk in a tiled stream")
+        segment = decode_frame_segment(chunk.payload)
+        if (segment.grid_row, segment.grid_col) != (0, 0):
+            raise StreamProtocolError(
+                f"tile position {(segment.grid_row, segment.grid_col)} on a "
+                "frame segment of a single-sensor stream"
+            )
+        if segment.frame_index < self._next_frame_index:
+            self.stats.n_late_chunks += 1
+            return
+        assembly = self._assemblies.setdefault(
+            segment.frame_index, _SegmentAssembly(segment.frame_index)
+        )
+        if not assembly.add_segment(segment, chunk.payload):
+            self.stats.n_duplicate_chunks += 1
+            return
+        self._frame_started.setdefault(segment.frame_index, self._now())
+
+    def _handle_frame_parity(self, chunk: Chunk) -> None:
+        assert self._header is not None
+        if not self.resilient:
+            raise StreamProtocolError(
+                "frame-parity chunk on a strict session (segmented streams "
+                "need a resilient receiver)"
+            )
+        if self._header.tiled:
+            raise StreamProtocolError("frame-parity chunk in a tiled stream")
+        parity = decode_frame_parity(chunk.payload)
+        if (parity.grid_row, parity.grid_col) != (0, 0):
+            raise StreamProtocolError(
+                f"tile position {(parity.grid_row, parity.grid_col)} on a "
+                "frame parity chunk of a single-sensor stream"
+            )
+        if parity.frame_index < self._next_frame_index:
+            self.stats.n_late_chunks += 1
+            return
+        assembly = self._assemblies.setdefault(
+            parity.frame_index, _SegmentAssembly(parity.frame_index)
+        )
+        if not assembly.add_parity(parity):
+            self.stats.n_duplicate_chunks += 1
+            return
+        self._frame_started.setdefault(parity.frame_index, self._now())
+
     async def _handle_frame_complete(self, chunk: Chunk) -> None:
         assert self._header is not None
         frame_index, n_tiles = decode_frame_complete(chunk.payload)
         if not self._header.tiled:
-            raise StreamProtocolError(
-                "frame-complete barrier in a single-sensor stream"
-            )
+            if not self.resilient:
+                raise StreamProtocolError(
+                    "frame-complete barrier in a single-sensor stream"
+                )
+            # Segmented single-sensor stream: the barrier both finalises its
+            # own frame (with the authoritative chunk count) and settles
+            # every earlier frame whose own barrier was lost.
+            if frame_index < self._next_frame_index:
+                self.stats.n_late_chunks += 1
+                return
+            self._expected_frame_chunks = n_tiles
+            while self._next_frame_index <= frame_index:
+                await self._settle_one_frame(self._next_frame_index)
+                self._next_frame_index += 1
+            return
         tiles = self._pending_tiles.pop(frame_index, None)
         if tiles is None:
-            raise StreamProtocolError(
-                f"frame-complete for unknown frame {frame_index}"
-            )
+            if not self.resilient:
+                raise StreamProtocolError(
+                    f"frame-complete for unknown frame {frame_index}"
+                )
+            if frame_index < self._next_frame_index:
+                self.stats.n_late_chunks += 1
+                return
+            # A barrier whose every data tile was lost.
+            await self._settle_tiled_before(frame_index)
+            self._report_fully_lost(frame_index, n_tiles)
+            self._next_frame_index = frame_index + 1
+            return
         flat = [frame for row in tiles for frame in row]
-        if any(frame is None for frame in flat):
+        if any(frame is None for frame in flat) and not self.resilient:
             missing = sum(frame is None for frame in flat)
             raise StreamProtocolError(
                 f"frame {frame_index} completed with {missing} tiles missing"
             )
         if n_tiles != len(flat):
+            # Corrupt barrier; keep the frame's tiles pending so a resilient
+            # stream can still settle them at end-of-stream.
+            self._pending_tiles[frame_index] = tiles
             raise StreamProtocolError(
                 f"frame {frame_index} barrier announces {n_tiles} tiles, "
                 f"grid has {len(flat)}"
             )
-        assert self._slots is not None
-        capture = TiledCaptureResult(
-            tiles=tiles,
-            slots=self._slots,
-            scene_shape=self._header.scene_shape,
-            tile_shape=self._header.tile_shape,
-            metadata=merge_tile_statistics(flat),
+        if self.resilient:
+            await self._settle_tiled_before(frame_index)
+            self._next_frame_index = frame_index + 1
+        await self._emit_tiled_frame(
+            frame_index, tiles, n_expected_chunks=n_tiles
         )
-        reconstruction = None
-        if self.reconstruct and self.eager:
-            reconstructor = self._pending_recon.pop(frame_index)
-            solves = self._pending_solves.pop(frame_index, [])
-            try:
-                for grid_row, grid_col, frame, future in solves:
-                    reconstructor.insert_result(
-                        grid_row, grid_col, frame, await future
-                    )
-            except BaseException:
-                # One tile's solve failed: don't let its siblings keep
-                # running unobserved (they left _pending_solves above).
-                for _, _, _, future in solves:
-                    future.cancel()
-                raise
-            reconstruction = reconstructor.result(
-                capture_metadata=capture.metadata
-            )
-        received = ReceivedFrame(
-            frame_index=frame_index,
-            capture=capture,
-            reconstruction=reconstruction,
-        )
-        self._result.frames.append(received)
-        self.stats.n_frames += 1
-        if self.reconstruct and not self.eager:
-            # Batched mode: every tile of the frame has landed — queue the
-            # stacked multi-tile solve (the same stage/solve_staged path
-            # in-process reconstruct_tiled defaults to, so the streamed
-            # result is byte-identical to it) while the stream keeps
-            # draining the next frame's chunks.  Older in-flight solves are
-            # awaited here past the depth bound, so a stream faster than the
-            # solver back-pressures instead of accumulating frames without
-            # limit.
-            while len(self._pending_tiled_solves) >= self.MAX_INFLIGHT_TILED_SOLVES:
-                earlier, future = self._pending_tiled_solves.pop(0)
-                earlier.reconstruction = await future
-            future = await self.scheduler.submit(
-                self.stream_id,
-                _bind(self._solve_tiled_batched, tiles, capture.metadata),
-            )
-            self._note_on_solve_done(frame_index, future)
-            self._pending_tiled_solves.append((received, future))
-        else:
-            self._note_frame_landed(frame_index)
 
     # --------------------------------------------------------------- closing
+    async def handle_eof(self) -> None:
+        """Seal a resilient stream whose transport died before stream-end.
+
+        The strict FSM treats EOF-before-end as a protocol failure (the hub
+        raises and tears the session down); a resilient session salvages
+        instead: every outstanding segment group and tiled frame finalises
+        from whatever arrived, and the session ends with
+        ``announced_frames`` unknown (``None``).
+        """
+        if not self.resilient:
+            raise StreamProtocolError(
+                "transport closed before the stream-end chunk arrived"
+            )
+        if self._ended:
+            return
+        if self._header is not None:
+            for frame_index in sorted(self._assemblies):
+                await self._settle_one_frame(frame_index)
+                self._next_frame_index = max(
+                    self._next_frame_index, frame_index + 1
+                )
+            if self._slots is not None and self._pending_tiles:
+                await self._settle_tiled_before(max(self._pending_tiles) + 1)
+        self._ended = True
+
     async def finish(self) -> StreamResult:
         """Settle all in-flight work and return the stream's result.
 
@@ -525,6 +1255,7 @@ class StreamSession:
         for received, future in self._pending_tiled_solves:
             received.reconstruction = await future
         self._pending_tiled_solves = []
+        self._finished = True
         return self._result
 
     def cancel(self) -> None:

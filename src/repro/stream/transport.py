@@ -99,6 +99,54 @@ class LoopbackTransport:
             await self._queue.put(None)
 
 
+class DuplexTransport:
+    """Two independent one-way pipes presented as one bidirectional channel.
+
+    ``send``/``close`` drive the *forward* pipe, ``recv`` drains the
+    *backward* one.  A :class:`LoopbackTransport` on its own cannot carry
+    receiver→node feedback — its single queue would deliver control chunks
+    straight back to whoever sent into it — so the loopback feedback path is
+    a *pair* of these wrappers over two queues, one per direction (see
+    :func:`loopback_duplex_pair`).  TCP needs no wrapper: a socket is
+    naturally duplex.
+    """
+
+    def __init__(self, forward: Transport, backward: Transport) -> None:
+        self.forward = forward
+        self.backward = backward
+
+    async def send(self, data: bytes) -> None:
+        """Ship one byte slice down the forward pipe."""
+        await self.forward.send(data)
+
+    async def recv(self) -> bytes | None:
+        """Next byte slice from the backward pipe (the peer's sends)."""
+        return await self.backward.recv()
+
+    async def close(self) -> None:
+        """Close the forward pipe (the direction this side writes)."""
+        await self.forward.close()
+
+
+def loopback_duplex_pair(
+    max_buffered: int = 8,
+) -> tuple[DuplexTransport, DuplexTransport]:
+    """Two connected in-memory duplex endpoints: ``(node_end, receiver_end)``.
+
+    What one end sends, the other receives, in both directions — the
+    loopback twin of a TCP socket pair, and the channel shape the
+    closed-loop feedback path needs.  Each direction is its own bounded
+    :class:`LoopbackTransport`, so forward data and backward control traffic
+    backpressure independently.
+    """
+    forward = LoopbackTransport(max_buffered=max_buffered)
+    backward = LoopbackTransport(max_buffered=max_buffered)
+    return (
+        DuplexTransport(forward, backward),
+        DuplexTransport(backward, forward),
+    )
+
+
 class TcpTransport:
     """A transport over an established ``asyncio`` TCP stream pair.
 
