@@ -52,6 +52,7 @@ from repro.stream import (
     ReceiverHub,
     StreamReceiver,
 )
+from repro.telemetry import Telemetry
 
 __version__ = "1.0.0"
 
@@ -88,4 +89,5 @@ __all__ = [
     "StreamReceiver",
     "ReceiverHub",
     "LoopbackTransport",
+    "Telemetry",
 ]

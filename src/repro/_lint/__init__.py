@@ -25,6 +25,10 @@ REPRO004   async hygiene: no blocking calls (``time.sleep``, sync sockets,
 REPRO005   frozen wire: the v1/v2 chunk and frame layout constants are
            fingerprinted; editing them without introducing a new version
            byte (and re-pinning the fingerprint) is flagged.
+REPRO006   timing discipline: clock reads (``time.time``/``monotonic``/
+           ``perf_counter``, ``loop.time``) go through the injected
+           :class:`repro.telemetry.Clock`; only ``repro/telemetry/`` may
+           read the wall/monotonic clock directly.
 ========== =====================================================================
 
 Suppressions

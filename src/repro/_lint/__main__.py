@@ -19,7 +19,7 @@ from repro._lint.rules.frozen_wire import PINNED_CONSTANTS, current_fingerprints
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro._lint",
-        description="Machine-check the architectural contracts (REPRO001-005).",
+        description="Machine-check the architectural contracts (REPRO001-006).",
     )
     parser.add_argument(
         "paths",

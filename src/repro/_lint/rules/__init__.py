@@ -9,14 +9,16 @@ from repro._lint.rules.dense_phi import RULE as DENSE_PHI
 from repro._lint.rules.frozen_wire import RULE as FROZEN_WIRE
 from repro._lint.rules.rng_discipline import RULE as RNG_DISCIPLINE
 from repro._lint.rules.shared_phi import RULE as SHARED_PHI
+from repro._lint.rules.timing import RULE as TIMING_DISCIPLINE
 
 #: Every registered rule, in rule-id order.
 RULES: tuple[Rule, ...] = (
-    SHARED_PHI,      # REPRO001
-    DENSE_PHI,       # REPRO002
-    RNG_DISCIPLINE,  # REPRO003
-    ASYNC_HYGIENE,   # REPRO004
-    FROZEN_WIRE,     # REPRO005
+    SHARED_PHI,         # REPRO001
+    DENSE_PHI,          # REPRO002
+    RNG_DISCIPLINE,     # REPRO003
+    ASYNC_HYGIENE,      # REPRO004
+    FROZEN_WIRE,        # REPRO005
+    TIMING_DISCIPLINE,  # REPRO006
 )
 
 

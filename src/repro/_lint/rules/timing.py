@@ -1,0 +1,131 @@
+"""REPRO006 — timing discipline: all clock reads flow through telemetry.
+
+Frame traces, stage histograms and latency summaries are only comparable —
+and only testable — because every timestamp in the library comes from one
+injected :class:`~repro.telemetry.Clock` (``MonotonicClock`` in production,
+``ManualClock`` in tests).  A direct ``time.time()`` / ``time.monotonic()``
+/ ``time.perf_counter()`` read in library code bypasses that seam: the
+number can never be pinned by a deterministic test, wall-clock reads mix
+incompatible epochs with the monotonic spans, and the zero-cost-when-
+disabled contract can't be audited.
+
+Flagged in library code outside ``repro/telemetry/``:
+
+* any clock read from the stdlib ``time`` module (``time``, ``monotonic``,
+  ``perf_counter`` and their ``_ns``/``process``/``thread`` variants),
+  whether called as ``time.monotonic()`` or imported directly;
+* the asyncio event-loop clock — ``loop.time()`` or
+  ``asyncio.get_running_loop().time()`` — which is the same unpinnable
+  monotonic read wearing an event-loop hat.
+
+``time.sleep`` is *not* a clock read and stays REPRO004's business.  Tests,
+examples and benchmarks may read any clock they like;
+``repro/telemetry/clock.py`` is the sanctioned funnel and is exempt (as is
+the rest of the telemetry package, which only ever sees injected clocks).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro._lint.engine import Finding, ModuleContext
+from repro._lint.rules.base import Rule, dotted_name
+
+#: The sanctioned clock funnel: everything under the telemetry package.
+ALLOWED_PREFIX = "repro/telemetry/"
+
+#: stdlib ``time`` functions that read a clock.
+_CLOCK_READS = frozenset(
+    {
+        "time", "time_ns",
+        "monotonic", "monotonic_ns",
+        "perf_counter", "perf_counter_ns",
+        "process_time", "process_time_ns",
+        "thread_time", "thread_time_ns",
+    }
+)
+
+_HINT = (
+    "take a repro.telemetry.Clock (MonotonicClock in production, "
+    "ManualClock in tests) and call clock.now() so the timestamp is "
+    "injectable and deterministic under test"
+)
+
+
+def _loop_getter(node: ast.AST) -> bool:
+    """True for ``asyncio.get_running_loop()`` / ``asyncio.get_event_loop()``."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    return name in ("asyncio.get_running_loop", "asyncio.get_event_loop")
+
+
+class TimingDisciplineRule(Rule):
+    rule_id = "REPRO006"
+    contract = "timing discipline: clock reads go through the telemetry Clock seam"
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        if not context.is_library:
+            return
+        if context.module_rel is not None and context.module_rel.startswith(
+            ALLOWED_PREFIX
+        ):
+            return
+        # Names bound by `from time import monotonic [as tick]`.
+        from_time: dict[str, str] = {}
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _CLOCK_READS:
+                        from_time[alias.asname or alias.name] = alias.name
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = dotted_name(func)
+            if name is not None:
+                parts = name.split(".")
+                if len(parts) == 2 and parts[0] == "time" and parts[1] in _CLOCK_READS:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"direct clock read time.{parts[1]}() in library code "
+                        "(bypasses the injected telemetry Clock)",
+                        hint=_HINT,
+                    )
+                    continue
+                if len(parts) == 1 and parts[0] in from_time:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"direct clock read {parts[0]}() (= time."
+                        f"{from_time[parts[0]]}) in library code "
+                        "(bypasses the injected telemetry Clock)",
+                        hint=_HINT,
+                    )
+                    continue
+                if len(parts) == 2 and parts[0] == "loop" and parts[1] == "time":
+                    yield self.finding(
+                        context,
+                        node,
+                        "event-loop clock read loop.time() in library code "
+                        "(same unpinnable monotonic read as time.monotonic)",
+                        hint=_HINT,
+                    )
+                    continue
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "time"
+                and _loop_getter(func.value)
+            ):
+                yield self.finding(
+                    context,
+                    node,
+                    "event-loop clock read asyncio.get_*_loop().time() in "
+                    "library code (bypasses the injected telemetry Clock)",
+                    hint=_HINT,
+                )
+
+
+RULE = TimingDisciplineRule()

@@ -9,6 +9,14 @@ fast transform for Ψ).
   proximal gradient descent (FISTA adds Nesterov momentum).
 * IHT solves the k-sparse constrained problem by gradient steps followed by
   hard thresholding to the k largest coefficients.
+
+Every solver takes an opt-in ``profile``
+(:class:`~repro.telemetry.SolverProfile`): when given, it receives the
+composite objective and residual norm after each iteration plus the step
+size and where it came from.  Profiling only *reads* solver state — it
+never changes an iterate or consumes an RNG draw, so a profiled solve is
+bit-identical to an unprofiled one (pinned by the telemetry suite), and the
+default ``None`` skips every bookkeeping branch.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ import numpy as np
 
 from repro.cs.operators import SensingOperator
 from repro.cs.solvers.result import SolverResult, as_operator, check_measurements
+from repro.telemetry import SolverProfile
 from repro.utils.validation import check_positive
 
 
@@ -58,6 +67,7 @@ def ista(
     tolerance: float = 1e-6,
     step_size: float | None = None,
     initial: np.ndarray | None = None,
+    profile: SolverProfile | None = None,
 ) -> SolverResult:
     """Iterative shrinkage-thresholding for the LASSO problem.
 
@@ -70,6 +80,10 @@ def ista(
         iteration (the largest provably-convergent step).
     tolerance:
         Stop when the relative change of the iterate falls below this value.
+    profile:
+        Opt-in :class:`~repro.telemetry.SolverProfile`: records the
+        per-iteration LASSO objective and residual norm plus the step size
+        and its provenance.  Read-only — the solve itself is unchanged.
     """
     return _proximal_gradient(
         operator_or_matrix,
@@ -80,6 +94,7 @@ def ista(
         step_size=step_size,
         initial=initial,
         accelerated=False,
+        profile=profile,
     )
 
 
@@ -92,6 +107,7 @@ def fista(
     tolerance: float = 1e-6,
     step_size: float | None = None,
     initial: np.ndarray | None = None,
+    profile: SolverProfile | None = None,
 ) -> SolverResult:
     """FISTA — ISTA with Nesterov momentum (Beck & Teboulle 2009)."""
     return _proximal_gradient(
@@ -103,6 +119,7 @@ def fista(
         step_size=step_size,
         initial=initial,
         accelerated=True,
+        profile=profile,
     )
 
 
@@ -116,6 +133,7 @@ def _proximal_gradient(
     step_size: float | None,
     initial: np.ndarray | None,
     accelerated: bool,
+    profile: SolverProfile | None = None,
 ) -> SolverResult:
     operator = as_operator(operator_or_matrix)
     measurements = check_measurements(operator, measurements)
@@ -123,6 +141,11 @@ def _proximal_gradient(
     check_positive("max_iterations", max_iterations)
     check_positive("tolerance", tolerance)
     step = _step_size(operator, step_size)
+    if profile is not None:
+        profile.record_step_size(
+            step, provenance="provided" if step_size is not None else "estimated"
+        )
+        profile.n_tiles = 1
 
     if initial is None:
         coefficients = np.zeros(operator.n_coefficients)
@@ -151,9 +174,17 @@ def _proximal_gradient(
         coefficients = candidate
         residual = measurements - operator.matvec(coefficients)
         history.append(float(np.linalg.norm(residual)))
+        if profile is not None:
+            profile.record_iteration(
+                0.5 * history[-1] ** 2
+                + float(regularization) * float(np.abs(coefficients).sum()),
+                history[-1],
+            )
         if change / scale <= tolerance:
             converged = True
             break
+    if profile is not None:
+        profile.finish(converged=converged)
     return SolverResult(
         coefficients=coefficients,
         n_iterations=iteration,
@@ -171,13 +202,23 @@ def iht(
     max_iterations: int = 100,
     tolerance: float = 1e-6,
     step_size: float | None = None,
+    profile: SolverProfile | None = None,
 ) -> SolverResult:
-    """Iterative hard thresholding (Blumensath & Davies 2009)."""
+    """Iterative hard thresholding (Blumensath & Davies 2009).
+
+    ``profile`` records the data-fidelity objective ``0.5||y - Az||²`` per
+    iteration (IHT has no l1 term) plus step-size provenance; read-only.
+    """
     operator = as_operator(operator_or_matrix)
     measurements = check_measurements(operator, measurements)
     check_positive("sparsity", sparsity)
     check_positive("max_iterations", max_iterations)
     step = _step_size(operator, step_size)
+    if profile is not None:
+        profile.record_step_size(
+            step, provenance="provided" if step_size is not None else "estimated"
+        )
+        profile.n_tiles = 1
 
     coefficients = np.zeros(operator.n_coefficients)
     history = []
@@ -191,9 +232,13 @@ def iht(
         coefficients = candidate
         residual = measurements - operator.matvec(coefficients)
         history.append(float(np.linalg.norm(residual)))
+        if profile is not None:
+            profile.record_iteration(0.5 * history[-1] ** 2, history[-1])
         if change / scale <= tolerance:
             converged = True
             break
+    if profile is not None:
+        profile.finish(converged=converged)
     return SolverResult(
         coefficients=coefficients,
         n_iterations=iteration,

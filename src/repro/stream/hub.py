@@ -58,6 +58,19 @@ from repro.stream.transport import (
     TransportClosedError,
     serve_tcp,
 )
+from repro.telemetry import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    Telemetry,
+)
+from repro.telemetry import (
+    serve_metrics as _serve_metrics,
+)
+from repro.telemetry.registry import latency_quantile_gauges
+
+# Re-exported from its new home (moved in the telemetry refactor) so
+# ``from repro.stream.hub import percentile`` keeps working.
+from repro.telemetry.stats import percentile as percentile  # noqa: PLC0414
 from repro.utils.validation import check_positive
 
 
@@ -273,20 +286,6 @@ class HubStats:
     n_dropped_frames: int = 0
 
 
-def percentile(values: list[float], q: float) -> float:
-    """The ``q``-th percentile (0–100) of ``values`` by linear interpolation."""
-    if not values:
-        raise ValueError("percentile of an empty sequence")
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile must be in [0, 100], got {q}")
-    ordered = sorted(values)
-    position = (len(ordered) - 1) * (q / 100.0)
-    below = int(position)
-    above = min(below + 1, len(ordered) - 1)
-    weight = position - below
-    return ordered[below] * (1.0 - weight) + ordered[above] * weight
-
-
 class ReceiverHub:
     """One asyncio service ingesting many camera-node streams concurrently.
 
@@ -330,6 +329,13 @@ class ReceiverHub:
         :func:`~repro.stream.transport.loopback_duplex_pair`); never enable
         it on a plain single-queue loopback, whose "backward" path is the
         forward queue itself.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` shared by every session
+        the hub opens: frame traces (transport/decode/queue-wait/solve
+        spans) and the stage histogram accumulate there, and
+        :meth:`metrics` collects from its registry.  ``None`` (the default)
+        disables tracing at zero cost — :meth:`metrics` still works, pulling
+        the hub's counters into a private registry at snapshot time.
     """
 
     def __init__(
@@ -353,6 +359,7 @@ class ReceiverHub:
         resilient: bool = False,
         min_surviving_samples: int = 1,
         feedback: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if max_streams is not None:
             check_positive("max_streams", max_streams)
@@ -361,6 +368,7 @@ class ReceiverHub:
         self.step_cache = step_cache
         self.resilient = bool(resilient)
         self.feedback = bool(feedback)
+        self.telemetry = telemetry
         self.max_streams = None if max_streams is None else int(max_streams)
         self.scheduler = FairSolveScheduler(
             slots=solver_slots,
@@ -381,7 +389,17 @@ class ReceiverHub:
             resilient=self.resilient,
             min_surviving_samples=min_surviving_samples,
             emit_feedback=self.feedback,
+            telemetry=telemetry,
         )
+        # The registry :meth:`metrics` collects from.  With telemetry wired
+        # it is the shared facade's registry (traces, stage histograms and
+        # node collectors land there too); without, a private registry whose
+        # only feed is the hub collector — metrics stay available either
+        # way, at zero hot-path cost (pull model).
+        self._metrics_registry = (
+            telemetry.registry if telemetry is not None else MetricsRegistry()
+        )
+        self._metrics_registry.register_collector(self._collect_metrics)
         # Live sessions hub-wide, keyed by stream id — the duplicate /
         # capacity admission registry.  Ids leave it at stream completion
         # (or connection death), so they are reusable sequentially.
@@ -397,6 +415,9 @@ class ReceiverHub:
         self.failures: list[BaseException] = []
         self._servers: list[asyncio.AbstractServer] = []
         self._connections: set[asyncio.Task[Any]] = set()
+        #: Bound port of the scrape endpoint once :meth:`serve_metrics` (or
+        #: ``serve(metrics_port=...)``) has started it.
+        self.metrics_port: int | None = None
 
     # ------------------------------------------------------------ admission
     @property
@@ -523,13 +544,20 @@ class ReceiverHub:
             raise
 
     async def serve(
-        self, host: str = "127.0.0.1", port: int = 0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        metrics_port: int | None = None,
     ) -> tuple[asyncio.AbstractServer, int]:
         """Accept TCP node connections, each served by :meth:`attach`.
 
         Returns the server and its bound port (``port=0`` lets the OS
         pick).  Per-connection failures are recorded in :attr:`failures`
         and close that connection only; the server keeps accepting.
+        ``metrics_port`` additionally starts the HTTP scrape endpoint of
+        :meth:`serve_metrics` on that port (``0`` = OS-assigned; the bound
+        port lands in :attr:`metrics_port`).
         """
 
         async def handle(transport: TcpTransport) -> None:
@@ -551,6 +579,22 @@ class ReceiverHub:
 
         server, bound_port = await serve_tcp(handle, host=host, port=port)
         self._servers.append(server)
+        if metrics_port is not None:
+            await self.serve_metrics(host=host, port=metrics_port)
+        return server, bound_port
+
+    async def serve_metrics(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[asyncio.AbstractServer, int]:
+        """Serve :meth:`metrics` over HTTP; returns ``(server, bound_port)``.
+
+        ``GET /metrics`` answers the Prometheus text exposition,
+        ``GET /metrics.json`` the JSON dump — each scrape collects a fresh
+        snapshot.  The server is torn down with the hub's :meth:`close`.
+        """
+        server, bound_port = await _serve_metrics(self.metrics, host=host, port=port)
+        self._servers.append(server)
+        self.metrics_port = bound_port
         return server, bound_port
 
     async def drain(self) -> None:
@@ -592,3 +636,83 @@ class ReceiverHub:
             n_partial_frames=sum(s.n_partial_frames for s in self._all_stats),
             n_dropped_frames=sum(s.n_dropped_frames for s in self._all_stats),
         )
+
+    def _collect_metrics(self) -> None:
+        """Rebuild the registry's hub instruments from the live stats.
+
+        Registered once at construction; runs only inside
+        ``registry.collect()`` (i.e. per :meth:`metrics` call or per
+        scrape), which is what migrating ``HubStats``/``SessionStats`` onto
+        the registry costs on the ingest hot path: nothing.
+        """
+        registry = self._metrics_registry
+        stats = self.stats()
+        registry.gauge(
+            "repro_hub_streams_active", help="Sessions currently live."
+        ).set(stats.n_active)
+        hub_counters: tuple[tuple[str, int, str], ...] = (
+            ("repro_hub_streams_completed_total", stats.n_completed,
+             "Streams that finished cleanly."),
+            ("repro_hub_streams_failed_total", stats.n_failed,
+             "Connections torn down by an error."),
+            ("repro_hub_frames_total", stats.n_frames,
+             "Frames fully landed across all sessions."),
+            ("repro_hub_bytes_total", stats.n_bytes,
+             "Wire bytes ingested across all sessions."),
+            ("repro_hub_solves_dispatched_total", stats.solves_dispatched,
+             "Solver jobs the fair scheduler dispatched."),
+            ("repro_hub_lost_chunks_total", stats.n_lost_chunks,
+             "Chunks proven lost by sequence gaps."),
+            ("repro_hub_reordered_chunks_total", stats.n_reordered_chunks,
+             "Chunks that arrived late but were used."),
+            ("repro_hub_duplicate_chunks_total", stats.n_duplicate_chunks,
+             "Chunks whose sequence was already processed."),
+            ("repro_hub_corrupt_chunks_total", stats.n_corrupt_chunks,
+             "Chunks that arrived but failed decoding."),
+            ("repro_hub_recovered_chunks_total", stats.n_recovered_chunks,
+             "Segment chunks rebuilt from XOR parity."),
+            ("repro_hub_late_chunks_total", stats.n_late_chunks,
+             "Chunks arriving after their frame settled."),
+            ("repro_hub_partial_frames_total", stats.n_partial_frames,
+             "Frames solved from a strict subset of their samples."),
+            ("repro_hub_dropped_frames_total", stats.n_dropped_frames,
+             "Frames landed without a reconstruction."),
+        )
+        for name, value, help_text in hub_counters:
+            registry.counter(name, help=help_text).set_total(value)
+        registry.histogram(
+            "repro_hub_frame_latency_seconds",
+            help="Per-frame seconds from first chunk to decoded (and solved).",
+        ).rebuild(stats.frame_latencies)
+        latency_quantile_gauges(
+            registry,
+            "repro_hub_frame_latency_quantile_seconds",
+            stats.frame_latencies,
+            help="Exact frame-latency percentiles over the raw series.",
+        )
+        for stream_id, session in self.session_stats.items():
+            labels = {"stream": stream_id}
+            session_counters: tuple[tuple[str, int, str], ...] = (
+                ("repro_session_frames_total", session.n_frames,
+                 "Frames this stream landed."),
+                ("repro_session_chunks_total", session.n_chunks,
+                 "Chunks this stream processed."),
+                ("repro_session_bytes_total", session.n_bytes,
+                 "Wire bytes this stream carried."),
+                ("repro_session_partial_frames_total", session.n_partial_frames,
+                 "Frames solved from partial samples on this stream."),
+                ("repro_session_dropped_frames_total", session.n_dropped_frames,
+                 "Frames landed without reconstruction on this stream."),
+            )
+            for name, value, help_text in session_counters:
+                registry.counter(name, labels=labels, help=help_text).set_total(value)
+
+    def metrics(self) -> MetricsSnapshot:
+        """Typed snapshot of the hub's metrics (collectors run first).
+
+        Works with or without a wired :class:`~repro.telemetry.Telemetry`
+        (the hub's own counters are pulled either way); render it with
+        :meth:`~repro.telemetry.MetricsSnapshot.render_prometheus` or
+        :meth:`~repro.telemetry.MetricsSnapshot.to_json`.
+        """
+        return self._metrics_registry.collect()

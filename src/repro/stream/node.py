@@ -63,6 +63,13 @@ from repro.stream.protocol import (
     encode_stream_header,
 )
 from repro.stream.transport import Transport
+from repro.telemetry import (
+    SPAN_CAPTURE,
+    SPAN_ENCODE,
+    SPAN_TRANSPORT,
+    Telemetry,
+    active,
+)
 from repro.utils.validation import check_positive
 
 
@@ -319,6 +326,14 @@ class CameraNode:
         transport's return path and feed them to the governor — requires a
         duplex channel (:func:`~repro.stream.transport.loopback_duplex_pair`
         or TCP) and a hub running with ``feedback=True``.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`.  When present (and
+        enabled) the node records each frame's ``capture`` and ``encode``
+        spans, opens the ``transport`` span right before the first send (the
+        hub side closes it — the two halves only join when node and hub
+        share one facade, i.e. over loopback), and registers a collector
+        exporting the feedback/governor counters.  ``None`` (the default)
+        records nothing.
     """
 
     def __init__(
@@ -332,6 +347,7 @@ class CameraNode:
         segments_per_frame: int = 1,
         parity: bool = False,
         feedback: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> None:
         check_positive("gop_size", gop_size)
         check_positive("segments_per_frame", segments_per_frame)
@@ -349,8 +365,42 @@ class CameraNode:
         self.feedback = bool(feedback)
         self.n_feedback_chunks = 0
         self.n_feedback_errors = 0
+        self.telemetry = telemetry
         self._sequence = 0
         self._feedback_task: asyncio.Task[None] | None = None
+        if telemetry is not None:
+            telemetry.registry.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Export the node's counters at snapshot time (pull model).
+
+        Registered once at construction; runs only inside
+        ``registry.collect()``, so the hot paths that move these counters
+        never see the registry at all.
+        """
+        assert self.telemetry is not None
+        registry = self.telemetry.registry
+        labels = {"stream": self.stream_id}
+        registry.counter(
+            "repro_node_feedback_chunks_total",
+            labels=labels,
+            help="Control chunks the node drained into its governor.",
+        ).set_total(self.n_feedback_chunks)
+        registry.counter(
+            "repro_node_feedback_errors_total",
+            labels=labels,
+            help="Malformed or misrouted chunks seen on the feedback path.",
+        ).set_total(self.n_feedback_errors)
+        registry.counter(
+            "repro_node_governor_feedback_total",
+            labels=labels,
+            help="Receiver reports (ACK + rate advice) the governor absorbed.",
+        ).set_total(self.governor.n_feedback)
+        registry.counter(
+            "repro_node_governor_loss_events_total",
+            labels=labels,
+            help="Lossy-frame reports that triggered an AIMD back-off.",
+        ).set_total(self.governor.n_loss_events)
 
     # -------------------------------------------------------------- helpers
     @property
@@ -453,8 +503,17 @@ class CameraNode:
         grid_col: int = 0,
         keyframe: bool = True,
     ) -> int:
+        tel = active(self.telemetry)
+        if tel is not None:
+            tel.begin_span(self.stream_id, frame_index, SPAN_ENCODE)
         frame_bytes = encode_frame(frame, version=2, include_seed=keyframe)
         if self._segmented:
+            if tel is not None:
+                # Segment payload packing happens inside the send loop, so
+                # for segmented frames the encode span covers the shared
+                # frame encoding and the transport envelope the rest.
+                tel.end_span(self.stream_id, frame_index, SPAN_ENCODE)
+                tel.begin_span(self.stream_id, frame_index, SPAN_TRANSPORT)
             return await self._send_frame_segmented(
                 frame,
                 frame_bytes,
@@ -473,6 +532,11 @@ class CameraNode:
                 frame_bytes=frame_bytes,
             )
         )
+        if tel is not None:
+            tel.end_span(self.stream_id, frame_index, SPAN_ENCODE)
+            # The span's other half closes on the receiving session when the
+            # chunk lands (joined over loopback; a no-op half over TCP).
+            tel.begin_span(self.stream_id, frame_index, SPAN_TRANSPORT)
         return await self._send_chunk(ChunkType.FRAME_DATA, payload, stats)
 
     async def _send_frame_segmented(
@@ -569,13 +633,18 @@ class CameraNode:
             gop_size=1,
         )
         await self._send_header(header, stats)
+        tel = active(self.telemetry)
         for index, scene in enumerate(scenes):
             n_samples = self.governor.samples_for_frame(config)
+            if tel is not None:
+                tel.begin_span(self.stream_id, index, SPAN_CAPTURE)
             frame = await self._run(
                 lambda s=scene, n=n_samples: imager.capture_scene(
                     s, n_samples=n, fidelity=fidelity, **capture_kwargs
                 )
             )
+            if tel is not None:
+                tel.end_span(self.stream_id, index, SPAN_CAPTURE)
             sent = await self._send_frame(frame, stats, frame_index=index)
             if self._segmented:
                 # The barrier tells a resilient receiver how many chunks the
@@ -647,10 +716,22 @@ class CameraNode:
         )
         sentinel = object()
         index = 0
+        tel = active(self.telemetry)
         while True:
+            # The capture span is recorded after the fact (add_span) so the
+            # sentinel pull that ends the stream never opens a phantom frame.
+            capture_started = tel.clock.now() if tel is not None else 0.0
             frame = await self._run(next, iterator, sentinel)
             if frame is sentinel:
                 break
+            if tel is not None:
+                tel.add_span(
+                    self.stream_id,
+                    index,
+                    SPAN_CAPTURE,
+                    capture_started,
+                    tel.clock.now(),
+                )
             keyframe = index % self.gop_size == 0
             sent = await self._send_frame(
                 frame, stats, frame_index=index, keyframe=keyframe
@@ -708,10 +789,18 @@ class CameraNode:
         sentinel = object()
         total_samples = 0
         frame_bytes = 0
+        tel = active(self.telemetry)
         while True:
+            capture_started = tel.clock.now() if tel is not None else 0.0
             pair = await self._run(next, iterator, sentinel)
             if pair is sentinel:
                 break
+            if tel is not None:
+                # Per-tile intervals merge into one capture envelope for the
+                # single mosaic frame (index 0).
+                tel.add_span(
+                    self.stream_id, 0, SPAN_CAPTURE, capture_started, tel.clock.now()
+                )
             slot, frame = pair
             frame_bytes += await self._send_frame(
                 frame,
@@ -766,6 +855,7 @@ class CameraNode:
         )
         frame_index = 0
         iterator = iter(scenes)
+        tel = active(self.telemetry)
         while True:
             gop = []
             for _ in range(self.gop_size):
@@ -778,6 +868,7 @@ class CameraNode:
             capture = (
                 array.capture_sequence if photocurrents else array.capture_scene_sequence
             )
+            capture_started = tel.clock.now() if tel is not None else 0.0
             results = await self._run(
                 lambda g=gop: capture(
                     g,
@@ -787,6 +878,18 @@ class CameraNode:
                     **capture_kwargs,
                 )
             )
+            if tel is not None:
+                # The GOP is captured in one batched call; each of its frames
+                # records the same capture interval.
+                capture_ended = tel.clock.now()
+                for gop_offset in range(len(results)):
+                    tel.add_span(
+                        self.stream_id,
+                        frame_index + gop_offset,
+                        SPAN_CAPTURE,
+                        capture_started,
+                        capture_ended,
+                    )
             for gop_offset, result in enumerate(results):
                 keyframe = gop_offset == 0
                 frame_bytes = 0

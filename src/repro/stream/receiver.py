@@ -45,6 +45,7 @@ from repro.stream.hub import ReceiverHub
 from repro.stream.protocol import StreamProtocolError
 from repro.stream.session import ReceivedFrame, StreamResult, StreamSession
 from repro.stream.transport import Transport
+from repro.telemetry import Telemetry
 
 __all__ = ["ReceivedFrame", "StreamReceiver", "StreamResult", "receive_stream"]
 
@@ -90,6 +91,11 @@ class StreamReceiver:
         Send per-frame delivery ACKs and rate advice back up the transport
         (requires a duplex transport; pairs with ``feedback=True`` on the
         :class:`~repro.stream.node.CameraNode`).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` forwarded to the
+        private single-stream hub (and its session): frame traces and the
+        stage histogram land on its tracer/registry.  Share one facade with
+        the sending node to join the transport span over loopback.
     """
 
     #: Re-exported session bound (see
@@ -120,6 +126,7 @@ class StreamReceiver:
         resilient: bool = False,
         min_surviving_samples: int = 1,
         feedback: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.reconstruct = bool(reconstruct)
         self.dictionary = dictionary
@@ -134,6 +141,7 @@ class StreamReceiver:
         self.resilient = bool(resilient)
         self.min_surviving_samples = int(min_surviving_samples)
         self.feedback = bool(feedback)
+        self.telemetry = telemetry
 
     def _new_hub(self) -> ReceiverHub:
         return ReceiverHub(
@@ -154,6 +162,7 @@ class StreamReceiver:
             resilient=self.resilient,
             min_surviving_samples=self.min_surviving_samples,
             feedback=self.feedback,
+            telemetry=self.telemetry,
         )
 
     async def run(self, transport: Transport) -> StreamResult:

@@ -76,6 +76,16 @@ from repro.stream.protocol import (
     encode_rate_advice,
     recover_missing_payload,
 )
+from repro.telemetry import (
+    MONOTONIC_CLOCK,
+    SPAN_DECODE,
+    SPAN_QUEUE_WAIT,
+    SPAN_SOLVE,
+    SPAN_TRANSPORT,
+    Clock,
+    Telemetry,
+    active,
+)
 
 
 class SolveScheduler(Protocol):
@@ -322,6 +332,14 @@ class StreamSession:
         Queue a :class:`~repro.stream.protocol.ControlAck` per finalised
         frame (plus a :class:`~repro.stream.protocol.RateAdvice` when the
         frame saw loss) for the hub to ship down the feedback path.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`.  When present (and
+        enabled) the session closes each frame's ``transport`` span as its
+        chunks land, brackets chunk decoding in a ``decode`` span, and wraps
+        every scheduled solve so the scheduler's ``queue_wait`` and the
+        ``solve`` itself appear in the frame's trace.  Its clock also times
+        the ``frame_latencies`` stats.  ``None`` (the default) records
+        nothing and costs one identity check per seam.
     """
 
     #: How many whole-frame batched solves may be in flight at once before
@@ -353,6 +371,7 @@ class StreamSession:
         resilient: bool = False,
         min_surviving_samples: int = 1,
         emit_feedback: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.stream_id = int(stream_id)
         self.scheduler = scheduler
@@ -361,6 +380,10 @@ class StreamSession:
         self.resilient = bool(resilient)
         self.min_surviving_samples = max(1, int(min_surviving_samples))
         self.emit_feedback = bool(emit_feedback)
+        self.telemetry = telemetry
+        self._clock: Clock = (
+            telemetry.clock if telemetry is not None else MONOTONIC_CLOCK
+        )
         self.stats = SessionStats(stream_id=self.stream_id)
         # The one option set shared by the single-frame solve path and the
         # tiled reconstructors — the two cannot diverge in configuration.
@@ -483,7 +506,10 @@ class StreamSession:
         return self._chain_frame.get(key) == frame_index - 1
 
     def _now(self) -> float:
-        return asyncio.get_running_loop().time()
+        # The injected telemetry clock (REPRO006): deterministic under a
+        # ManualClock, and shared with the node side over loopback so the
+        # two halves of a frame trace subtract meaningfully.
+        return self._clock.now()
 
     def _note_frame_landed(self, frame_index: int) -> None:
         """Record a frame's latency for the decode-only completion point."""
@@ -498,13 +524,42 @@ class StreamSession:
         started = self._frame_started.pop(frame_index, None)
         if started is None:
             return
-        loop = asyncio.get_running_loop()
+        clock = self._clock
 
         def note(done: asyncio.Future[Any]) -> None:
             if not done.cancelled():
-                self.stats.frame_latencies.append(loop.time() - started)
+                self.stats.frame_latencies.append(clock.now() - started)
 
         future.add_done_callback(note)
+
+    async def _submit_solve(
+        self, frame_index: int, fn: Callable[[], Any]
+    ) -> asyncio.Future[Any]:
+        """Dispatch one solve thunk, tracing its queue wait and solve time.
+
+        With telemetry enabled the frame's ``queue_wait`` span opens at
+        submission and closes inside the thunk the moment a scheduler slot
+        actually runs it (on an executor thread — the tracer is
+        thread-safe), where the ``solve`` span takes over.  The thunk's
+        return value and exceptions pass through untouched, and the wrapped
+        thunk only *reads* clocks — reconstruction bytes cannot change.
+        """
+        tel = active(self.telemetry)
+        if tel is not None:
+            stream_id = self.stream_id
+            tel.begin_span(stream_id, frame_index, SPAN_QUEUE_WAIT)
+            inner = fn
+
+            def traced() -> Any:
+                tel.end_span(stream_id, frame_index, SPAN_QUEUE_WAIT)
+                tel.begin_span(stream_id, frame_index, SPAN_SOLVE)
+                try:
+                    return inner()
+                finally:
+                    tel.end_span(stream_id, frame_index, SPAN_SOLVE)
+
+            fn = traced
+        return await self.scheduler.submit(self.stream_id, fn)
 
     def _new_reconstructor(self) -> IncrementalTiledReconstructor:
         assert self._header is not None
@@ -636,6 +691,9 @@ class StreamSession:
             write_off(0)
             return
         first = segments[0]
+        tel = active(self.telemetry)
+        if tel is not None:
+            tel.begin_span(self.stream_id, frame_index, SPAN_DECODE)
         try:
             if first.keyframe:
                 prefix = decode_frame_prefix(first.prefix_bytes)
@@ -674,6 +732,8 @@ class StreamSession:
             samples[segment.start_sample : stop] = values
             mask[segment.start_sample : stop] = True
             n_bytes += len(segment.sample_bytes)
+        if tel is not None:
+            tel.end_span(self.stream_id, frame_index, SPAN_DECODE)
         if self._header.gop_size > 1:
             self._seed_chains[key] = advance_seed_state(
                 prefix.seed_state,
@@ -717,13 +777,13 @@ class StreamSession:
         self.stats.n_frames += 1
         self._record_loss(report)
         if self.reconstruct and complete:
-            future = await self.scheduler.submit(
-                self.stream_id, _bind(self._solve_frame, frame)
+            future = await self._submit_solve(
+                frame_index, _bind(self._solve_frame, frame)
             )
         elif self.reconstruct and n_received_samples >= self.min_surviving_samples:
             self.stats.n_partial_frames += 1
-            future = await self.scheduler.submit(
-                self.stream_id, _bind(self._solve_frame_masked, frame, mask)
+            future = await self._submit_solve(
+                frame_index, _bind(self._solve_frame_masked, frame, mask)
             )
         else:
             if self.reconstruct:
@@ -824,8 +884,8 @@ class StreamSession:
             while len(self._pending_tiled_solves) >= self.MAX_INFLIGHT_TILED_SOLVES:
                 earlier, future = self._pending_tiled_solves.pop(0)
                 earlier.reconstruction = await future
-            future = await self.scheduler.submit(
-                self.stream_id,
+            future = await self._submit_solve(
+                frame_index,
                 _bind(
                     self._solve_tiled_batched,
                     tiles,
@@ -987,6 +1047,12 @@ class StreamSession:
         assert self._header is not None
         data = decode_frame_data(chunk.payload)
         key = (data.grid_row, data.grid_col)
+        tel = active(self.telemetry)
+        if tel is not None:
+            # Close the frame's transport span: its node-side half began
+            # right before the first send.  Over TCP this process never saw
+            # that begin, so the end is a documented no-op.
+            tel.end_span(self.stream_id, data.frame_index, SPAN_TRANSPORT)
         if self.resilient and not self._header.tiled:
             if data.frame_index < self._next_frame_index:
                 self.stats.n_late_chunks += 1
@@ -1021,7 +1087,11 @@ class StreamSession:
                 )
             )
             return
+        if tel is not None:
+            tel.begin_span(self.stream_id, data.frame_index, SPAN_DECODE)
         frame = self._decode_with_chain(data, key, data.keyframe)
+        if tel is not None:
+            tel.end_span(self.stream_id, data.frame_index, SPAN_DECODE)
         self._frame_started.setdefault(data.frame_index, self._now())
         if not self._header.tiled:
             if key != (0, 0):
@@ -1051,8 +1121,8 @@ class StreamSession:
             if self.reconstruct:
                 # Queue the solve but keep draining the stream; the result
                 # is attached at end-of-stream (see :meth:`finish`).
-                future = await self.scheduler.submit(
-                    self.stream_id, _bind(self._solve_frame, frame)
+                future = await self._submit_solve(
+                    data.frame_index, _bind(self._solve_frame, frame)
                 )
                 self._note_on_solve_done(data.frame_index, future)
                 self._pending_frame_solves.append((received, future))
@@ -1094,8 +1164,8 @@ class StreamSession:
             # awaited (and stitched, in arrival order) at the frame barrier.
             # In the default batched mode the tiles just accumulate here and
             # the barrier inverts them all in one stacked solve.
-            future = await self.scheduler.submit(
-                self.stream_id, _bind(reconstructor.solve_tile, frame)
+            future = await self._submit_solve(
+                data.frame_index, _bind(reconstructor.solve_tile, frame)
             )
             self._pending_solves.setdefault(data.frame_index, []).append(
                 (data.grid_row, data.grid_col, frame, future)
@@ -1119,6 +1189,9 @@ class StreamSession:
         if segment.frame_index < self._next_frame_index:
             self.stats.n_late_chunks += 1
             return
+        tel = active(self.telemetry)
+        if tel is not None:
+            tel.end_span(self.stream_id, segment.frame_index, SPAN_TRANSPORT)
         assembly = self._assemblies.setdefault(
             segment.frame_index, _SegmentAssembly(segment.frame_index)
         )
@@ -1145,6 +1218,9 @@ class StreamSession:
         if parity.frame_index < self._next_frame_index:
             self.stats.n_late_chunks += 1
             return
+        tel = active(self.telemetry)
+        if tel is not None:
+            tel.end_span(self.stream_id, parity.frame_index, SPAN_TRANSPORT)
         assembly = self._assemblies.setdefault(
             parity.frame_index, _SegmentAssembly(parity.frame_index)
         )

@@ -1,0 +1,69 @@
+"""Injected clocks: the one place in the library that reads wall time.
+
+Every instrumented code path takes its clock from here (usually through a
+:class:`~repro.telemetry.core.Telemetry` object) instead of calling
+``time.monotonic()`` directly — the REPRO006 timing-discipline lint rule
+enforces it.  Two things fall out of that seam:
+
+* **Deterministic tests** — swap in a :class:`ManualClock` and every span
+  duration, latency histogram and trace becomes an exact, asserted number
+  instead of a flaky wall-clock read;
+* **One clock per pipeline** — the node and hub halves of a frame trace
+  subtract timestamps from each other, which is only meaningful when both
+  read the same monotonic source.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Structural type of an injectable time source."""
+
+    def now(self) -> float:
+        """Seconds on a monotonically non-decreasing axis."""
+        ...  # pragma: no cover - protocol body
+
+
+class MonotonicClock:
+    """The production clock: a thin veneer over ``time.monotonic``.
+
+    This module is the sanctioned funnel for wall-clock reads (REPRO006);
+    everything else in the library receives a :class:`Clock` instance.
+    """
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class ManualClock:
+    """A deterministic test clock: time moves only when told to.
+
+    >>> clock = ManualClock()
+    >>> clock.now()
+    0.0
+    >>> clock.advance(1.5)
+    >>> clock.now()
+    1.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward (never backward — the axis is monotonic)."""
+        if seconds < 0:
+            raise ValueError(f"a monotonic clock cannot go backward ({seconds})")
+        self._now += float(seconds)
+
+
+#: Shared production clock for code paths that run without a
+#: :class:`~repro.telemetry.core.Telemetry` object (e.g. session frame
+#: latencies with telemetry disabled).
+MONOTONIC_CLOCK = MonotonicClock()

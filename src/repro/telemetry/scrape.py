@@ -1,0 +1,108 @@
+"""A tiny asyncio scrape endpoint for the metrics registry.
+
+``serve_metrics`` binds an HTTP/1.0 listener with exactly two routes:
+
+* ``GET /metrics`` — Prometheus text exposition (version 0.0.4);
+* ``GET /metrics.json`` — the same snapshot as JSON.
+
+Each request collects a *fresh* snapshot (collectors run per scrape), so
+the endpoint always reports live values.  The server is deliberately
+minimal — stdlib asyncio only, one connection per request, no keep-alive —
+because its job is to let ``curl``/Prometheus read a running hub, not to be
+a web framework.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Callable
+
+from repro.telemetry.registry import MetricsSnapshot
+
+__all__ = ["serve_metrics"]
+
+_MAX_REQUEST_BYTES = 8192
+
+
+def _response(status: str, content_type: str, body: bytes) -> bytes:
+    head = (
+        f"HTTP/1.0 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+async def _handle(
+    collect: Callable[[], MetricsSnapshot],
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        request_line = await reader.readline()
+        if len(request_line) > _MAX_REQUEST_BYTES:
+            return
+        parts = request_line.decode("latin-1", "replace").split()
+        # Drain headers so well-behaved clients see a clean close.
+        while True:
+            line = await reader.readline()
+            if line in (b"", b"\r\n", b"\n"):
+                break
+        if len(parts) < 2 or parts[0] != "GET":
+            writer.write(
+                _response("405 Method Not Allowed", "text/plain", b"GET only\n")
+            )
+        elif parts[1] in ("/metrics", "/metrics/"):
+            body = collect().render_prometheus().encode("utf-8")
+            writer.write(
+                _response("200 OK", "text/plain; version=0.0.4; charset=utf-8", body)
+            )
+        elif parts[1] == "/metrics.json":
+            body = collect().to_json().encode("utf-8")
+            writer.write(_response("200 OK", "application/json", body))
+        else:
+            writer.write(
+                _response(
+                    "404 Not Found",
+                    "text/plain",
+                    b"try /metrics or /metrics.json\n",
+                )
+            )
+        await writer.drain()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def serve_metrics(
+    collect: Callable[[], MetricsSnapshot],
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> tuple[asyncio.AbstractServer, int]:
+    """Serve ``collect()`` over HTTP; returns ``(server, bound_port)``.
+
+    ``collect`` is any zero-argument callable producing a
+    :class:`~repro.telemetry.registry.MetricsSnapshot` — typically
+    ``hub.metrics`` or ``registry.collect``.  ``port=0`` (the default) asks
+    the OS for a free port, reported back in the second element.  Close with
+    ``server.close(); await server.wait_closed()``.
+    """
+
+    async def handler(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await _handle(collect, reader, writer)
+
+    server = await asyncio.start_server(handler, host=host, port=port)
+    sockets = server.sockets
+    assert sockets, "asyncio.start_server returned no sockets"
+    bound_port = int(sockets[0].getsockname()[1])
+    return server, bound_port

@@ -1,0 +1,225 @@
+"""Per-frame lifecycle traces: where did frame 37 of stream 4 spend its time?
+
+A :class:`FrameTracer` keeps one :class:`FrameTrace` per ``(stream_id,
+frame_index)``, each holding named :class:`Span` intervals for the pipeline
+stages (``capture → encode → transport → decode → queue_wait → solve``).
+Three properties shape the implementation:
+
+* **Merge semantics** — tiled and segmented frames report the same stage
+  several times (once per tile / segment / chunk).  Repeated ``begin`` keeps
+  the earliest start and repeated ``end`` keeps the latest end, so a span is
+  always the envelope of the work for that stage of that frame.
+* **Half-open tolerance** — the transport span starts on the node and ends
+  on the hub.  Over loopback both halves share one tracer and the span
+  joins; over TCP each process sees only its half, so ``end`` without an
+  open ``begin`` is a no-op rather than an error.
+* **Thread safety + bounded memory** — solve spans close on executor
+  threads, and a long-running hub must not grow without bound, so the
+  tracer locks every mutation and evicts the oldest frames past
+  ``max_frames``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.telemetry.clock import MONOTONIC_CLOCK, Clock
+
+__all__ = [
+    "SPAN_CAPTURE",
+    "SPAN_DECODE",
+    "SPAN_ENCODE",
+    "SPAN_QUEUE_WAIT",
+    "SPAN_SOLVE",
+    "SPAN_TRANSPORT",
+    "STAGES",
+    "FrameTrace",
+    "FrameTracer",
+    "Span",
+]
+
+SPAN_CAPTURE = "capture"
+SPAN_ENCODE = "encode"
+SPAN_TRANSPORT = "transport"
+SPAN_DECODE = "decode"
+SPAN_QUEUE_WAIT = "queue_wait"
+SPAN_SOLVE = "solve"
+
+#: Pipeline stages in wire order — the order a frame experiences them.
+STAGES: tuple[str, ...] = (
+    SPAN_CAPTURE,
+    SPAN_ENCODE,
+    SPAN_TRANSPORT,
+    SPAN_DECODE,
+    SPAN_QUEUE_WAIT,
+    SPAN_SOLVE,
+)
+
+
+@dataclass
+class Span:
+    """One named stage interval within a frame's lifecycle.
+
+    ``start``/``end`` are clock readings; either may be ``None`` while the
+    span is open (or when only one half of a cross-process stage was seen).
+    """
+
+    name: str
+    start: float | None = None
+    end: float | None = None
+
+    @property
+    def duration(self) -> float | None:
+        """Seconds from start to end, or ``None`` while incomplete."""
+        if self.start is None or self.end is None:
+            return None
+        return max(0.0, self.end - self.start)
+
+    def merge_begin(self, timestamp: float) -> None:
+        self.start = timestamp if self.start is None else min(self.start, timestamp)
+
+    def merge_end(self, timestamp: float) -> None:
+        self.end = timestamp if self.end is None else max(self.end, timestamp)
+
+
+@dataclass
+class FrameTrace:
+    """Every recorded span for one ``(stream_id, frame_index)``."""
+
+    stream_id: int
+    frame_index: int
+    spans: dict[str, Span] = field(default_factory=dict)
+
+    def duration(self, name: str) -> float | None:
+        """Seconds spent in stage ``name``, or ``None`` if not (fully) seen."""
+        span = self.spans.get(name)
+        return None if span is None else span.duration
+
+    @property
+    def total(self) -> float | None:
+        """Envelope seconds from the first span start to the last span end."""
+        starts = [s.start for s in self.spans.values() if s.start is not None]
+        ends = [s.end for s in self.spans.values() if s.end is not None]
+        if not starts or not ends:
+            return None
+        return max(0.0, max(ends) - min(starts))
+
+    def as_dict(self) -> dict[str, float]:
+        """``{stage: seconds}`` for every completed span, in wire order."""
+        out: dict[str, float] = {}
+        ordered = sorted(
+            self.spans.values(),
+            key=lambda s: (STAGES.index(s.name) if s.name in STAGES else len(STAGES)),
+        )
+        for span in ordered:
+            if span.duration is not None:
+                out[span.name] = span.duration
+        return out
+
+    def describe(self) -> str:
+        """One human line: ``stream 4 frame 37: capture=1.2ms ... solve=8.1ms``."""
+        stages = ", ".join(
+            f"{name}={seconds * 1e3:.3f}ms" for name, seconds in self.as_dict().items()
+        )
+        return f"stream {self.stream_id} frame {self.frame_index}: {stages}"
+
+
+class FrameTracer:
+    """Bounded, thread-safe store of per-frame lifecycle traces."""
+
+    def __init__(self, *, clock: Clock | None = None, max_frames: int = 1024) -> None:
+        if max_frames < 1:
+            raise ValueError(f"max_frames must be >= 1, got {max_frames}")
+        self._clock = clock if clock is not None else MONOTONIC_CLOCK
+        self._max_frames = max_frames
+        self._lock = threading.Lock()
+        self._traces: OrderedDict[tuple[int, int], FrameTrace] = OrderedDict()
+        self.n_evicted = 0
+
+    def _trace(self, stream_id: int, frame_index: int) -> FrameTrace:
+        key = (stream_id, frame_index)
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = FrameTrace(stream_id=stream_id, frame_index=frame_index)
+            self._traces[key] = trace
+            while len(self._traces) > self._max_frames:
+                self._traces.popitem(last=False)
+                self.n_evicted += 1
+        return trace
+
+    def begin(self, stream_id: int, frame_index: int, name: str) -> None:
+        """Open (or widen) stage ``name`` at the current clock reading."""
+        timestamp = self._clock.now()
+        with self._lock:
+            trace = self._trace(stream_id, frame_index)
+            span = trace.spans.get(name)
+            if span is None:
+                span = Span(name=name)
+                trace.spans[name] = span
+            span.merge_begin(timestamp)
+
+    def end(self, stream_id: int, frame_index: int, name: str) -> float | None:
+        """Close (or extend) stage ``name``; returns its duration so far.
+
+        An ``end`` for a span that was never begun *in this tracer* is a
+        no-op returning ``None`` — that is the TCP half of a cross-process
+        transport span, not a bug.
+        """
+        timestamp = self._clock.now()
+        with self._lock:
+            trace = self._traces.get((stream_id, frame_index))
+            if trace is None:
+                return None
+            span = trace.spans.get(name)
+            if span is None or span.start is None:
+                return None
+            span.merge_end(timestamp)
+            return span.duration
+
+    def add_span(
+        self, stream_id: int, frame_index: int, name: str, start: float, end: float
+    ) -> float | None:
+        """Record a stage measured externally (e.g. one interval per GOP)."""
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts ({end} < {start})")
+        with self._lock:
+            trace = self._trace(stream_id, frame_index)
+            span = trace.spans.get(name)
+            if span is None:
+                span = Span(name=name)
+                trace.spans[name] = span
+            span.merge_begin(start)
+            span.merge_end(end)
+            return span.duration
+
+    def get(self, stream_id: int, frame_index: int) -> FrameTrace | None:
+        with self._lock:
+            return self._traces.get((stream_id, frame_index))
+
+    def traces(self) -> list[FrameTrace]:
+        """Every retained trace, oldest first."""
+        with self._lock:
+            return list(self._traces.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def slowest(self, n: int = 10, *, stage: str | None = None) -> list[FrameTrace]:
+        """The ``n`` slowest frames by ``stage`` (default: total envelope)."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+
+        def sort_key(trace: FrameTrace) -> float:
+            value = trace.total if stage is None else trace.duration(stage)
+            return -1.0 if value is None else value
+
+        with self._lock:
+            ranked = sorted(self._traces.values(), key=sort_key, reverse=True)
+        return [
+            trace
+            for trace in ranked[:n]
+            if (trace.total if stage is None else trace.duration(stage)) is not None
+        ]

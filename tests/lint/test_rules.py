@@ -259,6 +259,76 @@ class TestFrozenWire:
             )
 
 
+# ---------------------------------------------------------------- REPRO006
+TIMING_MODULE = """\
+import time
+
+def stamp(events):
+    started = time.monotonic()
+    events.append(time.time())
+    return time.perf_counter() - started
+"""
+
+TIMING_FROM_IMPORT = """\
+from time import monotonic as tick
+
+def stamp():
+    return tick()
+"""
+
+TIMING_LOOP = """\
+import asyncio
+
+async def stamp(loop):
+    direct = asyncio.get_running_loop().time()
+    return direct - loop.time()
+"""
+
+TIMING_INJECTED_OK = """\
+def stamp(clock):
+    return clock.now()
+"""
+
+
+class TestTimingDiscipline:
+    def test_time_module_reads_flagged(self):
+        full, reduced = _findings(
+            TIMING_MODULE, "src/repro/stream/rogue.py", "REPRO006"
+        )
+        assert [f.rule_id for f in full] == ["REPRO006"] * 3
+        assert [f.line for f in full] == [4, 5, 6]
+        assert reduced == []
+
+    def test_from_import_alias_flagged(self):
+        full, reduced = _findings(
+            TIMING_FROM_IMPORT, "src/repro/sensor/rogue.py", "REPRO006"
+        )
+        assert [f.rule_id for f in full] == ["REPRO006"]
+        assert "time.monotonic" in full[0].message
+        assert reduced == []
+
+    def test_event_loop_clock_flagged(self):
+        full, reduced = _findings(TIMING_LOOP, "src/repro/stream/rogue.py", "REPRO006")
+        assert [f.rule_id for f in full] == ["REPRO006", "REPRO006"]
+        assert [f.line for f in full] == [4, 5]
+        assert reduced == []
+
+    def test_injected_clock_allowed(self):
+        assert lint_source(TIMING_INJECTED_OK, "src/repro/stream/rogue.py") == []
+
+    def test_sleep_is_not_a_clock_read(self):
+        source = "import time\n\ndef nap():\n    time.sleep(0.1)\n"
+        findings = lint_source(source, "src/repro/sensor/rogue.py")
+        assert "REPRO006" not in {f.rule_id for f in findings}
+
+    def test_telemetry_funnel_exempt(self):
+        assert lint_source(TIMING_MODULE, "src/repro/telemetry/clock.py") == []
+        assert lint_source(TIMING_MODULE, "src/repro/telemetry/rogue.py") == []
+
+    def test_tests_exempt(self):
+        assert lint_source(TIMING_MODULE, "tests/stream/test_rogue.py") == []
+
+
 # ------------------------------------------------------------- suppressions
 class TestSuppressions:
     def test_justified_suppression_silences_the_finding(self):
@@ -294,8 +364,10 @@ class TestSuppressions:
 
 # ------------------------------------------------------------------- meta
 def test_every_rule_id_has_a_fixture():
-    """The five contracts stay demonstrated: one fixture class per rule."""
-    covered = {"REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005"}
+    """The six contracts stay demonstrated: one fixture class per rule."""
+    covered = {
+        "REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005", "REPRO006",
+    }
     assert {rule.rule_id for rule in RULES} == covered
 
 

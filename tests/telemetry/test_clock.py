@@ -1,0 +1,43 @@
+"""Clock seam: the injected Protocol, the manual test clock, the funnel."""
+
+import time
+
+import pytest
+
+from repro.telemetry import MONOTONIC_CLOCK, Clock, ManualClock, MonotonicClock
+
+
+class TestManualClock:
+    def test_starts_where_told_and_advances_exactly(self):
+        clock = ManualClock(start=5.0)
+        assert clock.now() == 5.0
+        clock.advance(0.25)
+        assert clock.now() == 5.25
+        clock.advance(0.0)
+        assert clock.now() == 5.25
+
+    def test_negative_advance_rejected(self):
+        clock = ManualClock()
+        with pytest.raises(ValueError, match="backward"):
+            clock.advance(-1.0)
+
+    def test_is_a_clock(self):
+        assert isinstance(ManualClock(), Clock)
+
+
+class TestMonotonicClock:
+    def test_tracks_time_monotonic(self):
+        clock = MonotonicClock()
+        before = time.monotonic()
+        reading = clock.now()
+        after = time.monotonic()
+        assert before <= reading <= after
+
+    def test_never_goes_backwards(self):
+        clock = MonotonicClock()
+        readings = [clock.now() for _ in range(100)]
+        assert readings == sorted(readings)
+
+    def test_singleton_is_a_monotonic_clock(self):
+        assert isinstance(MONOTONIC_CLOCK, MonotonicClock)
+        assert isinstance(MONOTONIC_CLOCK, Clock)

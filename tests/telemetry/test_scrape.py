@@ -1,0 +1,85 @@
+"""The asyncio scrape endpoint, exercised over a real localhost socket."""
+
+import asyncio
+import json
+
+from repro.telemetry import MetricsRegistry, parse_prometheus, serve_metrics
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _request(port, request_line):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"{request_line}\r\nHost: localhost\r\n\r\n".encode("ascii"))
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line, *header_lines = head.decode("ascii").split("\r\n")
+    headers = dict(
+        line.split(": ", 1) for line in header_lines if ": " in line
+    )
+    return status_line, headers, body
+
+
+async def _scenario():
+    registry = MetricsRegistry()
+    registry.counter("repro_frames_total", help="frames").inc(5)
+    live = {"value": 0.0}
+    gauge = registry.gauge("repro_live")
+    registry.register_collector(lambda: gauge.set(live["value"]))
+    server, port = await serve_metrics(registry.collect)
+    try:
+        text_response = await _request(port, "GET /metrics HTTP/1.0")
+        json_response = await _request(port, "GET /metrics.json HTTP/1.0")
+        live["value"] = 7.0  # collectors must re-run on the next scrape
+        fresh_response = await _request(port, "GET /metrics HTTP/1.0")
+        missing = await _request(port, "GET /nope HTTP/1.0")
+        posted = await _request(port, "POST /metrics HTTP/1.0")
+    finally:
+        server.close()
+        await server.wait_closed()
+    return text_response, json_response, fresh_response, missing, posted
+
+
+class TestScrapeEndpoint:
+    def setup_method(self):
+        (
+            self.text,
+            self.json,
+            self.fresh,
+            self.missing,
+            self.posted,
+        ) = run(_scenario())
+
+    def test_metrics_route_serves_prometheus_text(self):
+        status, headers, body = self.text
+        assert "200" in status
+        assert headers["Content-Type"] == "text/plain; version=0.0.4; charset=utf-8"
+        assert int(headers["Content-Length"]) == len(body)
+        parsed = parse_prometheus(body.decode("utf-8"))
+        assert parsed[("repro_frames_total", ())] == 5.0
+
+    def test_json_route_serves_the_same_snapshot(self):
+        status, headers, body = self.json
+        assert "200" in status
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)
+        by_name = {entry["name"]: entry for entry in payload["metrics"]}
+        assert by_name["repro_frames_total"]["value"] == 5.0
+
+    def test_each_scrape_collects_fresh_values(self):
+        _, _, body = self.fresh
+        parsed = parse_prometheus(body.decode("utf-8"))
+        assert parsed[("repro_live", ())] == 7.0
+
+    def test_unknown_route_is_404(self):
+        status, _, body = self.missing
+        assert "404" in status
+        assert b"/metrics" in body
+
+    def test_non_get_is_405(self):
+        status, _, _ = self.posted
+        assert "405" in status
