@@ -54,22 +54,27 @@ PINNED_CONSTANTS: dict[str, tuple[str, ...]] = {
         "_PARITY_LENGTH",
         "_CONTROL_ACK",
         "_CONTROL_RATE",
+        "_CONTROL_NACK",
+        "_NACK_SEQUENCE",
+        "_SESSION_RESUME",
         "ChunkType",
     ),
 }
 
 #: sha256 digests of the canonical constant dump, pinned at the last
 #: consciously-versioned wire layout (v1/v2 frames, chunk protocol v1 plus
-#: the additive chunk types 5-8: segments, parity, control feedback — new
-#: type bytes with new payload structs, existing layouts untouched).
-#: Re-pin ONLY together with a new version byte or a purely additive
-#: extension like the above — never to quiet the linter.
+#: the additive chunk types 5-8 — segments, parity, control feedback — and
+#: the additive session-durability types 9-10 — NACK selective repeat and
+#: reconnect-with-resume; new type bytes with new payload structs, every
+#: existing layout untouched).  Re-pin ONLY together with a new version
+#: byte or a purely additive extension like the above — never to quiet the
+#: linter.
 EXPECTED_FINGERPRINTS: dict[str, str] = {
     "repro/io/framing.py": (
         "c3b1418903982b0daefc30acd3a1011fb6d5c9fc655536117c9f20490dbd799b"
     ),
     "repro/stream/protocol.py": (
-        "b75f2dcced4171f19f40614648929eda5914b079bfe16bbeca98a21030db8245"
+        "c83d632b892072c64104cf0fd5767e31b64da3ff1ee4ae0f36f9d9cbb270d41e"
     ),
 }
 

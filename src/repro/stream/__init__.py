@@ -21,28 +21,41 @@ the capture engines:
   receiver (a thin one-session hub), decoding chunks as they arrive and
   reconstructing incrementally (per tile, per frame), byte-identical to the
   in-process reconstruction pipeline;
-* :mod:`repro.stream.fault` — :class:`LossyTransport`, seeded chunk-level
-  fault injection (drop / truncate / duplicate / reorder), the adversary
-  the resilient receive path and the closed rate-control loop are tested
-  against.
+* :mod:`repro.stream.fault` — the seeded chaos adversaries:
+  :class:`LossyTransport` (drop / truncate / duplicate / reorder),
+  :class:`GilbertElliottTransport` (two-state burst loss),
+  :class:`StallingTransport` and :class:`DisconnectingTransport` —
+  everything the resilient receive path, the closed rate-control loop and
+  the self-healing (NACK / resume / deadline) machinery are tested against.
 """
 
-from repro.stream.fault import LossyTransport
+from repro.stream.fault import (
+    DisconnectingTransport,
+    GilbertElliottTransport,
+    LossyTransport,
+    StallingTransport,
+)
 from repro.stream.hub import (
     DuplicateStreamIdError,
     FairSolveScheduler,
     HubCapacityError,
+    HubPortInUseError,
     HubStats,
     ReceiverHub,
+    SessionResumeError,
 )
 from repro.stream.node import (
     BitrateGovernor,
     CameraNode,
     ChannelBudgetError,
+    ReconnectExhaustedError,
+    ReconnectSupervisor,
+    RetransmitBuffer,
     StreamStats,
 )
 from repro.stream.protocol import (
     CONTROL_CHUNK_TYPES,
+    MAX_NACK_SEQUENCES,
     Chunk,
     ChunkDecoder,
     ChunkType,
@@ -50,19 +63,25 @@ from repro.stream.protocol import (
     FrameData,
     FrameParity,
     FrameSegment,
+    NackRequest,
     RateAdvice,
+    SessionResume,
     StreamHeader,
     StreamProtocolError,
     advance_seed_state,
     decode_control_ack,
     decode_frame_parity,
     decode_frame_segment,
+    decode_nack_request,
     decode_rate_advice,
+    decode_session_resume,
     encode_chunk,
     encode_control_ack,
     encode_frame_parity,
     encode_frame_segment,
+    encode_nack_request,
     encode_rate_advice,
+    encode_session_resume,
 )
 from repro.stream.receiver import (
     ReceivedFrame,
@@ -98,10 +117,18 @@ __all__ = [
     "HubStats",
     "DuplicateStreamIdError",
     "HubCapacityError",
+    "HubPortInUseError",
+    "SessionResumeError",
+    "RetransmitBuffer",
+    "ReconnectSupervisor",
+    "ReconnectExhaustedError",
     "LoopbackTransport",
     "DuplexTransport",
     "loopback_duplex_pair",
     "LossyTransport",
+    "GilbertElliottTransport",
+    "StallingTransport",
+    "DisconnectingTransport",
     "TcpTransport",
     "TransportClosedError",
     "connect_tcp",
@@ -114,7 +141,10 @@ __all__ = [
     "FrameParity",
     "ControlAck",
     "RateAdvice",
+    "NackRequest",
+    "SessionResume",
     "CONTROL_CHUNK_TYPES",
+    "MAX_NACK_SEQUENCES",
     "StreamHeader",
     "StreamProtocolError",
     "advance_seed_state",
@@ -127,4 +157,8 @@ __all__ = [
     "decode_control_ack",
     "encode_rate_advice",
     "decode_rate_advice",
+    "encode_nack_request",
+    "decode_nack_request",
+    "encode_session_resume",
+    "decode_session_resume",
 ]

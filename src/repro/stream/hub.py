@@ -48,6 +48,7 @@ from repro.cs.operators import StepSizeCache
 from repro.stream.protocol import (
     Chunk,
     ChunkDecoder,
+    ChunkType,
     StreamProtocolError,
     encode_chunk,
 )
@@ -59,6 +60,8 @@ from repro.stream.transport import (
     serve_tcp,
 )
 from repro.telemetry import (
+    MONOTONIC_CLOCK,
+    Clock,
     MetricsRegistry,
     MetricsSnapshot,
     Telemetry,
@@ -92,6 +95,39 @@ class HubCapacityError(StreamProtocolError):
     the rejected node sees a clean typed error while the fleet already
     being served is unaffected.
     """
+
+
+class SessionResumeError(StreamProtocolError):
+    """A ``SESSION_RESUME`` could not be admitted.
+
+    Either no session is parked under the stream id (the node was never
+    connected here, or a reap already salvaged it) or the resume arrived
+    after the grace window lapsed — in which case the parked state settles
+    partial on the spot, exactly as the reap would have.
+    """
+
+
+class HubPortInUseError(OSError):
+    """The hub could not bind its listening (or metrics) port.
+
+    Subclasses ``OSError`` so a node-side
+    :class:`~repro.stream.node.ReconnectSupervisor` — whose default
+    ``retryable`` set is ``(OSError,)`` — treats a hub that is still
+    restarting as a transient, retryable condition.
+    """
+
+
+@dataclass
+class _ParkedSession:
+    """Disconnected session state awaiting a reconnect-with-resume.
+
+    Holds everything a resumed stream needs to reconstruct byte-identically:
+    the live :class:`StreamSession` (seed chains, assemblies, sequence FSM —
+    untouched), plus the park time the grace window is measured from.
+    """
+
+    session: StreamSession
+    parked_at: float
 
 
 @dataclass
@@ -284,6 +320,25 @@ class HubStats:
     n_late_chunks: int = 0
     n_partial_frames: int = 0
     n_dropped_frames: int = 0
+    # ---- session-durability counters (PR 10) ----
+    #: NACK repair requests the sessions queued down the feedback path.
+    n_nacks_sent: int = 0
+    #: Deferred frames that settled partial after their NACK grace lapsed.
+    n_deadline_salvages: int = 0
+    #: ``SESSION_RESUME`` chunks the sessions absorbed.
+    n_resumes: int = 0
+    #: Sessions parked on disconnect awaiting resume.
+    n_parked: int = 0
+    #: Parked sessions successfully re-admitted.
+    n_resumed: int = 0
+    #: Resumes refused (and parked state salvaged) past the grace window.
+    n_resume_expired: int = 0
+    #: Sessions the reap loop settled (grace expiry + idle timeout).
+    n_reaped: int = 0
+    #: Graceful drains completed.
+    n_drained: int = 0
+    #: Sessions currently parked awaiting resume.
+    n_parked_now: int = 0
 
 
 class ReceiverHub:
@@ -323,12 +378,30 @@ class ReceiverHub:
     min_surviving_samples:
         Per-session sample floor for the partial-Φ solve (resilient mode).
     feedback:
-        Ship each session's queued control chunks (delivery ACKs and rate
-        advice) back down the connection's transport — the receiver half of
-        the closed loop.  Requires a duplex transport (TCP, or
+        Ship each session's queued control chunks (delivery ACKs, rate
+        advice and — with ``frame_deadline`` set — NACK repair requests)
+        back down the connection's transport — the receiver half of the
+        closed loop.  Requires a duplex transport (TCP, or
         :func:`~repro.stream.transport.loopback_duplex_pair`); never enable
         it on a plain single-queue loopback, whose "backward" path is the
         forward queue itself.
+    resume_grace:
+        Seconds a disconnected (resilient) session's state stays parked
+        awaiting a node's ``SESSION_RESUME`` before :meth:`reap` salvages
+        it.  ``None`` (default) disables parking: a dead connection
+        salvages immediately, exactly as before.
+    idle_timeout:
+        Seconds of wire silence after which :meth:`reap` seals a live
+        resilient session (salvaging its in-flight frames) — the stalled
+        node never holds hub state forever.  ``None`` disables reaping.
+    frame_deadline, nack_grace:
+        Per-session reassembly deadlines — see
+        :class:`~repro.stream.session.StreamSession`.  Setting
+        ``frame_deadline`` turns on NACK-driven selective repeat.
+    max_sequence_gap:
+        Per-session resync-plausibility window override (defaults to
+        :data:`StreamSession.MAX_SEQUENCE_GAP
+        <repro.stream.session.StreamSession.MAX_SEQUENCE_GAP>`).
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry` shared by every session
         the hub opens: frame traces (transport/decode/queue-wait/solve
@@ -359,16 +432,30 @@ class ReceiverHub:
         resilient: bool = False,
         min_surviving_samples: int = 1,
         feedback: bool = False,
+        resume_grace: float | None = None,
+        idle_timeout: float | None = None,
+        frame_deadline: float | None = None,
+        nack_grace: float | None = None,
+        max_sequence_gap: int | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
         if max_streams is not None:
             check_positive("max_streams", max_streams)
+        if resume_grace is not None:
+            check_positive("resume_grace", resume_grace)
+        if idle_timeout is not None:
+            check_positive("idle_timeout", idle_timeout)
         if step_cache is None and share_step_cache:
             step_cache = StepSizeCache()
         self.step_cache = step_cache
         self.resilient = bool(resilient)
         self.feedback = bool(feedback)
+        self.resume_grace = resume_grace
+        self.idle_timeout = idle_timeout
         self.telemetry = telemetry
+        self._clock: Clock = (
+            telemetry.clock if telemetry is not None else MONOTONIC_CLOCK
+        )
         self.max_streams = None if max_streams is None else int(max_streams)
         self.scheduler = FairSolveScheduler(
             slots=solver_slots,
@@ -389,6 +476,9 @@ class ReceiverHub:
             resilient=self.resilient,
             min_surviving_samples=min_surviving_samples,
             emit_feedback=self.feedback,
+            max_sequence_gap=max_sequence_gap,
+            frame_deadline=frame_deadline,
+            nack_grace=nack_grace,
             telemetry=telemetry,
         )
         # The registry :meth:`metrics` collects from.  With telemetry wired
@@ -404,6 +494,16 @@ class ReceiverHub:
         # capacity admission registry.  Ids leave it at stream completion
         # (or connection death), so they are reusable sequentially.
         self._active: dict[int, StreamSession] = {}
+        #: Disconnected session state awaiting resume, by stream id.  A
+        #: parked id is still owned (``_open_session`` refuses it) but not
+        #: active (it holds no connection).
+        self._parked: dict[int, _ParkedSession] = {}
+        # ---- durability counters (surface in stats()/metrics()) ----
+        self.n_parked = 0
+        self.n_resumed = 0
+        self.n_resume_expired = 0
+        self.n_reaped = 0
+        self.n_drained = 0
         #: Latest per-stream-id stats (live and finished) — what an
         #: operator polls while streams run; see docs/OPERATIONS.md.
         self.session_stats: dict[int, SessionStats] = {}
@@ -430,6 +530,11 @@ class ReceiverHub:
             raise DuplicateStreamIdError(
                 f"stream id {stream_id} is already active on another connection"
             )
+        if stream_id in self._parked:
+            raise DuplicateStreamIdError(
+                f"stream id {stream_id} is parked awaiting resume; a fresh "
+                "stream cannot claim it until the grace window lapses"
+            )
         if self.max_streams is not None and len(self._active) >= self.max_streams:
             raise HubCapacityError(
                 f"hub is at its max_streams bound of {self.max_streams}; "
@@ -444,6 +549,45 @@ class ReceiverHub:
     def _release_session(self, session: StreamSession) -> None:
         if self._active.get(session.stream_id) is session:
             del self._active[session.stream_id]
+
+    def _park_session(self, session: StreamSession) -> None:
+        """Park a live session's state for the resume grace window."""
+        self._release_session(session)
+        self._parked[session.stream_id] = _ParkedSession(
+            session=session, parked_at=self._clock.now()
+        )
+        self.n_parked += 1
+
+    async def _resume_session(self, stream_id: int) -> StreamSession:
+        """Admit a ``SESSION_RESUME``: un-park the stream id's session."""
+        parked = self._parked.pop(stream_id, None)
+        if parked is None:
+            raise SessionResumeError(
+                f"no parked session for stream id {stream_id} "
+                "(never parked here, or already reaped)"
+            )
+        if (
+            self.resume_grace is not None
+            and self._clock.now() - parked.parked_at > self.resume_grace
+        ):
+            # Too late: settle the parked state partial (exactly what the
+            # reap would have done) and refuse the resume.
+            self.n_resume_expired += 1
+            await self._salvage_session(parked.session)
+            raise SessionResumeError(
+                f"resume for stream id {stream_id} arrived after the "
+                f"{self.resume_grace}s grace window"
+            )
+        self._active[stream_id] = parked.session
+        self.n_resumed += 1
+        return parked.session
+
+    async def _salvage_session(self, session: StreamSession) -> None:
+        """Seal a session from whatever arrived and record its result."""
+        await session.handle_eof()
+        result = await session.finish()
+        self._release_session(session)
+        self.completed.append(result)
 
     # ----------------------------------------------------------- connections
     async def attach(
@@ -511,7 +655,13 @@ class ReceiverHub:
                 for chunk in decoder.feed(data):
                     session = sessions.get(chunk.stream_id)
                     if session is None:
-                        session = self._open_session(chunk.stream_id)
+                        if chunk.chunk_type is ChunkType.SESSION_RESUME:
+                            # A node re-attaching a stream this connection
+                            # has never seen: admit it from the parked set
+                            # (state intact — seed chains, sequence FSM).
+                            session = await self._resume_session(chunk.stream_id)
+                        else:
+                            session = self._open_session(chunk.stream_id)
                         sessions[chunk.stream_id] = session
                     await session.handle_chunk(chunk)
                     if feedback_open:
@@ -520,10 +670,16 @@ class ReceiverHub:
                         await settle(session)
             unfinished = [s for s in sessions.values() if not s.ended]
             if self.resilient:
-                # Salvage: seal and settle streams the EOF cut short.
                 for session in unfinished:
-                    await session.handle_eof()
-                    await settle(session)
+                    if self.resume_grace is not None:
+                        # A dead connection is not yet a dead stream: park
+                        # the state and give the node the grace window to
+                        # reconnect-and-resume before anything settles.
+                        self._park_session(session)
+                    else:
+                        # Salvage: seal and settle streams the EOF cut short.
+                        await session.handle_eof()
+                        await settle(session)
             elif unfinished or (
                 expected_streams is not None and len(finished) < expected_streams
             ):
@@ -577,7 +733,12 @@ class ReceiverHub:
                     self._connections.discard(task)
                 await transport.close()
 
-        server, bound_port = await serve_tcp(handle, host=host, port=port)
+        try:
+            server, bound_port = await serve_tcp(handle, host=host, port=port)
+        except OSError as error:
+            raise HubPortInUseError(
+                f"hub cannot bind {host}:{port}: {error}"
+            ) from error
         self._servers.append(server)
         if metrics_port is not None:
             await self.serve_metrics(host=host, port=metrics_port)
@@ -592,15 +753,68 @@ class ReceiverHub:
         ``GET /metrics.json`` the JSON dump — each scrape collects a fresh
         snapshot.  The server is torn down with the hub's :meth:`close`.
         """
-        server, bound_port = await _serve_metrics(self.metrics, host=host, port=port)
+        try:
+            server, bound_port = await _serve_metrics(
+                self.metrics, host=host, port=port
+            )
+        except OSError as error:
+            raise HubPortInUseError(
+                f"hub cannot bind its metrics endpoint on {host}:{port}: {error}"
+            ) from error
         self._servers.append(server)
         self.metrics_port = bound_port
         return server, bound_port
 
+    # ------------------------------------------------------------ durability
+    async def reap(self, now: float | None = None) -> None:
+        """Fire the hub's timers (call it from a periodic supervisor loop).
+
+        Three sweeps, all measured on the hub clock (deterministic under a
+        :class:`~repro.telemetry.ManualClock`):
+
+        * parked sessions whose resume grace lapsed settle partial;
+        * live resilient sessions silent past ``idle_timeout`` are sealed
+          and settled — a stalled node stops holding hub state;
+        * every live session's frame/NACK deadlines are checked
+          (:meth:`StreamSession.check_deadlines
+          <repro.stream.session.StreamSession.check_deadlines>`).
+        """
+        if now is None:
+            now = self._clock.now()
+        if self.resume_grace is not None:
+            for stream_id in list(self._parked):
+                parked = self._parked[stream_id]
+                if now - parked.parked_at > self.resume_grace:
+                    del self._parked[stream_id]
+                    self.n_resume_expired += 1
+                    self.n_reaped += 1
+                    await self._salvage_session(parked.session)
+        if self.idle_timeout is not None:
+            for session in list(self._active.values()):
+                if (
+                    session.resilient
+                    and not session.ended
+                    and now - session.last_activity > self.idle_timeout
+                ):
+                    self.n_reaped += 1
+                    await self._salvage_session(session)
+        for session in list(self._active.values()):
+            await session.check_deadlines(now)
+
     async def drain(self) -> None:
-        """Wait for every in-flight TCP connection handler to finish."""
+        """Graceful shutdown flush: park nothing, finish everything.
+
+        Settles every parked session from whatever already arrived (their
+        nodes get no further grace — the hub is going away) and then waits
+        for every in-flight TCP connection handler to finish, so in-flight
+        frames land before :meth:`close` tears the solver down.
+        """
+        for stream_id in list(self._parked):
+            parked = self._parked.pop(stream_id)
+            await self._salvage_session(parked.session)
         while self._connections:
             await asyncio.gather(*list(self._connections), return_exceptions=True)
+        self.n_drained += 1
 
     async def close(self) -> None:
         """Stop serving: close servers, drain connections, stop the scheduler."""
@@ -635,6 +849,17 @@ class ReceiverHub:
             n_late_chunks=sum(s.n_late_chunks for s in self._all_stats),
             n_partial_frames=sum(s.n_partial_frames for s in self._all_stats),
             n_dropped_frames=sum(s.n_dropped_frames for s in self._all_stats),
+            n_nacks_sent=sum(s.n_nacks_sent for s in self._all_stats),
+            n_deadline_salvages=sum(
+                s.n_deadline_salvages for s in self._all_stats
+            ),
+            n_resumes=sum(s.n_resumes for s in self._all_stats),
+            n_parked=self.n_parked,
+            n_resumed=self.n_resumed,
+            n_resume_expired=self.n_resume_expired,
+            n_reaped=self.n_reaped,
+            n_drained=self.n_drained,
+            n_parked_now=len(self._parked),
         )
 
     def _collect_metrics(self) -> None:
@@ -677,9 +902,29 @@ class ReceiverHub:
              "Frames solved from a strict subset of their samples."),
             ("repro_hub_dropped_frames_total", stats.n_dropped_frames,
              "Frames landed without a reconstruction."),
+            ("repro_hub_nacks_sent_total", stats.n_nacks_sent,
+             "NACK repair requests sent down the feedback path."),
+            ("repro_hub_deadline_salvages_total", stats.n_deadline_salvages,
+             "Deferred frames settled partial after their NACK grace."),
+            ("repro_hub_session_resumes_total", stats.n_resumes,
+             "SESSION_RESUME chunks absorbed by sessions."),
+            ("repro_hub_sessions_parked_total", stats.n_parked,
+             "Sessions parked on disconnect awaiting resume."),
+            ("repro_hub_sessions_resumed_total", stats.n_resumed,
+             "Parked sessions successfully re-admitted."),
+            ("repro_hub_resumes_expired_total", stats.n_resume_expired,
+             "Resumes refused past the grace window."),
+            ("repro_hub_sessions_reaped_total", stats.n_reaped,
+             "Sessions the reap loop settled."),
+            ("repro_hub_drains_total", stats.n_drained,
+             "Graceful drains completed."),
         )
         for name, value, help_text in hub_counters:
             registry.counter(name, help=help_text).set_total(value)
+        registry.gauge(
+            "repro_hub_sessions_parked",
+            help="Sessions currently parked awaiting resume.",
+        ).set(stats.n_parked_now)
         registry.histogram(
             "repro_hub_frame_latency_seconds",
             help="Per-frame seconds from first chunk to decoded (and solved).",
@@ -703,6 +948,13 @@ class ReceiverHub:
                  "Frames solved from partial samples on this stream."),
                 ("repro_session_dropped_frames_total", session.n_dropped_frames,
                  "Frames landed without reconstruction on this stream."),
+                ("repro_session_nacks_sent_total", session.n_nacks_sent,
+                 "NACK repair requests this stream queued."),
+                ("repro_session_deadline_salvages_total",
+                 session.n_deadline_salvages,
+                 "Frames this stream salvaged after their NACK grace."),
+                ("repro_session_resumes_total", session.n_resumes,
+                 "SESSION_RESUME chunks this stream absorbed."),
             )
             for name, value, help_text in session_counters:
                 registry.counter(name, labels=labels, help=help_text).set_total(value)

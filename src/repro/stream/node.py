@@ -48,28 +48,35 @@ from repro.stream.protocol import (
     ControlAck,
     FrameData,
     FrameSegment,
+    NackRequest,
     RateAdvice,
+    SessionResume,
     StreamHeader,
     StreamProtocolError,
     build_frame_parity,
     decode_control_ack,
+    decode_nack_request,
     decode_rate_advice,
     encode_chunk,
     encode_frame_complete,
     encode_frame_data,
     encode_frame_parity,
     encode_frame_segment,
+    encode_session_resume,
     encode_stream_end,
     encode_stream_header,
 )
 from repro.stream.transport import Transport
 from repro.telemetry import (
+    MONOTONIC_CLOCK,
     SPAN_CAPTURE,
     SPAN_ENCODE,
     SPAN_TRANSPORT,
+    Clock,
     Telemetry,
     active,
 )
+from repro.utils.rng import derive_seed, new_rng
 from repro.utils.validation import check_positive
 
 
@@ -290,6 +297,197 @@ class StreamStats:
     bytes_per_frame: list[int] = field(default_factory=list)
 
 
+class ReconnectExhaustedError(ConnectionError):
+    """Every reconnect attempt failed; the stream cannot be resumed."""
+
+
+@dataclass
+class _RetransmitEntry:
+    """One sent chunk held for selective repeat: the exact wire bytes."""
+
+    sequence: int
+    frame_index: int | None
+    encoded: bytes
+    sent_at: float
+
+
+class RetransmitBuffer:
+    """Bounded window of recently sent chunks, keyed by sequence number.
+
+    The node answers a ``CONTROL_NACK`` by re-sending the buffered bytes
+    *verbatim* — original sequence numbers and all — so the session's
+    reorder/duplicate handling absorbs them without any special casing.
+    Entries leave the window three ways:
+
+    * **ACK** — a ``CONTROL_ACK`` for frame *f* means every chunk of frames
+      ``<= f`` settled at the receiver; :meth:`evict_acked` drops them.
+    * **age** — entries older than ``max_age`` (by the injected clock's
+      seconds) are useless for repair and are dropped lazily.
+    * **capacity** — the window never holds more than ``capacity`` entries;
+      inserting past that evicts the oldest (sequences only grow, so oldest
+      is first-inserted).
+    """
+
+    def __init__(self, capacity: int, *, max_age: float | None = None) -> None:
+        check_positive("capacity", capacity)
+        if max_age is not None:
+            check_positive("max_age", max_age)
+        self.capacity = int(capacity)
+        self.max_age = max_age
+        self._entries: dict[int, _RetransmitEntry] = {}
+        self.n_evicted_capacity = 0
+        self.n_evicted_acked = 0
+        self.n_evicted_aged = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(
+        self,
+        sequence: int,
+        encoded: bytes,
+        *,
+        frame_index: int | None,
+        now: float,
+    ) -> None:
+        """Record a chunk as it goes on the wire (call *before* the send)."""
+        self.evict_aged(now)
+        self._entries[sequence] = _RetransmitEntry(
+            sequence=sequence, frame_index=frame_index, encoded=encoded, sent_at=now
+        )
+        while len(self._entries) > self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+            self.n_evicted_capacity += 1
+
+    def get(self, sequence: int, *, now: float) -> _RetransmitEntry | None:
+        """Look up a sequence for repair; an over-age entry counts as gone."""
+        entry = self._entries.get(sequence)
+        if entry is None:
+            return None
+        if self.max_age is not None and now - entry.sent_at > self.max_age:
+            self._entries.pop(sequence)
+            self.n_evicted_aged += 1
+            return None
+        return entry
+
+    def evict_acked(self, frame_index: int) -> int:
+        """Drop every buffered chunk belonging to frames ``<= frame_index``."""
+        stale = [
+            sequence
+            for sequence, entry in self._entries.items()
+            if entry.frame_index is not None and entry.frame_index <= frame_index
+        ]
+        for sequence in stale:
+            self._entries.pop(sequence)
+        self.n_evicted_acked += len(stale)
+        return len(stale)
+
+    def evict_aged(self, now: float) -> int:
+        """Drop entries older than ``max_age`` (no-op when age-unbounded)."""
+        if self.max_age is None:
+            return 0
+        stale = [
+            sequence
+            for sequence, entry in self._entries.items()
+            if now - entry.sent_at > self.max_age
+        ]
+        for sequence in stale:
+            self._entries.pop(sequence)
+        self.n_evicted_aged += len(stale)
+        return len(stale)
+
+    def pending(self) -> list[_RetransmitEntry]:
+        """Unacked entries in send (= sequence) order, for a resume replay."""
+        return sorted(self._entries.values(), key=lambda entry: entry.sequence)
+
+    def clear(self) -> None:
+        """Forget everything (a new stream restarts sequences from 0)."""
+        self._entries.clear()
+
+
+class ReconnectSupervisor:
+    """Exponential-backoff reconnect policy with seeded jitter.
+
+    Wraps a ``connect`` coroutine factory (anything returning a fresh
+    :class:`~repro.stream.transport.Transport`) and retries it through a
+    capped exponential schedule: attempt *k* (0-based) waits
+    ``min(max_delay, base_delay * 2**(k-1)) * (1 + jitter * u)`` before
+    running, where ``u`` is drawn from the supervisor's own seeded RNG —
+    the first attempt fires immediately.  Jitter decorrelates fleet-wide
+    reconnect stampedes yet stays reproducible: same seed, same schedule.
+
+    Every timer flows through the injectable ``clock`` / ``sleep`` seam
+    (defaults: the process monotonic clock and :func:`asyncio.sleep`), so
+    tests pin exact firing times under
+    :class:`~repro.telemetry.ManualClock` with no wall-clock waits.
+    ``retryable`` defaults to ``(OSError,)``, which covers refused/reset
+    connections *and* the hub's typed
+    :class:`~repro.stream.hub.HubPortInUseError`.
+    """
+
+    def __init__(
+        self,
+        connect: Callable[[], Awaitable[Transport]],
+        *,
+        max_attempts: int = 8,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        jitter: float = 0.25,
+        seed: int = 0,
+        clock: Clock | None = None,
+        sleep: Callable[[float], Awaitable[None]] | None = None,
+        retryable: tuple[type[BaseException], ...] = (OSError,),
+    ) -> None:
+        check_positive("max_attempts", max_attempts)
+        check_positive("base_delay", base_delay)
+        check_positive("max_delay", max_delay)
+        if jitter < 0.0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self._connect = connect
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.retryable = retryable
+        self.clock: Clock = clock if clock is not None else MONOTONIC_CLOCK
+        self._sleep = sleep if sleep is not None else asyncio.sleep
+        self._rng = new_rng(derive_seed(seed, "reconnect-supervisor"))
+        self.n_attempts = 0
+        self.n_reconnects = 0
+        #: Backoff delay before each non-first attempt, in schedule order.
+        self.delays: list[float] = []
+        #: Clock reading at the start of every connect attempt.
+        self.attempt_times: list[float] = []
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Jittered delay before 0-based ``attempt`` (attempt 0 is free)."""
+        if attempt <= 0:
+            return 0.0
+        base = min(self.max_delay, self.base_delay * 2.0 ** (attempt - 1))
+        return base * (1.0 + self.jitter * float(self._rng.random()))
+
+    async def acquire(self) -> Transport:
+        """Connect, retrying through the backoff schedule until exhausted."""
+        last_error: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            delay = self.backoff_delay(attempt)
+            if delay > 0.0:
+                self.delays.append(delay)
+                await self._sleep(delay)
+            self.n_attempts += 1
+            self.attempt_times.append(self.clock.now())
+            try:
+                transport = await self._connect()
+            except self.retryable as error:
+                last_error = error
+                continue
+            self.n_reconnects += 1
+            return transport
+        raise ReconnectExhaustedError(
+            f"reconnect failed after {self.max_attempts} attempts"
+        ) from last_error
+
+
 class CameraNode:
     """An asyncio camera node streaming captures over a transport.
 
@@ -322,10 +520,28 @@ class CameraNode:
         lost segment of a frame at the receiver (burst-loss insurance, off
         by default; implies segment framing even with one segment).
     feedback:
-        Read receiver→node control chunks (ACK / rate advice) from the
-        transport's return path and feed them to the governor — requires a
-        duplex channel (:func:`~repro.stream.transport.loopback_duplex_pair`
-        or TCP) and a hub running with ``feedback=True``.
+        Read receiver→node control chunks (ACK / rate advice / NACK) from
+        the transport's return path — ACKs and advice feed the governor,
+        NACKs trigger selective repeat from the retransmission buffer.
+        Requires a duplex channel
+        (:func:`~repro.stream.transport.loopback_duplex_pair` or TCP) and a
+        hub running with ``feedback=True``.
+    retransmit_capacity:
+        Keep up to this many recently sent chunks in a
+        :class:`RetransmitBuffer` for NACK-driven selective repeat and
+        resume replay.  ``0`` (default) disables retransmission entirely —
+        the legacy fire-and-forget path.
+    retransmit_max_age:
+        Age bound (seconds on the node's clock) after which buffered chunks
+        stop being eligible for repair; ``None`` keeps them until ACK or
+        capacity eviction.
+    reconnect:
+        Optional :class:`ReconnectSupervisor`.  When a send fails with an
+        ``OSError`` the node reconnects through the supervisor's backoff
+        schedule, re-attaches its stream id with a ``SESSION_RESUME`` chunk
+        and replays the unacked retransmission window — so a mid-GOP
+        disconnect heals without breaking the seed chain.  Requires
+        ``retransmit_capacity > 0``.
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry`.  When present (and
         enabled) the node records each frame's ``capture`` and ``encode``
@@ -347,6 +563,9 @@ class CameraNode:
         segments_per_frame: int = 1,
         parity: bool = False,
         feedback: bool = False,
+        retransmit_capacity: int = 0,
+        retransmit_max_age: float | None = None,
+        reconnect: ReconnectSupervisor | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
         check_positive("gop_size", gop_size)
@@ -354,6 +573,15 @@ class CameraNode:
         if segments_per_frame > 255:
             raise ValueError(
                 f"segments_per_frame must fit the wire's u8, got {segments_per_frame}"
+            )
+        if retransmit_capacity < 0:
+            raise ValueError(
+                f"retransmit_capacity must be >= 0, got {retransmit_capacity}"
+            )
+        if reconnect is not None and retransmit_capacity == 0:
+            raise ValueError(
+                "a reconnect supervisor needs a retransmission buffer to "
+                "replay on resume — set retransmit_capacity > 0"
             )
         self.transport = transport
         self.stream_id = int(stream_id)
@@ -363,10 +591,26 @@ class CameraNode:
         self.segments_per_frame = int(segments_per_frame)
         self.parity = bool(parity)
         self.feedback = bool(feedback)
+        self.reconnect = reconnect
         self.n_feedback_chunks = 0
         self.n_feedback_errors = 0
+        self.n_retransmits = 0
+        self.n_nacks_answered = 0
+        self.n_nack_misses = 0
+        self.n_resumes = 0
+        self.n_resume_retransmits = 0
         self.telemetry = telemetry
+        self._clock: Clock = (
+            telemetry.clock if telemetry is not None else MONOTONIC_CLOCK
+        )
+        self._retransmit: RetransmitBuffer | None = (
+            RetransmitBuffer(retransmit_capacity, max_age=retransmit_max_age)
+            if retransmit_capacity
+            else None
+        )
         self._sequence = 0
+        self._last_frame_index = 0
+        self._resume_epoch = 0
         self._feedback_task: asyncio.Task[None] | None = None
         if telemetry is not None:
             telemetry.registry.register_collector(self._collect_metrics)
@@ -401,6 +645,31 @@ class CameraNode:
             labels=labels,
             help="Lossy-frame reports that triggered an AIMD back-off.",
         ).set_total(self.governor.n_loss_events)
+        registry.counter(
+            "repro_node_retransmits_total",
+            labels=labels,
+            help="Chunks re-sent verbatim in answer to receiver NACKs.",
+        ).set_total(self.n_retransmits)
+        registry.counter(
+            "repro_node_nacks_answered_total",
+            labels=labels,
+            help="NACK requests for which at least one chunk was repaired.",
+        ).set_total(self.n_nacks_answered)
+        registry.counter(
+            "repro_node_nack_misses_total",
+            labels=labels,
+            help="NACKed sequences already evicted from the retransmit buffer.",
+        ).set_total(self.n_nack_misses)
+        registry.counter(
+            "repro_node_resumes_total",
+            labels=labels,
+            help="Successful reconnect-with-resume cycles.",
+        ).set_total(self.n_resumes)
+        registry.counter(
+            "repro_node_reconnect_attempts_total",
+            labels=labels,
+            help="Connect attempts made by the reconnect supervisor.",
+        ).set_total(0 if self.reconnect is None else self.reconnect.n_attempts)
 
     # -------------------------------------------------------------- helpers
     @property
@@ -434,11 +703,18 @@ class CameraNode:
             for chunk in chunks:
                 try:
                     if chunk.chunk_type is ChunkType.CONTROL_ACK:
-                        self.governor.on_feedback(decode_control_ack(chunk.payload))
+                        ack = decode_control_ack(chunk.payload)
+                        self.governor.on_feedback(ack)
+                        if self._retransmit is not None:
+                            # A settled frame never gets NACKed again, so
+                            # everything up to it leaves the repair window.
+                            self._retransmit.evict_acked(ack.frame_index)
                     elif chunk.chunk_type is ChunkType.CONTROL_RATE:
                         self.governor.on_rate_advice(
                             decode_rate_advice(chunk.payload)
                         )
+                    elif chunk.chunk_type is ChunkType.CONTROL_NACK:
+                        await self._answer_nack(decode_nack_request(chunk.payload))
                     else:
                         raise StreamProtocolError(
                             f"non-control chunk type {chunk.chunk_type} on "
@@ -448,6 +724,35 @@ class CameraNode:
                     self.n_feedback_errors += 1
                 else:
                     self.n_feedback_chunks += 1
+
+    async def _answer_nack(self, request: NackRequest) -> None:
+        """Selective repeat: re-send whatever the buffer still holds.
+
+        Repairs go out verbatim under their *original* sequence numbers —
+        the session reclaims them from its missing set exactly like
+        late-arriving reordered chunks.  Sequences already evicted (ACKed,
+        aged out, capacity-pushed) are counted as misses and skipped; the
+        receiver's deadline salvage covers whatever repair cannot.  A send
+        failure here is swallowed: the forward path will hit the same broken
+        transport and drive the resume flow itself.
+        """
+        if self._retransmit is None:
+            self.n_nack_misses += len(request.sequences)
+            return
+        answered = 0
+        for sequence in request.sequences:
+            entry = self._retransmit.get(sequence, now=self._clock.now())
+            if entry is None:
+                self.n_nack_misses += 1
+                continue
+            try:
+                await self.transport.send(entry.encoded)
+            except OSError:
+                return
+            self.n_retransmits += 1
+            answered += 1
+        if answered:
+            self.n_nacks_answered += 1
 
     async def _stop_feedback(self) -> None:
         task, self._feedback_task = self._feedback_task, None
@@ -466,9 +771,19 @@ class CameraNode:
             )
 
     async def _send_chunk(
-        self, chunk_type: ChunkType, payload: bytes, stats: StreamStats
+        self,
+        chunk_type: ChunkType,
+        payload: bytes,
+        stats: StreamStats,
+        *,
+        frame_index: int | None = None,
     ) -> int:
-        """Frame one chunk and push it through the transport (may stall)."""
+        """Frame one chunk and push it through the transport (may stall).
+
+        With a retransmission buffer the encoded bytes are recorded *before*
+        the send, so a chunk lost to a mid-send disconnect is already in the
+        window the resume flow replays.
+        """
         chunk = Chunk(
             chunk_type=chunk_type,
             stream_id=self.stream_id,
@@ -477,16 +792,67 @@ class CameraNode:
         )
         self._sequence += 1
         data = encode_chunk(chunk)
-        await self.transport.send(data)
+        if frame_index is not None:
+            self._last_frame_index = frame_index
+        if self._retransmit is not None:
+            self._retransmit.add(
+                chunk.sequence, data, frame_index=frame_index, now=self._clock.now()
+            )
+        try:
+            await self.transport.send(data)
+        except OSError:
+            if self.reconnect is None:
+                raise
+            await self._resume_stream()
         stats.n_chunks += 1
         stats.n_bytes += len(data)
         return len(data)
+
+    async def _resume_stream(self) -> None:
+        """Reconnect, re-attach the stream id, replay the unacked window.
+
+        The ``SESSION_RESUME`` chunk rides the normal forward sequence (the
+        hub's gap tracking then marks anything lost in the cut as missing),
+        after which the entire retransmission buffer goes out verbatim,
+        oldest first — duplicates are skipped receiver-side and the missing
+        chunks reclaimed as reordered arrivals, so a window-covered cut
+        reconstructs every frame with the GOP seed chain intact.
+        """
+        assert self.reconnect is not None and self._retransmit is not None
+        await self._stop_feedback()
+        with contextlib.suppress(Exception):
+            await self.transport.close()
+        self.transport = await self.reconnect.acquire()
+        self._resume_epoch += 1
+        resume = SessionResume(
+            next_sequence=self._sequence,
+            frame_index=self._last_frame_index,
+            epoch=self._resume_epoch,
+        )
+        chunk = Chunk(
+            chunk_type=ChunkType.SESSION_RESUME,
+            stream_id=self.stream_id,
+            sequence=self._sequence,
+            payload=encode_session_resume(resume),
+        )
+        self._sequence += 1
+        await self.transport.send(encode_chunk(chunk))
+        if self.feedback and self._feedback_task is None:
+            self._feedback_task = asyncio.create_task(self._feedback_loop())
+        for entry in self._retransmit.pending():
+            await self.transport.send(entry.encoded)
+            self.n_resume_retransmits += 1
+        self.n_resumes += 1
 
     async def _send_header(self, header: StreamHeader, stats: StreamStats) -> None:
         # Every stream opens with its header chunk at sequence 0, so a node
         # can be reused across transports/streams without desynchronising
         # receivers (which expect consecutive sequences from 0).
         self._sequence = 0
+        self._last_frame_index = 0
+        self._resume_epoch = 0
+        if self._retransmit is not None:
+            self._retransmit.clear()
         if self.feedback and self._feedback_task is None:
             self._feedback_task = asyncio.create_task(self._feedback_loop())
         await self._send_chunk(
@@ -537,7 +903,9 @@ class CameraNode:
             # The span's other half closes on the receiving session when the
             # chunk lands (joined over loopback; a no-op half over TCP).
             tel.begin_span(self.stream_id, frame_index, SPAN_TRANSPORT)
-        return await self._send_chunk(ChunkType.FRAME_DATA, payload, stats)
+        return await self._send_chunk(
+            ChunkType.FRAME_DATA, payload, stats, frame_index=frame_index
+        )
 
     async def _send_frame_segmented(
         self,
@@ -585,11 +953,16 @@ class CameraNode:
                 )
             )
             payloads.append(payload)
-            sent += await self._send_chunk(ChunkType.FRAME_SEGMENT, payload, stats)
+            sent += await self._send_chunk(
+                ChunkType.FRAME_SEGMENT, payload, stats, frame_index=frame_index
+            )
         if self.parity:
             parity = build_frame_parity(frame_index, grid_row, grid_col, payloads)
             sent += await self._send_chunk(
-                ChunkType.FRAME_PARITY, encode_frame_parity(parity), stats
+                ChunkType.FRAME_PARITY,
+                encode_frame_parity(parity),
+                stats,
+                frame_index=frame_index,
             )
         return sent
 
@@ -654,6 +1027,7 @@ class CameraNode:
                     ChunkType.FRAME_COMPLETE,
                     encode_frame_complete(index, self._frame_chunk_count(frame)),
                     stats,
+                    frame_index=index,
                 )
             stats.n_frames += 1
             stats.samples_per_frame.append(frame.n_samples)
@@ -741,6 +1115,7 @@ class CameraNode:
                     ChunkType.FRAME_COMPLETE,
                     encode_frame_complete(index, self._frame_chunk_count(frame)),
                     stats,
+                    frame_index=index,
                 )
             stats.n_frames += 1
             stats.samples_per_frame.append(frame.n_samples)
@@ -811,7 +1186,10 @@ class CameraNode:
             )
             total_samples += frame.n_samples
         frame_bytes += await self._send_chunk(
-            ChunkType.FRAME_COMPLETE, encode_frame_complete(0, array.n_tiles), stats
+            ChunkType.FRAME_COMPLETE,
+            encode_frame_complete(0, array.n_tiles),
+            stats,
+            frame_index=0,
         )
         stats.n_frames = 1
         stats.samples_per_frame.append(total_samples)
@@ -906,6 +1284,7 @@ class CameraNode:
                     ChunkType.FRAME_COMPLETE,
                     encode_frame_complete(frame_index, array.n_tiles),
                     stats,
+                    frame_index=frame_index,
                 )
                 stats.n_frames += 1
                 stats.samples_per_frame.append(result.n_samples)

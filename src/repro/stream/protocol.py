@@ -26,6 +26,13 @@ flowing.  This module is that layer:
   (:class:`ControlAck`, :class:`RateAdvice`) flow receiver→node over the
   feedback path to close the :class:`~repro.stream.node.BitrateGovernor`
   loop;
+* the session-durability extension (additive again — types 9 and 10):
+  :class:`NackRequest` carries a missing-sequence list receiver→node down
+  the feedback path (the selective-repeat trigger), and
+  :class:`SessionResume` lets a reconnecting node re-attach a live stream
+  id on a fresh connection, announcing where its forward sequence and frame
+  counters stand so the hub can splice the new connection onto the parked
+  session state;
 * :func:`advance_seed_state` — the GOP resynchronisation rule.  The
   free-running selection CA overlaps consecutive frames by one pattern, so
   frame ``k+1``'s seed is frame ``k``'s seed evolved through ``k``'s warm-up
@@ -69,8 +76,10 @@ class ChunkType(enum.IntEnum):
 
     Types 1–4 are the frozen original protocol; 5–8 are the additive
     loss-resilience extension (segments, parity, and the receiver→node
-    control payloads).  A v1 stream never contains types above 4, so every
-    previously-written stream still decodes unchanged.
+    control payloads); 9–10 are the additive session-durability extension
+    (NACK-driven selective repeat and reconnect-with-resume).  A v1 stream
+    never contains types above 4, so every previously-written stream still
+    decodes unchanged.
     """
 
     STREAM_START = 1
@@ -81,11 +90,17 @@ class ChunkType(enum.IntEnum):
     FRAME_PARITY = 6
     CONTROL_ACK = 7
     CONTROL_RATE = 8
+    CONTROL_NACK = 9
+    SESSION_RESUME = 10
 
 
 #: Chunk types that flow receiver → node on the feedback path (never on the
 #: forward data path).
-CONTROL_CHUNK_TYPES = (ChunkType.CONTROL_ACK, ChunkType.CONTROL_RATE)
+CONTROL_CHUNK_TYPES = (
+    ChunkType.CONTROL_ACK,
+    ChunkType.CONTROL_RATE,
+    ChunkType.CONTROL_NACK,
+)
 
 #: Valid chunk-type byte values (what the resynchronising decoder scans for).
 _CHUNK_TYPE_VALUES = frozenset(int(member) for member in ChunkType)
@@ -726,6 +741,116 @@ def decode_rate_advice(payload: bytes) -> RateAdvice:
         frame_index=frame_index,
         advised_samples=advised_samples,
         loss_fraction=float(loss_fraction),
+    )
+
+
+# ------------------------------------- session-durability payloads (9–10)
+# Receiver→node selective-repeat request: the frame whose deadline fired and
+# the count of missing-sequence entries (one u32 each) that follow.
+_CONTROL_NACK = struct.Struct(">IH")
+_NACK_SEQUENCE = struct.Struct(">I")
+# Node→hub re-attach announcement on a fresh connection: the node's next
+# forward sequence number, the last frame index it sent, and the reconnect
+# epoch (1 = first resume).
+_SESSION_RESUME = struct.Struct(">IIH")
+
+#: Cap on missing sequences one NACK may carry.  A deeper loss backlog than
+#: this is not selective-repeat territory (the retransmission buffer will
+#: not cover it either); later NACKs pick up the remainder.
+MAX_NACK_SEQUENCES = 64
+
+
+@dataclass(frozen=True)
+class NackRequest:
+    """Receiver→node request to retransmit specific lost chunks.
+
+    ``frame_index`` names the frame whose reassembly deadline triggered the
+    request (informational — the node answers by *sequence*, not by frame);
+    ``sequences`` are forward-path sequence numbers the receiver's gap
+    tracking proved missing.  The node replies by re-sending whatever it
+    still holds in its retransmission buffer, verbatim and under the
+    original sequence numbers, so the session's reorder reclaim path absorbs
+    the repairs with no new FSM states.
+    """
+
+    frame_index: int
+    sequences: tuple[int, ...]
+
+
+def encode_nack_request(request: NackRequest) -> bytes:
+    """Payload of a :data:`ChunkType.CONTROL_NACK` chunk."""
+    if not 1 <= len(request.sequences) <= MAX_NACK_SEQUENCES:
+        raise StreamProtocolError(
+            f"a NACK must carry 1–{MAX_NACK_SEQUENCES} missing sequences, "
+            f"got {len(request.sequences)}"
+        )
+    return _CONTROL_NACK.pack(request.frame_index, len(request.sequences)) + b"".join(
+        _NACK_SEQUENCE.pack(sequence) for sequence in request.sequences
+    )
+
+
+def decode_nack_request(payload: bytes) -> NackRequest:
+    """Inverse of :func:`encode_nack_request`."""
+    try:
+        frame_index, count = _CONTROL_NACK.unpack_from(payload)
+    except struct.error as error:
+        raise StreamProtocolError(f"malformed NACK payload: {error}") from error
+    if count < 1:
+        raise StreamProtocolError("NACK chunk announces an empty sequence list")
+    expected = _CONTROL_NACK.size + count * _NACK_SEQUENCE.size
+    if len(payload) != expected:
+        raise StreamProtocolError(
+            f"NACK chunk announces {count} sequences ({expected} bytes) but "
+            f"carries {len(payload)}"
+        )
+    sequences = tuple(
+        _NACK_SEQUENCE.unpack_from(payload, _CONTROL_NACK.size + i * _NACK_SEQUENCE.size)[0]
+        for i in range(count)
+    )
+    return NackRequest(frame_index=frame_index, sequences=sequences)
+
+
+@dataclass(frozen=True)
+class SessionResume:
+    """Node→hub announcement re-attaching a stream id on a fresh connection.
+
+    Sent as the *first* chunk of a reconnected transport, under the node's
+    normal (monotonic) forward sequence numbering.  ``next_sequence`` is the
+    sequence the resume chunk itself occupies — the receiving session's gap
+    tracking then marks everything lost in flight as missing, and the
+    node's follow-up retransmission of its unacknowledged buffer reclaims
+    them.  ``frame_index`` is the last frame the node started sending;
+    ``epoch`` counts reconnects (1 = first resume).
+    """
+
+    next_sequence: int
+    frame_index: int
+    epoch: int = 1
+
+
+def encode_session_resume(resume: SessionResume) -> bytes:
+    """Payload of a :data:`ChunkType.SESSION_RESUME` chunk."""
+    if resume.epoch < 1:
+        raise StreamProtocolError(
+            f"session resume epoch must be >= 1, got {resume.epoch}"
+        )
+    return _SESSION_RESUME.pack(resume.next_sequence, resume.frame_index, resume.epoch)
+
+
+def decode_session_resume(payload: bytes) -> SessionResume:
+    """Inverse of :func:`encode_session_resume`."""
+    try:
+        next_sequence, frame_index, epoch = _SESSION_RESUME.unpack(payload)
+    except struct.error as error:
+        raise StreamProtocolError(
+            f"malformed session-resume payload: {error}"
+        ) from error
+    if epoch < 1:
+        raise StreamProtocolError(
+            f"session resume carries an impossible epoch {epoch}"
+        )
+    return SessionResume(
+        next_sequence=next_sequence, frame_index=frame_index, epoch=epoch
     )
 
 

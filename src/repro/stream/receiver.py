@@ -91,6 +91,11 @@ class StreamReceiver:
         Send per-frame delivery ACKs and rate advice back up the transport
         (requires a duplex transport; pairs with ``feedback=True`` on the
         :class:`~repro.stream.node.CameraNode`).
+    max_sequence_gap, frame_deadline, nack_grace:
+        Recovery knobs forwarded to the session verbatim: the
+        resync-plausibility window, and the reassembly deadline / NACK
+        grace pair that turns on selective repeat (see
+        :class:`~repro.stream.session.StreamSession`).
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry` forwarded to the
         private single-stream hub (and its session): frame traces and the
@@ -126,6 +131,9 @@ class StreamReceiver:
         resilient: bool = False,
         min_surviving_samples: int = 1,
         feedback: bool = False,
+        max_sequence_gap: int | None = None,
+        frame_deadline: float | None = None,
+        nack_grace: float | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
         self.reconstruct = bool(reconstruct)
@@ -141,6 +149,9 @@ class StreamReceiver:
         self.resilient = bool(resilient)
         self.min_surviving_samples = int(min_surviving_samples)
         self.feedback = bool(feedback)
+        self.max_sequence_gap = max_sequence_gap
+        self.frame_deadline = frame_deadline
+        self.nack_grace = nack_grace
         self.telemetry = telemetry
 
     def _new_hub(self) -> ReceiverHub:
@@ -162,6 +173,9 @@ class StreamReceiver:
             resilient=self.resilient,
             min_surviving_samples=self.min_surviving_samples,
             feedback=self.feedback,
+            max_sequence_gap=self.max_sequence_gap,
+            frame_deadline=self.frame_deadline,
+            nack_grace=self.nack_grace,
             telemetry=self.telemetry,
         )
 

@@ -56,12 +56,15 @@ from repro.sensor.shard import (
     tile_grid,
 )
 from repro.stream.protocol import (
+    CONTROL_CHUNK_TYPES,
+    MAX_NACK_SEQUENCES,
     Chunk,
     ChunkType,
     ControlAck,
     FrameData,
     FrameParity,
     FrameSegment,
+    NackRequest,
     RateAdvice,
     StreamHeader,
     StreamProtocolError,
@@ -70,9 +73,11 @@ from repro.stream.protocol import (
     decode_frame_data,
     decode_frame_parity,
     decode_frame_segment,
+    decode_session_resume,
     decode_stream_end,
     decode_stream_header,
     encode_control_ack,
+    encode_nack_request,
     encode_rate_advice,
     recover_missing_payload,
 )
@@ -237,6 +242,13 @@ class SessionStats:
     #: Frames landed without reconstruction (below the sample floor, or a
     #: broken GOP seed chain).
     n_dropped_frames: int = 0
+    #: NACK requests queued down the feedback path (selective repeat).
+    n_nacks_sent: int = 0
+    #: Deferred frames that settled partial after their NACK grace lapsed
+    #: (or the stream ended before the repair arrived).
+    n_deadline_salvages: int = 0
+    #: ``SESSION_RESUME`` chunks absorbed (node reconnect-with-resume).
+    n_resumes: int = 0
     #: Per-frame delivery accounting, in finalisation order.
     frame_loss: list[FrameLossReport] = field(default_factory=list)
 
@@ -332,6 +344,25 @@ class StreamSession:
         Queue a :class:`~repro.stream.protocol.ControlAck` per finalised
         frame (plus a :class:`~repro.stream.protocol.RateAdvice` when the
         frame saw loss) for the hub to ship down the feedback path.
+    max_sequence_gap:
+        Resync-plausibility window: the largest forward sequence jump a
+        resilient session books as loss rather than corruption.  ``None``
+        keeps the :data:`MAX_SEQUENCE_GAP` default; burst-loss tests and
+        operators expecting long outages can widen it.
+    frame_deadline:
+        Seconds (on the session clock) an incomplete segmented frame may
+        wait for repair before settling.  Setting it turns on NACK-driven
+        selective repeat: a frame that reaches its barrier (or outlives the
+        deadline) with chunks still missing queues one ``CONTROL_NACK``
+        down the feedback path and defers settlement for ``nack_grace``
+        seconds; a retransmit completing the frame settles it whole, the
+        grace lapsing settles it through the existing partial-Φ salvage
+        (``n_deadline_salvages``).  ``None`` (default) keeps the immediate
+        settle-at-barrier behaviour — with no faults the two are
+        byte-identical.
+    nack_grace:
+        Grace window after a NACK before the deferred frame is salvaged;
+        defaults to ``frame_deadline``.
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry`.  When present (and
         enabled) the session closes each frame's ``transport`` span as its
@@ -348,10 +379,11 @@ class StreamSession:
     #: keeping per-session memory bounded.
     MAX_INFLIGHT_TILED_SOLVES = 1
 
-    #: Largest tolerated forward sequence jump in resilient mode.  A jump
-    #: past this is not plausible loss but a corrupt sequence field (or a
-    #: different stream) — treating it as loss would fabricate millions of
-    #: phantom missing chunks.
+    #: Default resync-plausibility window (see the ``max_sequence_gap``
+    #: parameter): the largest forward sequence jump booked as loss rather
+    #: than corruption — a jump past it is not plausible loss but a corrupt
+    #: sequence field (or a different stream), and treating it as loss would
+    #: fabricate millions of phantom missing chunks.
     MAX_SEQUENCE_GAP = 4096
 
     def __init__(
@@ -371,6 +403,9 @@ class StreamSession:
         resilient: bool = False,
         min_surviving_samples: int = 1,
         emit_feedback: bool = False,
+        max_sequence_gap: int | None = None,
+        frame_deadline: float | None = None,
+        nack_grace: float | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
         self.stream_id = int(stream_id)
@@ -380,6 +415,19 @@ class StreamSession:
         self.resilient = bool(resilient)
         self.min_surviving_samples = max(1, int(min_surviving_samples))
         self.emit_feedback = bool(emit_feedback)
+        self.max_sequence_gap = (
+            self.MAX_SEQUENCE_GAP if max_sequence_gap is None else int(max_sequence_gap)
+        )
+        if self.max_sequence_gap < 1:
+            raise ValueError(
+                f"max_sequence_gap must be >= 1, got {self.max_sequence_gap}"
+            )
+        if frame_deadline is not None and frame_deadline <= 0:
+            raise ValueError(f"frame_deadline must be > 0, got {frame_deadline}")
+        if nack_grace is not None and nack_grace <= 0:
+            raise ValueError(f"nack_grace must be > 0, got {nack_grace}")
+        self.frame_deadline = frame_deadline
+        self.nack_grace = nack_grace if nack_grace is not None else frame_deadline
         self.telemetry = telemetry
         self._clock: Clock = (
             telemetry.clock if telemetry is not None else MONOTONIC_CLOCK
@@ -445,6 +493,18 @@ class StreamSession:
         self._chain_frame: dict[tuple[int, int], int] = {}
         #: Encoded control chunks (type, payload) awaiting the feedback path.
         self._outgoing_control: list[tuple[ChunkType, bytes]] = []
+        # ---- deadline supervision (only with frame_deadline set) ----
+        #: Frames whose settlement is deferred awaiting NACK repair, mapped
+        #: to the clock time their grace lapses.  In-order emission holds:
+        #: :meth:`_drain_settled` never settles past the lowest deferral.
+        self._deferred: dict[int, float] = {}
+        #: Frames that already used their one NACK (a frame NACKs once).
+        self._nacked_frames: set[int] = set()
+        #: Highest frame index (exclusive) the barriers / stream end have
+        #: asked the session to settle up to.
+        self._settle_frontier = 0
+        #: Clock time of the last chunk landed — what idle reaping reads.
+        self.last_activity = self._clock.now()
 
     # -------------------------------------------------------------- helpers
     @property
@@ -650,6 +710,118 @@ class StreamSession:
             self._report_fully_lost(frame_index, expected)
         else:
             await self._finalize_assembly(assembly, expected)
+
+    # ------------------------------------------------- deadline supervision
+    def _assembly_repairable(self, frame_index: int) -> bool:
+        """True when the frame is incomplete in a way a retransmit could fix.
+
+        A frame with every segment present — or parity plus all-but-one,
+        which :meth:`_SegmentAssembly.try_recover` rebuilds for free — needs
+        no repair; one with nothing on the wire to ask for (an empty missing
+        set) cannot name what to NACK.
+        """
+        if not self._missing:
+            return False
+        assembly = self._assemblies.get(frame_index)
+        if assembly is None:
+            return self._expected_chunks_for(None) > 0
+        if assembly.n_segments is None:
+            return True
+        if len(assembly.segments) >= assembly.n_segments:
+            return False
+        if (
+            assembly.parity is not None
+            and len(assembly.segments) == assembly.n_segments - 1
+        ):
+            return False
+        return True
+
+    def _queue_nack(self, frame_index: int, now: float) -> None:
+        """NACK the current missing set once on behalf of ``frame_index``."""
+        sequences = tuple(sorted(self._missing)[:MAX_NACK_SEQUENCES])
+        self._outgoing_control.append(
+            (
+                ChunkType.CONTROL_NACK,
+                encode_nack_request(
+                    NackRequest(frame_index=frame_index, sequences=sequences)
+                ),
+            )
+        )
+        self._nacked_frames.add(frame_index)
+        self.stats.n_nacks_sent += 1
+        assert self.nack_grace is not None
+        self._deferred[frame_index] = now + self.nack_grace
+
+    async def _drain_settled(self, *, defer: bool = True) -> None:
+        """Settle frames in order up to the frontier, pausing at deferrals.
+
+        The deadline path's replacement for the barrier's settle sweep:
+        every frame below :attr:`_settle_frontier` settles oldest-first,
+        except that a repairable frame (``defer=True``, deadline configured,
+        not yet NACKed) is deferred instead — one ``CONTROL_NACK`` goes out
+        and the sweep stops so frames keep emitting in order.  A retransmit
+        completing the frame (or its grace lapsing) resumes the sweep via
+        :meth:`_check_deferred`.
+        """
+        while self._next_frame_index < self._settle_frontier:
+            frame_index = self._next_frame_index
+            if frame_index in self._deferred:
+                return
+            if (
+                defer
+                and self.frame_deadline is not None
+                and frame_index not in self._nacked_frames
+                and self._assembly_repairable(frame_index)
+            ):
+                self._queue_nack(frame_index, self._now())
+                return
+            await self._settle_one_frame(frame_index)
+            self._next_frame_index += 1
+
+    async def _check_deferred(self, now: float) -> None:
+        """Resolve deferred frames that completed or whose grace lapsed."""
+        while self._deferred:
+            frame_index = min(self._deferred)
+            if not self._assembly_repairable(frame_index):
+                # Repair landed (or parity now covers the hole): settle the
+                # frame whole and keep sweeping.
+                self._deferred.pop(frame_index)
+            elif now >= self._deferred[frame_index]:
+                # Grace over — fall back to the partial-Φ salvage.
+                self._deferred.pop(frame_index)
+                self.stats.n_deadline_salvages += 1
+            else:
+                return
+            await self._drain_settled()
+
+    async def check_deadlines(self, now: float | None = None) -> None:
+        """Fire every expired frame/NACK timer (the hub's reap loop calls
+        this; tests drive it directly under a ``ManualClock``).
+
+        Two timers live here: an incomplete frame whose *first chunk* is
+        older than ``frame_deadline`` NACKs once even though its barrier
+        never arrived (the stalled-stream case the barrier trigger cannot
+        see), and a deferred frame whose grace lapsed settles partial.
+        """
+        if self.frame_deadline is None or self._ended:
+            return
+        if now is None:
+            now = self._now()
+        for frame_index in sorted(self._frame_started):
+            if (
+                frame_index >= self._next_frame_index
+                and frame_index not in self._nacked_frames
+                and now - self._frame_started[frame_index] >= self.frame_deadline
+                and self._assembly_repairable(frame_index)
+            ):
+                self._queue_nack(frame_index, now)
+        await self._check_deferred(now)
+
+    def _flush_deferrals(self) -> None:
+        """Cancel every grace window (stream end / EOF): salvage now."""
+        for frame_index in list(self._deferred):
+            self._deferred.pop(frame_index)
+            self.stats.n_deadline_salvages += 1
 
     async def _finalize_assembly(
         self, assembly: _SegmentAssembly, n_expected_chunks: int
@@ -912,6 +1084,7 @@ class StreamSession:
         onto a false magic byte — are counted and skipped; only a missing
         stream header still raises.
         """
+        self.last_activity = self._now()
         if not self._advance_sequence(chunk):
             return
         self._result.n_chunks += 1
@@ -928,6 +1101,10 @@ class StreamSession:
             # field) — its data is as lost as a dropped chunk's, but the
             # stream itself keeps flowing.
             self.stats.n_corrupt_chunks += 1
+        if self._deferred:
+            # A retransmit may have just completed the deferred head frame
+            # (settle it whole) or time may have run out on its grace.
+            await self._check_deferred(self._now())
 
     def _advance_sequence(self, chunk: Chunk) -> bool:
         """Run the sequence FSM; returns False when the chunk is skipped."""
@@ -948,7 +1125,7 @@ class StreamSession:
             )
         if chunk.sequence > self._next_sequence:
             gap = chunk.sequence - self._next_sequence
-            if gap > self.MAX_SEQUENCE_GAP:
+            if gap > self.max_sequence_gap:
                 # Not plausible loss but a corrupt sequence field (typically
                 # a resync decoder latching onto a false magic byte inside a
                 # truncated chunk's spilled payload).  Treating it as loss
@@ -999,16 +1176,31 @@ class StreamSession:
             announced = decode_stream_end(chunk.payload)
             if self.resilient and self._header is not None:
                 # Frames whose barrier (or every chunk) was lost are still
-                # outstanding — settle them before sealing the stream.
+                # outstanding — settle them before sealing the stream.  Any
+                # open NACK grace window dies with the stream: the repair
+                # can no longer arrive, so deferred frames salvage partial.
                 if self._header.tiled:
                     await self._settle_tiled_before(announced)
                 else:
-                    while self._next_frame_index < announced:
-                        await self._settle_one_frame(self._next_frame_index)
-                        self._next_frame_index += 1
+                    self._flush_deferrals()
+                    self._settle_frontier = max(self._settle_frontier, announced)
+                    await self._drain_settled(defer=False)
             self._result.announced_frames = announced
             self._ended = True
-        elif chunk.chunk_type in (ChunkType.CONTROL_ACK, ChunkType.CONTROL_RATE):
+        elif chunk.chunk_type == ChunkType.SESSION_RESUME:
+            if not self.resilient:
+                raise StreamProtocolError(
+                    "session-resume chunk on a strict session (resume needs "
+                    "a resilient receiver)"
+                )
+            # The resume rides the node's normal forward sequence, so the
+            # gap FSM above has already booked everything the cut swallowed
+            # as missing — the replay that follows reclaims it.  The chunk
+            # itself is pure bookkeeping here; admission (grace window,
+            # parked state) is the hub's job before the session ever sees it.
+            decode_session_resume(chunk.payload)
+            self.stats.n_resumes += 1
+        elif chunk.chunk_type in CONTROL_CHUNK_TYPES:
             raise StreamProtocolError(
                 f"{chunk.chunk_type.name} control chunk on the forward data "
                 "path (control flows receiver → node only)"
@@ -1244,9 +1436,8 @@ class StreamSession:
                 self.stats.n_late_chunks += 1
                 return
             self._expected_frame_chunks = n_tiles
-            while self._next_frame_index <= frame_index:
-                await self._settle_one_frame(self._next_frame_index)
-                self._next_frame_index += 1
+            self._settle_frontier = max(self._settle_frontier, frame_index + 1)
+            await self._drain_settled()
             return
         tiles = self._pending_tiles.pop(frame_index, None)
         if tiles is None:
@@ -1299,6 +1490,7 @@ class StreamSession:
             )
         if self._ended:
             return
+        self._flush_deferrals()
         if self._header is not None:
             for frame_index in sorted(self._assemblies):
                 await self._settle_one_frame(frame_index)
